@@ -1,0 +1,32 @@
+//! Criterion microbenchmark for the integrator ablation: exact closed
+//! form vs grid quadrature vs Monte-Carlo on one IUQ refinement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iloc_bench::{Scale, TestBed};
+use iloc_core::{Integrator, Issuer, RangeSpec};
+use iloc_datagen::WorkloadGen;
+
+fn bench(c: &mut Criterion) {
+    let bed = TestBed::build(Scale::quick());
+    let range = RangeSpec::square(500.0);
+    let issuer = Issuer::uniform(WorkloadGen::new(14).issuer_region(250.0));
+    let mut group = c.benchmark_group("ablation_integrators");
+    let backends: [(&str, Integrator); 3] = [
+        ("exact", Integrator::Exact),
+        ("grid40", Integrator::Grid { per_axis: 40 }),
+        ("mc250", Integrator::MonteCarlo { samples: 250 }),
+    ];
+    for (label, integ) in backends {
+        group.bench_function(label, |b| {
+            b.iter(|| bed.long_beach.iuq_with(&issuer, range, integ))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

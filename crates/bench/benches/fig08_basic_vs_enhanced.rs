@@ -1,0 +1,31 @@
+//! Criterion microbenchmark for Figure 8: basic (Eq. 4) vs enhanced
+//! (Eq. 8) IUQ evaluation on the quick-scale Long Beach dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iloc_bench::{Scale, TestBed};
+use iloc_core::{Issuer, RangeSpec};
+use iloc_datagen::WorkloadGen;
+
+fn bench(c: &mut Criterion) {
+    let bed = TestBed::build(Scale::quick());
+    let range = RangeSpec::square(500.0);
+    let mut group = c.benchmark_group("fig08");
+    for u in [250.0, 500.0, 1000.0] {
+        let region = WorkloadGen::new(42).issuer_region(u);
+        let issuer = Issuer::uniform(region);
+        group.bench_function(format!("enhanced/u{u}"), |b| {
+            b.iter(|| bed.long_beach.iuq(&issuer, range))
+        });
+        group.sample_size(10).bench_function(format!("basic/u{u}"), |b| {
+            b.iter(|| bed.long_beach.iuq_basic(&issuer, range, 30))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

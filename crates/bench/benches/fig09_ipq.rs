@@ -1,0 +1,28 @@
+//! Criterion microbenchmark for Figure 9: IPQ response time across
+//! issuer sizes `u` and range sizes `w`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iloc_bench::{Scale, TestBed};
+use iloc_core::{Issuer, RangeSpec};
+use iloc_datagen::WorkloadGen;
+
+fn bench(c: &mut Criterion) {
+    let bed = TestBed::build(Scale::quick());
+    let mut group = c.benchmark_group("fig09");
+    for w in [500.0, 1000.0, 1500.0] {
+        for u in [250.0, 1000.0] {
+            let issuer = Issuer::uniform(WorkloadGen::new(9).issuer_region(u));
+            group.bench_function(format!("ipq/w{w}/u{u}"), |b| {
+                b.iter(|| bed.california.ipq(&issuer, RangeSpec::square(w)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

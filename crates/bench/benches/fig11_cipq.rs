@@ -1,0 +1,30 @@
+//! Criterion microbenchmark for Figure 11: C-IPQ Minkowski-sum filter
+//! vs p-expanded-query filter across thresholds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iloc_bench::{Scale, TestBed};
+use iloc_core::{CipqStrategy, Issuer, RangeSpec};
+use iloc_datagen::WorkloadGen;
+
+fn bench(c: &mut Criterion) {
+    let bed = TestBed::build(Scale::quick());
+    let range = RangeSpec::square(500.0);
+    let issuer = Issuer::uniform(WorkloadGen::new(11).issuer_region(250.0));
+    let mut group = c.benchmark_group("fig11");
+    for qp in [0.0, 0.3, 0.6, 0.9] {
+        group.bench_function(format!("minkowski/qp{qp}"), |b| {
+            b.iter(|| bed.california.cipq(&issuer, range, qp, CipqStrategy::MinkowskiSum))
+        });
+        group.bench_function(format!("p_expanded/qp{qp}"), |b| {
+            b.iter(|| bed.california.cipq(&issuer, range, qp, CipqStrategy::PExpanded))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

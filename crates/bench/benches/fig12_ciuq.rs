@@ -1,0 +1,30 @@
+//! Criterion microbenchmark for Figure 12: C-IUQ R-tree+Minkowski vs
+//! PTI+p-expanded across thresholds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iloc_bench::{Scale, TestBed};
+use iloc_core::{CiuqStrategy, Issuer, RangeSpec};
+use iloc_datagen::WorkloadGen;
+
+fn bench(c: &mut Criterion) {
+    let bed = TestBed::build(Scale::quick());
+    let range = RangeSpec::square(500.0);
+    let issuer = Issuer::uniform(WorkloadGen::new(12).issuer_region(250.0));
+    let mut group = c.benchmark_group("fig12");
+    for qp in [0.0, 0.3, 0.6, 0.9] {
+        group.bench_function(format!("rtree_minkowski/qp{qp}"), |b| {
+            b.iter(|| bed.long_beach.ciuq(&issuer, range, qp, CiuqStrategy::RTreeMinkowski))
+        });
+        group.bench_function(format!("pti_p_expanded/qp{qp}"), |b| {
+            b.iter(|| bed.long_beach.ciuq(&issuer, range, qp, CiuqStrategy::PtiPExpanded))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion microbenchmark for Figure 13: C-IPQ under a Gaussian
+//! issuer pdf with the paper's Monte-Carlo evaluation (200 samples).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iloc_bench::{Scale, TestBed};
+use iloc_core::integrate::PAPER_MC_SAMPLES_POINT;
+use iloc_core::{CipqStrategy, Integrator, Issuer, RangeSpec};
+use iloc_datagen::WorkloadGen;
+
+fn bench(c: &mut Criterion) {
+    let bed = TestBed::build(Scale::quick());
+    let range = RangeSpec::square(500.0);
+    let issuer = Issuer::gaussian(WorkloadGen::new(13).issuer_region(250.0));
+    let mc = Integrator::MonteCarlo {
+        samples: PAPER_MC_SAMPLES_POINT,
+    };
+    let mut group = c.benchmark_group("fig13");
+    for qp in [0.0, 0.3, 0.6] {
+        group.bench_function(format!("minkowski_mc/qp{qp}"), |b| {
+            b.iter(|| {
+                bed.california
+                    .cipq_with(&issuer, range, qp, CipqStrategy::MinkowskiSum, mc)
+            })
+        });
+        group.bench_function(format!("p_expanded_mc/qp{qp}"), |b| {
+            b.iter(|| {
+                bed.california
+                    .cipq_with(&issuer, range, qp, CipqStrategy::PExpanded, mc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Reproduces every figure of Chen & Cheng (ICDE 2007) plus the
+//! DESIGN.md ablations.
+//!
+//! ```text
+//! reproduce [targets...] [--quick] [--csv DIR]
+//!
+//! targets: fig8 fig9 fig10 fig11 fig12 fig13
+//!          integrators catalog index strategies continuous
+//!          figures (fig8–fig13)   ablations (the other five)
+//!          all (default)
+//! --quick:    ~10× smaller datasets and query counts
+//! --csv DIR:  additionally write one CSV per experiment into DIR
+//! ```
+
+use std::time::Instant;
+
+use iloc_bench::experiments::{ablations, fig08, fig09, fig10, fig11, fig12, fig13};
+use iloc_bench::{Scale, TestBed};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let mut skip_next = false;
+    let mut targets: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--csv" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(String::as_str)
+        .collect();
+    if targets.is_empty() {
+        targets.push("all");
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv output directory");
+    }
+
+    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    println!(
+        "iloc reproduction harness — {} scale ({} points, {} uncertain objects, {} queries/point)",
+        if quick { "quick" } else { "paper" },
+        scale.point_count,
+        scale.uncertain_count,
+        scale.queries,
+    );
+
+    let t0 = Instant::now();
+    let bed = TestBed::build(scale);
+    println!(
+        "testbed built in {:.1}s (California R-tree + Long Beach R-tree/PTI with U-catalogs)",
+        t0.elapsed().as_secs_f64()
+    );
+
+    let wants = |name: &str, group: &str| {
+        targets
+            .iter()
+            .any(|t| *t == name || *t == group || *t == "all")
+    };
+    let save = |name: &str, x_name: &str, rows: &[iloc_bench::Row]| {
+        if let Some(dir) = &csv_dir {
+            let path = dir.join(format!("{name}.csv"));
+            iloc_bench::harness::write_csv(&path, x_name, rows)
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            println!("   → {}", path.display());
+        }
+    };
+
+    if wants("fig8", "figures") {
+        save("fig08_basic_vs_enhanced", "u", &fig08::run(&bed));
+    }
+    if wants("fig9", "figures") {
+        save("fig09_ipq", "u", &fig09::run(&bed));
+    }
+    if wants("fig10", "figures") {
+        save("fig10_iuq", "u", &fig10::run(&bed));
+    }
+    if wants("fig11", "figures") {
+        save("fig11_cipq", "qp", &fig11::run(&bed));
+    }
+    if wants("fig12", "figures") {
+        save("fig12_ciuq", "qp", &fig12::run(&bed));
+    }
+    if wants("fig13", "figures") {
+        save("fig13_gaussian_mc", "qp", &fig13::run(&bed));
+    }
+    if wants("integrators", "ablations") {
+        save("ablation_integrators", "x", &ablations::integrators(&bed));
+    }
+    if wants("catalog", "ablations") {
+        save("ablation_catalog", "levels", &ablations::catalog_sizes(&bed));
+    }
+    if wants("index", "ablations") {
+        save("ablation_index", "x", &ablations::index_choice(&bed));
+    }
+    if wants("strategies", "ablations") {
+        save(
+            "ablation_strategies",
+            "x",
+            &ablations::pruning_strategies(&bed),
+        );
+    }
+    if wants("continuous", "ablations") {
+        save(
+            "ablation_continuous",
+            "slack",
+            &ablations::continuous_slack(&bed),
+        );
+    }
+    if wants("gaussian", "ablations") {
+        save(
+            "ablation_gaussian_objects",
+            "x",
+            &ablations::gaussian_objects(&bed),
+        );
+        save(
+            "ablation_gaussian_pruning",
+            "x",
+            &ablations::gaussian_pruning(&bed),
+        );
+    }
+
+    println!();
+    println!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

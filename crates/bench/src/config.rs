@@ -1,0 +1,122 @@
+//! Experiment configuration: the paper's Table 2 defaults plus dataset
+//! construction.
+
+use iloc_core::PointEngine;
+use iloc_core::UncertainEngine;
+use iloc_datagen::{
+    california_points, gaussian_objects, long_beach_rects, point_objects, uniform_objects,
+    CALIFORNIA_SIZE, LONG_BEACH_SIZE,
+};
+
+/// Paper Table 2: default issuer uncertainty half-size `u`.
+pub const DEFAULT_U: f64 = 250.0;
+/// Paper Table 2: default range half-size `w`.
+pub const DEFAULT_W: f64 = 500.0;
+/// Paper Section 6.1: queries averaged per data point.
+pub const PAPER_QUERIES: usize = 500;
+
+/// Experiment scale. `paper()` matches the publication's cardinalities;
+/// `quick()` is a ~10× reduction for smoke runs and CI.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Point-object count (California).
+    pub point_count: usize,
+    /// Uncertain-object count (Long Beach).
+    pub uncertain_count: usize,
+    /// Queries averaged per configuration.
+    pub queries: usize,
+    /// Queries used for the *basic method* runs, which cost hundreds of
+    /// integrand evaluations per candidate (Figure 8 would otherwise
+    /// take hours at paper scale).
+    pub basic_queries: usize,
+    /// Queries used for the Monte-Carlo runs of Figure 13 (hundreds of
+    /// samples per candidate).
+    pub mc_queries: usize,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Full paper-scale datasets and query counts.
+    pub fn paper() -> Self {
+        Scale {
+            point_count: CALIFORNIA_SIZE,
+            uncertain_count: LONG_BEACH_SIZE,
+            queries: PAPER_QUERIES,
+            basic_queries: 20,
+            mc_queries: 100,
+            seed: 2007,
+        }
+    }
+
+    /// Reduced scale for smoke tests / CI.
+    pub fn quick() -> Self {
+        Scale {
+            point_count: 6_200,
+            uncertain_count: 5_300,
+            queries: 60,
+            basic_queries: 4,
+            mc_queries: 15,
+            seed: 2007,
+        }
+    }
+}
+
+/// The built experiment databases, shared across figures.
+pub struct TestBed {
+    /// Experiment scale used to build the bed.
+    pub scale: Scale,
+    /// California points under a `PointEngine`.
+    pub california: PointEngine,
+    /// Long Beach rectangles as uniform-pdf uncertain objects.
+    pub long_beach: UncertainEngine,
+}
+
+impl TestBed {
+    /// Builds the point and uncertain databases (uniform pdfs — the
+    /// default model; Figure 13 builds its Gaussian variant on demand
+    /// via [`TestBed::gaussian_points_issuerless`]).
+    pub fn build(scale: Scale) -> Self {
+        let pts = california_points(scale.point_count, scale.seed);
+        let california = PointEngine::from_objects(point_objects(&pts));
+        let rects = long_beach_rects(scale.uncertain_count, scale.seed + 1);
+        let long_beach = UncertainEngine::build(uniform_objects(&rects));
+        TestBed {
+            scale,
+            california,
+            long_beach,
+        }
+    }
+
+    /// Builds the Gaussian-pdf variant of the Long Beach database
+    /// (used by the non-uniform ablations).
+    pub fn gaussian_long_beach(&self) -> UncertainEngine {
+        let rects = long_beach_rects(self.scale.uncertain_count, self.scale.seed + 1);
+        UncertainEngine::build(gaussian_objects(&rects))
+    }
+
+    /// Placeholder-free helper for Figure 13: the point database is
+    /// reused as-is; only the *issuer* becomes Gaussian there.
+    pub fn gaussian_points_issuerless(&self) -> &PointEngine {
+        &self.california
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_testbed_builds() {
+        let bed = TestBed::build(Scale {
+            point_count: 500,
+            uncertain_count: 400,
+            queries: 5,
+            basic_queries: 2,
+            mc_queries: 2,
+            seed: 1,
+        });
+        assert_eq!(bed.california.len(), 500);
+        assert_eq!(bed.long_beach.len(), 400);
+    }
+}

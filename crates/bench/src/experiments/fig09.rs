@@ -1,0 +1,39 @@
+//! **Figure 9** — IPQ response time vs issuer uncertainty size `u`, one
+//! series per range size `w ∈ {500, 1000, 1500}`.
+//!
+//! Paper: `T` ranges ~20–220 ms and increases with both `u` and `w`
+//! because the Minkowski sum (and hence the candidate set) grows with
+//! both. Expected reproduction shape: every series monotone-ish in `u`;
+//! larger `w` series strictly above smaller ones.
+
+use iloc_core::{Issuer, RangeSpec};
+use iloc_datagen::WorkloadGen;
+
+use crate::config::TestBed;
+use crate::experiments::{U_SWEEP, W_SERIES};
+use crate::harness::{print_table, Row, Summary};
+
+/// Runs the experiment and returns the rows.
+pub fn run(bed: &TestBed) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &w in &W_SERIES {
+        let range = RangeSpec::square(w);
+        for &u in &U_SWEEP {
+            let issuers = WorkloadGen::new(900).issuer_regions(bed.scale.queries, u);
+            let s = Summary::collect(bed.scale.queries, |q| {
+                bed.california.ipq(&Issuer::uniform(issuers[q]), range)
+            });
+            rows.push(Row {
+                x: u,
+                series: format!("range size w={w}"),
+                summary: s,
+            });
+        }
+    }
+    print_table(
+        "Figure 9: T vs u under different range sizes (IPQ, California)",
+        "uncertainty region size u",
+        &rows,
+    );
+    rows
+}

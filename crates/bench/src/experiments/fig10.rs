@@ -1,0 +1,38 @@
+//! **Figure 10** — IUQ response time vs issuer uncertainty size `u`,
+//! one series per range size `w ∈ {500, 1000, 1500}`.
+//!
+//! Same setup as Figure 9 but over the uncertain-object database;
+//! the paper reports the same qualitative behaviour (`T` grows with
+//! both `u` and `w`), slightly costlier per candidate than IPQ.
+
+use iloc_core::{Issuer, RangeSpec};
+use iloc_datagen::WorkloadGen;
+
+use crate::config::TestBed;
+use crate::experiments::{U_SWEEP, W_SERIES};
+use crate::harness::{print_table, Row, Summary};
+
+/// Runs the experiment and returns the rows.
+pub fn run(bed: &TestBed) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &w in &W_SERIES {
+        let range = RangeSpec::square(w);
+        for &u in &U_SWEEP {
+            let issuers = WorkloadGen::new(1000).issuer_regions(bed.scale.queries, u);
+            let s = Summary::collect(bed.scale.queries, |q| {
+                bed.long_beach.iuq(&Issuer::uniform(issuers[q]), range)
+            });
+            rows.push(Row {
+                x: u,
+                series: format!("range size w={w}"),
+                summary: s,
+            });
+        }
+    }
+    print_table(
+        "Figure 10: T vs u under different range sizes (IUQ, Long Beach)",
+        "uncertainty region size u",
+        &rows,
+    );
+    rows
+}

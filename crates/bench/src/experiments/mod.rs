@@ -1,0 +1,27 @@
+//! One module per paper figure plus the design-choice ablations.
+//!
+//! Every `run` function takes the shared [`TestBed`](crate::TestBed),
+//! prints its table in the `reproduce` output format, and returns the
+//! rows so integration tests can assert on curve *shapes* rather than
+//! absolute timings.
+
+pub mod ablations;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+
+/// Issuer-region half-sizes swept on the x-axis of Figures 8–10
+/// (the paper sweeps 0–1000; 0 would make the issuer exact, which is
+/// outside the imprecise-query model, so the sweep starts at 100).
+pub const U_SWEEP: [f64; 10] = [
+    100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0,
+];
+
+/// Probability thresholds swept on the x-axis of Figures 11–13.
+pub const QP_SWEEP: [f64; 11] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Range half-sizes for the multi-series Figures 9–10.
+pub const W_SERIES: [f64; 3] = [500.0, 1000.0, 1500.0];

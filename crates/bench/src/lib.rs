@@ -1,0 +1,25 @@
+//! # iloc-bench
+//!
+//! Experiment harness reproducing **every figure** of the paper's
+//! evaluation (Section 6) plus the design-choice ablations listed in
+//! DESIGN.md. The `reproduce` binary drives the full suite:
+//!
+//! ```text
+//! cargo run -p iloc-bench --release --bin reproduce            # all figures
+//! cargo run -p iloc-bench --release --bin reproduce -- fig11   # one figure
+//! cargo run -p iloc-bench --release --bin reproduce -- --quick # scaled down
+//! ```
+//!
+//! Absolute milliseconds differ from the paper's 2007 SunFire numbers;
+//! the *shapes* — who wins, by what factor, where the curves bend — are
+//! what EXPERIMENTS.md records and compares.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod harness;
+
+pub use config::{Scale, TestBed};
+pub use harness::{Row, Summary};

@@ -1,0 +1,192 @@
+//! Continuous imprecise range queries along a trajectory.
+//!
+//! The paper evaluates *snapshot* queries; a deployed service evaluates
+//! the same query every few seconds as the issuer moves. Re-probing
+//! the R-tree at every tick is wasteful when consecutive uncertainty
+//! regions overlap heavily, so this module adds the classic *safe
+//! envelope* optimisation on top of the paper's pipeline:
+//!
+//! * on a cache miss, probe the index with the expanded query grown by
+//!   a configurable `slack` margin and remember the candidate list;
+//! * on subsequent ticks whose expanded query still fits inside the
+//!   envelope, skip the index probe entirely and refine from the
+//!   cached list — Lemma 1 guarantees no object outside the envelope
+//!   can qualify while the query stays inside it.
+//!
+//! Answers are bit-identical to fresh snapshot evaluation (tests
+//! assert this); only the index I/O changes.
+
+use iloc_geometry::Rect;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::engine::PointEngine;
+use crate::expand::minkowski_query;
+use crate::integrate::Integrator;
+use crate::query::{Issuer, RangeSpec};
+use crate::result::{Match, QueryAnswer};
+
+/// Stateful runner for a continuous IPQ over a point database.
+#[derive(Debug)]
+pub struct ContinuousIpq<'a> {
+    engine: &'a PointEngine,
+    range: RangeSpec,
+    slack: f64,
+    envelope: Option<(Rect, Vec<u32>)>,
+    /// Index probes actually issued (≤ ticks).
+    pub probes: u64,
+    /// Ticks served from the cached envelope.
+    pub cache_hits: u64,
+}
+
+impl<'a> ContinuousIpq<'a> {
+    /// Creates a runner. `slack` is the envelope margin in space
+    /// units: larger values mean fewer index probes but more cached
+    /// candidates to re-filter per tick. `slack = 0` degenerates to
+    /// one probe per tick.
+    pub fn new(engine: &'a PointEngine, range: RangeSpec, slack: f64) -> Self {
+        assert!(slack >= 0.0 && slack.is_finite(), "slack must be ≥ 0");
+        ContinuousIpq {
+            engine,
+            range,
+            slack,
+            envelope: None,
+            probes: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Evaluates the query for the issuer's current uncertainty
+    /// region. Equivalent to `engine.ipq(issuer, range)` but reuses
+    /// cached candidates while the motion stays inside the envelope.
+    pub fn step(&mut self, issuer: &Issuer) -> QueryAnswer {
+        let start = std::time::Instant::now();
+        let mut answer = QueryAnswer::default();
+        let expanded = minkowski_query(issuer, self.range);
+
+        let hit = matches!(&self.envelope, Some((env, _)) if env.contains_rect(expanded));
+        if hit {
+            self.cache_hits += 1;
+        } else {
+            let env = expanded.expand(self.slack, self.slack);
+            let cands = self
+                .engine
+                .raw_candidates(env, &mut answer.stats.access);
+            self.probes += 1;
+            self.envelope = Some((env, cands));
+        }
+        let (_, cached) = self.envelope.as_ref().expect("envelope just ensured");
+
+        let mut rng = StdRng::seed_from_u64(crate::engine::DEFAULT_QUERY_SEED);
+        for &idx in cached {
+            let obj = &self.engine.objects()[idx as usize];
+            // Cheap pre-filter against the *current* expanded query
+            // before paying for the probability.
+            if !expanded.contains_point(obj.loc) {
+                continue;
+            }
+            let pi = Integrator::Auto.point_probability(
+                issuer.pdf(),
+                self.range,
+                obj.loc,
+                &mut rng,
+                &mut answer.stats,
+            );
+            if pi > 0.0 {
+                answer.results.push(Match {
+                    id: obj.id,
+                    probability: pi,
+                });
+            } else {
+                answer.stats.refined_out += 1;
+            }
+        }
+        answer.finalize();
+        answer.stats.elapsed = start.elapsed();
+        answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc_geometry::Point;
+
+    fn engine() -> PointEngine {
+        let mut pts = Vec::new();
+        for i in 0..40 {
+            for j in 0..40 {
+                pts.push(Point::new(i as f64 * 25.0, j as f64 * 25.0));
+            }
+        }
+        PointEngine::build(pts)
+    }
+
+    /// A straight-line walk with fixed uncertainty.
+    fn walk(ticks: usize) -> Vec<Issuer> {
+        (0..ticks)
+            .map(|t| {
+                let c = Point::new(200.0 + t as f64 * 6.0, 300.0 + t as f64 * 2.5);
+                Issuer::uniform(Rect::centered(c, 40.0, 40.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn continuous_equals_snapshot_at_every_tick() {
+        let engine = engine();
+        let range = RangeSpec::square(80.0);
+        let mut runner = ContinuousIpq::new(&engine, range, 100.0);
+        for issuer in walk(60) {
+            let cont = runner.step(&issuer);
+            let snap = engine.ipq(&issuer, range);
+            assert_eq!(cont.results.len(), snap.results.len());
+            for (a, b) in cont.results.iter().zip(&snap.results) {
+                assert_eq!(a.id, b.id);
+                assert!((a.probability - b.probability).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn slack_trades_probes_for_cached_filtering() {
+        let engine = engine();
+        let range = RangeSpec::square(80.0);
+
+        let mut none = ContinuousIpq::new(&engine, range, 0.0);
+        let mut wide = ContinuousIpq::new(&engine, range, 150.0);
+        for issuer in walk(60) {
+            let _ = none.step(&issuer);
+            let _ = wide.step(&issuer);
+        }
+        assert_eq!(none.probes, 60, "zero slack re-probes every tick");
+        assert!(
+            wide.probes < 10,
+            "wide envelope should amortise probes, got {}",
+            wide.probes
+        );
+        assert_eq!(wide.probes + wide.cache_hits, 60);
+    }
+
+    #[test]
+    fn teleport_invalidates_envelope() {
+        let engine = engine();
+        let range = RangeSpec::square(50.0);
+        let mut runner = ContinuousIpq::new(&engine, range, 200.0);
+        let a = Issuer::uniform(Rect::centered(Point::new(100.0, 100.0), 30.0, 30.0));
+        let b = Issuer::uniform(Rect::centered(Point::new(900.0, 900.0), 30.0, 30.0));
+        let _ = runner.step(&a);
+        let _ = runner.step(&b); // far jump → new probe
+        assert_eq!(runner.probes, 2);
+        let snap = engine.ipq(&b, range);
+        let cont = runner.step(&b);
+        assert_eq!(cont.results.len(), snap.results.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "slack")]
+    fn rejects_negative_slack() {
+        let engine = engine();
+        let _ = ContinuousIpq::new(&engine, RangeSpec::square(10.0), -1.0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Query engines: index construction plus end-to-end evaluation of the
+//! four query types (the Section 4.3 / 5.3 filter-and-refine pipeline).
+
+mod point;
+mod uncertain;
+
+pub use point::PointEngine;
+pub use uncertain::UncertainEngine;
+
+/// Seed used to derive the per-query RNG when the caller does not
+/// supply one; query answers are deterministic for a given engine.
+pub(crate) const DEFAULT_QUERY_SEED: u64 = 0x110C_5EED;

@@ -1,0 +1,428 @@
+//! Engine for uncertain-object databases (IUQ / C-IUQ).
+
+use std::time::Instant;
+
+use iloc_index::{Pti, PtiParams, PtiQuery, RTree, RTreeParams, RangeIndex};
+use iloc_uncertainty::UncertainObject;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::eval::basic;
+use crate::eval::constrained::{try_prune, PruneContext, PruneOutcome};
+use crate::expand::{minkowski_query, p_expanded_query};
+use crate::integrate::Integrator;
+use crate::query::{CiuqStrategy, Issuer, RangeSpec};
+use crate::result::{Match, QueryAnswer};
+
+use super::DEFAULT_QUERY_SEED;
+
+/// An uncertain-object database with both a plain R-tree and a PTI,
+/// answering IUQ and C-IUQ.
+#[derive(Debug, Clone)]
+pub struct UncertainEngine {
+    objects: Vec<UncertainObject>,
+    tree: RTree<u32>,
+    pti: Pti<u32>,
+}
+
+impl UncertainEngine {
+    /// Builds the engine: bulk loads an R-tree on the uncertainty
+    /// regions and a PTI on the objects' U-catalogs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when objects disagree on their catalog levels (the PTI
+    /// requires a shared level table, as in the paper).
+    pub fn build(objects: Vec<UncertainObject>) -> Self {
+        let entries = objects
+            .iter()
+            .enumerate()
+            .map(|(k, o)| (o.region(), k as u32))
+            .collect();
+        let tree = RTree::bulk_load(entries, RTreeParams::default());
+
+        let levels: Vec<f64> = objects
+            .first()
+            .map(|o| o.catalog().levels().collect())
+            .unwrap_or_else(|| vec![0.0]);
+        let pti_objects = objects
+            .iter()
+            .enumerate()
+            .map(|(k, o)| {
+                let obj_levels: Vec<f64> = o.catalog().levels().collect();
+                assert_eq!(
+                    obj_levels, levels,
+                    "all objects must share the same catalog levels"
+                );
+                let bounds = o.catalog().bounds().iter().map(|b| b.rect).collect();
+                (bounds, k as u32)
+            })
+            .collect();
+        let pti = Pti::bulk_load(levels, pti_objects, PtiParams::default());
+
+        UncertainEngine { objects, tree, pti }
+    }
+
+    /// Inserts one uncertain object dynamically, maintaining both the
+    /// R-tree and the PTI.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the object's catalog levels differ from the
+    /// engine's (the PTI needs one shared level table).
+    pub fn insert(&mut self, object: UncertainObject) {
+        let obj_levels: Vec<f64> = object.catalog().levels().collect();
+        if self.objects.is_empty() {
+            // First object fixes the level table.
+            self.pti = Pti::bulk_load(obj_levels.clone(), Vec::new(), PtiParams::default());
+        }
+        let engine_levels: Vec<f64> = self.pti.levels().to_vec();
+        assert_eq!(
+            obj_levels, engine_levels,
+            "all objects must share the same catalog levels"
+        );
+        let idx = self.objects.len() as u32;
+        self.tree.insert(object.region(), idx);
+        self.pti
+            .insert(object.catalog().bounds().iter().map(|b| b.rect).collect(), idx);
+        self.objects.push(object);
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` when the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The stored objects.
+    pub fn objects(&self) -> &[UncertainObject] {
+        &self.objects
+    }
+
+    /// Raw R-tree filter results — indices into [`Self::objects`] whose
+    /// regions overlap `filter`. Exposed for harness-level ablations
+    /// that assemble their own refinement pipelines.
+    pub fn raw_candidates(
+        &self,
+        filter: iloc_geometry::Rect,
+        stats: &mut iloc_index::AccessStats,
+    ) -> Vec<u32> {
+        self.tree.query_range(filter, stats)
+    }
+
+    /// **IUQ** (Definition 4) via the enhanced pipeline: Minkowski
+    /// filter + Lemma 4 refinement with the best available integrator.
+    pub fn iuq(&self, issuer: &Issuer, range: RangeSpec) -> QueryAnswer {
+        self.iuq_with(issuer, range, Integrator::Auto)
+    }
+
+    /// IUQ with an explicit integrator.
+    pub fn iuq_with(&self, issuer: &Issuer, range: RangeSpec, integrator: Integrator) -> QueryAnswer {
+        let start = Instant::now();
+        let mut answer = QueryAnswer::default();
+        let mut rng = StdRng::seed_from_u64(DEFAULT_QUERY_SEED);
+        let expanded = minkowski_query(issuer, range);
+        let candidates = self.tree.query_range(expanded, &mut answer.stats.access);
+        for idx in candidates {
+            let obj = &self.objects[idx as usize];
+            let pi = integrator.object_probability(
+                issuer.pdf(),
+                range,
+                obj.pdf(),
+                expanded,
+                &mut rng,
+                &mut answer.stats,
+            );
+            if pi > 0.0 {
+                answer.results.push(Match {
+                    id: obj.id,
+                    probability: pi,
+                });
+            } else {
+                answer.stats.refined_out += 1;
+            }
+        }
+        answer.finalize();
+        answer.stats.elapsed = start.elapsed();
+        answer
+    }
+
+    /// IUQ via the **basic method** (Section 3.3, Eq. 4): numerical
+    /// integration over the issuer region for every candidate — the
+    /// slow baseline of Figure 8.
+    pub fn iuq_basic(&self, issuer: &Issuer, range: RangeSpec, per_axis: usize) -> QueryAnswer {
+        let start = Instant::now();
+        let mut answer = QueryAnswer::default();
+        let expanded = minkowski_query(issuer, range);
+        let candidates = self.tree.query_range(expanded, &mut answer.stats.access);
+        for idx in candidates {
+            let obj = &self.objects[idx as usize];
+            let pi = basic::object_probability(
+                issuer.pdf(),
+                range,
+                obj.pdf(),
+                per_axis,
+                &mut answer.stats,
+            );
+            if pi > 0.0 {
+                answer.results.push(Match {
+                    id: obj.id,
+                    probability: pi,
+                });
+            } else {
+                answer.stats.refined_out += 1;
+            }
+        }
+        answer.finalize();
+        answer.stats.elapsed = start.elapsed();
+        answer
+    }
+
+    /// **C-IUQ** (Definition 6): objects with `pi ≥ qp`, with the index
+    /// and pruning stack chosen by `strategy` (Figure 12 compares the
+    /// two).
+    pub fn ciuq(
+        &self,
+        issuer: &Issuer,
+        range: RangeSpec,
+        qp: f64,
+        strategy: CiuqStrategy,
+    ) -> QueryAnswer {
+        self.ciuq_with(issuer, range, qp, strategy, Integrator::Auto)
+    }
+
+    /// C-IUQ with an explicit integrator.
+    pub fn ciuq_with(
+        &self,
+        issuer: &Issuer,
+        range: RangeSpec,
+        qp: f64,
+        strategy: CiuqStrategy,
+        integrator: Integrator,
+    ) -> QueryAnswer {
+        assert!((0.0..=1.0).contains(&qp), "threshold must be in [0, 1]");
+        let start = Instant::now();
+        let mut answer = QueryAnswer::default();
+        let mut rng = StdRng::seed_from_u64(DEFAULT_QUERY_SEED);
+        let expanded = minkowski_query(issuer, range);
+
+        let candidates = match strategy {
+            CiuqStrategy::RTreeMinkowski => {
+                self.tree.query_range(expanded, &mut answer.stats.access)
+            }
+            CiuqStrategy::PtiPExpanded => {
+                let (_, p_expanded) = p_expanded_query(issuer, range, qp);
+                let q = PtiQuery {
+                    expanded,
+                    p_expanded,
+                    threshold: qp,
+                };
+                self.pti.query(&q, &mut answer.stats.access)
+            }
+        };
+
+        // Object-level pruning (Strategies 1–3) before any integral —
+        // only for the PTI pipeline; the R-tree baseline refines every
+        // candidate, as in the paper's comparison. At `qp = 0` no
+        // object can ever be pruned (every test bounds `pi` by a
+        // positive level), so skip the tests entirely.
+        let prune_ctx = match strategy {
+            CiuqStrategy::PtiPExpanded if qp > 0.0 => {
+                let (_, p_expanded) = p_expanded_query(issuer, range, qp);
+                Some(PruneContext {
+                    qp,
+                    expanded,
+                    p_expanded,
+                    issuer,
+                    range,
+                })
+            }
+            _ => None,
+        };
+
+        for idx in candidates {
+            let obj = &self.objects[idx as usize];
+            if let Some(ctx) = &prune_ctx {
+                match try_prune(obj, ctx) {
+                    PruneOutcome::Strategy1 => {
+                        answer.stats.pruned_s1 += 1;
+                        continue;
+                    }
+                    PruneOutcome::Strategy2 => {
+                        answer.stats.pruned_s2 += 1;
+                        continue;
+                    }
+                    PruneOutcome::Strategy3 => {
+                        answer.stats.pruned_s3 += 1;
+                        continue;
+                    }
+                    PruneOutcome::Keep => {}
+                }
+            }
+            let pi = integrator.object_probability(
+                issuer.pdf(),
+                range,
+                obj.pdf(),
+                expanded,
+                &mut rng,
+                &mut answer.stats,
+            );
+            if pi >= qp && pi > 0.0 {
+                answer.results.push(Match {
+                    id: obj.id,
+                    probability: pi,
+                });
+            } else {
+                answer.stats.refined_out += 1;
+            }
+        }
+        answer.finalize();
+        answer.stats.elapsed = start.elapsed();
+        answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc_geometry::{Point, Rect};
+    use iloc_uncertainty::UniformPdf;
+
+    fn grid_objects() -> Vec<UncertainObject> {
+        // 15×15 uncertain objects with 30×30 regions spaced 70 apart.
+        let mut objs = Vec::new();
+        let mut id = 0u64;
+        for i in 0..15 {
+            for j in 0..15 {
+                let c = Point::new(50.0 + i as f64 * 70.0, 50.0 + j as f64 * 70.0);
+                objs.push(UncertainObject::new(
+                    id,
+                    UniformPdf::new(Rect::centered(c, 15.0, 15.0)),
+                ));
+                id += 1;
+            }
+        }
+        objs
+    }
+
+    fn issuer() -> Issuer {
+        Issuer::uniform(Rect::from_coords(450.0, 450.0, 550.0, 550.0))
+    }
+
+    #[test]
+    fn iuq_probabilities_in_unit_interval_and_positive() {
+        let engine = UncertainEngine::build(grid_objects());
+        let ans = engine.iuq(&issuer(), RangeSpec::square(100.0));
+        assert!(!ans.results.is_empty());
+        for m in &ans.results {
+            assert!(m.probability > 0.0 && m.probability <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn iuq_matches_exhaustive_lemma4() {
+        let engine = UncertainEngine::build(grid_objects());
+        let iss = issuer();
+        let range = RangeSpec::square(120.0);
+        let expanded = minkowski_query(&iss, range);
+        let ans = engine.iuq(&iss, range);
+        for obj in engine.objects() {
+            let pi = crate::integrate::closed::uniform_uniform(
+                iss.region(),
+                obj.region(),
+                range,
+                expanded,
+            );
+            match ans.probability_of(obj.id) {
+                Some(got) => assert!((got - pi).abs() < 1e-12),
+                None => assert!(pi <= 1e-12, "missing object with pi={pi}"),
+            }
+        }
+    }
+
+    #[test]
+    fn basic_method_converges_to_enhanced() {
+        let engine = UncertainEngine::build(grid_objects());
+        let iss = issuer();
+        let range = RangeSpec::square(100.0);
+        let fast = engine.iuq(&iss, range);
+        let slow = engine.iuq_basic(&iss, range, 80);
+        assert_eq!(fast.results.len(), slow.results.len());
+        for (a, b) in fast.results.iter().zip(&slow.results) {
+            assert_eq!(a.id, b.id);
+            assert!(
+                (a.probability - b.probability).abs() < 5e-3,
+                "{} vs {}",
+                a.probability,
+                b.probability
+            );
+        }
+    }
+
+    #[test]
+    fn ciuq_strategies_return_identical_answers() {
+        let engine = UncertainEngine::build(grid_objects());
+        let iss = issuer();
+        let range = RangeSpec::square(120.0);
+        for &qp in &[0.0, 0.1, 0.25, 0.4, 0.6, 0.9] {
+            let a = engine.ciuq(&iss, range, qp, CiuqStrategy::RTreeMinkowski);
+            let b = engine.ciuq(&iss, range, qp, CiuqStrategy::PtiPExpanded);
+            let ids_a: Vec<_> = a.results.iter().map(|m| m.id).collect();
+            let ids_b: Vec<_> = b.results.iter().map(|m| m.id).collect();
+            assert_eq!(ids_a, ids_b, "qp={qp}");
+            for m in &a.results {
+                assert!(m.probability >= qp && m.probability > 0.0);
+            }
+            // The PTI pipeline must do no more probability evaluations.
+            assert!(b.stats.prob_evals <= a.stats.prob_evals, "qp={qp}");
+        }
+    }
+
+    #[test]
+    fn ciuq_pti_pruning_reduces_work_at_high_thresholds() {
+        let engine = UncertainEngine::build(grid_objects());
+        let iss = issuer();
+        let range = RangeSpec::square(150.0);
+        let base = engine.ciuq(&iss, range, 0.0, CiuqStrategy::PtiPExpanded);
+        let tight = engine.ciuq(&iss, range, 0.5, CiuqStrategy::PtiPExpanded);
+        assert!(tight.stats.prob_evals <= base.stats.prob_evals);
+        assert!(
+            tight.stats.access.candidates <= base.stats.access.candidates,
+            "{} vs {}",
+            tight.stats.access.candidates,
+            base.stats.access.candidates
+        );
+    }
+
+    #[test]
+    fn empty_engine() {
+        let engine = UncertainEngine::build(Vec::new());
+        assert!(engine.is_empty());
+        let ans = engine.iuq(&issuer(), RangeSpec::square(10.0));
+        assert!(ans.results.is_empty());
+    }
+
+    #[test]
+    fn dynamic_inserts_equal_bulk_build() {
+        let objs = grid_objects();
+        let bulk = UncertainEngine::build(objs.clone());
+        let mut dynamic = UncertainEngine::build(Vec::new());
+        for o in objs {
+            dynamic.insert(o);
+        }
+        assert_eq!(dynamic.len(), bulk.len());
+        let iss = issuer();
+        let range = RangeSpec::square(150.0);
+        for &qp in &[0.0, 0.3, 0.6] {
+            let a = bulk.ciuq(&iss, range, qp, CiuqStrategy::PtiPExpanded);
+            let b = dynamic.ciuq(&iss, range, qp, CiuqStrategy::PtiPExpanded);
+            let ids_a: Vec<_> = a.results.iter().map(|m| m.id).collect();
+            let ids_b: Vec<_> = b.results.iter().map(|m| m.id).collect();
+            assert_eq!(ids_a, ids_b, "qp={qp}");
+        }
+    }
+}

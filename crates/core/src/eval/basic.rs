@@ -1,0 +1,148 @@
+//! The basic evaluation method (paper Section 3.3) — the baseline the
+//! enhanced methods are measured against in Figure 8.
+//!
+//! Both formulas integrate over the **issuer's** uncertainty region:
+//!
+//! * IPQ (Eq. 2): `pi = ∫_{U0} bi(x,y) · f0(x,y) dx dy`, where `bi`
+//!   indicates whether `Si` lies in `R(x, y)`;
+//! * IUQ (Eq. 4): `pi = ∫_{U0} pi(x,y) · f0(x,y) dx dy`, where
+//!   `pi(x,y) = ∫_{Ui ∩ R(x,y)} fi` (Eq. 3).
+//!
+//! We realise the paper's "set of sampling points" with a midpoint grid
+//! over `U0` (deterministic, so experiment curves are smooth). The cost
+//! is `per_axis²` integrand evaluations *per object*, each of which for
+//! IUQ is itself a rectangle-mass computation — this is exactly why the
+//! paper calls the basic method expensive and why its cost rises
+//! steeply with the issuer region size.
+
+use iloc_geometry::Point;
+use iloc_uncertainty::LocationPdf;
+
+use crate::query::RangeSpec;
+use crate::stats::QueryStats;
+
+/// Default sampling resolution: 30 × 30 = 900 issuer samples per
+/// object, comparable to the "large number of sampling points" the
+/// paper describes for accurate answers.
+pub const DEFAULT_SAMPLES_PER_AXIS: usize = 30;
+
+/// IPQ qualification probability by direct integration of Eq. 2.
+pub fn point_probability(
+    issuer_pdf: &dyn LocationPdf,
+    range: RangeSpec,
+    loc: Point,
+    per_axis: usize,
+    stats: &mut QueryStats,
+) -> f64 {
+    assert!(per_axis > 0);
+    stats.prob_evals += 1;
+    let u0 = issuer_pdf.region();
+    let dx = u0.width() / per_axis as f64;
+    let dy = u0.height() / per_axis as f64;
+    let da = dx * dy;
+    let mut acc = 0.0;
+    for j in 0..per_axis {
+        for i in 0..per_axis {
+            stats.grid_cells += 1;
+            let c = Point::new(
+                u0.min.x + (i as f64 + 0.5) * dx,
+                u0.min.y + (j as f64 + 0.5) * dy,
+            );
+            // bi(x, y): is the point object inside R(x, y)?
+            if range.at(c).contains_point(loc) {
+                acc += issuer_pdf.density(c) * da;
+            }
+        }
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+/// IUQ qualification probability by direct integration of Eq. 4.
+pub fn object_probability(
+    issuer_pdf: &dyn LocationPdf,
+    range: RangeSpec,
+    object_pdf: &dyn LocationPdf,
+    per_axis: usize,
+    stats: &mut QueryStats,
+) -> f64 {
+    assert!(per_axis > 0);
+    stats.prob_evals += 1;
+    let u0 = issuer_pdf.region();
+    let dx = u0.width() / per_axis as f64;
+    let dy = u0.height() / per_axis as f64;
+    let da = dx * dy;
+    let mut acc = 0.0;
+    for j in 0..per_axis {
+        for i in 0..per_axis {
+            stats.grid_cells += 1;
+            let c = Point::new(
+                u0.min.x + (i as f64 + 0.5) * dx,
+                u0.min.y + (j as f64 + 0.5) * dy,
+            );
+            // Eq. 3: mass of the object inside R(x, y).
+            let p_xy = object_pdf.prob_in_rect(range.at(c));
+            if p_xy > 0.0 {
+                acc += p_xy * issuer_pdf.density(c) * da;
+            }
+        }
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc_geometry::minkowski::expand_query;
+    use iloc_geometry::Rect;
+    use iloc_uncertainty::UniformPdf;
+
+    #[test]
+    fn basic_ipq_converges_to_duality_closed_form() {
+        let issuer = UniformPdf::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0));
+        let range = RangeSpec::square(30.0);
+        let loc = Point::new(115.0, 40.0);
+        // Lemma 3 ground truth.
+        let exact = issuer.prob_in_rect(range.at(loc));
+        let mut stats = QueryStats::new();
+        let coarse = point_probability(&issuer, range, loc, 40, &mut stats);
+        let fine = point_probability(&issuer, range, loc, 400, &mut stats);
+        assert!(exact > 0.0);
+        assert!((fine - exact).abs() <= (coarse - exact).abs() + 1e-9);
+        assert!((fine - exact).abs() < 2e-3, "fine {fine} vs exact {exact}");
+    }
+
+    #[test]
+    fn basic_iuq_converges_to_enhanced_closed_form() {
+        let issuer = UniformPdf::new(Rect::from_coords(0.0, 0.0, 60.0, 60.0));
+        let object = UniformPdf::new(Rect::from_coords(50.0, 20.0, 110.0, 80.0));
+        let range = RangeSpec::square(25.0);
+        let expanded = expand_query(issuer.region(), 25.0, 25.0);
+        let exact = crate::integrate::closed::uniform_uniform(
+            issuer.region(),
+            object.region(),
+            range,
+            expanded,
+        );
+        let mut stats = QueryStats::new();
+        let approx = object_probability(&issuer, range, &object, 300, &mut stats);
+        assert!(exact > 0.0 && exact < 1.0);
+        assert!((approx - exact).abs() < 1e-3, "{approx} vs {exact}");
+        assert_eq!(stats.grid_cells, 300 * 300);
+    }
+
+    #[test]
+    fn far_object_scores_zero() {
+        let issuer = UniformPdf::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        let object = UniformPdf::new(Rect::from_coords(900.0, 900.0, 910.0, 910.0));
+        let range = RangeSpec::square(5.0);
+        let mut stats = QueryStats::new();
+        assert_eq!(
+            object_probability(&issuer, range, &object, 20, &mut stats),
+            0.0
+        );
+        assert_eq!(
+            point_probability(&issuer, range, Point::new(500.0, 500.0), 20, &mut stats),
+            0.0
+        );
+    }
+}

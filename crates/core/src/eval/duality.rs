@@ -1,0 +1,139 @@
+//! Query–data duality (paper Section 4.2, Lemmas 2–4).
+//!
+//! **Lemma 2** (duality): point `Si` satisfies the range query centred
+//! at `Sq` iff `Sq` satisfies the same-shaped query centred at `Si`.
+//!
+//! **Lemma 3**: therefore the IPQ probability of a point object is
+//! `∫_{R(xi,yi) ∩ U0} f0` — one rectangle-mass lookup against the
+//! *issuer's* pdf instead of an integral that re-forms a query at every
+//! point of `U0`. For a uniform issuer this is the area ratio of
+//! Eq. 6.
+//!
+//! **Lemma 4**: for uncertain objects, treating every point of `Ui` as
+//! a dual point object gives
+//! `pi = ∫_{Ui ∩ (R ⊕ U0)} fi(x,y) · Q(x,y) dx dy`, where the domain is
+//! legitimately clipped to the expanded query because `Q` vanishes
+//! outside it (Lemma 1).
+//!
+//! The functions here are the lemma-level API; the [`crate::integrate`]
+//! module supplies the interchangeable numerical backends.
+
+use iloc_geometry::{Point, Rect};
+use iloc_uncertainty::LocationPdf;
+
+use crate::query::RangeSpec;
+
+/// Lemma 2 predicate: does the point at `object` satisfy a range query
+/// of shape `range` centred at `issuer_pos`?
+///
+/// Exposed so tests (and the property suite) can check the duality
+/// symmetry directly.
+#[inline]
+pub fn satisfies(issuer_pos: Point, object: Point, range: RangeSpec) -> bool {
+    range.at(issuer_pos).contains_point(object)
+}
+
+/// Lemma 3: exact IPQ qualification probability of the point object at
+/// `loc`, for **any** issuer pdf, as the issuer-pdf mass of the dual
+/// query rectangle `R(loc)`.
+#[inline]
+pub fn point_probability(issuer_pdf: &dyn LocationPdf, range: RangeSpec, loc: Point) -> f64 {
+    issuer_pdf.prob_in_rect(range.at(loc))
+}
+
+/// `Q(x, y)` of Lemma 4: the qualification probability of the *point*
+/// `(x, y)` — the inner factor of the IUQ integral.
+#[inline]
+pub fn q_factor(issuer_pdf: &dyn LocationPdf, range: RangeSpec, p: Point) -> f64 {
+    issuer_pdf.prob_in_rect(range.at(p))
+}
+
+/// Lemma 1 corollary used by Lemma 4: `Q` vanishes outside `R ⊕ U0`.
+#[inline]
+pub fn q_vanishes_outside(expanded: Rect, p: Point) -> bool {
+    !expanded.contains_point(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc_geometry::minkowski::expand_query;
+    use iloc_uncertainty::UniformPdf;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn lemma2_symmetry_on_random_pairs() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..10_000 {
+            let a = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            let b = Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0));
+            let range = RangeSpec::new(rng.gen_range(0.0..30.0), rng.gen_range(0.0..30.0));
+            assert_eq!(
+                satisfies(a, b, range),
+                satisfies(b, a, range),
+                "duality violated for {a} / {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma3_equals_eq2_brute_force() {
+        // Compare the one-lookup dual form with a dense evaluation of
+        // the original Eq. 2 integral.
+        let issuer = UniformPdf::new(Rect::from_coords(10.0, 10.0, 60.0, 40.0));
+        let range = RangeSpec::new(12.0, 8.0);
+        let loc = Point::new(65.0, 25.0);
+        let dual = point_probability(&issuer, range, loc);
+
+        let n = 600;
+        let u0 = issuer.region();
+        let (dx, dy) = (u0.width() / n as f64, u0.height() / n as f64);
+        let mut acc = 0.0;
+        for j in 0..n {
+            for i in 0..n {
+                let c = Point::new(
+                    u0.min.x + (i as f64 + 0.5) * dx,
+                    u0.min.y + (j as f64 + 0.5) * dy,
+                );
+                if satisfies(c, loc, range) {
+                    acc += issuer.density(c) * dx * dy;
+                }
+            }
+        }
+        assert!((dual - acc).abs() < 1e-3, "dual {dual} vs eq2 {acc}");
+    }
+
+    #[test]
+    fn eq6_area_ratio_for_uniform_issuer() {
+        // Eq. 6: pi = Area(R(xi,yi) ∩ U0) / Area(U0).
+        let u0 = Rect::from_coords(0.0, 0.0, 20.0, 20.0);
+        let issuer = UniformPdf::new(u0);
+        let range = RangeSpec::square(10.0);
+        let loc = Point::new(25.0, 10.0);
+        let p = point_probability(&issuer, range, loc);
+        let expect = range.at(loc).intersection_area(u0) / u0.area();
+        assert!((p - expect).abs() < 1e-12);
+        // This particular geometry: R(loc) = [15,35]×[0,20] → overlap
+        // 5×20 of 400 = 0.25.
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_vanishes_outside_expanded_query() {
+        let issuer = UniformPdf::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        let range = RangeSpec::square(5.0);
+        let expanded = expand_query(issuer.region(), range.w, range.h);
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..2_000 {
+            let p = Point::new(rng.gen_range(-40.0..50.0), rng.gen_range(-40.0..50.0));
+            if q_vanishes_outside(expanded, p) {
+                assert_eq!(
+                    q_factor(&issuer, range, p),
+                    0.0,
+                    "Q must vanish outside R ⊕ U0 at {p}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Qualification-probability evaluators.
+//!
+//! * [`basic`] — Section 3.3: direct numerical integration over the
+//!   issuer region `U0` (Eq. 2 / Eq. 4). The expensive baseline of
+//!   Figure 8.
+//! * [`duality`] — Section 4.2: the query–data duality theorem
+//!   (Lemmas 2–4) that the enhanced evaluators are built on.
+//! * [`constrained`] — Section 5.2: the three object-level pruning
+//!   strategies for constrained queries.
+
+//! * [`nn`] — beyond the paper: imprecise probabilistic
+//!   nearest-neighbour queries (the conclusion's future-work item).
+
+pub mod basic;
+pub mod constrained;
+pub mod duality;
+pub mod nn;

@@ -1,0 +1,103 @@
+//! Query expansion (Section 4.1) and the `p`-expanded query
+//! (Definition 7 + Lemma 5).
+
+use iloc_geometry::{minkowski, Rect};
+use iloc_uncertainty::PBound;
+
+use crate::query::{Issuer, RangeSpec};
+
+/// The expanded query range `R ⊕ U0` (Lemma 1): the union of every
+/// range query issuable from inside `U0`. Objects that do not touch it
+/// have zero qualification probability.
+#[inline]
+pub fn minkowski_query(issuer: &Issuer, range: RangeSpec) -> Rect {
+    minkowski::expand_query(issuer.region(), range.w, range.h)
+}
+
+/// The `p`-expanded query for one issuer p-bound (Lemma 5): the
+/// issuer's `p`-bound grown by the query half-extents. Point objects
+/// outside it have qualification probability at most `p` (the paper's
+/// Lemma 5 inequality chain), so they cannot reach a threshold above
+/// `p`. For `p = 0` this equals the Minkowski sum.
+#[inline]
+pub fn p_expanded_from_bound(bound: &PBound, range: RangeSpec) -> Rect {
+    bound.rect.expand(range.w, range.h)
+}
+
+/// The conservative `Qp`-expanded query using the issuer's U-catalog:
+/// built from the largest stored level `M ≤ Qp`, so it encloses the
+/// exact `Qp`-expanded query and never prunes a qualifying object.
+/// Returns the bound's level alongside the rectangle.
+pub fn p_expanded_query(issuer: &Issuer, range: RangeSpec, qp: f64) -> (f64, Rect) {
+    let b = issuer.catalog().best_at_most(qp);
+    (b.p, p_expanded_from_bound(b, range))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc_geometry::Point;
+
+    fn issuer() -> Issuer {
+        Issuer::uniform(Rect::from_coords(100.0, 100.0, 300.0, 300.0))
+    }
+
+    #[test]
+    fn minkowski_query_expands_by_half_extents() {
+        let q = minkowski_query(&issuer(), RangeSpec::new(50.0, 25.0));
+        assert_eq!(q, Rect::from_coords(50.0, 75.0, 350.0, 325.0));
+    }
+
+    #[test]
+    fn zero_threshold_equals_minkowski() {
+        let iss = issuer();
+        let range = RangeSpec::square(50.0);
+        let (level, pexp) = p_expanded_query(&iss, range, 0.0);
+        assert_eq!(level, 0.0);
+        assert_eq!(pexp, minkowski_query(&iss, range));
+    }
+
+    #[test]
+    fn p_expanded_shrinks_with_threshold() {
+        let iss = issuer();
+        let range = RangeSpec::square(50.0);
+        let mut prev = p_expanded_query(&iss, range, 0.0).1;
+        for k in 1..=5 {
+            let qp = k as f64 / 10.0;
+            let (level, cur) = p_expanded_query(&iss, range, qp);
+            assert_eq!(level, qp, "exact catalog level expected");
+            assert!(prev.contains_rect(cur), "qp={qp} not nested");
+            assert!(cur.area() < prev.area());
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn catalog_quantisation_is_conservative() {
+        // Qp = 0.35 is not stored; the 0.3-level (larger rectangle) must
+        // be used so no qualifying object can be lost.
+        let iss = issuer();
+        let range = RangeSpec::square(10.0);
+        let (level, pexp) = p_expanded_query(&iss, range, 0.35);
+        assert_eq!(level, 0.3);
+        let exact_35 = Rect::from_coords(
+            100.0 + 0.35 * 200.0 - 10.0,
+            100.0 + 0.35 * 200.0 - 10.0,
+            300.0 - 0.35 * 200.0 + 10.0,
+            300.0 - 0.35 * 200.0 + 10.0,
+        );
+        assert!(pexp.contains_rect(exact_35));
+    }
+
+    #[test]
+    fn uniform_p_expanded_matches_lemma5_arithmetic() {
+        // For a uniform issuer on [100,300]², l0(p) = 100 + 200p, so the
+        // left side of the p-expanded query is l0(p) − w.
+        let iss = issuer();
+        let range = RangeSpec::new(40.0, 40.0);
+        let (_, pexp) = p_expanded_query(&iss, range, 0.2);
+        assert!((pexp.min.x - (100.0 + 40.0 - 40.0)).abs() < 1e-9);
+        assert!((pexp.min.x - (140.0 - 40.0)).abs() < 1e-9);
+        assert_eq!(pexp.center(), Point::new(200.0, 200.0));
+    }
+}

@@ -1,0 +1,258 @@
+//! Exact closed form for the uniform/uniform case — the paper's
+//! "enhanced method" (Eq. 6 for IPQ, Eq. 8 + separability for IUQ).
+//!
+//! With a uniform issuer, the point-object qualification `Q(x, y)` of a
+//! location `(x, y)` is `Area(R(x,y) ∩ U0) / Area(U0)`, and the area
+//! factorises into two 1-D overlap profiles:
+//! `Area(R(x,y) ∩ U0) = ox(x) · oy(y)`. With a uniform object pdf the
+//! Eq. 8 integrand is constant times that product, so
+//!
+//! ```text
+//! pi = (∫_{Dx} ox dx) · (∫_{Dy} oy dy) / (Area(U0) · Area(Ui))
+//! ```
+//!
+//! where `D = Ui ∩ (R ⊕ U0)`. Both factors are exact integrals of
+//! trapezoid functions (`iloc_geometry::piecewise`); evaluation is
+//! O(1), independent of region sizes — this is what Figure 8 measures
+//! against the sampling baseline.
+
+use iloc_geometry::{overlap_profile, Interval, PiecewiseLinear, Rect};
+use iloc_uncertainty::{Axis, LocationPdf};
+
+use crate::query::RangeSpec;
+
+/// Exact IUQ qualification probability for a uniform issuer on `u0` and
+/// a uniform object on `ui`; `expanded` is `R ⊕ U0`.
+pub fn uniform_uniform(u0: Rect, ui: Rect, range: RangeSpec, expanded: Rect) -> f64 {
+    let domain = ui.intersect(expanded);
+    if domain.is_empty() || u0.area() == 0.0 || ui.area() == 0.0 {
+        return 0.0;
+    }
+    let ox = overlap_profile(range.w, u0.x_interval());
+    let oy = overlap_profile(range.h, u0.y_interval());
+    let ix = ox.integral_over(domain.x_interval());
+    let iy = oy.integral_over(domain.y_interval());
+    ((ix * iy) / (u0.area() * ui.area())).clamp(0.0, 1.0)
+}
+
+/// Exact IUQ probability for a uniform issuer and **any axis-separable
+/// object pdf** (one providing
+/// [`linear_marginal_integral`](LocationPdf::linear_marginal_integral),
+/// e.g. the truncated Gaussian the paper evaluates by Monte-Carlo).
+///
+/// Extends Eq. 8's separability beyond the uniform/uniform case:
+/// `pi = (∫ fx·ox)(∫ fy·oy)/Area(U0)`, where each factor integrates a
+/// piecewise-*linear* overlap profile against the object's marginal —
+/// exact segment by segment. Returns `None` when the object pdf does
+/// not expose closed-form marginals.
+pub fn uniform_separable(
+    u0: Rect,
+    object_pdf: &dyn LocationPdf,
+    range: RangeSpec,
+    expanded: Rect,
+) -> Option<f64> {
+    if u0.area() == 0.0 {
+        return Some(0.0);
+    }
+    let domain = object_pdf.region().intersect(expanded);
+    if domain.is_empty() {
+        return Some(0.0);
+    }
+    let ox = overlap_profile(range.w, u0.x_interval());
+    let oy = overlap_profile(range.h, u0.y_interval());
+    let ix = profile_against_marginal(object_pdf, Axis::X, &ox, domain.x_interval())?;
+    let iy = profile_against_marginal(object_pdf, Axis::Y, &oy, domain.y_interval())?;
+    Some(((ix * iy) / u0.area()).clamp(0.0, 1.0))
+}
+
+/// `∫_I profile(x) dF_axis(x)`, exact per linear segment.
+fn profile_against_marginal(
+    pdf: &dyn LocationPdf,
+    axis: Axis,
+    profile: &PiecewiseLinear,
+    i: Interval,
+) -> Option<f64> {
+    let mut acc = 0.0;
+    for seg in profile.knots().windows(2) {
+        let (x0, y0) = seg[0];
+        let (x1, y1) = seg[1];
+        let clip = Interval::new(x0, x1).intersect(i);
+        if clip.is_empty() || clip.length() == 0.0 {
+            continue;
+        }
+        // On [x0, x1]: profile(x) = y0 + slope·(x − x0) = c0 + c1·x.
+        let slope = (y1 - y0) / (x1 - x0);
+        let c1 = slope;
+        let c0 = y0 - slope * x0;
+        acc += pdf.linear_marginal_integral(axis, clip, c0, c1)?;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc_geometry::minkowski::expand_query;
+    use iloc_geometry::Point;
+
+    fn expanded(u0: Rect, range: RangeSpec) -> Rect {
+        expand_query(u0, range.w, range.h)
+    }
+
+    #[test]
+    fn object_far_away_has_zero_probability() {
+        let u0 = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let ui = Rect::from_coords(100.0, 100.0, 110.0, 110.0);
+        let range = RangeSpec::square(5.0);
+        assert_eq!(uniform_uniform(u0, ui, range, expanded(u0, range)), 0.0);
+    }
+
+    #[test]
+    fn object_always_in_range_has_probability_one() {
+        // Tiny U0 and Ui sitting on top of each other, huge range.
+        let u0 = Rect::centered(Point::new(50.0, 50.0), 1.0, 1.0);
+        let ui = Rect::centered(Point::new(50.0, 50.0), 1.0, 1.0);
+        let range = RangeSpec::square(100.0);
+        let p = uniform_uniform(u0, ui, range, expanded(u0, range));
+        assert!((p - 1.0).abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn coincident_unit_squares_quarter_overlap() {
+        // U0 = Ui = unit square at origin, range half-size 0.5.
+        // pi = E[Area(R(X) ∩ U0)] = ∫∫ ox·oy / (1·1); by symmetry
+        // ∫_0^1 ox(x) dx with w=0.5 over side [0,1]: trapezoid of
+        // support [-0.5,1.5], plateau 1 on [0.5,0.5]… plateau height
+        // min(2w, 1) = 1 at the single point x=0.5; ∫_0^1 = 0.75.
+        // pi = 0.75² = 0.5625.
+        let u0 = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let ui = u0;
+        let range = RangeSpec::square(0.5);
+        let p = uniform_uniform(u0, ui, range, expanded(u0, range));
+        assert!((p - 0.5625).abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn matches_monte_carlo_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let u0 = Rect::from_coords(0.0, 0.0, 40.0, 20.0);
+        let ui = Rect::from_coords(30.0, 10.0, 90.0, 50.0);
+        let range = RangeSpec::new(15.0, 10.0);
+        let p = uniform_uniform(u0, ui, range, expanded(u0, range));
+
+        // Double Monte-Carlo on the definition (Eq. 4): sample issuer
+        // and object positions, count range membership.
+        let mut rng = StdRng::seed_from_u64(17);
+        const N: usize = 400_000;
+        let mut hits = 0usize;
+        for _ in 0..N {
+            let q = Point::new(rng.gen_range(0.0..40.0), rng.gen_range(0.0..20.0));
+            let o = Point::new(rng.gen_range(30.0..90.0), rng.gen_range(10.0..50.0));
+            if (o.x - q.x).abs() <= range.w && (o.y - q.y).abs() <= range.h {
+                hits += 1;
+            }
+        }
+        let reference = hits as f64 / N as f64;
+        assert!((p - reference).abs() < 5e-3, "closed {p} vs mc {reference}");
+    }
+
+    #[test]
+    fn restricting_to_expanded_region_changes_nothing() {
+        // Lemma 4: integrating over Ui ∩ (R ⊕ U0) instead of Ui is
+        // lossless because Q vanishes outside. Equivalently, passing a
+        // *larger* `expanded` must give the same result.
+        let u0 = Rect::from_coords(0.0, 0.0, 20.0, 20.0);
+        let ui = Rect::from_coords(25.0, 0.0, 60.0, 35.0);
+        let range = RangeSpec::square(10.0);
+        let tight = uniform_uniform(u0, ui, range, expanded(u0, range));
+        let loose = uniform_uniform(
+            u0,
+            ui,
+            range,
+            Rect::from_coords(-1_000.0, -1_000.0, 1_000.0, 1_000.0),
+        );
+        assert!((tight - loose).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separable_matches_uniform_uniform() {
+        use iloc_uncertainty::UniformPdf;
+        let u0 = Rect::from_coords(0.0, 0.0, 30.0, 50.0);
+        let ui = Rect::from_coords(20.0, 10.0, 80.0, 90.0);
+        let range = RangeSpec::new(12.0, 18.0);
+        let expanded = expanded(u0, range);
+        let reference = uniform_uniform(u0, ui, range, expanded);
+        let via_separable =
+            uniform_separable(u0, &UniformPdf::new(ui), range, expanded).expect("uniform is separable");
+        assert!((reference - via_separable).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separable_gaussian_matches_quadrature() {
+        use crate::stats::QueryStats;
+        use iloc_uncertainty::TruncatedGaussianPdf;
+        use iloc_uncertainty::UniformPdf;
+        let u0 = Rect::from_coords(0.0, 0.0, 40.0, 40.0);
+        let issuer = UniformPdf::new(u0);
+        let range = RangeSpec::square(15.0);
+        let expanded = expanded(u0, range);
+        for ui in [
+            Rect::from_coords(30.0, 10.0, 90.0, 70.0), // partial overlap
+            Rect::from_coords(-10.0, -10.0, 50.0, 50.0), // covers U0
+            Rect::from_coords(52.0, 52.0, 100.0, 100.0), // corner graze
+        ] {
+            let object = TruncatedGaussianPdf::paper_default(ui);
+            let exact =
+                uniform_separable(u0, &object, range, expanded).expect("gaussian is separable");
+            let mut stats = QueryStats::new();
+            let approx = crate::integrate::grid::object_probability(
+                &issuer, range, &object, expanded, 300, &mut stats,
+            );
+            assert!(
+                (exact - approx).abs() < 2e-3,
+                "ui={ui:?}: exact {exact} vs grid {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn separable_returns_none_for_non_separable_pdfs() {
+        use iloc_uncertainty::DiscPdf;
+        use iloc_geometry::Point;
+        let u0 = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let object = DiscPdf::new(Point::new(12.0, 5.0), 4.0);
+        let range = RangeSpec::square(5.0);
+        assert_eq!(
+            uniform_separable(u0, &object, range, expanded(u0, range)),
+            None
+        );
+    }
+
+    #[test]
+    fn separable_gaussian_far_object_is_zero() {
+        use iloc_uncertainty::TruncatedGaussianPdf;
+        let u0 = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let object =
+            TruncatedGaussianPdf::paper_default(Rect::from_coords(500.0, 500.0, 560.0, 560.0));
+        let range = RangeSpec::square(5.0);
+        assert_eq!(
+            uniform_separable(u0, &object, range, expanded(u0, range)),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn probability_monotone_in_range_size() {
+        let u0 = Rect::from_coords(0.0, 0.0, 20.0, 20.0);
+        let ui = Rect::from_coords(30.0, 30.0, 50.0, 50.0);
+        let mut prev = 0.0;
+        for k in 1..=10 {
+            let range = RangeSpec::square(5.0 * k as f64);
+            let p = uniform_uniform(u0, ui, range, expanded(u0, range));
+            assert!(p >= prev - 1e-12, "not monotone at k={k}");
+            prev = p;
+        }
+        assert!(prev > 0.99, "large range should almost surely contain Ui");
+    }
+}

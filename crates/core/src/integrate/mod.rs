@@ -1,0 +1,248 @@
+//! Qualification-probability integrators.
+//!
+//! All refinement reduces to two integrals (after the duality
+//! transformation of Section 4.2):
+//!
+//! * **point objects** (Lemma 3): `pi = ∫_{R(xi,yi) ∩ U0} f0`, i.e. the
+//!   issuer-pdf mass of one rectangle;
+//! * **uncertain objects** (Lemma 4, Eq. 8):
+//!   `pi = ∫_{Ui ∩ (R ⊕ U0)} fi(x,y) · Q(x,y) dx dy` with
+//!   `Q(x,y) = ∫_{R(x,y) ∩ U0} f0`.
+//!
+//! Three interchangeable strategies compute them: the exact closed form
+//! (uniform pdfs, [`closed`]), midpoint-grid quadrature ([`grid`]), and
+//! Monte-Carlo sampling ([`mc`], the paper's choice for non-uniform
+//! pdfs in Figure 13). [`Integrator::Auto`] picks the exact path when
+//! the pdfs allow it and falls back to Monte-Carlo with the paper's
+//! sensitivity-tuned sample counts (200 points / 250 uncertain).
+
+pub mod closed;
+pub mod grid;
+pub mod mc;
+
+use iloc_geometry::{Point, Rect};
+use iloc_uncertainty::LocationPdf;
+use rand::rngs::StdRng;
+
+use crate::query::RangeSpec;
+use crate::stats::QueryStats;
+
+/// Paper Section 6 ("Non-Uniform Distribution"): at least 200 samples
+/// for C-IPQ accuracy.
+pub const PAPER_MC_SAMPLES_POINT: usize = 200;
+/// Paper Section 6: at least 250 samples for C-IUQ accuracy.
+pub const PAPER_MC_SAMPLES_UNCERTAIN: usize = 250;
+
+/// Strategy for evaluating qualification probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Integrator {
+    /// Exact where possible (uniform pdfs, or any pdf for point
+    /// objects via its closed rectangle mass); Monte-Carlo with the
+    /// paper's sample counts otherwise.
+    Auto,
+    /// Closed forms only.
+    ///
+    /// Point objects accept any issuer pdf (Lemma 3 needs one
+    /// rectangle-mass lookup, exact for every pdf in this workspace);
+    /// uncertain objects require **both** pdfs uniform (Eq. 8
+    /// separability). Panics otherwise — ask for `Auto` instead.
+    Exact,
+    /// Midpoint-rule quadrature with `per_axis`² cells over the
+    /// integration domain.
+    Grid {
+        /// Cells per axis.
+        per_axis: usize,
+    },
+    /// Monte-Carlo estimation (the paper's method for non-uniform
+    /// pdfs).
+    MonteCarlo {
+        /// Number of samples per probability evaluation.
+        samples: usize,
+    },
+}
+
+impl Integrator {
+    /// Qualification probability of a **point object** at `loc`
+    /// (Lemma 3: `∫_{R(loc) ∩ U0} f0`).
+    pub fn point_probability(
+        &self,
+        issuer_pdf: &dyn LocationPdf,
+        range: RangeSpec,
+        loc: Point,
+        rng: &mut StdRng,
+        stats: &mut QueryStats,
+    ) -> f64 {
+        stats.prob_evals += 1;
+        match *self {
+            Integrator::Auto | Integrator::Exact => issuer_pdf.prob_in_rect(range.at(loc)),
+            Integrator::Grid { per_axis } => {
+                grid::point_probability(issuer_pdf, range, loc, per_axis, stats)
+            }
+            Integrator::MonteCarlo { samples } => {
+                mc::point_probability(issuer_pdf, range, loc, samples, rng, stats)
+            }
+        }
+    }
+
+    /// Qualification probability of an **uncertain object** (Lemma 4 /
+    /// Eq. 8). `expanded` is the pre-computed `R ⊕ U0`.
+    pub fn object_probability(
+        &self,
+        issuer_pdf: &dyn LocationPdf,
+        range: RangeSpec,
+        object_pdf: &dyn LocationPdf,
+        expanded: Rect,
+        rng: &mut StdRng,
+        stats: &mut QueryStats,
+    ) -> f64 {
+        stats.prob_evals += 1;
+        match *self {
+            Integrator::Auto => {
+                // Exact whenever the issuer is uniform and the object
+                // pdf is axis-separable (uniform, truncated Gaussian);
+                // the paper's Monte-Carlo otherwise.
+                let exact = issuer_pdf.uniform_region().and_then(|u0| {
+                    closed::uniform_separable(u0, object_pdf, range, expanded)
+                });
+                match exact {
+                    Some(p) => p,
+                    None => mc::object_probability(
+                        issuer_pdf,
+                        range,
+                        object_pdf,
+                        PAPER_MC_SAMPLES_UNCERTAIN,
+                        rng,
+                        stats,
+                    ),
+                }
+            }
+            Integrator::Exact => {
+                let u0 = issuer_pdf
+                    .uniform_region()
+                    .expect("Integrator::Exact requires a uniform issuer pdf for IUQ");
+                let ui = object_pdf
+                    .uniform_region()
+                    .expect("Integrator::Exact requires uniform object pdfs for IUQ");
+                closed::uniform_uniform(u0, ui, range, expanded)
+            }
+            Integrator::Grid { per_axis } => grid::object_probability(
+                issuer_pdf, range, object_pdf, expanded, per_axis, stats,
+            ),
+            Integrator::MonteCarlo { samples } => {
+                mc::object_probability(issuer_pdf, range, object_pdf, samples, rng, stats)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc_geometry::minkowski::expand_query;
+    use iloc_uncertainty::{TruncatedGaussianPdf, UniformPdf};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    /// All integrators must agree on a uniform/uniform configuration.
+    #[test]
+    fn integrators_agree_on_uniform_case() {
+        let issuer = UniformPdf::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0));
+        let object = UniformPdf::new(Rect::from_coords(80.0, 80.0, 160.0, 160.0));
+        let range = RangeSpec::square(30.0);
+        let expanded = expand_query(issuer.region(), range.w, range.h);
+
+        let mut stats = QueryStats::new();
+        let exact = Integrator::Exact.object_probability(
+            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+        );
+        let gridv = Integrator::Grid { per_axis: 200 }.object_probability(
+            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+        );
+        let mcv = Integrator::MonteCarlo { samples: 60_000 }.object_probability(
+            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+        );
+        let auto = Integrator::Auto.object_probability(
+            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+        );
+        assert!(exact > 0.0 && exact < 1.0, "non-trivial case: {exact}");
+        assert_eq!(auto, exact, "Auto must take the exact path");
+        assert!((gridv - exact).abs() < 1e-3, "grid {gridv} vs exact {exact}");
+        assert!((mcv - exact).abs() < 0.01, "mc {mcv} vs exact {exact}");
+        assert!(stats.mc_samples >= 60_000);
+        assert!(stats.grid_cells > 0);
+    }
+
+    #[test]
+    fn point_probability_matches_across_integrators() {
+        let issuer = TruncatedGaussianPdf::paper_default(Rect::from_coords(0.0, 0.0, 120.0, 120.0));
+        let range = RangeSpec::square(40.0);
+        let loc = Point::new(100.0, 60.0);
+        let mut stats = QueryStats::new();
+        let exact =
+            Integrator::Exact.point_probability(&issuer, range, loc, &mut rng(), &mut stats);
+        let gridv = Integrator::Grid { per_axis: 300 }
+            .point_probability(&issuer, range, loc, &mut rng(), &mut stats);
+        let mcv = Integrator::MonteCarlo { samples: 100_000 }
+            .point_probability(&issuer, range, loc, &mut rng(), &mut stats);
+        assert!(exact > 0.0 && exact < 1.0);
+        assert!((gridv - exact).abs() < 2e-3, "grid {gridv} vs exact {exact}");
+        assert!((mcv - exact).abs() < 0.01, "mc {mcv} vs exact {exact}");
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform")]
+    fn exact_rejects_gaussian_object() {
+        let issuer = UniformPdf::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        let object = TruncatedGaussianPdf::paper_default(Rect::from_coords(5.0, 5.0, 15.0, 15.0));
+        let range = RangeSpec::square(2.0);
+        let expanded = expand_query(issuer.region(), 2.0, 2.0);
+        let mut stats = QueryStats::new();
+        let _ = Integrator::Exact.object_probability(
+            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+        );
+    }
+
+    #[test]
+    fn auto_takes_exact_path_for_gaussian_objects() {
+        // Uniform issuer + axis-separable (Gaussian) object: Auto must
+        // use the closed form — zero sampling — and agree with fine
+        // quadrature.
+        let issuer = UniformPdf::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0));
+        let object = TruncatedGaussianPdf::paper_default(Rect::from_coords(60.0, 60.0, 140.0, 140.0));
+        let range = RangeSpec::square(30.0);
+        let expanded = expand_query(issuer.region(), 30.0, 30.0);
+        let mut stats = QueryStats::new();
+        let auto = Integrator::Auto.object_probability(
+            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+        );
+        assert_eq!(stats.mc_samples, 0, "closed form must not sample");
+        let reference = Integrator::Grid { per_axis: 250 }.object_probability(
+            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+        );
+        assert!((auto - reference).abs() < 2e-3, "auto {auto} vs ref {reference}");
+    }
+
+    #[test]
+    fn auto_falls_back_to_mc_for_non_separable_cases() {
+        use iloc_geometry::Point;
+        use iloc_uncertainty::DiscPdf;
+        // A disc object is not axis-separable: Auto must fall back to
+        // the paper's Monte-Carlo with its calibrated sample count.
+        let issuer = UniformPdf::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0));
+        let object = DiscPdf::new(Point::new(110.0, 50.0), 30.0);
+        let range = RangeSpec::square(30.0);
+        let expanded = expand_query(issuer.region(), 30.0, 30.0);
+        let mut stats = QueryStats::new();
+        let auto = Integrator::Auto.object_probability(
+            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+        );
+        assert_eq!(stats.mc_samples as usize, PAPER_MC_SAMPLES_UNCERTAIN);
+        let reference = Integrator::Grid { per_axis: 250 }.object_probability(
+            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+        );
+        assert!((auto - reference).abs() < 0.08, "auto {auto} vs ref {reference}");
+    }
+}

@@ -1,0 +1,64 @@
+//! # iloc-core
+//!
+//! The primary contribution of *Chen & Cheng, "Efficient Evaluation of
+//! Imprecise Location-Dependent Queries" (ICDE 2007)*: evaluating range
+//! queries whose **issuer's own location is uncertain**, returning
+//! **qualification probabilities** for the objects in range.
+//!
+//! ## Query taxonomy (paper Definitions 3–6)
+//!
+//! | Query | Data | Result |
+//! |-------|------|--------|
+//! | IPQ   | point objects | `(Si, pi)`, `pi > 0` |
+//! | IUQ   | uncertain objects | `(Oi, pi)`, `pi > 0` |
+//! | C-IPQ | point objects | `Si` with `pi ≥ Qp` |
+//! | C-IUQ | uncertain objects | `Oi` with `pi ≥ Qp` |
+//!
+//! ## Evaluation machinery
+//!
+//! * [`eval::basic`] — the paper's Section-3.3 baseline: numerical
+//!   integration over the issuer region (Eq. 2 / Eq. 4).
+//! * [`expand`] — query expansion: the Minkowski sum `R ⊕ U0`
+//!   (Lemma 1) and the `p`-expanded-query (Definition 7 + Lemma 5).
+//! * [`eval::duality`] — the query–data duality theorem (Lemmas 2–4),
+//!   which collapses IPQ to one rectangle-mass lookup and IUQ to a
+//!   single integral over `Ui ∩ (R ⊕ U0)` — exactly separable for
+//!   uniform pdfs (Eq. 6 / Eq. 8).
+//! * [`eval::constrained`] — the three C-IUQ pruning strategies of
+//!   Section 5.2 built on p-bounds and U-catalogs.
+//! * [`engine`] — [`engine::PointEngine`] and
+//!   [`engine::UncertainEngine`] tie the pieces to the
+//!   spatial indexes (R-tree, PTI) of `iloc-index`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod continuous;
+pub mod engine;
+pub mod eval;
+pub mod expand;
+pub mod integrate;
+pub mod quality;
+pub mod query;
+pub mod result;
+pub mod stats;
+
+pub use continuous::ContinuousIpq;
+pub use engine::{PointEngine, UncertainEngine};
+pub use expand::{minkowski_query, p_expanded_query};
+pub use quality::{assess, QualityReport};
+pub use integrate::Integrator;
+pub use query::{CipqStrategy, CiuqStrategy, Issuer, RangeSpec};
+pub use result::{Match, QueryAnswer};
+pub use stats::QueryStats;
+
+/// Glob-import surface for applications.
+pub mod prelude {
+    pub use crate::continuous::ContinuousIpq;
+    pub use crate::engine::{PointEngine, UncertainEngine};
+    pub use crate::integrate::Integrator;
+    pub use crate::quality::{assess, QualityReport};
+    pub use crate::query::{CipqStrategy, CiuqStrategy, Issuer, RangeSpec};
+    pub use crate::result::{Match, QueryAnswer};
+    pub use crate::stats::QueryStats;
+}

@@ -1,0 +1,116 @@
+//! Answer-quality metrics.
+//!
+//! The paper's companion work (Cheng et al., *Preserving user location
+//! privacy in mobile data management infrastructures*, PET 2006 — cited
+//! as reference \[6\]) defines service quality in terms of the objects'
+//! qualification probabilities: an answer set of near-certain
+//! probabilities is crisp, one of diffuse probabilities is vague. This
+//! module provides those aggregate metrics so applications (e.g. the
+//! `privacy_cloaking` example) can quantify the privacy ↔ quality
+//! trade-off the introduction motivates.
+
+use crate::result::QueryAnswer;
+
+/// Aggregate quality of one probabilistic answer set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Number of returned objects.
+    pub answers: usize,
+    /// Mean qualification probability — 1.0 means every returned
+    /// object is certainly in range.
+    pub mean_probability: f64,
+    /// Expected number of objects truly in range, `Σ pi`.
+    pub expected_result_size: f64,
+    /// Mean per-object binary entropy (nats): 0 when every returned
+    /// probability is 0 or 1; maximal (`ln 2 ≈ 0.693`) when all sit at
+    /// 0.5. A direct measure of answer vagueness.
+    pub mean_entropy: f64,
+}
+
+/// Binary entropy `H(p) = −p·ln p − (1−p)·ln(1−p)` in nats.
+fn binary_entropy(p: f64) -> f64 {
+    let h = |x: f64| if x <= 0.0 { 0.0 } else { -x * x.ln() };
+    h(p) + h(1.0 - p)
+}
+
+/// Computes the quality metrics of an answer.
+pub fn assess(answer: &QueryAnswer) -> QualityReport {
+    let n = answer.results.len();
+    if n == 0 {
+        return QualityReport {
+            answers: 0,
+            mean_probability: 0.0,
+            expected_result_size: 0.0,
+            mean_entropy: 0.0,
+        };
+    }
+    let sum: f64 = answer.results.iter().map(|m| m.probability).sum();
+    let ent: f64 = answer
+        .results
+        .iter()
+        .map(|m| binary_entropy(m.probability.clamp(0.0, 1.0)))
+        .sum();
+    QualityReport {
+        answers: n,
+        mean_probability: sum / n as f64,
+        expected_result_size: sum,
+        mean_entropy: ent / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::Match;
+    use iloc_uncertainty::ObjectId;
+
+    fn answer(ps: &[f64]) -> QueryAnswer {
+        QueryAnswer {
+            results: ps
+                .iter()
+                .enumerate()
+                .map(|(k, &p)| Match {
+                    id: ObjectId(k as u64),
+                    probability: p,
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_answer_scores_zero() {
+        let r = assess(&QueryAnswer::default());
+        assert_eq!(r.answers, 0);
+        assert_eq!(r.expected_result_size, 0.0);
+    }
+
+    #[test]
+    fn certain_answers_have_no_entropy() {
+        let r = assess(&answer(&[1.0, 1.0, 1.0]));
+        assert_eq!(r.answers, 3);
+        assert!((r.mean_probability - 1.0).abs() < 1e-12);
+        assert!((r.expected_result_size - 3.0).abs() < 1e-12);
+        assert_eq!(r.mean_entropy, 0.0);
+    }
+
+    #[test]
+    fn half_probabilities_maximise_entropy() {
+        let r = assess(&answer(&[0.5, 0.5]));
+        assert!((r.mean_entropy - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((r.mean_probability - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_between_extremes() {
+        let crisp = assess(&answer(&[0.99, 0.98]));
+        let vague = assess(&answer(&[0.6, 0.4]));
+        assert!(crisp.mean_entropy < vague.mean_entropy);
+    }
+
+    #[test]
+    fn expected_size_is_probability_mass() {
+        let r = assess(&answer(&[0.25, 0.5, 0.75]));
+        assert!((r.expected_result_size - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,166 @@
+//! Query-side types: the imprecise issuer, the range specification, and
+//! the strategy selectors the experiments compare.
+
+use std::sync::Arc;
+
+use iloc_geometry::{Point, Rect};
+use iloc_uncertainty::{
+    LocationPdf, SharedPdf, TruncatedGaussianPdf, UCatalog, UniformPdf,
+};
+
+/// The range-query shape: an axis-parallel rectangle of half-width `w`
+/// and half-height `h` centred wherever the issuer happens to be
+/// (`R(x, y)` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeSpec {
+    /// Half-width `w`.
+    pub w: f64,
+    /// Half-height `h`.
+    pub h: f64,
+}
+
+impl RangeSpec {
+    /// Creates a range of half-width `w`, half-height `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either half-extent is negative or non-finite.
+    pub fn new(w: f64, h: f64) -> Self {
+        assert!(w.is_finite() && h.is_finite() && w >= 0.0 && h >= 0.0);
+        RangeSpec { w, h }
+    }
+
+    /// Square range of half-size `w` (the paper's experiments use
+    /// square ranges).
+    pub fn square(w: f64) -> Self {
+        RangeSpec::new(w, w)
+    }
+
+    /// The concrete query rectangle when the issuer is at `c`.
+    #[inline]
+    pub fn at(self, c: Point) -> Rect {
+        Rect::centered(c, self.w, self.h)
+    }
+}
+
+/// The **query issuer** `O0`: an uncertain object whose pdf describes
+/// where the issuer may actually be, together with its pre-computed
+/// U-catalog (used to build `p`-expanded queries).
+#[derive(Debug, Clone)]
+pub struct Issuer {
+    pdf: SharedPdf,
+    catalog: UCatalog,
+}
+
+impl Issuer {
+    /// Issuer with a uniform pdf over `region` — the paper's default.
+    pub fn uniform(region: Rect) -> Self {
+        Issuer::with_pdf(UniformPdf::new(region))
+    }
+
+    /// Issuer with the paper's truncated-Gaussian model (Figure 13).
+    pub fn gaussian(region: Rect) -> Self {
+        Issuer::with_pdf(TruncatedGaussianPdf::paper_default(region))
+    }
+
+    /// Issuer with an arbitrary pdf; the default six-level U-catalog is
+    /// computed on construction.
+    pub fn with_pdf(pdf: impl LocationPdf + 'static) -> Self {
+        let pdf: SharedPdf = Arc::new(pdf);
+        let catalog = UCatalog::build_default(pdf.as_ref());
+        Issuer { pdf, catalog }
+    }
+
+    /// Issuer with custom catalog levels.
+    pub fn with_pdf_and_levels(pdf: impl LocationPdf + 'static, levels: &[f64]) -> Self {
+        let pdf: SharedPdf = Arc::new(pdf);
+        let catalog = UCatalog::build(pdf.as_ref(), levels);
+        Issuer { pdf, catalog }
+    }
+
+    /// The issuer's pdf `f0`.
+    pub fn pdf(&self) -> &dyn LocationPdf {
+        self.pdf.as_ref()
+    }
+
+    /// The issuer's uncertainty region `U0`.
+    pub fn region(&self) -> Rect {
+        self.pdf.region()
+    }
+
+    /// The issuer's U-catalog.
+    pub fn catalog(&self) -> &UCatalog {
+        &self.catalog
+    }
+}
+
+/// Filter used when answering a constrained point query (Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CipqStrategy {
+    /// Filter with the plain Minkowski sum `R ⊕ U0`, threshold on the
+    /// computed probabilities afterwards.
+    MinkowskiSum,
+    /// Filter with the `Qp`-expanded query (Lemma 5), which shrinks as
+    /// `Qp` grows.
+    PExpanded,
+}
+
+/// Index/pruning combination for a constrained uncertain query
+/// (Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CiuqStrategy {
+    /// Plain R-tree filtered by the Minkowski sum; probabilities
+    /// computed for every candidate, thresholded afterwards.
+    RTreeMinkowski,
+    /// PTI filtered by the `p`-expanded query with node-level
+    /// Strategy 1/2 pruning, then the per-object Strategy 1/2/3 tests,
+    /// then probability refinement of the survivors.
+    PtiPExpanded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_spec_constructors() {
+        let r = RangeSpec::new(2.0, 3.0);
+        assert_eq!(r.at(Point::new(10.0, 10.0)), Rect::from_coords(8.0, 7.0, 12.0, 13.0));
+        let s = RangeSpec::square(5.0);
+        assert_eq!(s.w, s.h);
+    }
+
+    #[test]
+    #[should_panic]
+    fn range_spec_rejects_negative() {
+        let _ = RangeSpec::new(-1.0, 1.0);
+    }
+
+    #[test]
+    fn issuer_uniform_has_catalog() {
+        let iss = Issuer::uniform(Rect::from_coords(0.0, 0.0, 100.0, 100.0));
+        assert_eq!(iss.catalog().len(), 6);
+        assert_eq!(iss.region(), Rect::from_coords(0.0, 0.0, 100.0, 100.0));
+        assert!(iss.pdf().uniform_region().is_some());
+    }
+
+    #[test]
+    fn issuer_gaussian() {
+        let iss = Issuer::gaussian(Rect::from_coords(0.0, 0.0, 60.0, 60.0));
+        assert!(iss.pdf().uniform_region().is_none());
+        // Gaussian p-bounds are strictly inside the region for p > 0.
+        let b = iss.catalog().best_at_most(0.3);
+        assert!(iss.region().contains_rect(b.rect));
+        assert!(b.rect.area() < iss.region().area());
+    }
+
+    #[test]
+    fn issuer_custom_levels() {
+        let iss = Issuer::with_pdf_and_levels(
+            UniformPdf::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0)),
+            &[0.25, 0.5],
+        );
+        let levels: Vec<f64> = iss.catalog().levels().collect();
+        assert_eq!(levels, vec![0.0, 0.25, 0.5]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Query answers.
+
+use iloc_uncertainty::ObjectId;
+
+use crate::stats::QueryStats;
+
+/// One qualifying object with its qualification probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Match {
+    /// The object's identifier.
+    pub id: ObjectId,
+    /// Qualification probability `pi` (paper Definitions 3–6): strictly
+    /// positive for IPQ/IUQ, at least the threshold for C-IPQ/C-IUQ.
+    pub probability: f64,
+}
+
+/// The result of one imprecise query: qualifying objects plus cost
+/// accounting.
+#[derive(Debug, Clone, Default)]
+pub struct QueryAnswer {
+    /// Matches, sorted by object id.
+    pub results: Vec<Match>,
+    /// Per-query cost counters.
+    pub stats: QueryStats,
+}
+
+impl QueryAnswer {
+    /// Looks up the probability reported for an object, if present.
+    pub fn probability_of(&self, id: ObjectId) -> Option<f64> {
+        self.results
+            .binary_search_by(|m| m.id.cmp(&id))
+            .ok()
+            .map(|i| self.results[i].probability)
+    }
+
+    /// Sorts matches by id; called by the engines before returning.
+    pub(crate) fn finalize(&mut self) {
+        self.results.sort_by_key(|m| m.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_lookup() {
+        let mut a = QueryAnswer::default();
+        a.results.push(Match {
+            id: ObjectId(5),
+            probability: 0.5,
+        });
+        a.results.push(Match {
+            id: ObjectId(2),
+            probability: 0.25,
+        });
+        a.finalize();
+        assert_eq!(a.results[0].id, ObjectId(2));
+        assert_eq!(a.probability_of(ObjectId(5)), Some(0.5));
+        assert_eq!(a.probability_of(ObjectId(9)), None);
+    }
+}

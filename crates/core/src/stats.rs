@@ -1,0 +1,78 @@
+//! Per-query cost accounting.
+//!
+//! The paper reports average response time `T`; we additionally expose
+//! deterministic counters so the reproduced curves can be explained
+//! (and asserted on) independently of machine speed.
+
+use std::time::Duration;
+
+use iloc_index::AccessStats;
+
+/// Cost counters for one query execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Index-level accesses performed by the filter step.
+    pub access: AccessStats,
+    /// Number of per-object probability evaluations (refinement step).
+    pub prob_evals: u64,
+    /// Monte-Carlo samples drawn across all refinements.
+    pub mc_samples: u64,
+    /// Grid-integrator cells evaluated across all refinements.
+    pub grid_cells: u64,
+    /// Candidates discarded by pruning Strategy 1 (object-level
+    /// p-bound tail test).
+    pub pruned_s1: u64,
+    /// Candidates discarded by pruning Strategy 2 (p-expanded-query
+    /// containment test).
+    pub pruned_s2: u64,
+    /// Candidates discarded by pruning Strategy 3 (`qmin · dmin < Qp`
+    /// product rule).
+    pub pruned_s3: u64,
+    /// Results dropped in refinement because `pi` fell below the
+    /// threshold (or was zero for unconstrained queries).
+    pub refined_out: u64,
+    /// Wall-clock time of the whole query.
+    pub elapsed: Duration,
+}
+
+impl QueryStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        QueryStats::default()
+    }
+
+    /// Merges counters from another query (used when averaging over a
+    /// workload).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.access.absorb(other.access);
+        self.prob_evals += other.prob_evals;
+        self.mc_samples += other.mc_samples;
+        self.grid_cells += other.grid_cells;
+        self.pruned_s1 += other.pruned_s1;
+        self.pruned_s2 += other.pruned_s2;
+        self.pruned_s3 += other.pruned_s3;
+        self.refined_out += other.refined_out;
+        self.elapsed += other.elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = QueryStats::new();
+        let mut b = QueryStats::new();
+        b.prob_evals = 5;
+        b.mc_samples = 100;
+        b.pruned_s3 = 2;
+        b.elapsed = Duration::from_millis(3);
+        a.absorb(&b);
+        a.absorb(&b);
+        assert_eq!(a.prob_evals, 10);
+        assert_eq!(a.mc_samples, 200);
+        assert_eq!(a.pruned_s3, 4);
+        assert_eq!(a.elapsed, Duration::from_millis(6));
+    }
+}

@@ -1,0 +1,183 @@
+//! California-like point set: road polylines + urban clusters + rural
+//! background.
+//!
+//! TIGER's California point data is dominated by features strung along
+//! road networks and concentrated around population centres. We imitate
+//! that structure with three mixture components:
+//!
+//! * **roads** (50 %) — points jittered along random-walk polylines;
+//! * **cities** (35 %) — Gaussian blobs of widely varying radius;
+//! * **rural** (15 %) — uniform background noise.
+//!
+//! The exact proportions are not load-bearing for the experiments; what
+//! matters is heavy spatial skew (so R-tree pruning behaves as on real
+//! data) at the paper's cardinality.
+
+use iloc_geometry::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr_normal::sample_normal;
+
+use crate::SPACE;
+
+/// Generates `n` points (use [`crate::CALIFORNIA_SIZE`] for the paper's
+/// cardinality). Deterministic in `seed`.
+pub fn california_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(n);
+
+    let n_road = n / 2;
+    let n_city = n * 35 / 100;
+    let n_rural = n - n_road - n_city;
+
+    // Roads: ~40 polylines, each a jittered random walk.
+    let roads = 40;
+    let per_road = n_road.div_ceil(roads);
+    'outer: for _ in 0..roads {
+        let mut x = rng.gen_range(SPACE.min.x..SPACE.max.x);
+        let mut y = rng.gen_range(SPACE.min.y..SPACE.max.y);
+        // Persistent heading with slow drift makes road-like curves.
+        let mut heading = rng.gen_range(0.0..std::f64::consts::TAU);
+        for _ in 0..per_road {
+            if pts.len() >= n_road {
+                break 'outer;
+            }
+            heading += sample_normal(&mut rng) * 0.15;
+            let step = rng.gen_range(5.0..25.0);
+            x += step * heading.cos();
+            y += step * heading.sin();
+            // Reflect at the borders to stay inside the space.
+            if !(SPACE.min.x..=SPACE.max.x).contains(&x) {
+                heading = std::f64::consts::PI - heading;
+                x = x.clamp(SPACE.min.x, SPACE.max.x);
+            }
+            if !(SPACE.min.y..=SPACE.max.y).contains(&y) {
+                heading = -heading;
+                y = y.clamp(SPACE.min.y, SPACE.max.y);
+            }
+            let jx = sample_normal(&mut rng) * 8.0;
+            let jy = sample_normal(&mut rng) * 8.0;
+            pts.push(clamped(x + jx, y + jy));
+        }
+    }
+
+    // Cities: 25 Gaussian blobs with skewed radii (a few big metros).
+    let cities = 25;
+    let centers: Vec<(f64, f64, f64)> = (0..cities)
+        .map(|_| {
+            let cx = rng.gen_range(SPACE.min.x..SPACE.max.x);
+            let cy = rng.gen_range(SPACE.min.y..SPACE.max.y);
+            // Radius skew: most towns small, some metros large.
+            let r = 30.0 * (1.0 + rng.gen_range(0.0f64..1.0).powi(3) * 12.0);
+            (cx, cy, r)
+        })
+        .collect();
+    for k in 0..n_city {
+        let (cx, cy, r) = centers[k % cities];
+        let x = cx + sample_normal(&mut rng) * r;
+        let y = cy + sample_normal(&mut rng) * r;
+        pts.push(clamped(x, y));
+    }
+
+    // Rural background.
+    for _ in 0..n_rural {
+        pts.push(Point::new(
+            rng.gen_range(SPACE.min.x..SPACE.max.x),
+            rng.gen_range(SPACE.min.y..SPACE.max.y),
+        ));
+    }
+
+    debug_assert_eq!(pts.len(), n);
+    pts
+}
+
+fn clamped(x: f64, y: f64) -> Point {
+    Point::new(
+        x.clamp(SPACE.min.x, SPACE.max.x),
+        y.clamp(SPACE.min.y, SPACE.max.y),
+    )
+}
+
+/// Minimal Box–Muller standard-normal sampler, local to datagen so the
+/// workspace does not need a distributions crate.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// One standard-normal draw.
+    pub fn sample_normal(rng: &mut impl Rng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+pub(crate) use rand_distr_normal::sample_normal as normal_draw;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CALIFORNIA_SIZE;
+
+    #[test]
+    fn exact_cardinality_and_bounds() {
+        let pts = california_points(10_000, 42);
+        assert_eq!(pts.len(), 10_000);
+        assert!(pts.iter().all(|p| SPACE.contains_point(*p)));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = california_points(1_000, 7);
+        let b = california_points(1_000, 7);
+        assert_eq!(a, b);
+        let c = california_points(1_000, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn full_size_dataset_generates() {
+        let pts = california_points(CALIFORNIA_SIZE, 1);
+        assert_eq!(pts.len(), CALIFORNIA_SIZE);
+    }
+
+    #[test]
+    fn data_is_spatially_skewed() {
+        // Chop the space into a 10×10 grid: a skewed dataset has much
+        // higher variance of per-cell counts than a uniform one would
+        // (uniform: mean≈count/100, std≈sqrt(mean)).
+        let pts = california_points(20_000, 3);
+        let mut counts = [0usize; 100];
+        for p in &pts {
+            let i = ((p.x / 1_000.0) as usize).min(9);
+            let j = ((p.y / 1_000.0) as usize).min(9);
+            counts[j * 10 + i] += 1;
+        }
+        let mean = 200.0f64;
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / 100.0;
+        // Uniform data would have var ≈ mean (Poisson); demand 5× that.
+        assert!(var > 5.0 * mean, "variance {var} too close to uniform");
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        const N: usize = 100_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..N {
+            let z = normal_draw(&mut rng);
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / N as f64;
+        let var = sumsq / N as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Plain-text dataset I/O.
+//!
+//! The paper's experiments used TIGER/Line-derived files; this module
+//! reads and writes the de-facto exchange format those datasets ship
+//! in once converted: whitespace-separated coordinates, one object per
+//! line (`x y` for points, `x0 y0 x1 y1` for rectangles), `#` comments
+//! and blank lines ignored. A user with the real California/Long Beach
+//! files can therefore run every experiment on them unchanged, and the
+//! synthetic generators can be exported for inspection or plotting.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use iloc_geometry::{Point, Rect};
+
+/// Errors raised while parsing a dataset file.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying file error.
+    Io(io::Error),
+    /// A line had the wrong number of fields or a bad number.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+            ParseError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+fn parse_fields(content: &str, per_line: usize) -> Result<Vec<Vec<f64>>, ParseError> {
+    let mut out = Vec::new();
+    for (n, raw) in content.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse).collect();
+        let fields = fields.map_err(|e| ParseError::Malformed {
+            line: n + 1,
+            reason: format!("bad number: {e}"),
+        })?;
+        if fields.len() != per_line {
+            return Err(ParseError::Malformed {
+                line: n + 1,
+                reason: format!("expected {per_line} fields, got {}", fields.len()),
+            });
+        }
+        if fields.iter().any(|v| !v.is_finite()) {
+            return Err(ParseError::Malformed {
+                line: n + 1,
+                reason: "non-finite coordinate".to_string(),
+            });
+        }
+        out.push(fields);
+    }
+    Ok(out)
+}
+
+/// Parses a point dataset (`x y` per line) from a string.
+pub fn parse_points(content: &str) -> Result<Vec<Point>, ParseError> {
+    Ok(parse_fields(content, 2)?
+        .into_iter()
+        .map(|f| Point::new(f[0], f[1]))
+        .collect())
+}
+
+/// Parses a rectangle dataset (`x0 y0 x1 y1` per line) from a string.
+/// Coordinates may come in either order per axis.
+pub fn parse_rects(content: &str) -> Result<Vec<Rect>, ParseError> {
+    Ok(parse_fields(content, 4)?
+        .into_iter()
+        .map(|f| {
+            Rect::from_coords(
+                f[0].min(f[2]),
+                f[1].min(f[3]),
+                f[0].max(f[2]),
+                f[1].max(f[3]),
+            )
+        })
+        .collect())
+}
+
+/// Loads a point dataset from a file.
+pub fn load_points(path: impl AsRef<Path>) -> Result<Vec<Point>, ParseError> {
+    parse_points(&fs::read_to_string(path)?)
+}
+
+/// Loads a rectangle dataset from a file.
+pub fn load_rects(path: impl AsRef<Path>) -> Result<Vec<Rect>, ParseError> {
+    parse_rects(&fs::read_to_string(path)?)
+}
+
+/// Serialises points to the exchange format.
+pub fn format_points(points: &[Point]) -> String {
+    let mut s = String::with_capacity(points.len() * 24);
+    for p in points {
+        let _ = writeln!(s, "{} {}", p.x, p.y);
+    }
+    s
+}
+
+/// Serialises rectangles to the exchange format.
+pub fn format_rects(rects: &[Rect]) -> String {
+    let mut s = String::with_capacity(rects.len() * 48);
+    for r in rects {
+        let _ = writeln!(s, "{} {} {} {}", r.min.x, r.min.y, r.max.x, r.max.y);
+    }
+    s
+}
+
+/// Writes points to a file.
+pub fn save_points(path: impl AsRef<Path>, points: &[Point]) -> io::Result<()> {
+    fs::write(path, format_points(points))
+}
+
+/// Writes rectangles to a file.
+pub fn save_rects(path: impl AsRef<Path>, rects: &[Rect]) -> io::Result<()> {
+    fs::write(path, format_rects(rects))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_points_with_comments_and_blanks() {
+        let content = "# header\n1 2\n\n 3.5  -4.25 # trailing comment\n";
+        let pts = parse_points(content).unwrap();
+        assert_eq!(pts, vec![Point::new(1.0, 2.0), Point::new(3.5, -4.25)]);
+    }
+
+    #[test]
+    fn parse_rects_normalises_corner_order() {
+        let rs = parse_rects("5 6 1 2\n").unwrap();
+        assert_eq!(rs, vec![Rect::from_coords(1.0, 2.0, 5.0, 6.0)]);
+    }
+
+    #[test]
+    fn wrong_arity_is_reported_with_line_number() {
+        let err = parse_points("1 2\n1 2 3\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("expected 2 fields"), "{msg}");
+    }
+
+    #[test]
+    fn bad_numbers_are_reported() {
+        let err = parse_points("1 banana\n").unwrap_err();
+        assert!(err.to_string().contains("bad number"));
+        let err = parse_points("1 inf\n").unwrap_err();
+        assert!(err.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn point_roundtrip_through_file() {
+        let pts = crate::california_points(500, 17);
+        let path = std::env::temp_dir().join("iloc_points_roundtrip.txt");
+        save_points(&path, &pts).unwrap();
+        let back = load_points(&path).unwrap();
+        assert_eq!(pts, back);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rect_roundtrip_through_file() {
+        let rs = crate::long_beach_rects(400, 18);
+        let path = std::env::temp_dir().join("iloc_rects_roundtrip.txt");
+        save_rects(&path, &rs).unwrap();
+        let back = load_rects(&path).unwrap();
+        assert_eq!(rs, back);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_points("/nonexistent/iloc/points.txt").unwrap_err();
+        assert!(matches!(err, ParseError::Io(_)));
+    }
+}

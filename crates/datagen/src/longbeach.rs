@@ -1,0 +1,127 @@
+//! Long-Beach-like rectangle set: clustered, skew-sized parcels.
+//!
+//! TIGER's Long Beach county data is a set of small rectangles (census
+//! blocks / parcels) packed densely in built-up areas. We draw centres
+//! from an urban-cluster mixture and sizes from a heavy-tailed
+//! distribution, clipping everything into the data space. The
+//! rectangles serve directly as the uncertainty regions of the
+//! uncertain-object database.
+
+use iloc_geometry::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::california::normal_draw;
+use crate::SPACE;
+
+/// Generates `n` rectangles (use [`crate::LONG_BEACH_SIZE`] for the
+/// paper's cardinality). Deterministic in `seed`.
+pub fn long_beach_rects(n: usize, seed: u64) -> Vec<Rect> {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Urban cores: 30 clusters, skewed weights (Zipf-ish) so a few
+    // cores dominate, as in a real county.
+    let cores = 30usize;
+    let centers: Vec<(f64, f64, f64)> = (0..cores)
+        .map(|_| {
+            (
+                rng.gen_range(SPACE.min.x..SPACE.max.x),
+                rng.gen_range(SPACE.min.y..SPACE.max.y),
+                40.0 + rng.gen_range(0.0f64..1.0).powi(2) * 800.0,
+            )
+        })
+        .collect();
+    let weights: Vec<f64> = (0..cores).map(|k| 1.0 / (k + 1) as f64).collect();
+    let total_w: f64 = weights.iter().sum();
+
+    let mut rects = Vec::with_capacity(n);
+    for _ in 0..n {
+        // 85 % clustered, 15 % scattered.
+        let (cx, cy) = if rng.gen_range(0.0..1.0) < 0.85 {
+            let mut pick = rng.gen_range(0.0..total_w);
+            let mut idx = 0;
+            for (k, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    idx = k;
+                    break;
+                }
+                pick -= w;
+            }
+            let (cx, cy, r) = centers[idx];
+            (cx + normal_draw(&mut rng) * r, cy + normal_draw(&mut rng) * r)
+        } else {
+            (
+                rng.gen_range(SPACE.min.x..SPACE.max.x),
+                rng.gen_range(SPACE.min.y..SPACE.max.y),
+            )
+        };
+        // Heavy-tailed half-extents: most parcels tiny, some blocks big.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let scale = 8.0 * u.powf(-0.35); // ~Pareto, min 8, long tail
+        let half_w = (scale * rng.gen_range(0.5..1.5)).min(400.0);
+        let half_h = (scale * rng.gen_range(0.5..1.5)).min(400.0);
+        let c = Point::new(
+            cx.clamp(SPACE.min.x + half_w, SPACE.max.x - half_w),
+            cy.clamp(SPACE.min.y + half_h, SPACE.max.y - half_h),
+        );
+        rects.push(Rect::centered(c, half_w, half_h));
+    }
+    rects
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LONG_BEACH_SIZE;
+
+    #[test]
+    fn cardinality_bounds_and_positive_area() {
+        let rs = long_beach_rects(10_000, 5);
+        assert_eq!(rs.len(), 10_000);
+        for r in &rs {
+            assert!(SPACE.contains_rect(*r), "{r:?} escapes the space");
+            assert!(r.area() > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(long_beach_rects(500, 1), long_beach_rects(500, 1));
+        assert_ne!(long_beach_rects(500, 1), long_beach_rects(500, 2));
+    }
+
+    #[test]
+    fn full_size_dataset_generates() {
+        assert_eq!(long_beach_rects(LONG_BEACH_SIZE, 1).len(), LONG_BEACH_SIZE);
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed() {
+        let rs = long_beach_rects(20_000, 9);
+        let mut widths: Vec<f64> = rs.iter().map(|r| r.width()).collect();
+        widths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = widths[widths.len() / 2];
+        let p99 = widths[widths.len() * 99 / 100];
+        // Heavy tail: the 99th percentile is far above the median.
+        assert!(p99 > 4.0 * median, "median {median}, p99 {p99}");
+    }
+
+    #[test]
+    fn centres_are_clustered() {
+        let rs = long_beach_rects(20_000, 11);
+        let mut counts = [0usize; 100];
+        for r in &rs {
+            let c = r.center();
+            let i = ((c.x / 1_000.0) as usize).min(9);
+            let j = ((c.y / 1_000.0) as usize).min(9);
+            counts[j * 10 + i] += 1;
+        }
+        let mean = 200.0f64;
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / 100.0;
+        assert!(var > 5.0 * mean, "variance {var} too close to uniform");
+    }
+}

@@ -1,0 +1,83 @@
+//! Query workload generation (paper Section 6.1).
+//!
+//! Each experiment runs 500 queries whose issuer uncertainty regions
+//! `U0` are squares of half-size `u` with centres uniformly distributed
+//! over the data space; the range query is a square of half-size `w`.
+
+use iloc_geometry::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SPACE;
+
+/// Deterministic workload generator.
+#[derive(Debug)]
+pub struct WorkloadGen {
+    rng: StdRng,
+}
+
+impl WorkloadGen {
+    /// Creates a generator with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        WorkloadGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// One issuer uncertainty region: a square of half-size `u` centred
+    /// uniformly in the data space (the paper lets regions straddle the
+    /// space border, and so do we).
+    pub fn issuer_region(&mut self, u: f64) -> Rect {
+        assert!(u > 0.0, "issuer half-size must be positive");
+        let c = Point::new(
+            self.rng.gen_range(SPACE.min.x..=SPACE.max.x),
+            self.rng.gen_range(SPACE.min.y..=SPACE.max.y),
+        );
+        Rect::centered(c, u, u)
+    }
+
+    /// A batch of issuer regions.
+    pub fn issuer_regions(&mut self, count: usize, u: f64) -> Vec<Rect> {
+        (0..count).map(|_| self.issuer_region(u)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_have_requested_size() {
+        let mut g = WorkloadGen::new(1);
+        let r = g.issuer_region(250.0);
+        assert!((r.width() - 500.0).abs() < 1e-9);
+        assert!((r.height() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_batches() {
+        let a = WorkloadGen::new(5).issuer_regions(100, 100.0);
+        let b = WorkloadGen::new(5).issuer_regions(100, 100.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn centres_cover_the_space() {
+        let rs = WorkloadGen::new(2).issuer_regions(2_000, 10.0);
+        let mut quadrants = [0usize; 4];
+        for r in &rs {
+            let c = r.center();
+            let q = (c.x > 5_000.0) as usize + 2 * ((c.y > 5_000.0) as usize);
+            quadrants[q] += 1;
+        }
+        for q in quadrants {
+            assert!(q > 300, "quadrant count {q} too low for uniform centres");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_u() {
+        let _ = WorkloadGen::new(1).issuer_region(0.0);
+    }
+}

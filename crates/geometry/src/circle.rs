@@ -1,0 +1,216 @@
+//! Circles and exact circle–rectangle intersection areas.
+//!
+//! The paper's conclusion lists *non-rectangular uncertainty regions*
+//! as future work; a disc is the natural shape for GPS-style error
+//! ("within `r` metres of the fix"). The one non-trivial primitive a
+//! disc-shaped uncertainty pdf needs is the exact area of
+//! `disc ∩ rectangle`, implemented here via signed quadrant
+//! decomposition — no numerical integration.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A disc (filled circle).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// Centre.
+    pub center: Point,
+    /// Radius (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a disc.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the radius is negative or non-finite.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius >= 0.0, "invalid radius");
+        Circle { center, radius }
+    }
+
+    /// Disc area `πr²`.
+    #[inline]
+    pub fn area(self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Tight axis-parallel bounding box.
+    #[inline]
+    pub fn bounding_box(self) -> Rect {
+        Rect::centered(self.center, self.radius, self.radius)
+    }
+
+    /// `true` when `p` lies inside or on the circle.
+    #[inline]
+    pub fn contains_point(self, p: Point) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius + 1e-12
+    }
+
+    /// Exact area of `self ∩ rect`.
+    ///
+    /// Decomposes the rectangle (translated so the disc is centred at
+    /// the origin) into four signed corner boxes `[0, x] × [0, y]` and
+    /// sums the signed quadrant areas — the 2-D analogue of evaluating
+    /// a CDF at the four corners.
+    pub fn intersection_area(self, rect: Rect) -> f64 {
+        if rect.is_empty() || self.radius == 0.0 {
+            return 0.0;
+        }
+        let r = self.radius;
+        let x0 = rect.min.x - self.center.x;
+        let x1 = rect.max.x - self.center.x;
+        let y0 = rect.min.y - self.center.y;
+        let y1 = rect.max.y - self.center.y;
+        let area = signed_corner_area(x1, y1, r) - signed_corner_area(x0, y1, r)
+            - signed_corner_area(x1, y0, r)
+            + signed_corner_area(x0, y0, r);
+        area.clamp(0.0, self.area().min(rect.area()))
+    }
+}
+
+/// Signed area of `disc(r) ∩ ([0, x] × [0, y])` where negative `x`/`y`
+/// flip the box across the axes and contribute with the product of the
+/// signs (inclusion–exclusion weight).
+fn signed_corner_area(x: f64, y: f64, r: f64) -> f64 {
+    let s = x.signum() * y.signum();
+    s * quadrant_area(x.abs(), y.abs(), r)
+}
+
+/// Area of `disc(r) ∩ ([0, a] × [0, b])` for `a, b ≥ 0`.
+fn quadrant_area(a: f64, b: f64, r: f64) -> f64 {
+    let a = a.min(r);
+    let b = b.min(r);
+    if a == 0.0 || b == 0.0 {
+        return 0.0;
+    }
+    if a * a + b * b <= r * r {
+        // The far corner is inside the disc, so the whole box is.
+        return a * b;
+    }
+    // x-range where the circle's height √(r²−x²) exceeds b.
+    let xb = (r * r - b * b).max(0.0).sqrt();
+    if a <= xb {
+        return a * b;
+    }
+    // Flat part up to xb, then the circular arc from xb to a:
+    // ∫√(r²−x²)dx = (x√(r²−x²) + r²·asin(x/r)) / 2.
+    let anti = |x: f64| 0.5 * (x * (r * r - x * x).max(0.0).sqrt() + r * r * (x / r).asin());
+    xb * b + anti(a) - anti(xb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Circle {
+        Circle::new(Point::new(0.0, 0.0), 1.0)
+    }
+
+    #[test]
+    fn disjoint_rect_zero_area() {
+        let c = unit();
+        assert_eq!(c.intersection_area(Rect::from_coords(2.0, 2.0, 3.0, 3.0)), 0.0);
+    }
+
+    #[test]
+    fn rect_containing_circle_gives_full_disc() {
+        let c = unit();
+        let a = c.intersection_area(Rect::from_coords(-5.0, -5.0, 5.0, 5.0));
+        assert!((a - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circle_containing_rect_gives_rect_area() {
+        let c = Circle::new(Point::new(0.0, 0.0), 10.0);
+        let rect = Rect::from_coords(-1.0, -2.0, 3.0, 1.0);
+        assert!((c.intersection_area(rect) - rect.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_plane_split_gives_half_disc() {
+        let c = unit();
+        let right = Rect::from_coords(0.0, -5.0, 5.0, 5.0);
+        assert!((c.intersection_area(right) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        let top_right = Rect::from_coords(0.0, 0.0, 5.0, 5.0);
+        assert!((c.intersection_area(top_right) - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_segment_area() {
+        // Region x ≥ 0.5 of the unit disc: r²·acos(d/r) − d·√(r²−d²)
+        // with d = 0.5 → acos(0.5) − 0.5·√0.75.
+        let c = unit();
+        let seg = c.intersection_area(Rect::from_coords(0.5, -2.0, 2.0, 2.0));
+        let expect = (0.5f64).acos() - 0.5 * 0.75f64.sqrt();
+        assert!((seg - expect).abs() < 1e-12, "{seg} vs {expect}");
+    }
+
+    #[test]
+    fn matches_monte_carlo_on_random_configs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..40 {
+            let c = Circle::new(
+                Point::new(rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)),
+                rng.gen_range(0.2..3.0),
+            );
+            let x0 = rng.gen_range(-3.0..2.0);
+            let y0 = rng.gen_range(-3.0..2.0);
+            let rect = Rect::from_coords(
+                x0,
+                y0,
+                x0 + rng.gen_range(0.1..4.0),
+                y0 + rng.gen_range(0.1..4.0),
+            );
+            let exact = c.intersection_area(rect);
+            // Midpoint grid over the rect.
+            let n = 400;
+            let (dx, dy) = (rect.width() / n as f64, rect.height() / n as f64);
+            let mut acc = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    let p = Point::new(
+                        rect.min.x + (i as f64 + 0.5) * dx,
+                        rect.min.y + (j as f64 + 0.5) * dy,
+                    );
+                    if c.contains_point(p) {
+                        acc += dx * dy;
+                    }
+                }
+            }
+            let tol = 4.0 * (rect.width() + rect.height()) * dx.max(dy);
+            assert!(
+                (exact - acc).abs() < tol.max(1e-3),
+                "trial {trial}: exact {exact} vs grid {acc}"
+            );
+        }
+    }
+
+    #[test]
+    fn area_additive_over_split_rect() {
+        let c = Circle::new(Point::new(0.3, -0.2), 1.7);
+        let whole = Rect::from_coords(-2.0, -2.0, 2.0, 2.0);
+        let left = Rect::from_coords(-2.0, -2.0, 0.1, 2.0);
+        let right = Rect::from_coords(0.1, -2.0, 2.0, 2.0);
+        let a = c.intersection_area(whole);
+        let al = c.intersection_area(left);
+        let ar = c.intersection_area(right);
+        assert!((al + ar - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_radius_is_measure_zero() {
+        let c = Circle::new(Point::new(0.0, 0.0), 0.0);
+        assert_eq!(c.intersection_area(Rect::from_coords(-1.0, -1.0, 1.0, 1.0)), 0.0);
+        assert_eq!(c.area(), 0.0);
+    }
+
+    #[test]
+    fn bounding_box_is_tight() {
+        let c = Circle::new(Point::new(2.0, 3.0), 1.5);
+        assert_eq!(c.bounding_box(), Rect::from_coords(0.5, 1.5, 3.5, 4.5));
+    }
+}

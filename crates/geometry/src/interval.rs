@@ -1,0 +1,232 @@
+//! Closed 1-D intervals.
+//!
+//! Rectangles in this workspace are products of two intervals; most
+//! rectangle operations (clipping, Minkowski sums, the separable
+//! closed-form integrals of Lemma 4) reduce to interval arithmetic.
+
+use crate::num;
+
+/// A closed interval `[lo, hi]`.
+///
+/// An interval with `hi < lo` is *empty*; [`Interval::EMPTY`] is the
+/// canonical empty value. Degenerate intervals (`lo == hi`) are valid
+/// and have zero length — a point object is a degenerate rectangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Canonical empty interval.
+    pub const EMPTY: Interval = Interval {
+        lo: f64::INFINITY,
+        hi: f64::NEG_INFINITY,
+    };
+
+    /// Creates `[lo, hi]`. Callers may pass `hi < lo` to denote an empty
+    /// interval.
+    #[inline]
+    pub const fn new(lo: f64, hi: f64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// Interval centred at `c` with half-length `half` (`half ≥ 0`).
+    #[inline]
+    pub fn centered(c: f64, half: f64) -> Self {
+        debug_assert!(half >= 0.0, "half-length must be non-negative");
+        Interval::new(c - half, c + half)
+    }
+
+    /// `true` when the interval contains no points.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.hi < self.lo
+    }
+
+    /// Length (`0` for empty or degenerate intervals).
+    #[inline]
+    pub fn length(self) -> f64 {
+        (self.hi - self.lo).max(0.0)
+    }
+
+    /// Midpoint. Meaningless for empty intervals.
+    #[inline]
+    pub fn center(self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// `true` when `v ∈ [lo, hi]`.
+    #[inline]
+    pub fn contains(self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `true` when `other ⊆ self`.
+    #[inline]
+    pub fn contains_interval(self, other: Interval) -> bool {
+        other.is_empty() || (self.lo <= other.lo && other.hi <= self.hi)
+    }
+
+    /// `true` when the two intervals share at least one point.
+    #[inline]
+    pub fn overlaps(self, other: Interval) -> bool {
+        !self.is_empty() && !other.is_empty() && self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Intersection `self ∩ other` (possibly empty).
+    #[inline]
+    pub fn intersect(self, other: Interval) -> Interval {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if hi < lo {
+            Interval::EMPTY
+        } else {
+            Interval::new(lo, hi)
+        }
+    }
+
+    /// Length of the intersection with `other`.
+    #[inline]
+    pub fn overlap_length(self, other: Interval) -> f64 {
+        self.intersect(other).length()
+    }
+
+    /// Smallest interval containing both operands (union hull).
+    #[inline]
+    pub fn hull(self, other: Interval) -> Interval {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// 1-D Minkowski sum: `[a,b] ⊕ [c,d] = [a+c, b+d]`.
+    #[inline]
+    pub fn minkowski_sum(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::new(self.lo + other.lo, self.hi + other.hi)
+    }
+
+    /// Expands both endpoints outward by `d` (shrinks when `d < 0`; a
+    /// shrink past the midpoint yields an empty interval).
+    #[inline]
+    pub fn expand(self, d: f64) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        let r = Interval::new(self.lo - d, self.hi + d);
+        if r.is_empty() {
+            Interval::EMPTY
+        } else {
+            r
+        }
+    }
+
+    /// Clamps `v` into the interval.
+    #[inline]
+    pub fn clamp(self, v: f64) -> f64 {
+        num::clamp(v, self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_detection() {
+        assert!(Interval::EMPTY.is_empty());
+        assert!(Interval::new(1.0, 0.0).is_empty());
+        assert!(!Interval::new(1.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn length_of_degenerate_is_zero() {
+        assert_eq!(Interval::new(2.0, 2.0).length(), 0.0);
+        assert_eq!(Interval::EMPTY.length(), 0.0);
+        assert_eq!(Interval::new(1.0, 4.0).length(), 3.0);
+    }
+
+    #[test]
+    fn centered_constructor() {
+        let i = Interval::centered(5.0, 2.0);
+        assert_eq!(i, Interval::new(3.0, 7.0));
+        assert_eq!(i.center(), 5.0);
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = Interval::new(0.0, 5.0);
+        let b = Interval::new(3.0, 8.0);
+        assert_eq!(a.intersect(b), Interval::new(3.0, 5.0));
+        assert_eq!(a.overlap_length(b), 2.0);
+        assert!(a.overlaps(b));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(2.0, 3.0);
+        assert!(a.intersect(b).is_empty());
+        assert_eq!(a.overlap_length(b), 0.0);
+        assert!(!a.overlaps(b));
+    }
+
+    #[test]
+    fn touching_intervals_overlap_at_a_point() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(1.0, 2.0);
+        assert!(a.overlaps(b));
+        assert_eq!(a.overlap_length(b), 0.0);
+    }
+
+    #[test]
+    fn contains_interval_edge_cases() {
+        let a = Interval::new(0.0, 10.0);
+        assert!(a.contains_interval(Interval::new(0.0, 10.0)));
+        assert!(a.contains_interval(Interval::new(2.0, 3.0)));
+        assert!(a.contains_interval(Interval::EMPTY));
+        assert!(!a.contains_interval(Interval::new(-1.0, 3.0)));
+    }
+
+    #[test]
+    fn minkowski_sum_adds_endpoints() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(-1.0, 3.0);
+        assert_eq!(a.minkowski_sum(b), Interval::new(0.0, 5.0));
+        assert!(a.minkowski_sum(Interval::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn expand_and_shrink() {
+        let a = Interval::new(2.0, 4.0);
+        assert_eq!(a.expand(1.0), Interval::new(1.0, 5.0));
+        assert_eq!(a.expand(-0.5), Interval::new(2.5, 3.5));
+        assert!(a.expand(-2.0).is_empty());
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(5.0, 6.0);
+        assert_eq!(a.hull(b), Interval::new(0.0, 6.0));
+        assert_eq!(Interval::EMPTY.hull(b), b);
+        assert_eq!(a.hull(Interval::EMPTY), a);
+    }
+
+    #[test]
+    fn clamp_into_interval() {
+        let a = Interval::new(0.0, 1.0);
+        assert_eq!(a.clamp(-1.0), 0.0);
+        assert_eq!(a.clamp(0.5), 0.5);
+        assert_eq!(a.clamp(2.0), 1.0);
+    }
+}

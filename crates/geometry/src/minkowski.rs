@@ -1,0 +1,81 @@
+//! Minkowski sums of axis-parallel rectangles (Section 4.1 of the paper).
+//!
+//! The paper's *query expansion* filter builds `R ⊕ U0`, the union of
+//! all range queries issued from any position inside the issuer's
+//! uncertainty region `U0`. For axis-parallel rectangles the sum is the
+//! rectangle whose side intervals are the 1-D Minkowski sums of the
+//! operands' sides — computable in constant time (the paper's "linear
+//! time" remark specialises to O(1) for boxes).
+
+use crate::rect::Rect;
+
+/// Computes `a ⊕ b = {x + y | x ∈ a, y ∈ b}` for axis-parallel
+/// rectangles.
+///
+/// Note that the sum of two *position* rectangles lives at the sum of
+/// their positions; the query-expansion use sites therefore pass the
+/// range rectangle *centred at the origin* together with `U0` (see
+/// [`expand_query`]).
+#[inline]
+pub fn minkowski_sum(a: Rect, b: Rect) -> Rect {
+    Rect::from_intervals(
+        a.x_interval().minkowski_sum(b.x_interval()),
+        a.y_interval().minkowski_sum(b.y_interval()),
+    )
+}
+
+/// Builds the paper's expanded query range `R ⊕ U0` from the issuer's
+/// uncertainty region `u0` and the query half-extents `(w, h)`.
+///
+/// Equivalent to `minkowski_sum(Rect::centered(ORIGIN, w, h), u0)`:
+/// `U0` grown by `w` on the left/right and `h` on the top/bottom
+/// (Figure 2 of the paper). Lemma 1: an object has non-zero
+/// qualification probability iff it touches this rectangle.
+#[inline]
+pub fn expand_query(u0: Rect, w: f64, h: f64) -> Rect {
+    debug_assert!(w >= 0.0 && h >= 0.0);
+    u0.expand(w, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    #[test]
+    fn sum_of_boxes_adds_sides() {
+        let a = Rect::from_coords(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::from_coords(-1.0, -1.0, 1.0, 1.0);
+        assert_eq!(minkowski_sum(a, b), Rect::from_coords(-1.0, -1.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn sum_with_empty_is_empty() {
+        let a = Rect::from_coords(0.0, 0.0, 2.0, 2.0);
+        assert!(minkowski_sum(a, Rect::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn expand_query_matches_origin_centred_sum() {
+        let u0 = Rect::from_coords(10.0, 20.0, 14.0, 26.0);
+        let (w, h) = (3.0, 1.0);
+        let direct = expand_query(u0, w, h);
+        let via_sum = minkowski_sum(Rect::centered(Point::ORIGIN, w, h), u0);
+        assert_eq!(direct, via_sum);
+        assert_eq!(direct, Rect::from_coords(7.0, 19.0, 17.0, 27.0));
+    }
+
+    #[test]
+    fn expanded_query_is_union_of_all_ranges() {
+        // Any range query issued from inside U0 must be contained in the
+        // Minkowski sum, and the corners are attained.
+        let u0 = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let (w, h) = (2.0, 3.0);
+        let sum = expand_query(u0, w, h);
+        for &(x, y) in &[(0.0, 0.0), (10.0, 10.0), (5.0, 5.0), (0.0, 10.0)] {
+            let q = Rect::centered(Point::new(x, y), w, h);
+            assert!(sum.contains_rect(q), "range at ({x},{y}) escapes the sum");
+        }
+        assert_eq!(sum, Rect::from_coords(-2.0, -3.0, 12.0, 13.0));
+    }
+}

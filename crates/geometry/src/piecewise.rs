@@ -1,0 +1,214 @@
+//! Continuous piecewise-linear functions of one variable with exact
+//! integration.
+//!
+//! The enhanced IUQ evaluator (paper Eq. 8 with uniform pdfs) reduces to
+//! integrating *overlap profiles* — trapezoid-shaped piecewise-linear
+//! functions — over an interval. Representing them explicitly gives an
+//! exact closed form, which doubles as the ground truth the Monte-Carlo
+//! and grid integrators are validated against.
+
+use crate::interval::Interval;
+
+/// A continuous piecewise-linear function defined by knots
+/// `(x_0, y_0), …, (x_k, y_k)` with strictly increasing `x_i`; linear
+/// between consecutive knots and **zero outside** `[x_0, x_k]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    knots: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Builds a function from knots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two knots are given or the x-coordinates are
+    /// not strictly increasing — both indicate construction bugs rather
+    /// than data errors, matching the crate's invariant style.
+    pub fn new(knots: Vec<(f64, f64)>) -> Self {
+        assert!(knots.len() >= 2, "need at least two knots");
+        for pair in knots.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "knot x-coordinates must be strictly increasing: {} !< {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+        PiecewiseLinear { knots }
+    }
+
+    /// The identically-zero function on a degenerate support.
+    pub fn zero() -> Self {
+        PiecewiseLinear {
+            knots: vec![(0.0, 0.0), (1.0, 0.0)],
+        }
+    }
+
+    /// The knots defining the function.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+
+    /// Support interval `[x_0, x_k]` (the function is zero outside).
+    pub fn support(&self) -> Interval {
+        Interval::new(self.knots[0].0, self.knots[self.knots.len() - 1].0)
+    }
+
+    /// Evaluates the function at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.knots.len();
+        if x < self.knots[0].0 || x > self.knots[n - 1].0 {
+            return 0.0;
+        }
+        // Binary search for the segment containing x.
+        let idx = self
+            .knots
+            .partition_point(|&(kx, _)| kx <= x)
+            .saturating_sub(1);
+        if idx + 1 >= n {
+            return self.knots[n - 1].1;
+        }
+        let (x0, y0) = self.knots[idx];
+        let (x1, y1) = self.knots[idx + 1];
+        let t = (x - x0) / (x1 - x0);
+        y0 + t * (y1 - y0)
+    }
+
+    /// Maximum value attained (functions here are continuous, so the max
+    /// is at a knot).
+    pub fn max_value(&self) -> f64 {
+        self.knots.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max)
+    }
+
+    /// Exact integral over the whole support.
+    pub fn integral(&self) -> f64 {
+        self.integral_over(self.support())
+    }
+
+    /// Exact integral `∫_I f(x) dx` over an arbitrary interval `I`
+    /// (portions outside the support contribute zero).
+    pub fn integral_over(&self, i: Interval) -> f64 {
+        let i = i.intersect(self.support());
+        if i.is_empty() || i.length() == 0.0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for pair in self.knots.windows(2) {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            let seg = Interval::new(x0, x1).intersect(i);
+            if seg.is_empty() || seg.length() == 0.0 {
+                continue;
+            }
+            // Linear on [x0, x1]: integrate exactly via the trapezoid rule
+            // on the clipped endpoints (exact for linear integrands).
+            let slope = (y1 - y0) / (x1 - x0);
+            let f_lo = y0 + slope * (seg.lo - x0);
+            let f_hi = y0 + slope * (seg.hi - x0);
+            total += 0.5 * (f_lo + f_hi) * seg.length();
+        }
+        total
+    }
+
+    /// Returns the function scaled by a constant factor.
+    pub fn scaled(&self, c: f64) -> Self {
+        PiecewiseLinear {
+            knots: self.knots.iter().map(|&(x, y)| (x, c * y)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Triangle: 0 at x=0, 1 at x=1, 0 at x=2.
+    fn triangle() -> PiecewiseLinear {
+        PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)])
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_knots() {
+        let _ = PiecewiseLinear::new(vec![(1.0, 0.0), (0.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_knot() {
+        let _ = PiecewiseLinear::new(vec![(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn eval_inside_and_outside() {
+        let f = triangle();
+        assert_eq!(f.eval(-0.5), 0.0);
+        assert_eq!(f.eval(0.0), 0.0);
+        assert_eq!(f.eval(0.5), 0.5);
+        assert_eq!(f.eval(1.0), 1.0);
+        assert_eq!(f.eval(1.5), 0.5);
+        assert_eq!(f.eval(2.0), 0.0);
+        assert_eq!(f.eval(2.5), 0.0);
+    }
+
+    #[test]
+    fn eval_at_knots_exact() {
+        let f = PiecewiseLinear::new(vec![(0.0, 2.0), (3.0, 5.0), (7.0, 1.0)]);
+        assert_eq!(f.eval(0.0), 2.0);
+        assert_eq!(f.eval(3.0), 5.0);
+        assert_eq!(f.eval(7.0), 1.0);
+    }
+
+    #[test]
+    fn integral_of_triangle_is_half_base_times_height() {
+        let f = triangle();
+        assert!((f.integral() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_over_subinterval() {
+        let f = triangle();
+        // ∫_0^1 x dx = 0.5
+        assert!((f.integral_over(Interval::new(0.0, 1.0)) - 0.5).abs() < 1e-12);
+        // ∫_0.5^1.5 = 2 * ∫_0.5^1 x dx = (0.5+1)/2*0.5 * 2 = 0.75
+        assert!((f.integral_over(Interval::new(0.5, 1.5)) - 0.75).abs() < 1e-12);
+        // Interval extending beyond the support clips to it.
+        assert!((f.integral_over(Interval::new(-10.0, 10.0)) - 1.0).abs() < 1e-12);
+        // Disjoint interval integrates to zero.
+        assert_eq!(f.integral_over(Interval::new(5.0, 6.0)), 0.0);
+    }
+
+    #[test]
+    fn integral_matches_numeric_quadrature() {
+        let f = PiecewiseLinear::new(vec![(0.0, 1.0), (2.0, 3.0), (5.0, 0.5), (6.0, 0.5)]);
+        let i = Interval::new(0.3, 5.7);
+        // Midpoint rule with many slices as the reference.
+        let n = 200_000;
+        let dx = i.length() / n as f64;
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += f.eval(i.lo + (k as f64 + 0.5) * dx) * dx;
+        }
+        assert!((f.integral_over(i) - acc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_scales_values_and_integral() {
+        let f = triangle().scaled(3.0);
+        assert_eq!(f.eval(1.0), 3.0);
+        assert!((f.integral() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_value_at_knot() {
+        assert_eq!(triangle().max_value(), 1.0);
+    }
+
+    #[test]
+    fn zero_function() {
+        let z = PiecewiseLinear::zero();
+        assert_eq!(z.eval(0.5), 0.0);
+        assert_eq!(z.integral(), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! 2-D points.
+
+use std::fmt;
+
+/// A point in the 2-D data space.
+///
+/// Point objects (`Si` in the paper) are exactly this: a known location
+/// with no uncertainty, e.g. a shop or a gas station.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Component-wise addition (translation by another point treated as
+    /// a vector). This is the primitive underlying the Minkowski sum.
+    #[inline]
+    pub fn translate(self, dx: f64, dy: f64) -> Self {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared Euclidean distance (avoids the square root when only
+    /// comparisons are needed).
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Chebyshev (L∞) distance to `other`; a point satisfies a square
+    /// range query of half-width `w` iff its Chebyshev distance to the
+    /// query centre is at most `w`.
+    #[inline]
+    pub fn chebyshev_distance(self, other: Point) -> f64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_moves_point() {
+        let p = Point::new(1.0, 2.0).translate(3.0, -1.0);
+        assert_eq!(p, Point::new(4.0, 1.0));
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn chebyshev_takes_max_axis() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, -7.0);
+        assert_eq!(a.chebyshev_distance(b), 7.0);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (1.5, 2.5).into();
+        assert_eq!(p, Point::new(1.5, 2.5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1.0, 2.0).to_string(), "(1, 2)");
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY).is_finite());
+    }
+}

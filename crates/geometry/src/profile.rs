@@ -1,0 +1,132 @@
+//! Overlap profiles: the 1-D building block of the exact (closed-form)
+//! IUQ evaluator.
+//!
+//! For a query half-extent `w` and a fixed interval `[a, b]` (one side
+//! of the issuer region `U0`), the *overlap profile* is
+//!
+//! ```text
+//! ox(x) = |[x − w, x + w] ∩ [a, b]|
+//! ```
+//!
+//! the length of the overlap between the query's side and `U0`'s side
+//! when the query is centred at `x`. It is a trapezoid: zero outside
+//! `[a − w, b + w]`, rising with slope 1, a plateau of height
+//! `min(2w, b − a)`, then falling with slope −1.
+//!
+//! Because `Area(R(x,y) ∩ U0) = ox(x) · oy(y)`, the paper's Eq. 8
+//! integrand separates for uniform pdfs and the qualification
+//! probability becomes a product of two exact 1-D integrals — the
+//! "enhanced method" measured in Figure 8.
+
+use crate::interval::Interval;
+use crate::piecewise::PiecewiseLinear;
+
+/// Builds the overlap profile `x ↦ |[x−w, x+w] ∩ side|` as a
+/// piecewise-linear function.
+///
+/// `w` must be non-negative and `side` non-empty. Degenerate inputs
+/// (`w == 0` or a zero-length side) yield the zero function on the
+/// correct support, which makes downstream probabilities vanish exactly
+/// as measure theory dictates.
+pub fn overlap_profile(w: f64, side: Interval) -> PiecewiseLinear {
+    assert!(w >= 0.0, "query half-extent must be non-negative");
+    assert!(!side.is_empty(), "issuer side interval must be non-empty");
+    let (a, b) = (side.lo, side.hi);
+    let plateau = (2.0 * w).min(b - a);
+    let x_lo = a - w;
+    let x_hi = b + w;
+    if x_hi <= x_lo {
+        // Only possible when w == 0 and a == b: a single point, zero measure.
+        return PiecewiseLinear::zero();
+    }
+    let mid_lo = (a + w).min(b - w);
+    let mid_hi = (a + w).max(b - w);
+    let mut knots: Vec<(f64, f64)> = vec![(x_lo, 0.0)];
+    if mid_lo > x_lo {
+        knots.push((mid_lo, plateau));
+    }
+    if mid_hi > knots[knots.len() - 1].0 {
+        knots.push((mid_hi, plateau));
+    }
+    if x_hi > knots[knots.len() - 1].0 {
+        knots.push((x_hi, 0.0));
+    }
+    if knots.len() < 2 {
+        return PiecewiseLinear::zero();
+    }
+    PiecewiseLinear::new(knots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(w: f64, side: Interval, x: f64) -> f64 {
+        Interval::centered(x, w).overlap_length(side)
+    }
+
+    #[test]
+    fn profile_matches_direct_overlap_everywhere() {
+        let cases = [
+            (2.0, Interval::new(0.0, 10.0)),  // wide side, plateau = 2w
+            (10.0, Interval::new(0.0, 4.0)),  // narrow side, plateau = |side|
+            (3.0, Interval::new(-5.0, 1.0)),  // negative coordinates
+            (2.0, Interval::new(0.0, 4.0)),   // exactly 2w == |side|
+        ];
+        for (w, side) in cases {
+            let f = overlap_profile(w, side);
+            let sup = f.support();
+            let n = 1000;
+            for k in 0..=n {
+                let x = sup.lo - 1.0 + (sup.length() + 2.0) * k as f64 / n as f64;
+                let expect = brute(w, side, x);
+                assert!(
+                    (f.eval(x) - expect).abs() < 1e-9,
+                    "w={w} side=[{},{}] x={x}: got {} want {expect}",
+                    side.lo,
+                    side.hi,
+                    f.eval(x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plateau_height_is_min_of_widths() {
+        let f = overlap_profile(2.0, Interval::new(0.0, 10.0));
+        assert_eq!(f.max_value(), 4.0); // 2w
+        let g = overlap_profile(10.0, Interval::new(0.0, 4.0));
+        assert_eq!(g.max_value(), 4.0); // side length
+    }
+
+    #[test]
+    fn support_is_side_expanded_by_w() {
+        let f = overlap_profile(3.0, Interval::new(1.0, 5.0));
+        assert_eq!(f.support(), Interval::new(-2.0, 8.0));
+    }
+
+    #[test]
+    fn total_integral_is_2w_times_side_length() {
+        // ∫ |[x−w,x+w] ∩ side| dx = 2w · |side| (Fubini on the indicator).
+        let w = 2.5;
+        let side = Interval::new(1.0, 7.0);
+        let f = overlap_profile(w, side);
+        assert!((f.integral() - 2.0 * w * side.length()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_w_zero_gives_zero_function() {
+        let f = overlap_profile(0.0, Interval::new(0.0, 5.0));
+        assert_eq!(f.eval(2.0), 0.0);
+        assert_eq!(f.integral(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_point_side() {
+        // A point issuer region: overlap length is 0 almost everywhere …
+        let f = overlap_profile(2.0, Interval::new(3.0, 3.0));
+        assert_eq!(f.integral(), 0.0);
+        // … and the profile is identically zero.
+        assert_eq!(f.max_value(), 0.0);
+    }
+}

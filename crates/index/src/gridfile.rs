@@ -1,0 +1,194 @@
+//! A grid file (Nievergelt, Hinterberger & Sevcik, TODS'84) —
+//! simplified to a uniform directory, which is sufficient for the
+//! paper's use of it as an alternative filter index.
+//!
+//! The data space is cut into `nx × ny` equal cells; each cell lists
+//! every entry whose extent overlaps it. A range query visits the cells
+//! the query rectangle overlaps and dedupes the union of their lists.
+
+use iloc_geometry::Rect;
+
+use crate::stats::AccessStats;
+use crate::traits::RangeIndex;
+
+/// Uniform-directory grid file.
+#[derive(Debug, Clone)]
+pub struct GridFile<T> {
+    space: Rect,
+    nx: usize,
+    ny: usize,
+    cells: Vec<Vec<u32>>,
+    entries: Vec<(Rect, T)>,
+}
+
+impl<T: Copy> GridFile<T> {
+    /// Builds a grid file over `space` with an `nx × ny` directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the directory dimensions are zero, `space` has zero
+    /// area, or an entry extent falls outside `space`.
+    pub fn new(space: Rect, nx: usize, ny: usize, entries: Vec<(Rect, T)>) -> Self {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+        assert!(space.area() > 0.0, "space must have positive area");
+        let mut cells = vec![Vec::new(); nx * ny];
+        for (i, (extent, _)) in entries.iter().enumerate() {
+            assert!(
+                space.contains_rect(*extent),
+                "entry extent {extent:?} outside the grid space"
+            );
+            let (i0, i1, j0, j1) = cell_span(space, nx, ny, *extent);
+            for j in j0..=j1 {
+                for ii in i0..=i1 {
+                    cells[j * nx + ii].push(i as u32);
+                }
+            }
+        }
+        GridFile {
+            space,
+            nx,
+            ny,
+            cells,
+            entries,
+        }
+    }
+
+    /// Directory dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+}
+
+/// Inclusive cell index span overlapped by `r` (clamped into range).
+fn cell_span(space: Rect, nx: usize, ny: usize, r: Rect) -> (usize, usize, usize, usize) {
+    let cw = space.width() / nx as f64;
+    let ch = space.height() / ny as f64;
+    let clampi = |v: f64, n: usize| (v as isize).clamp(0, n as isize - 1) as usize;
+    let i0 = clampi(((r.min.x - space.min.x) / cw).floor(), nx);
+    let i1 = clampi(((r.max.x - space.min.x) / cw).floor(), nx);
+    let j0 = clampi(((r.min.y - space.min.y) / ch).floor(), ny);
+    let j1 = clampi(((r.max.y - space.min.y) / ch).floor(), ny);
+    (i0, i1, j0, j1)
+}
+
+impl<T: Copy> RangeIndex<T> for GridFile<T> {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn query_range_into(&self, query: Rect, stats: &mut AccessStats, out: &mut Vec<T>) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let q = query.intersect(self.space);
+        if q.is_empty() {
+            return;
+        }
+        let (i0, i1, j0, j1) = cell_span(self.space, self.nx, self.ny, q);
+        let mut seen = vec![false; self.entries.len()];
+        for j in j0..=j1 {
+            for i in i0..=i1 {
+                stats.buckets_visited += 1;
+                for &e in &self.cells[j * self.nx + i] {
+                    let e = e as usize;
+                    if seen[e] {
+                        continue;
+                    }
+                    seen[e] = true;
+                    stats.items_tested += 1;
+                    let (extent, item) = self.entries[e];
+                    if extent.overlaps(query) {
+                        stats.candidates += 1;
+                        out.push(item);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveIndex;
+    use iloc_geometry::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn space() -> Rect {
+        Rect::from_coords(0.0, 0.0, 100.0, 100.0)
+    }
+
+    #[test]
+    fn finds_points_in_cells() {
+        let entries = vec![
+            (Rect::from_point(Point::new(10.0, 10.0)), 1usize),
+            (Rect::from_point(Point::new(90.0, 90.0)), 2),
+        ];
+        let gf = GridFile::new(space(), 10, 10, entries);
+        assert_eq!(gf.len(), 2);
+        assert_eq!(gf.dims(), (10, 10));
+        let mut stats = AccessStats::new();
+        let hits = gf.query_range(Rect::from_coords(0.0, 0.0, 20.0, 20.0), &mut stats);
+        assert_eq!(hits, vec![1]);
+        assert!(stats.buckets_visited >= 1);
+    }
+
+    #[test]
+    fn spanning_rect_not_duplicated() {
+        // An extent covering many cells must be reported once.
+        let entries = vec![(Rect::from_coords(5.0, 5.0, 95.0, 95.0), 7usize)];
+        let gf = GridFile::new(space(), 10, 10, entries);
+        let mut stats = AccessStats::new();
+        let hits = gf.query_range(Rect::from_coords(0.0, 0.0, 100.0, 100.0), &mut stats);
+        assert_eq!(hits, vec![7]);
+        assert_eq!(stats.items_tested, 1);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let entries: Vec<(Rect, usize)> = (0..800)
+            .map(|k| {
+                let x = rng.gen_range(0.0..95.0);
+                let y = rng.gen_range(0.0..95.0);
+                (
+                    Rect::from_coords(x, y, x + rng.gen_range(0.0..5.0), y + rng.gen_range(0.0..5.0)),
+                    k,
+                )
+            })
+            .collect();
+        let gf = GridFile::new(space(), 16, 16, entries.clone());
+        let oracle = NaiveIndex::new(entries);
+        for _ in 0..100 {
+            let x = rng.gen_range(-10.0..110.0);
+            let y = rng.gen_range(-10.0..110.0);
+            let q = Rect::from_coords(x, y, x + 15.0, y + 15.0);
+            let mut s1 = AccessStats::new();
+            let mut s2 = AccessStats::new();
+            let mut a = gf.query_range(q, &mut s1);
+            let mut b = oracle.query_range(q, &mut s2);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn query_outside_space_is_empty() {
+        let entries = vec![(Rect::from_point(Point::new(50.0, 50.0)), 1usize)];
+        let gf = GridFile::new(space(), 4, 4, entries);
+        let mut stats = AccessStats::new();
+        assert!(gf
+            .query_range(Rect::from_coords(200.0, 200.0, 300.0, 300.0), &mut stats)
+            .is_empty());
+        assert_eq!(stats.buckets_visited, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the grid space")]
+    fn rejects_out_of_space_entries() {
+        let entries = vec![(Rect::from_point(Point::new(500.0, 50.0)), 1usize)];
+        let _ = GridFile::new(space(), 4, 4, entries);
+    }
+}

@@ -1,0 +1,74 @@
+//! Linear-scan "index": the correctness oracle.
+//!
+//! Every other access method in this crate is validated against the
+//! naive scan in tests; the experiments also use it to show how much
+//! the R-tree filter saves.
+
+use iloc_geometry::Rect;
+
+use crate::stats::AccessStats;
+use crate::traits::RangeIndex;
+
+/// A flat list of `(extent, item)` pairs scanned in full on every query.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveIndex<T> {
+    entries: Vec<(Rect, T)>,
+}
+
+impl<T: Copy> NaiveIndex<T> {
+    /// Builds the index from `(extent, item)` pairs.
+    pub fn new(entries: Vec<(Rect, T)>) -> Self {
+        NaiveIndex { entries }
+    }
+
+    /// Appends one item.
+    pub fn insert(&mut self, extent: Rect, item: T) {
+        self.entries.push((extent, item));
+    }
+}
+
+impl<T: Copy> RangeIndex<T> for NaiveIndex<T> {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn query_range_into(&self, query: Rect, stats: &mut AccessStats, out: &mut Vec<T>) {
+        for &(extent, item) in &self.entries {
+            stats.items_tested += 1;
+            if extent.overlaps(query) {
+                stats.candidates += 1;
+                out.push(item);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc_geometry::Point;
+
+    #[test]
+    fn scan_finds_overlapping_items() {
+        let mut idx = NaiveIndex::default();
+        idx.insert(Rect::from_point(Point::new(1.0, 1.0)), 1u32);
+        idx.insert(Rect::from_coords(5.0, 5.0, 7.0, 7.0), 2);
+        idx.insert(Rect::from_point(Point::new(9.0, 9.0)), 3);
+        assert_eq!(idx.len(), 3);
+
+        let mut stats = AccessStats::new();
+        let mut hits = idx.query_range(Rect::from_coords(0.0, 0.0, 6.0, 6.0), &mut stats);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2]);
+        assert_eq!(stats.items_tested, 3);
+        assert_eq!(stats.candidates, 2);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx: NaiveIndex<u32> = NaiveIndex::default();
+        assert!(idx.is_empty());
+        let mut stats = AccessStats::new();
+        assert!(idx.query_range(Rect::from_coords(0.0, 0.0, 1.0, 1.0), &mut stats).is_empty());
+    }
+}

@@ -1,0 +1,813 @@
+//! The Probability Threshold Index (PTI) of Cheng, Xia, Prabhakar, Shah
+//! & Vitter (VLDB'04), as summarised in Section 5.3 of the paper.
+//!
+//! A PTI is an R-tree over uncertain objects whose entries additionally
+//! carry, for every U-catalog level `m`, a merged rectangle `MBR(m)`
+//! that tightly encloses the `m`-bounds of everything below. During a
+//! constrained query (C-IUQ with threshold `Qp`) whole subtrees are
+//! pruned with the Section-5.2 tests lifted to the node level:
+//!
+//! * **Strategy 2 (p-expanded-query)** — skip an entry whose `MBR(0)`
+//!   (the union of the subtree's uncertainty regions) lies completely
+//!   outside the issuer's `M`-expanded-query.
+//! * **Strategy 1 (p-bounds)** — skip an entry when the expanded query
+//!   `R ⊕ U0` lies entirely beyond the subtree's `MBR(m)` on some side,
+//!   for the largest stored `m ≤ Qp`: every object below then has at
+//!   most `m ≤ Qp` probability mass in the intersection.
+//!
+//! Strategy 3 (the `qmin · dmin` product rule) needs the *issuer's*
+//! catalog and is applied per candidate by the query engine, above the
+//! index.
+
+use iloc_geometry::Rect;
+
+use crate::rtree::RTreeParams;
+use crate::stats::AccessStats;
+
+/// PTI construction parameters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PtiParams {
+    /// Underlying R-tree fanout.
+    pub rtree: RTreeParams,
+}
+
+/// One leaf entry: the object's per-level p-bound rectangles plus its
+/// payload. `bounds[0]` is the uncertainty region (0-bound).
+#[derive(Debug, Clone)]
+struct LeafEntry<T> {
+    bounds: Vec<Rect>,
+    item: T,
+}
+
+/// One internal entry: per-level merged MBRs plus the child index.
+#[derive(Debug, Clone)]
+struct ChildEntry {
+    bounds: Vec<Rect>,
+    child: usize,
+}
+
+#[derive(Debug, Clone)]
+enum PtiNodeKind<T> {
+    Leaf(Vec<LeafEntry<T>>),
+    Internal(Vec<ChildEntry>),
+}
+
+#[derive(Debug, Clone)]
+struct PtiNode<T> {
+    kind: PtiNodeKind<T>,
+}
+
+/// The pruning inputs of one constrained query.
+#[derive(Debug, Clone, Copy)]
+pub struct PtiQuery {
+    /// The expanded query `R ⊕ U0` (Lemma 1 filter and Strategy 1 side
+    /// tests).
+    pub expanded: Rect,
+    /// The issuer's `M`-expanded-query for the largest stored issuer
+    /// level `M ≤ Qp` (Strategy 2). Must satisfy
+    /// `p_expanded ⊆ expanded`; pass `expanded` itself when `Qp = 0`.
+    pub p_expanded: Rect,
+    /// The probability threshold `Qp ∈ [0, 1]`.
+    pub threshold: f64,
+}
+
+/// The Probability Threshold Index.
+///
+/// Built by bulk loading (the experiments index static snapshots, as in
+/// the paper) and maintained incrementally via [`Pti::insert`]; all
+/// stored objects must share the same catalog levels.
+#[derive(Debug, Clone)]
+pub struct Pti<T> {
+    levels: Vec<f64>,
+    nodes: Vec<PtiNode<T>>,
+    root: usize,
+    len: usize,
+    params: PtiParams,
+}
+
+impl<T: Copy> Pti<T> {
+    /// Bulk loads a PTI.
+    ///
+    /// `levels` are the shared catalog levels (ascending, starting at
+    /// 0); each object supplies one rectangle per level
+    /// (`bounds[k]` = its `levels[k]`-bound) plus a payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `levels` is empty, does not start at 0, is not
+    /// strictly increasing, or an object's bound count differs from
+    /// `levels.len()`.
+    pub fn bulk_load(levels: Vec<f64>, objects: Vec<(Vec<Rect>, T)>, params: PtiParams) -> Self {
+        assert!(!levels.is_empty(), "levels must be non-empty");
+        assert_eq!(levels[0], 0.0, "levels must start at 0");
+        assert!(
+            levels.windows(2).all(|w| w[0] < w[1]),
+            "levels must be strictly increasing"
+        );
+        for (bounds, _) in &objects {
+            assert_eq!(
+                bounds.len(),
+                levels.len(),
+                "each object needs one bound per level"
+            );
+        }
+        let len = objects.len();
+        let mut pti = Pti {
+            levels,
+            nodes: Vec::new(),
+            root: 0,
+            len,
+            params,
+        };
+        if len == 0 {
+            pti.nodes.push(PtiNode {
+                kind: PtiNodeKind::Leaf(Vec::new()),
+            });
+            return pti;
+        }
+
+        // STR-pack on the 0-bound centres, like the plain R-tree.
+        let cap = params.rtree.max_entries;
+        let leaf_groups = str_pack(
+            objects
+                .into_iter()
+                .map(|(bounds, item)| LeafEntry { bounds, item })
+                .collect(),
+            cap,
+            |e| e.bounds[0],
+        );
+        let mut level_entries: Vec<ChildEntry> = leaf_groups
+            .into_iter()
+            .map(|group| {
+                let bounds = merge_bounds(group.iter().map(|e| e.bounds.as_slice()));
+                pti.nodes.push(PtiNode {
+                    kind: PtiNodeKind::Leaf(group),
+                });
+                ChildEntry {
+                    bounds,
+                    child: pti.nodes.len() - 1,
+                }
+            })
+            .collect();
+
+        while level_entries.len() > 1 {
+            let groups = str_pack(level_entries, cap, |e| e.bounds[0]);
+            level_entries = groups
+                .into_iter()
+                .map(|group| {
+                    let bounds = merge_bounds(group.iter().map(|e| e.bounds.as_slice()));
+                    pti.nodes.push(PtiNode {
+                        kind: PtiNodeKind::Internal(group),
+                    });
+                    ChildEntry {
+                        bounds,
+                        child: pti.nodes.len() - 1,
+                    }
+                })
+                .collect();
+        }
+        pti.root = level_entries[0].child;
+        pti
+    }
+
+    /// Inserts one object dynamically: `bounds[k]` is its p-bound at
+    /// `levels()[k]` (with `bounds[0]` the uncertainty region).
+    ///
+    /// Uses Guttman-style ChooseSubtree / quadratic split keyed on the
+    /// 0-bounds; merged per-level MBRs are maintained along the
+    /// insertion path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bound count does not match the catalog levels.
+    pub fn insert(&mut self, bounds: Vec<Rect>, item: T) {
+        assert_eq!(
+            bounds.len(),
+            self.levels.len(),
+            "each object needs one bound per level"
+        );
+        let entry = LeafEntry { bounds, item };
+        if let Some((b1, n1, b2, n2)) = self.insert_rec(self.root, entry) {
+            let new_root = self.alloc(PtiNode {
+                kind: PtiNodeKind::Internal(vec![
+                    ChildEntry {
+                        bounds: b1,
+                        child: n1,
+                    },
+                    ChildEntry {
+                        bounds: b2,
+                        child: n2,
+                    },
+                ]),
+            });
+            self.root = new_root;
+        }
+        self.len += 1;
+    }
+
+    fn alloc(&mut self, node: PtiNode<T>) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Recursive insert; on overflow returns `(bounds1, idx1, bounds2,
+    /// idx2)` where `idx1` reuses the original node.
+    fn insert_rec(
+        &mut self,
+        node_idx: usize,
+        entry: LeafEntry<T>,
+    ) -> Option<(Vec<Rect>, usize, Vec<Rect>, usize)> {
+        let max = self.params.rtree.max_entries;
+        let min = self.params.rtree.min_entries;
+        match &mut self.nodes[node_idx].kind {
+            PtiNodeKind::Leaf(entries) => {
+                entries.push(entry);
+                if entries.len() <= max {
+                    return None;
+                }
+                let full = std::mem::take(entries);
+                let (a, b) = quadratic_split_by(full, min, |e: &LeafEntry<T>| e.bounds[0]);
+                let ba = merge_bounds(a.iter().map(|e| e.bounds.as_slice()));
+                let bb = merge_bounds(b.iter().map(|e| e.bounds.as_slice()));
+                self.nodes[node_idx].kind = PtiNodeKind::Leaf(a);
+                let sibling = self.alloc(PtiNode {
+                    kind: PtiNodeKind::Leaf(b),
+                });
+                Some((ba, node_idx, bb, sibling))
+            }
+            PtiNodeKind::Internal(children) => {
+                // ChooseSubtree on 0-bound enlargement.
+                let extent = entry.bounds[0];
+                let mut best = 0usize;
+                let mut best_enl = f64::INFINITY;
+                let mut best_area = f64::INFINITY;
+                for (i, c) in children.iter().enumerate() {
+                    let mbr = c.bounds[0];
+                    let enl = mbr.hull(extent).area() - mbr.area();
+                    if enl < best_enl || (enl == best_enl && mbr.area() < best_area) {
+                        best = i;
+                        best_enl = enl;
+                        best_area = mbr.area();
+                    }
+                }
+                let entry_bounds = entry.bounds.clone();
+                let child_idx = children[best].child;
+                let split_result = self.insert_rec(child_idx, entry);
+                let PtiNodeKind::Internal(children) = &mut self.nodes[node_idx].kind else {
+                    unreachable!("node kind cannot change during insert");
+                };
+                match split_result {
+                    None => {
+                        for (m, b) in children[best].bounds.iter_mut().zip(&entry_bounds) {
+                            *m = m.hull(*b);
+                        }
+                        None
+                    }
+                    Some((b1, n1, b2, n2)) => {
+                        children[best] = ChildEntry {
+                            bounds: b1,
+                            child: n1,
+                        };
+                        children.push(ChildEntry {
+                            bounds: b2,
+                            child: n2,
+                        });
+                        if children.len() <= max {
+                            return None;
+                        }
+                        let full = std::mem::take(children);
+                        let (a, b) = quadratic_split_by(full, min, |c: &ChildEntry| c.bounds[0]);
+                        let ba = merge_bounds(a.iter().map(|c| c.bounds.as_slice()));
+                        let bb = merge_bounds(b.iter().map(|c| c.bounds.as_slice()));
+                        self.nodes[node_idx].kind = PtiNodeKind::Internal(a);
+                        let sibling = self.alloc(PtiNode {
+                            kind: PtiNodeKind::Internal(b),
+                        });
+                        Some((ba, node_idx, bb, sibling))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validates structural invariants (tests): every internal entry's
+    /// per-level bounds equal the hull of its subtree's bounds; all
+    /// leaves at one depth; item count consistent. Bulk-loaded trees
+    /// may under-fill trailing nodes, so fill factors are not checked.
+    pub fn check_invariants(&self) -> usize {
+        fn walk<T: Copy>(
+            pti: &Pti<T>,
+            idx: usize,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) -> (usize, Vec<Rect>) {
+            match &pti.nodes[idx].kind {
+                PtiNodeKind::Leaf(entries) => {
+                    match leaf_depth {
+                        None => *leaf_depth = Some(depth),
+                        Some(d) => assert_eq!(*d, depth, "leaves at different depths"),
+                    }
+                    (
+                        entries.len(),
+                        merge_bounds(entries.iter().map(|e| e.bounds.as_slice())),
+                    )
+                }
+                PtiNodeKind::Internal(children) => {
+                    assert!(!children.is_empty());
+                    let mut count = 0;
+                    let mut all: Vec<Rect> = Vec::new();
+                    for c in children {
+                        let (n, actual) = walk(pti, c.child, depth + 1, leaf_depth);
+                        assert_eq!(
+                            c.bounds, actual,
+                            "cached per-level bounds out of date at node {idx}"
+                        );
+                        count += n;
+                        if all.is_empty() {
+                            all = actual;
+                        } else {
+                            for (m, b) in all.iter_mut().zip(&actual) {
+                                *m = m.hull(*b);
+                            }
+                        }
+                    }
+                    (count, all)
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        let (n, _) = walk(self, self.root, 0, &mut leaf_depth);
+        assert_eq!(n, self.len, "len out of sync");
+        n
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The shared catalog levels.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Index of the largest stored level `≤ qp` (always exists because
+    /// level 0 is mandatory).
+    fn level_floor(&self, qp: f64) -> usize {
+        self.levels.partition_point(|&l| l <= qp).saturating_sub(1)
+    }
+
+    /// Returns `true` when the Strategy-1 side test prunes an entry
+    /// whose `m`-level bound is `b`: the expanded query lies entirely in
+    /// the `≤ m` tail on some side.
+    fn strategy1_prunes(expanded: Rect, b: Rect) -> bool {
+        expanded.min.x >= b.max.x // beyond r(m): right tail
+            || expanded.max.x <= b.min.x // beyond l(m): left tail
+            || expanded.min.y >= b.max.y // above t(m): top tail
+            || expanded.max.y <= b.min.y // below b(m): bottom tail
+    }
+
+    /// Answers a constrained range filter: every object whose subtree
+    /// survives the Strategy 1 + Strategy 2 node tests (and the same
+    /// tests at the leaf level) is pushed into `out`.
+    pub fn query_into(&self, q: &PtiQuery, stats: &mut AccessStats, out: &mut Vec<T>) {
+        if self.len == 0 {
+            return;
+        }
+        debug_assert!(
+            q.expanded.contains_rect(q.p_expanded),
+            "p-expanded query must be inside the expanded query"
+        );
+        let k = self.level_floor(q.threshold);
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            stats.nodes_visited += 1;
+            match &self.nodes[idx].kind {
+                PtiNodeKind::Leaf(entries) => {
+                    for e in entries {
+                        stats.items_tested += 1;
+                        if !e.bounds[0].overlaps(q.p_expanded) {
+                            continue; // Strategy 2
+                        }
+                        if k > 0 && Self::strategy1_prunes(q.expanded, e.bounds[k]) {
+                            continue; // Strategy 1
+                        }
+                        stats.candidates += 1;
+                        out.push(e.item);
+                    }
+                }
+                PtiNodeKind::Internal(children) => {
+                    for c in children {
+                        if !c.bounds[0].overlaps(q.p_expanded) {
+                            continue;
+                        }
+                        if k > 0 && Self::strategy1_prunes(q.expanded, c.bounds[k]) {
+                            continue;
+                        }
+                        stack.push(c.child);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper returning a fresh vector.
+    pub fn query(&self, q: &PtiQuery, stats: &mut AccessStats) -> Vec<T> {
+        let mut out = Vec::new();
+        self.query_into(q, stats, &mut out);
+        out
+    }
+}
+
+/// Merges per-level bounds of a group: `MBR(m)` is the hull of the
+/// members' `m`-bounds, kept per level.
+fn merge_bounds<'a>(groups: impl Iterator<Item = &'a [Rect]>) -> Vec<Rect> {
+    let mut merged: Vec<Rect> = Vec::new();
+    for bounds in groups {
+        if merged.is_empty() {
+            merged = bounds.to_vec();
+        } else {
+            for (m, b) in merged.iter_mut().zip(bounds) {
+                *m = m.hull(*b);
+            }
+        }
+    }
+    merged
+}
+
+/// Guttman quadratic split for non-`Copy` entries, keyed by a
+/// rectangle accessor (the 0-bound). Mirrors
+/// `rtree::split::quadratic_split` but moves entries instead of
+/// copying them.
+fn quadratic_split_by<E>(
+    entries: Vec<E>,
+    min: usize,
+    key: impl Fn(&E) -> Rect,
+) -> (Vec<E>, Vec<E>) {
+    debug_assert!(entries.len() >= 2 * min);
+    let rects: Vec<Rect> = entries.iter().map(&key).collect();
+    let n = rects.len();
+
+    // PickSeeds.
+    let (mut s1, mut s2) = (0usize, 1usize);
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = rects[i].hull(rects[j]).area() - rects[i].area() - rects[j].area();
+            if d > worst {
+                worst = d;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+
+    // Greedy assignment of the remaining indices.
+    let mut assign = vec![0u8; n];
+    assign[s1] = 1;
+    assign[s2] = 2;
+    let mut mbr1 = rects[s1];
+    let mut mbr2 = rects[s2];
+    let mut n1 = 1usize;
+    let mut n2 = 1usize;
+    let mut rest: Vec<usize> = (0..n).filter(|&i| i != s1 && i != s2).collect();
+    while !rest.is_empty() {
+        let remaining = rest.len();
+        if n1 + remaining == min {
+            for i in rest.drain(..) {
+                assign[i] = 1;
+                mbr1 = mbr1.hull(rects[i]);
+            }
+            break;
+        }
+        if n2 + remaining == min {
+            for i in rest.drain(..) {
+                assign[i] = 2;
+                mbr2 = mbr2.hull(rects[i]);
+            }
+            break;
+        }
+        // PickNext.
+        let mut pick = 0usize;
+        let mut pick_diff = f64::NEG_INFINITY;
+        for (k, &i) in rest.iter().enumerate() {
+            let d1 = mbr1.hull(rects[i]).area() - mbr1.area();
+            let d2 = mbr2.hull(rects[i]).area() - mbr2.area();
+            if (d1 - d2).abs() > pick_diff {
+                pick_diff = (d1 - d2).abs();
+                pick = k;
+            }
+        }
+        let i = rest.swap_remove(pick);
+        let d1 = mbr1.hull(rects[i]).area() - mbr1.area();
+        let d2 = mbr2.hull(rects[i]).area() - mbr2.area();
+        let to_g1 = d1 < d2
+            || (d1 == d2 && (mbr1.area() < mbr2.area() || (mbr1.area() == mbr2.area() && n1 <= n2)));
+        if to_g1 {
+            assign[i] = 1;
+            mbr1 = mbr1.hull(rects[i]);
+            n1 += 1;
+        } else {
+            assign[i] = 2;
+            mbr2 = mbr2.hull(rects[i]);
+            n2 += 1;
+        }
+    }
+
+    let mut g1 = Vec::with_capacity(n1);
+    let mut g2 = Vec::with_capacity(n2);
+    for (i, e) in entries.into_iter().enumerate() {
+        if assign[i] == 1 {
+            g1.push(e);
+        } else {
+            g2.push(e);
+        }
+    }
+    debug_assert!(g1.len() >= min && g2.len() >= min);
+    (g1, g2)
+}
+
+/// STR tiling of arbitrary entries keyed by a rectangle accessor.
+fn str_pack<E>(mut entries: Vec<E>, cap: usize, key: impl Fn(&E) -> Rect) -> Vec<Vec<E>> {
+    let n = entries.len();
+    if n <= cap {
+        return vec![entries];
+    }
+    let node_count = n.div_ceil(cap);
+    let slice_count = (node_count as f64).sqrt().ceil() as usize;
+    let slice_size = slice_count.max(1) * cap;
+    entries.sort_by(|a, b| {
+        key(a)
+            .center()
+            .x
+            .partial_cmp(&key(b).center().x)
+            .expect("finite coordinates")
+    });
+    let mut groups = Vec::with_capacity(node_count);
+    let mut rest = entries;
+    while !rest.is_empty() {
+        let take = slice_size.min(rest.len());
+        let mut slice: Vec<E> = rest.drain(..take).collect();
+        slice.sort_by(|a, b| {
+            key(a)
+                .center()
+                .y
+                .partial_cmp(&key(b).center().y)
+                .expect("finite coordinates")
+        });
+        while !slice.is_empty() {
+            let take = cap.min(slice.len());
+            groups.push(slice.drain(..take).collect());
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc_geometry::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Uniform-pdf p-bounds for a region: linear shrink per level.
+    fn uniform_bounds(region: Rect, levels: &[f64]) -> Vec<Rect> {
+        levels
+            .iter()
+            .map(|&p| {
+                let dx = p * region.width();
+                let dy = p * region.height();
+                Rect::from_coords(
+                    region.min.x + dx,
+                    region.min.y + dy,
+                    region.max.x - dx,
+                    region.max.y - dy,
+                )
+            })
+            .collect()
+    }
+
+    fn levels() -> Vec<f64> {
+        vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+    }
+
+    fn build(n: usize, seed: u64) -> (Pti<usize>, Vec<Rect>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let regions: Vec<Rect> = (0..n)
+            .map(|_| {
+                let x = rng.gen_range(0.0..950.0);
+                let y = rng.gen_range(0.0..950.0);
+                Rect::from_coords(x, y, x + rng.gen_range(5.0..50.0), y + rng.gen_range(5.0..50.0))
+            })
+            .collect();
+        let objects = regions
+            .iter()
+            .enumerate()
+            .map(|(k, &r)| (uniform_bounds(r, &levels()), k))
+            .collect();
+        (
+            Pti::bulk_load(levels(), objects, PtiParams::default()),
+            regions,
+        )
+    }
+
+    #[test]
+    fn zero_threshold_equals_plain_overlap_filter() {
+        let (pti, regions) = build(500, 1);
+        let expanded = Rect::from_coords(200.0, 200.0, 500.0, 500.0);
+        let q = PtiQuery {
+            expanded,
+            p_expanded: expanded,
+            threshold: 0.0,
+        };
+        let mut stats = AccessStats::new();
+        let mut got = pti.query(&q, &mut stats);
+        got.sort_unstable();
+        let want: Vec<usize> = regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.overlaps(expanded))
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn threshold_pruning_is_sound_and_effective() {
+        // With a threshold, the PTI may only drop objects the plain
+        // filter kept — and must keep every object whose true
+        // probability could reach the threshold.
+        let (pti, regions) = build(500, 2);
+        let expanded = Rect::from_coords(300.0, 300.0, 600.0, 600.0);
+        let qp = 0.4;
+        // A p-expanded query strictly inside the expanded one.
+        let p_expanded = expanded.expand(-30.0, -30.0);
+        let q = PtiQuery {
+            expanded,
+            p_expanded,
+            threshold: qp,
+        };
+        let mut stats = AccessStats::new();
+        let constrained = pti.query(&q, &mut stats);
+
+        let q0 = PtiQuery {
+            expanded,
+            p_expanded: expanded,
+            threshold: 0.0,
+        };
+        let mut s0 = AccessStats::new();
+        let unconstrained = pti.query(&q0, &mut s0);
+        assert!(constrained.len() <= unconstrained.len());
+
+        // Soundness: everything dropped violates one of the two tests.
+        let lv = levels();
+        let k = lv.partition_point(|&l| l <= qp) - 1;
+        for id in &unconstrained {
+            if constrained.contains(id) {
+                continue;
+            }
+            let region = regions[*id];
+            let bounds = uniform_bounds(region, &lv);
+            let s2 = !region.overlaps(p_expanded);
+            let s1 = Pti::<usize>::strategy1_prunes(expanded, bounds[k]);
+            assert!(s1 || s2, "object {id} dropped without justification");
+        }
+    }
+
+    #[test]
+    fn node_level_pruning_visits_fewer_nodes() {
+        let (pti, _) = build(5000, 3);
+        let expanded = Rect::centered(Point::new(500.0, 500.0), 150.0, 150.0);
+        let tight = PtiQuery {
+            expanded,
+            p_expanded: expanded.expand(-100.0, -100.0),
+            threshold: 0.5,
+        };
+        let loose = PtiQuery {
+            expanded,
+            p_expanded: expanded,
+            threshold: 0.0,
+        };
+        let mut s_tight = AccessStats::new();
+        let mut s_loose = AccessStats::new();
+        let _ = pti.query(&tight, &mut s_tight);
+        let _ = pti.query(&loose, &mut s_loose);
+        assert!(s_tight.candidates <= s_loose.candidates);
+        assert!(s_tight.nodes_visited <= s_loose.nodes_visited);
+    }
+
+    #[test]
+    fn empty_pti() {
+        let pti: Pti<usize> = Pti::bulk_load(levels(), Vec::new(), PtiParams::default());
+        assert!(pti.is_empty());
+        let e = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let mut stats = AccessStats::new();
+        assert!(pti
+            .query(
+                &PtiQuery {
+                    expanded: e,
+                    p_expanded: e,
+                    threshold: 0.3
+                },
+                &mut stats
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn level_floor_selection() {
+        let (pti, _) = build(10, 4);
+        assert_eq!(pti.level_floor(0.0), 0);
+        assert_eq!(pti.level_floor(0.15), 1);
+        assert_eq!(pti.level_floor(0.5), 5);
+        assert_eq!(pti.level_floor(0.99), 5);
+    }
+
+    #[test]
+    fn dynamic_inserts_match_bulk_load_results() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let lv = levels();
+        let regions: Vec<Rect> = (0..800)
+            .map(|_| {
+                let x = rng.gen_range(0.0..950.0);
+                let y = rng.gen_range(0.0..950.0);
+                Rect::from_coords(x, y, x + rng.gen_range(5.0..40.0), y + rng.gen_range(5.0..40.0))
+            })
+            .collect();
+        let bulk = Pti::bulk_load(
+            lv.clone(),
+            regions
+                .iter()
+                .enumerate()
+                .map(|(k, &r)| (uniform_bounds(r, &lv), k))
+                .collect(),
+            PtiParams::default(),
+        );
+        let mut dynamic: Pti<usize> = Pti::bulk_load(lv.clone(), Vec::new(), PtiParams::default());
+        for (k, &r) in regions.iter().enumerate() {
+            dynamic.insert(uniform_bounds(r, &lv), k);
+        }
+        assert_eq!(dynamic.len(), 800);
+        dynamic.check_invariants();
+        bulk.check_invariants();
+
+        for qp in [0.0, 0.2, 0.5] {
+            let expanded = Rect::from_coords(100.0, 100.0, 600.0, 600.0);
+            let q = PtiQuery {
+                expanded,
+                p_expanded: expanded.expand(-40.0, -40.0),
+                threshold: qp,
+            };
+            let mut s1 = AccessStats::new();
+            let mut s2 = AccessStats::new();
+            let mut a = bulk.query(&q, &mut s1);
+            let mut b = dynamic.query(&q, &mut s2);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "qp={qp}");
+        }
+    }
+
+    #[test]
+    fn insert_grows_tree_and_keeps_invariants() {
+        let lv = levels();
+        let mut pti: Pti<usize> = Pti::bulk_load(lv.clone(), Vec::new(), PtiParams::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        for k in 0..5_000usize {
+            let x = rng.gen_range(0.0..990.0);
+            let y = rng.gen_range(0.0..990.0);
+            let r = Rect::from_coords(x, y, x + 5.0, y + 5.0);
+            pti.insert(uniform_bounds(r, &lv), k);
+        }
+        assert_eq!(pti.check_invariants(), 5_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bound per level")]
+    fn insert_rejects_wrong_bound_count() {
+        let mut pti: Pti<usize> =
+            Pti::bulk_load(levels(), Vec::new(), PtiParams::default());
+        pti.insert(vec![Rect::from_coords(0.0, 0.0, 1.0, 1.0)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "levels must start at 0")]
+    fn rejects_missing_zero_level() {
+        let _: Pti<usize> = Pti::bulk_load(vec![0.1, 0.2], Vec::new(), PtiParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "one bound per level")]
+    fn rejects_mismatched_bounds() {
+        let _: Pti<usize> = Pti::bulk_load(
+            vec![0.0, 0.1],
+            vec![(vec![Rect::from_coords(0.0, 0.0, 1.0, 1.0)], 1)],
+            PtiParams::default(),
+        );
+    }
+}

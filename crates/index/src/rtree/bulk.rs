@@ -1,0 +1,119 @@
+//! Sort-Tile-Recursive (STR) bulk loading.
+//!
+//! Leonidas et al.'s STR packing: sort by x-centre, cut into vertical
+//! slices of `⌈√P⌉` node-loads each, sort each slice by y-centre and cut
+//! into full nodes. Repeat one level up on the node MBRs until a single
+//! root remains. Produces near-100 % fill and well-clustered pages —
+//! the right way to load the 53 K / 62 K object experiment datasets.
+
+use iloc_geometry::Rect;
+
+use super::node::Node;
+use super::split::entries_mbr;
+use super::{RTree, RTreeParams};
+
+/// Builds an [`RTree`] by STR packing.
+pub fn str_bulk_load<T: Copy>(items: Vec<(Rect, T)>, params: RTreeParams) -> RTree<T> {
+    for (r, _) in &items {
+        assert!(r.is_finite(), "extent must be finite");
+    }
+    let len = items.len();
+    if len == 0 {
+        return RTree::new(params);
+    }
+
+    let mut tree = RTree {
+        params,
+        nodes: Vec::new(),
+        root: 0,
+        len,
+        free: Vec::new(),
+    };
+
+    // Pack the leaf level.
+    let mut level: Vec<(Rect, usize)> = pack_level(items, params.max_entries)
+        .into_iter()
+        .map(|entries| {
+            let mbr = entries_mbr(&entries);
+            tree.nodes.push(Node::new_leaf_with(entries));
+            (mbr, tree.nodes.len() - 1)
+        })
+        .collect();
+
+    // Pack internal levels until a single root remains.
+    while level.len() > 1 {
+        level = pack_level(level, params.max_entries)
+            .into_iter()
+            .map(|children| {
+                let mbr = entries_mbr(&children);
+                tree.nodes.push(Node::new_internal(children));
+                (mbr, tree.nodes.len() - 1)
+            })
+            .collect();
+    }
+    tree.root = level[0].1;
+    tree
+}
+
+/// Tiles one level's entries into groups of at most `cap`, STR-style.
+fn pack_level<E: Copy>(mut entries: Vec<(Rect, E)>, cap: usize) -> Vec<Vec<(Rect, E)>> {
+    let n = entries.len();
+    if n <= cap {
+        return vec![entries];
+    }
+    let node_count = n.div_ceil(cap);
+    let slice_count = (node_count as f64).sqrt().ceil() as usize;
+    let slice_size = slice_count.max(1) * cap;
+
+    entries.sort_by(|a, b| {
+        a.0.center()
+            .x
+            .partial_cmp(&b.0.center().x)
+            .expect("finite coordinates")
+    });
+
+    let mut groups = Vec::with_capacity(node_count);
+    for slice in entries.chunks_mut(slice_size) {
+        slice.sort_by(|a, b| {
+            a.0.center()
+                .y
+                .partial_cmp(&b.0.center().y)
+                .expect("finite coordinates")
+        });
+        for chunk in slice.chunks(cap) {
+            groups.push(chunk.to_vec());
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_level_sizes() {
+        let entries: Vec<(Rect, usize)> = (0..100)
+            .map(|k| {
+                let x = (k % 10) as f64;
+                let y = (k / 10) as f64;
+                (Rect::from_coords(x, y, x, y), k)
+            })
+            .collect();
+        let groups = pack_level(entries, 16);
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 100);
+        assert!(groups.iter().all(|g| g.len() <= 16));
+        // ⌈100/16⌉ = 7 nodes.
+        assert_eq!(groups.len(), 7);
+    }
+
+    #[test]
+    fn pack_single_group_when_under_cap() {
+        let entries: Vec<(Rect, usize)> = (0..5)
+            .map(|k| (Rect::from_coords(k as f64, 0.0, k as f64, 0.0), k))
+            .collect();
+        let groups = pack_level(entries, 16);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 5);
+    }
+}

@@ -1,0 +1,328 @@
+//! A Guttman R-tree (SIGMOD'84) built from scratch.
+//!
+//! * dynamic insertion with the **quadratic split** heuristic;
+//! * **Sort-Tile-Recursive** bulk loading for the experiment datasets;
+//! * range queries with logical node-access counting.
+//!
+//! Nodes live in an arena (`Vec<Node<T>>`); parents reference children
+//! by index, and each parent entry caches the child's MBR — the classic
+//! disk layout transplanted to memory. The default fanout models the
+//! paper's 4 KB pages: an entry is ~40 bytes (4 × f64 MBR + id), so
+//! ~100 entries fit; we default to 64/26 to stay comparable while
+//! keeping splits cheap.
+
+mod bulk;
+mod knn;
+mod node;
+mod remove;
+mod rstar;
+mod split;
+
+pub use node::{Node, NodeKind};
+pub use rstar::SplitPolicy;
+
+use iloc_geometry::Rect;
+
+use crate::stats::AccessStats;
+use crate::traits::RangeIndex;
+
+/// Fanout configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RTreeParams {
+    /// Maximum entries per node (`M`).
+    pub max_entries: usize,
+    /// Minimum entries per node after a split (`m ≤ M/2`).
+    pub min_entries: usize,
+    /// Node-splitting heuristic (quadratic by default, as in the
+    /// paper; see [`SplitPolicy::RStar`]).
+    pub split: SplitPolicy,
+}
+
+impl RTreeParams {
+    /// Creates a parameter set with the quadratic split.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ min_entries ≤ max_entries / 2`.
+    pub fn new(max_entries: usize, min_entries: usize) -> Self {
+        assert!(min_entries >= 2, "min_entries must be at least 2");
+        assert!(
+            min_entries <= max_entries / 2,
+            "min_entries must be at most max_entries / 2"
+        );
+        RTreeParams {
+            max_entries,
+            min_entries,
+            split: SplitPolicy::Quadratic,
+        }
+    }
+
+    /// Selects a different split heuristic.
+    pub fn with_split(mut self, split: SplitPolicy) -> Self {
+        self.split = split;
+        self
+    }
+}
+
+impl Default for RTreeParams {
+    /// 64 max / 26 min (~40 % fill), modelling the paper's 4 KB pages.
+    fn default() -> Self {
+        RTreeParams::new(64, 26)
+    }
+}
+
+/// An R-tree storing items of type `T` under rectangular extents.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    params: RTreeParams,
+    nodes: Vec<Node<T>>,
+    root: usize,
+    len: usize,
+    /// Arena slots released by removals, reused by inserts.
+    free: Vec<usize>,
+}
+
+impl<T: Copy> Default for RTree<T> {
+    fn default() -> Self {
+        RTree::new(RTreeParams::default())
+    }
+}
+
+impl<T: Copy> RTree<T> {
+    /// Creates an empty tree.
+    pub fn new(params: RTreeParams) -> Self {
+        RTree {
+            params,
+            nodes: vec![Node::new_leaf()],
+            root: 0,
+            len: 0,
+            free: Vec::new(),
+        }
+    }
+
+    /// Bulk loads a tree with Sort-Tile-Recursive packing.
+    pub fn bulk_load(items: Vec<(Rect, T)>, params: RTreeParams) -> Self {
+        bulk::str_bulk_load(items, params)
+    }
+
+    /// The fanout configuration.
+    pub fn params(&self) -> RTreeParams {
+        self.params
+    }
+
+    /// Tree height (1 for a tree that is a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx].kind {
+                NodeKind::Leaf(_) => return h,
+                NodeKind::Internal(children) => {
+                    idx = children[0].1;
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// MBR of the whole tree ([`Rect::EMPTY`] when empty).
+    pub fn mbr(&self) -> Rect {
+        self.node_mbr(self.root)
+    }
+
+    /// Total number of allocated nodes (diagnostics; includes nodes on
+    /// the free list after removals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Arena index of the root (internal; used by the kNN module).
+    pub(crate) fn root_index(&self) -> usize {
+        self.root
+    }
+
+    /// Node payload accessor (internal; used by the kNN module).
+    pub(crate) fn node_kind(&self, idx: usize) -> &NodeKind<T> {
+        &self.nodes[idx].kind
+    }
+
+    fn node_mbr(&self, idx: usize) -> Rect {
+        self.nodes[idx].mbr()
+    }
+
+    /// Inserts an item with the given extent.
+    pub fn insert(&mut self, extent: Rect, item: T) {
+        assert!(extent.is_finite(), "extent must be finite");
+        if let Some((r1, n1, r2, n2)) = self.insert_rec(self.root, extent, item) {
+            // Root split: grow the tree by one level.
+            let new_root = self.alloc(Node::new_internal(vec![(r1, n1), (r2, n2)]));
+            self.root = new_root;
+        }
+        self.len += 1;
+    }
+
+    fn alloc(&mut self, node: Node<T>) -> usize {
+        self.alloc_node(node)
+    }
+
+    /// Recursive insert; on overflow returns the two halves of the split
+    /// node as `(mbr1, idx1, mbr2, idx2)` where `idx1` is the original
+    /// node index (reused) and `idx2` a fresh sibling.
+    fn insert_rec(
+        &mut self,
+        node_idx: usize,
+        extent: Rect,
+        item: T,
+    ) -> Option<(Rect, usize, Rect, usize)> {
+        let max = self.params.max_entries;
+        let min = self.params.min_entries;
+        match &mut self.nodes[node_idx].kind {
+            NodeKind::Leaf(entries) => {
+                entries.push((extent, item));
+                if entries.len() <= max {
+                    return None;
+                }
+                let full = std::mem::take(entries);
+                let (a, b) = rstar::split_with(self.params.split, full, min);
+                let (ra, rb) = (split::entries_mbr(&a), split::entries_mbr(&b));
+                self.nodes[node_idx].kind = NodeKind::Leaf(a);
+                let sibling = self.alloc(Node::new_leaf_with(b));
+                Some((ra, node_idx, rb, sibling))
+            }
+            NodeKind::Internal(children) => {
+                // ChooseSubtree: least enlargement, ties by smaller area.
+                let mut best = 0usize;
+                let mut best_enl = f64::INFINITY;
+                let mut best_area = f64::INFINITY;
+                for (i, &(mbr, _)) in children.iter().enumerate() {
+                    let enl = mbr.hull(extent).area() - mbr.area();
+                    let area = mbr.area();
+                    if enl < best_enl || (enl == best_enl && area < best_area) {
+                        best = i;
+                        best_enl = enl;
+                        best_area = area;
+                    }
+                }
+                let child_idx = children[best].1;
+                let split_result = self.insert_rec(child_idx, extent, item);
+                // Re-borrow after recursion.
+                let NodeKind::Internal(children) = &mut self.nodes[node_idx].kind else {
+                    unreachable!("node kind cannot change during insert");
+                };
+                match split_result {
+                    None => {
+                        children[best].0 = children[best].0.hull(extent);
+                        None
+                    }
+                    Some((r1, n1, r2, n2)) => {
+                        children[best] = (r1, n1);
+                        children.push((r2, n2));
+                        if children.len() <= max {
+                            return None;
+                        }
+                        let full = std::mem::take(children);
+                        let (a, b) = rstar::split_with(self.params.split, full, min);
+                        let (ra, rb) = (split::entries_mbr(&a), split::entries_mbr(&b));
+                        self.nodes[node_idx].kind = NodeKind::Internal(a);
+                        let sibling = self.alloc(Node::new_internal(b));
+                        Some((ra, node_idx, rb, sibling))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validates structural invariants; used by tests. Returns the
+    /// number of items reachable from the root.
+    ///
+    /// Checked invariants: cached child MBRs match the child's actual
+    /// MBR; every non-root node respects the fill factor; all leaves sit
+    /// at the same depth.
+    pub fn check_invariants(&self) -> usize {
+        fn walk<T: Copy>(
+            tree: &RTree<T>,
+            idx: usize,
+            is_root: bool,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) -> usize {
+            let node = &tree.nodes[idx];
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    if !is_root {
+                        assert!(
+                            entries.len() >= tree.params.min_entries
+                                && entries.len() <= tree.params.max_entries,
+                            "leaf fill factor violated: {}",
+                            entries.len()
+                        );
+                    }
+                    match leaf_depth {
+                        None => *leaf_depth = Some(depth),
+                        Some(d) => assert_eq!(*d, depth, "leaves at different depths"),
+                    }
+                    entries.len()
+                }
+                NodeKind::Internal(children) => {
+                    assert!(!children.is_empty(), "empty internal node");
+                    if !is_root {
+                        assert!(
+                            children.len() >= tree.params.min_entries
+                                && children.len() <= tree.params.max_entries,
+                            "internal fill factor violated: {}",
+                            children.len()
+                        );
+                    }
+                    let mut count = 0;
+                    for &(mbr, child) in children {
+                        let actual = tree.node_mbr(child);
+                        assert_eq!(mbr, actual, "cached child MBR out of date");
+                        count += walk(tree, child, false, depth + 1, leaf_depth);
+                    }
+                    count
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        let n = walk(self, self.root, true, 0, &mut leaf_depth);
+        assert_eq!(n, self.len, "len out of sync with reachable items");
+        n
+    }
+}
+
+impl<T: Copy> RangeIndex<T> for RTree<T> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn query_range_into(&self, query: Rect, stats: &mut AccessStats, out: &mut Vec<T>) {
+        if self.len == 0 {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            stats.nodes_visited += 1;
+            match &self.nodes[idx].kind {
+                NodeKind::Leaf(entries) => {
+                    for &(extent, item) in entries {
+                        stats.items_tested += 1;
+                        if extent.overlaps(query) {
+                            stats.candidates += 1;
+                            out.push(item);
+                        }
+                    }
+                }
+                NodeKind::Internal(children) => {
+                    for &(mbr, child) in children {
+                        if mbr.overlaps(query) {
+                            stack.push(child);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,63 @@
+//! R-tree node representation.
+
+use iloc_geometry::Rect;
+
+/// Node payload: either item entries (leaf) or child references with
+/// cached child MBRs (internal).
+#[derive(Debug, Clone)]
+pub enum NodeKind<T> {
+    /// Leaf node: `(item extent, item)` pairs.
+    Leaf(Vec<(Rect, T)>),
+    /// Internal node: `(child MBR, child arena index)` pairs.
+    Internal(Vec<(Rect, usize)>),
+}
+
+/// One arena node.
+#[derive(Debug, Clone)]
+pub struct Node<T> {
+    /// Payload.
+    pub kind: NodeKind<T>,
+}
+
+impl<T: Copy> Node<T> {
+    /// Empty leaf.
+    pub fn new_leaf() -> Self {
+        Node {
+            kind: NodeKind::Leaf(Vec::new()),
+        }
+    }
+
+    /// Leaf with entries.
+    pub fn new_leaf_with(entries: Vec<(Rect, T)>) -> Self {
+        Node {
+            kind: NodeKind::Leaf(entries),
+        }
+    }
+
+    /// Internal node with child entries.
+    pub fn new_internal(children: Vec<(Rect, usize)>) -> Self {
+        Node {
+            kind: NodeKind::Internal(children),
+        }
+    }
+
+    /// MBR over all entries ([`Rect::EMPTY`] for an empty leaf).
+    pub fn mbr(&self) -> Rect {
+        match &self.kind {
+            NodeKind::Leaf(entries) => entries
+                .iter()
+                .fold(Rect::EMPTY, |acc, &(r, _)| acc.hull(r)),
+            NodeKind::Internal(children) => children
+                .iter()
+                .fold(Rect::EMPTY, |acc, &(r, _)| acc.hull(r)),
+        }
+    }
+
+    /// Number of direct entries.
+    pub fn entry_count(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf(e) => e.len(),
+            NodeKind::Internal(c) => c.len(),
+        }
+    }
+}

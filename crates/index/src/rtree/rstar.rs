@@ -1,0 +1,175 @@
+//! R*-tree split (Beckmann, Kriegel, Schneider & Seeger, SIGMOD'90).
+//!
+//! The paper's index is a classic Guttman R-tree; production systems
+//! usually prefer the R* split, which chooses a split **axis** by
+//! minimum perimeter sum and a split **position** by minimum overlap
+//! (ties: minimum total area). This module implements that split as an
+//! alternative [`SplitPolicy`]; the index ablation compares the two on
+//! query I/O.
+
+use iloc_geometry::Rect;
+
+use super::split::Entry;
+
+/// Node-splitting heuristic used on overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitPolicy {
+    /// Guttman's quadratic split (the paper's setting).
+    #[default]
+    Quadratic,
+    /// The R*-tree topological split.
+    RStar,
+}
+
+/// R* split: returns two groups, each with at least `min` entries.
+pub fn rstar_split<E: Copy>(entries: Vec<Entry<E>>, min: usize) -> (Vec<Entry<E>>, Vec<Entry<E>>) {
+    debug_assert!(entries.len() >= 2 * min);
+    let n = entries.len();
+
+    // For each axis, consider entries sorted by lower then by upper
+    // coordinate; for every legal split position compute goodness.
+    let mut best: Option<(f64, f64, Vec<usize>, usize)> = None; // (overlap, area, order, split_at)
+
+    for axis in 0..2usize {
+        for by_upper in [false, true] {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                let ka = sort_key(&entries[a].0, axis, by_upper);
+                let kb = sort_key(&entries[b].0, axis, by_upper);
+                ka.partial_cmp(&kb).expect("finite coordinates")
+            });
+            // Prefix/suffix MBRs for O(n) per-position evaluation.
+            let mut prefix = vec![Rect::EMPTY; n];
+            let mut acc = Rect::EMPTY;
+            for (i, &e) in order.iter().enumerate() {
+                acc = acc.hull(entries[e].0);
+                prefix[i] = acc;
+            }
+            let mut suffix = vec![Rect::EMPTY; n];
+            acc = Rect::EMPTY;
+            for i in (0..n).rev() {
+                acc = acc.hull(entries[order[i]].0);
+                suffix[i] = acc;
+            }
+            for split_at in min..=(n - min) {
+                let g1 = prefix[split_at - 1];
+                let g2 = suffix[split_at];
+                let overlap = g1.intersection_area(g2);
+                let area = g1.area() + g2.area();
+                let better = match &best {
+                    None => true,
+                    Some((bo, ba, _, _)) => {
+                        overlap < *bo || (overlap == *bo && area < *ba)
+                    }
+                };
+                if better {
+                    best = Some((overlap, area, order.clone(), split_at));
+                }
+            }
+        }
+    }
+
+    let (_, _, order, split_at) = best.expect("at least one legal split");
+    let in_g1: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &e in &order[..split_at] {
+            v[e] = true;
+        }
+        v
+    };
+    let mut g1 = Vec::with_capacity(split_at);
+    let mut g2 = Vec::with_capacity(n - split_at);
+    for (i, e) in entries.into_iter().enumerate() {
+        if in_g1[i] {
+            g1.push(e);
+        } else {
+            g2.push(e);
+        }
+    }
+    (g1, g2)
+}
+
+#[inline]
+fn sort_key(r: &Rect, axis: usize, by_upper: bool) -> f64 {
+    match (axis, by_upper) {
+        (0, false) => r.min.x,
+        (0, true) => r.max.x,
+        (1, false) => r.min.y,
+        (1, true) => r.max.y,
+        _ => unreachable!(),
+    }
+}
+
+/// Dispatches to the configured split heuristic.
+pub fn split_with<E: Copy>(
+    policy: SplitPolicy,
+    entries: Vec<Entry<E>>,
+    min: usize,
+) -> (Vec<Entry<E>>, Vec<Entry<E>>) {
+    match policy {
+        SplitPolicy::Quadratic => super::split::quadratic_split(entries, min),
+        SplitPolicy::RStar => rstar_split(entries, min),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtree::split::entries_mbr;
+    use iloc_geometry::Point;
+
+    fn pt(x: f64, y: f64) -> Rect {
+        Rect::from_point(Point::new(x, y))
+    }
+
+    #[test]
+    fn rstar_split_separates_clusters() {
+        let mut entries = Vec::new();
+        for k in 0..4 {
+            entries.push((pt(k as f64, 0.0), k));
+        }
+        for k in 0..4 {
+            entries.push((pt(100.0 + k as f64, 0.0), 10 + k));
+        }
+        let (g1, g2) = rstar_split(entries, 2);
+        let (m1, m2) = (entries_mbr(&g1), entries_mbr(&g2));
+        assert!(!m1.overlaps(m2));
+        assert_eq!(g1.len() + g2.len(), 8);
+    }
+
+    #[test]
+    fn rstar_split_minimises_overlap_on_grid() {
+        // A 4×2 grid of unit squares: the best split along x has zero
+        // overlap.
+        let mut entries = Vec::new();
+        let mut id = 0;
+        for i in 0..4 {
+            for j in 0..2 {
+                entries.push((
+                    Rect::from_coords(i as f64 * 2.0, j as f64 * 2.0, i as f64 * 2.0 + 1.0, j as f64 * 2.0 + 1.0),
+                    id,
+                ));
+                id += 1;
+            }
+        }
+        let (g1, g2) = rstar_split(entries, 3);
+        assert_eq!(entries_mbr(&g1).intersection_area(entries_mbr(&g2)), 0.0);
+    }
+
+    #[test]
+    fn rstar_split_respects_min_fill() {
+        let entries: Vec<(Rect, usize)> = (0..11).map(|k| (pt(k as f64, k as f64), k)).collect();
+        let (g1, g2) = rstar_split(entries, 4);
+        assert!(g1.len() >= 4 && g2.len() >= 4);
+        assert_eq!(g1.len() + g2.len(), 11);
+    }
+
+    #[test]
+    fn split_with_dispatches() {
+        let entries: Vec<(Rect, usize)> = (0..8).map(|k| (pt(k as f64, 0.0), k)).collect();
+        let (q1, q2) = split_with(SplitPolicy::Quadratic, entries.clone(), 2);
+        assert_eq!(q1.len() + q2.len(), 8);
+        let (r1, r2) = split_with(SplitPolicy::RStar, entries, 2);
+        assert_eq!(r1.len() + r2.len(), 8);
+    }
+}

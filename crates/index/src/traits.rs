@@ -1,0 +1,33 @@
+//! The common interface all spatial indexes implement.
+
+use iloc_geometry::Rect;
+
+use crate::stats::AccessStats;
+
+/// A spatial index over items with rectangular extents (a point object
+/// is a degenerate rectangle).
+///
+/// The only operation the paper's query pipeline needs is the **range
+/// filter**: report every stored item whose extent overlaps a query
+/// rectangle (the Minkowski sum `R ⊕ U0` or a `p`-expanded query).
+/// Probability refinement happens above the index.
+pub trait RangeIndex<T: Copy> {
+    /// Number of stored items.
+    fn len(&self) -> usize;
+
+    /// `true` when the index stores nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes every item whose extent overlaps `query` into `out`,
+    /// updating `stats` with the logical accesses performed.
+    fn query_range_into(&self, query: Rect, stats: &mut AccessStats, out: &mut Vec<T>);
+
+    /// Convenience wrapper returning a fresh vector.
+    fn query_range(&self, query: Rect, stats: &mut AccessStats) -> Vec<T> {
+        let mut out = Vec::new();
+        self.query_range_into(query, stats, &mut out);
+        out
+    }
+}

@@ -1,0 +1,161 @@
+//! U-catalogs: small pre-computed tables of p-bounds (paper Section 5).
+//!
+//! Storing a p-bound for *every* `p` is impossible, so each object keeps
+//! a **U-catalog** — a handful of `(p, p-bound)` tuples. Queries with an
+//! arbitrary threshold `Qp` then use the best conservative catalog
+//! entry: the largest stored `M ≤ Qp` ("an object pruned by the
+//! M-expanded-query must also be pruned by the Qp-expanded-query"), or
+//! for Strategy 3 the smallest stored value ≥ `Qp` satisfying a
+//! geometric test.
+
+use crate::pbound::PBound;
+use crate::pdf::LocationPdf;
+
+/// The paper's experimental setup stores six probability levels
+/// (Section 5.2: "we store six probability values and their p-bounds");
+/// p-bounds are defined for `p ∈ [0, 0.5]`, giving `{0, 0.1, …, 0.5}`.
+pub const DEFAULT_LEVELS: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+
+/// A sorted table of pre-computed [`PBound`]s for one object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UCatalog {
+    bounds: Vec<PBound>,
+}
+
+impl UCatalog {
+    /// Computes a catalog for `pdf` at the given tail-mass levels.
+    ///
+    /// Levels are sorted and deduplicated; each must lie in `[0, 0.5]`.
+    /// Level `0` is always included (the 0-bound — the uncertainty
+    /// region itself — anchors every conservative lookup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level is outside `[0, 0.5]` or non-finite.
+    pub fn build(pdf: &dyn LocationPdf, levels: &[f64]) -> Self {
+        let mut ls: Vec<f64> = levels.to_vec();
+        assert!(
+            ls.iter().all(|p| p.is_finite() && (0.0..=0.5).contains(p)),
+            "catalog levels must lie in [0, 0.5]"
+        );
+        ls.push(0.0);
+        ls.sort_by(|a, b| a.partial_cmp(b).expect("finite levels"));
+        ls.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        let bounds = ls.iter().map(|&p| PBound::compute(pdf, p)).collect();
+        UCatalog { bounds }
+    }
+
+    /// Computes the paper's default six-level catalog.
+    pub fn build_default(pdf: &dyn LocationPdf) -> Self {
+        UCatalog::build(pdf, &DEFAULT_LEVELS)
+    }
+
+    /// All stored bounds, ascending in `p`.
+    pub fn bounds(&self) -> &[PBound] {
+        &self.bounds
+    }
+
+    /// Number of stored levels.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// `true` when the catalog stores no levels (never the case for
+    /// catalogs produced by [`UCatalog::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// The stored levels, ascending.
+    pub fn levels(&self) -> impl Iterator<Item = f64> + '_ {
+        self.bounds.iter().map(|b| b.p)
+    }
+
+    /// The largest stored entry with `p ≤ qp` — the conservative choice
+    /// when a `qp`-bound is needed but not stored (Sections 5.1–5.2).
+    ///
+    /// Always succeeds because level 0 is always stored; `qp` may exceed
+    /// 0.5, in which case the 0.5-entry (if stored) is returned.
+    pub fn best_at_most(&self, qp: f64) -> &PBound {
+        debug_assert!(qp >= 0.0);
+        let idx = self.bounds.partition_point(|b| b.p <= qp);
+        &self.bounds[idx.saturating_sub(1).min(self.bounds.len() - 1)]
+    }
+
+    /// Stored entries with `p ≥ qp`, ascending — the candidates examined
+    /// by pruning Strategy 3 when it looks for `dmin`/`qmin`.
+    pub fn at_least(&self, qp: f64) -> impl Iterator<Item = &PBound> + '_ {
+        let idx = self.bounds.partition_point(|b| b.p < qp);
+        self.bounds[idx..].iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformPdf;
+    use iloc_geometry::Rect;
+
+    fn catalog() -> UCatalog {
+        let pdf = UniformPdf::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        UCatalog::build_default(&pdf)
+    }
+
+    #[test]
+    fn default_catalog_has_six_levels() {
+        let c = catalog();
+        assert_eq!(c.len(), 6);
+        let levels: Vec<f64> = c.levels().collect();
+        assert_eq!(levels, vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5]);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn zero_level_always_included() {
+        let pdf = UniformPdf::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0));
+        let c = UCatalog::build(&pdf, &[0.3]);
+        assert_eq!(c.levels().next(), Some(0.0));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_levels_are_merged() {
+        let pdf = UniformPdf::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0));
+        let c = UCatalog::build(&pdf, &[0.2, 0.2, 0.0, 0.4]);
+        let levels: Vec<f64> = c.levels().collect();
+        assert_eq!(levels, vec![0.0, 0.2, 0.4]);
+    }
+
+    #[test]
+    fn best_at_most_picks_floor_entry() {
+        let c = catalog();
+        assert_eq!(c.best_at_most(0.0).p, 0.0);
+        assert_eq!(c.best_at_most(0.15).p, 0.1);
+        assert_eq!(c.best_at_most(0.3).p, 0.3);
+        assert_eq!(c.best_at_most(0.99).p, 0.5);
+    }
+
+    #[test]
+    fn at_least_iterates_ceiling_entries() {
+        let c = catalog();
+        let ps: Vec<f64> = c.at_least(0.25).map(|b| b.p).collect();
+        assert_eq!(ps, vec![0.3, 0.4, 0.5]);
+        assert_eq!(c.at_least(0.6).count(), 0);
+        assert_eq!(c.at_least(0.0).count(), 6);
+    }
+
+    #[test]
+    fn bounds_nest_within_catalog() {
+        let c = catalog();
+        for pair in c.bounds().windows(2) {
+            assert!(pair[0].rect.contains_rect(pair[1].rect));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "levels must lie in [0, 0.5]")]
+    fn rejects_out_of_range_level() {
+        let pdf = UniformPdf::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0));
+        let _ = UCatalog::build(&pdf, &[0.7]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Truncated-Gaussian uncertainty pdf (the paper's non-uniform model).
+//!
+//! Wolfson et al. propose Gaussian-distributed locations inside the
+//! uncertainty region; the paper's Figure 13 experiment uses a Gaussian
+//! whose mean is the region centre and whose standard deviation is
+//! one-sixth of the region size (so the region spans ±3σ and keeps
+//! ~99.7 % of the untruncated mass). We model the two axes as
+//! independent and renormalise the density over the region, which keeps
+//! every marginal quantity (and hence p-bounds) exact up to `erf`
+//! precision.
+
+use iloc_geometry::{Interval, Point, Rect};
+use rand::Rng;
+use rand::RngCore;
+
+use crate::math::{invert_monotone, normal_cdf, normal_pdf};
+use crate::pdf::{Axis, LocationPdf};
+
+/// Axis-independent bivariate Gaussian truncated to an axis-parallel
+/// rectangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruncatedGaussianPdf {
+    region: Rect,
+    mean: Point,
+    sigma: (f64, f64),
+    /// Per-axis normalising mass of the untruncated Gaussian inside the
+    /// region: `Φ(hi) − Φ(lo)` in standardised coordinates.
+    z: (f64, f64),
+}
+
+impl TruncatedGaussianPdf {
+    /// Creates a truncated Gaussian with explicit mean and per-axis
+    /// standard deviations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the region has zero area, a sigma is non-positive, or
+    /// the region carries (numerically) no Gaussian mass.
+    pub fn new(region: Rect, mean: Point, sigma_x: f64, sigma_y: f64) -> Self {
+        assert!(region.area() > 0.0, "region must have positive area");
+        assert!(sigma_x > 0.0 && sigma_y > 0.0, "sigmas must be positive");
+        let zx = normal_cdf((region.max.x - mean.x) / sigma_x)
+            - normal_cdf((region.min.x - mean.x) / sigma_x);
+        let zy = normal_cdf((region.max.y - mean.y) / sigma_y)
+            - normal_cdf((region.min.y - mean.y) / sigma_y);
+        assert!(
+            zx > 0.0 && zy > 0.0,
+            "region carries no Gaussian mass; check mean/sigma"
+        );
+        TruncatedGaussianPdf {
+            region,
+            mean,
+            sigma: (sigma_x, sigma_y),
+            z: (zx, zy),
+        }
+    }
+
+    /// The paper's Figure-13 parameterisation: mean at the region
+    /// centre, per-axis σ equal to one-sixth of that axis' extent.
+    pub fn paper_default(region: Rect) -> Self {
+        let mean = region.center();
+        TruncatedGaussianPdf::new(region, mean, region.width() / 6.0, region.height() / 6.0)
+    }
+
+    /// Mean of the (untruncated) Gaussian.
+    pub fn mean(&self) -> Point {
+        self.mean
+    }
+
+    /// Per-axis standard deviations.
+    pub fn sigma(&self) -> (f64, f64) {
+        self.sigma
+    }
+
+    fn axis_params(&self, axis: Axis) -> (Interval, f64, f64, f64) {
+        match axis {
+            Axis::X => (self.region.x_interval(), self.mean.x, self.sigma.0, self.z.0),
+            Axis::Y => (self.region.y_interval(), self.mean.y, self.sigma.1, self.z.1),
+        }
+    }
+
+    /// Mass of the truncated marginal inside `[−∞, v]` for one axis.
+    fn axis_cdf(&self, axis: Axis, v: f64) -> f64 {
+        let (side, mu, sigma, z) = self.axis_params(axis);
+        if v <= side.lo {
+            return 0.0;
+        }
+        if v >= side.hi {
+            return 1.0;
+        }
+        ((normal_cdf((v - mu) / sigma) - normal_cdf((side.lo - mu) / sigma)) / z).clamp(0.0, 1.0)
+    }
+
+    /// Mass of the truncated marginal inside an interval for one axis.
+    fn axis_prob(&self, axis: Axis, i: Interval) -> f64 {
+        if i.is_empty() {
+            return 0.0;
+        }
+        (self.axis_cdf(axis, i.hi) - self.axis_cdf(axis, i.lo)).max(0.0)
+    }
+}
+
+impl LocationPdf for TruncatedGaussianPdf {
+    fn region(&self) -> Rect {
+        self.region
+    }
+
+    fn density(&self, p: Point) -> f64 {
+        if !self.region.contains_point(p) {
+            return 0.0;
+        }
+        let (sx, sy) = self.sigma;
+        let zx = (p.x - self.mean.x) / sx;
+        let zy = (p.y - self.mean.y) / sy;
+        let norm = 1.0 / (2.0 * std::f64::consts::PI * sx * sy * self.z.0 * self.z.1);
+        norm * (-0.5 * (zx * zx + zy * zy)).exp()
+    }
+
+    fn prob_in_rect(&self, r: Rect) -> f64 {
+        // Axis independence makes the rectangle mass a product of two
+        // truncated-marginal masses.
+        let c = self.region.intersect(r);
+        if c.is_empty() {
+            return 0.0;
+        }
+        self.axis_prob(Axis::X, c.x_interval()) * self.axis_prob(Axis::Y, c.y_interval())
+    }
+
+    fn marginal_cdf(&self, axis: Axis, v: f64) -> f64 {
+        self.axis_cdf(axis, v)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Point {
+        // Rejection sampling from the untruncated Gaussian: for the
+        // paper's ±3σ regions ≥ 99 % of proposals are accepted, making
+        // a sample ~3 orders of magnitude cheaper than inverse-CDF
+        // bisection. Fall back to the exact inverse CDF if the region
+        // carries very little Gaussian mass.
+        let (sx, sy) = self.sigma;
+        for _ in 0..64 {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (zs, zc) = (std::f64::consts::TAU * u2).sin_cos();
+            let p = Point::new(self.mean.x + sx * r * zc, self.mean.y + sy * r * zs);
+            if self.region.contains_point(p) {
+                return p;
+            }
+        }
+        let ux: f64 = rng.gen_range(0.0..1.0);
+        let uy: f64 = rng.gen_range(0.0..1.0);
+        Point::new(self.quantile(Axis::X, ux), self.quantile(Axis::Y, uy))
+    }
+
+    fn quantile(&self, axis: Axis, p: f64) -> f64 {
+        let (side, _, _, _) = self.axis_params(axis);
+        if p <= 0.0 {
+            return side.lo;
+        }
+        if p >= 1.0 {
+            return side.hi;
+        }
+        invert_monotone(|v| self.axis_cdf(axis, v), side.lo, side.hi, p)
+    }
+
+    fn linear_marginal_integral(&self, axis: Axis, i: Interval, c0: f64, c1: f64) -> Option<f64> {
+        // Truncated-normal marginal on [A, B]:
+        //   ∫ (c0 + c1·x) g(x) dx = c0·P + c1·(μ·P + σ·(φ(z_a) − φ(z_b))/Z)
+        // over the clipped interval [a, b], z = (x − μ)/σ.
+        let (side, mu, sigma, z) = self.axis_params(axis);
+        let c = side.intersect(i);
+        if c.is_empty() {
+            return Some(0.0);
+        }
+        let za = (c.lo - mu) / sigma;
+        let zb = (c.hi - mu) / sigma;
+        let p = (normal_cdf(zb) - normal_cdf(za)) / z;
+        let mean_part = mu * p + sigma * (normal_pdf(za) - normal_pdf(zb)) / z;
+        Some(c0 * p + c1 * mean_part)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pdf() -> TruncatedGaussianPdf {
+        TruncatedGaussianPdf::paper_default(Rect::from_coords(0.0, 0.0, 60.0, 30.0))
+    }
+
+    #[test]
+    fn paper_default_parameters() {
+        let f = pdf();
+        assert_eq!(f.mean(), Point::new(30.0, 15.0));
+        assert_eq!(f.sigma(), (10.0, 5.0));
+    }
+
+    #[test]
+    fn total_mass_is_one() {
+        let f = pdf();
+        assert!((f.prob_in_rect(f.region()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_zero_outside() {
+        let f = pdf();
+        assert_eq!(f.density(Point::new(-1.0, 10.0)), 0.0);
+        assert!(f.density(Point::new(30.0, 15.0)) > 0.0);
+    }
+
+    #[test]
+    fn density_integrates_to_prob() {
+        // Midpoint-rule integral of the density over a sub-rectangle
+        // must match prob_in_rect.
+        let f = pdf();
+        let r = Rect::from_coords(20.0, 10.0, 40.0, 20.0);
+        let n = 400;
+        let (dx, dy) = (r.width() / n as f64, r.height() / n as f64);
+        let mut acc = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let p = Point::new(
+                    r.min.x + (i as f64 + 0.5) * dx,
+                    r.min.y + (j as f64 + 0.5) * dy,
+                );
+                acc += f.density(p) * dx * dy;
+            }
+        }
+        assert!((acc - f.prob_in_rect(r)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mass_concentrates_near_mean() {
+        let f = pdf();
+        let near = Rect::centered(Point::new(30.0, 15.0), 10.0, 5.0); // ±1σ
+        let far = Rect::from_coords(0.0, 0.0, 10.0, 5.0); // corner
+        assert!(f.prob_in_rect(near) > 0.4);
+        assert!(f.prob_in_rect(far) < 0.01);
+    }
+
+    #[test]
+    fn marginal_cdf_monotone_and_normalised() {
+        let f = pdf();
+        assert_eq!(f.marginal_cdf(Axis::X, -5.0), 0.0);
+        assert_eq!(f.marginal_cdf(Axis::X, 65.0), 1.0);
+        assert!((f.marginal_cdf(Axis::X, 30.0) - 0.5).abs() < 1e-9);
+        let mut prev = 0.0;
+        for k in 0..=60 {
+            let v = f.marginal_cdf(Axis::X, k as f64);
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let f = pdf();
+        for &p in &[0.05, 0.25, 0.5, 0.75, 0.95] {
+            let q = f.quantile(Axis::Y, p);
+            assert!((f.marginal_cdf(Axis::Y, q) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_in_region_with_gaussian_spread() {
+        let f = pdf();
+        let mut rng = StdRng::seed_from_u64(11);
+        const N: usize = 20_000;
+        let mut mean_x = 0.0;
+        let mut within_1_sigma = 0usize;
+        for _ in 0..N {
+            let s = f.sample(&mut rng);
+            assert!(f.region().contains_point(s));
+            mean_x += s.x / N as f64;
+            if (s.x - 30.0).abs() <= 10.0 {
+                within_1_sigma += 1;
+            }
+        }
+        assert!((mean_x - 30.0).abs() < 0.3);
+        // ~68.3% of samples within ±1σ on the x axis.
+        let frac = within_1_sigma as f64 / N as f64;
+        assert!((frac - 0.683).abs() < 0.02, "got {frac}");
+    }
+}

@@ -1,0 +1,372 @@
+//! Histogram (piecewise-constant) uncertainty pdf.
+//!
+//! The paper stresses that its methods "can deal with any type of
+//! probability distribution". A gridded histogram is the standard way a
+//! real system would represent an arbitrary empirical location
+//! distribution (e.g. learned from past GPS fixes), so this pdf both
+//! exercises that claim in tests and gives applications an escape hatch
+//! beyond uniform/Gaussian. All quantities (rectangle mass, marginals,
+//! quantiles) stay exact because cell masses integrate in closed form.
+
+use iloc_geometry::{Interval, Point, Rect};
+use rand::Rng;
+use rand::RngCore;
+
+use crate::pdf::{Axis, LocationPdf};
+
+/// Piecewise-constant density on an `nx × ny` grid over an axis-parallel
+/// region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramPdf {
+    region: Rect,
+    nx: usize,
+    ny: usize,
+    /// Normalised cell masses, row-major (`mass[j * nx + i]`), summing
+    /// to 1.
+    mass: Vec<f64>,
+    /// Cumulative masses for sampling (same layout, inclusive prefix
+    /// sums).
+    cum: Vec<f64>,
+}
+
+impl HistogramPdf {
+    /// Builds a histogram pdf from raw non-negative cell weights
+    /// (row-major, `weights[j * nx + i]`, length `nx · ny`); weights are
+    /// normalised internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the region is degenerate, dimensions are zero, the
+    /// weight vector has the wrong length, any weight is negative or
+    /// non-finite, or all weights are zero.
+    pub fn new(region: Rect, nx: usize, ny: usize, weights: &[f64]) -> Self {
+        assert!(region.area() > 0.0, "region must have positive area");
+        assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+        assert_eq!(weights.len(), nx * ny, "weights length must be nx*ny");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+        let mass: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut cum = Vec::with_capacity(mass.len());
+        let mut acc = 0.0;
+        for &m in &mass {
+            acc += m;
+            cum.push(acc);
+        }
+        HistogramPdf {
+            region,
+            nx,
+            ny,
+            mass,
+            cum,
+        }
+    }
+
+    /// Uniform histogram (every cell equal); handy in tests.
+    pub fn flat(region: Rect, nx: usize, ny: usize) -> Self {
+        HistogramPdf::new(region, nx, ny, &vec![1.0; nx * ny])
+    }
+
+    /// Fits an empirical histogram to observed locations (e.g. past
+    /// GPS fixes of a vehicle): cell weights are observation counts
+    /// plus a Laplace-style `smoothing` pseudo-count that keeps every
+    /// cell's density positive (so the support stays the full region,
+    /// as the uncertainty model requires — the object *could* be
+    /// anywhere in its region).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `smoothing` is negative/non-finite, when it is zero
+    /// and no observation falls inside the region, or on the
+    /// [`HistogramPdf::new`] invariant violations.
+    pub fn fit(
+        region: Rect,
+        nx: usize,
+        ny: usize,
+        observations: &[Point],
+        smoothing: f64,
+    ) -> Self {
+        assert!(
+            smoothing.is_finite() && smoothing >= 0.0,
+            "smoothing must be finite and non-negative"
+        );
+        let mut weights = vec![smoothing; nx * ny];
+        let cw = region.width() / nx as f64;
+        let ch = region.height() / ny as f64;
+        for p in observations {
+            if !region.contains_point(*p) {
+                continue;
+            }
+            let i = (((p.x - region.min.x) / cw) as usize).min(nx - 1);
+            let j = (((p.y - region.min.y) / ch) as usize).min(ny - 1);
+            weights[j * nx + i] += 1.0;
+        }
+        HistogramPdf::new(region, nx, ny, &weights)
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Normalised mass of cell `(i, j)`.
+    pub fn cell_mass(&self, i: usize, j: usize) -> f64 {
+        self.mass[j * self.nx + i]
+    }
+
+    fn cell_width(&self) -> f64 {
+        self.region.width() / self.nx as f64
+    }
+
+    fn cell_height(&self) -> f64 {
+        self.region.height() / self.ny as f64
+    }
+
+    /// The rectangle covered by cell `(i, j)`.
+    pub fn cell_rect(&self, i: usize, j: usize) -> Rect {
+        let w = self.cell_width();
+        let h = self.cell_height();
+        Rect::from_coords(
+            self.region.min.x + i as f64 * w,
+            self.region.min.y + j as f64 * h,
+            self.region.min.x + (i + 1) as f64 * w,
+            self.region.min.y + (j + 1) as f64 * h,
+        )
+    }
+
+    /// Index of the cell containing `p`, clamped into range (callers
+    /// guarantee `p` is inside the region).
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let i = (((p.x - self.region.min.x) / self.cell_width()) as usize).min(self.nx - 1);
+        let j = (((p.y - self.region.min.y) / self.cell_height()) as usize).min(self.ny - 1);
+        (i, j)
+    }
+}
+
+impl LocationPdf for HistogramPdf {
+    fn region(&self) -> Rect {
+        self.region
+    }
+
+    fn density(&self, p: Point) -> f64 {
+        if !self.region.contains_point(p) {
+            return 0.0;
+        }
+        let (i, j) = self.cell_of(p);
+        self.cell_mass(i, j) / (self.cell_width() * self.cell_height())
+    }
+
+    fn prob_in_rect(&self, r: Rect) -> f64 {
+        let c = self.region.intersect(r);
+        if c.is_empty() || c.area() == 0.0 {
+            return 0.0;
+        }
+        let cell_area = self.cell_width() * self.cell_height();
+        let mut acc = 0.0;
+        // Only walk cells that can overlap the clipped rectangle.
+        let i0 = (((c.min.x - self.region.min.x) / self.cell_width()) as usize).min(self.nx - 1);
+        let i1 = (((c.max.x - self.region.min.x) / self.cell_width()).ceil() as usize).min(self.nx);
+        let j0 = (((c.min.y - self.region.min.y) / self.cell_height()) as usize).min(self.ny - 1);
+        let j1 =
+            (((c.max.y - self.region.min.y) / self.cell_height()).ceil() as usize).min(self.ny);
+        for j in j0..j1 {
+            for i in i0..i1 {
+                let m = self.cell_mass(i, j);
+                if m == 0.0 {
+                    continue;
+                }
+                let frac = self.cell_rect(i, j).intersection_area(c) / cell_area;
+                acc += m * frac;
+            }
+        }
+        acc.min(1.0)
+    }
+
+    fn marginal_cdf(&self, axis: Axis, v: f64) -> f64 {
+        let side = match axis {
+            Axis::X => self.region.x_interval(),
+            Axis::Y => self.region.y_interval(),
+        };
+        if v <= side.lo {
+            return 0.0;
+        }
+        if v >= side.hi {
+            return 1.0;
+        }
+        // Mass strictly below v = sum of full strips + partial strip.
+        let r = match axis {
+            Axis::X => Rect::from_intervals(Interval::new(side.lo, v), self.region.y_interval()),
+            Axis::Y => Rect::from_intervals(self.region.x_interval(), Interval::new(side.lo, v)),
+        };
+        self.prob_in_rect(r)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Point {
+        // Cell by cumulative mass, then uniform within the cell.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = self.cum.partition_point(|&c| c < u).min(self.mass.len() - 1);
+        let (i, j) = (idx % self.nx, idx / self.nx);
+        let cell = self.cell_rect(i, j);
+        let x = rng.gen_range(cell.min.x..=cell.max.x);
+        let y = rng.gen_range(cell.min.y..=cell.max.y);
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn region() -> Rect {
+        Rect::from_coords(0.0, 0.0, 4.0, 2.0)
+    }
+
+    #[test]
+    fn flat_histogram_equals_uniform() {
+        let h = HistogramPdf::flat(region(), 4, 2);
+        let u = crate::uniform::UniformPdf::new(region());
+        for r in [
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            Rect::from_coords(0.5, 0.3, 3.7, 1.9),
+            Rect::from_coords(-1.0, -1.0, 10.0, 10.0),
+        ] {
+            assert!(
+                (h.prob_in_rect(r) - u.prob_in_rect(r)).abs() < 1e-12,
+                "rect {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_mass_goes_where_weights_are() {
+        // All mass in the left half.
+        let w = [1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+        let h = HistogramPdf::new(region(), 4, 2, &w);
+        assert!((h.prob_in_rect(Rect::from_coords(0.0, 0.0, 2.0, 2.0)) - 1.0).abs() < 1e-12);
+        assert_eq!(h.prob_in_rect(Rect::from_coords(2.0, 0.0, 4.0, 2.0)), 0.0);
+    }
+
+    #[test]
+    fn partial_cell_overlap_is_fractional() {
+        let h = HistogramPdf::flat(region(), 4, 2);
+        // Half of one 1×1 cell: mass = (1/8) * 0.5.
+        let r = Rect::from_coords(0.0, 0.0, 0.5, 1.0);
+        assert!((h.prob_in_rect(r) - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_mass_is_one() {
+        let w: Vec<f64> = (0..8).map(|k| (k + 1) as f64).collect();
+        let h = HistogramPdf::new(region(), 4, 2, &w);
+        assert!((h.prob_in_rect(region()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_matches_cell_mass() {
+        let w = [3.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let h = HistogramPdf::new(region(), 4, 2, &w);
+        // Cell (0,0) holds 0.3 of the mass over area 1.
+        assert!((h.density(Point::new(0.5, 0.5)) - 0.3).abs() < 1e-12);
+        assert_eq!(h.density(Point::new(-0.5, 0.5)), 0.0);
+    }
+
+    #[test]
+    fn marginal_cdf_piecewise_linear() {
+        let h = HistogramPdf::flat(region(), 4, 2);
+        assert_eq!(h.marginal_cdf(Axis::X, 0.0), 0.0);
+        assert!((h.marginal_cdf(Axis::X, 1.0) - 0.25).abs() < 1e-12);
+        assert!((h.marginal_cdf(Axis::X, 1.5) - 0.375).abs() < 1e-12);
+        assert_eq!(h.marginal_cdf(Axis::X, 4.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_consistent_with_cdf() {
+        let w = [1.0, 2.0, 3.0, 4.0, 4.0, 3.0, 2.0, 1.0];
+        let h = HistogramPdf::new(region(), 4, 2, &w);
+        for &p in &[0.1, 0.33, 0.5, 0.77, 0.95] {
+            let q = h.quantile(Axis::X, p);
+            assert!((h.marginal_cdf(Axis::X, q) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let w = [9.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]; // 90% in cell (0,0)
+        let h = HistogramPdf::new(region(), 4, 2, &w);
+        let mut rng = StdRng::seed_from_u64(3);
+        const N: usize = 20_000;
+        let mut in_first = 0usize;
+        for _ in 0..N {
+            let s = h.sample(&mut rng);
+            assert!(h.region().contains_point(s));
+            assert!(s.y <= 1.0 + 1e-12, "no mass in the top row");
+            if s.x <= 1.0 {
+                in_first += 1;
+            }
+        }
+        let frac = in_first as f64 / N as f64;
+        assert!((frac - 0.9).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn fit_recovers_observed_concentration() {
+        use rand::Rng;
+        let region = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(41);
+        // 90% of fixes in the lower-left quadrant, 10% scattered.
+        let obs: Vec<Point> = (0..2_000)
+            .map(|k| {
+                if k % 10 != 0 {
+                    Point::new(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0))
+                } else {
+                    Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))
+                }
+            })
+            .collect();
+        let h = HistogramPdf::fit(region, 10, 10, &obs, 0.5);
+        let lower_left = h.prob_in_rect(Rect::from_coords(0.0, 0.0, 50.0, 50.0));
+        assert!(lower_left > 0.85, "got {lower_left}");
+        // Smoothing keeps the rest of the region supported.
+        assert!(h.density(Point::new(90.0, 90.0)) > 0.0);
+        assert!((h.prob_in_rect(region) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_ignores_out_of_region_observations() {
+        let region = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let obs = vec![Point::new(5.0, 5.0), Point::new(500.0, 500.0)];
+        let h = HistogramPdf::fit(region, 2, 2, &obs, 0.0);
+        // Only the in-region fix contributes: all mass in cell (1,1).
+        assert!((h.prob_in_rect(Rect::from_coords(5.0, 5.0, 10.0, 10.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn fit_with_no_data_and_no_smoothing_panics() {
+        let region = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let _ = HistogramPdf::fit(region, 2, 2, &[], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights length")]
+    fn rejects_wrong_weight_count() {
+        let _ = HistogramPdf::new(region(), 4, 2, &[1.0; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn rejects_all_zero_weights() {
+        let _ = HistogramPdf::new(region(), 2, 2, &[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_weights() {
+        let _ = HistogramPdf::new(region(), 2, 2, &[1.0, -1.0, 1.0, 1.0]);
+    }
+}

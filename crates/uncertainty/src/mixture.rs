@@ -1,0 +1,248 @@
+//! Mixture uncertainty pdf: a weighted combination of component pdfs.
+//!
+//! Real location beliefs are often multimodal — "the vehicle is near
+//! one of these two intersections", or a particle-filter posterior
+//! summarised by a few weighted blobs. Because every `LocationPdf`
+//! operation is linear in the density, a mixture implements them all
+//! by weighted combination of its components, staying exact whenever
+//! the components are.
+
+use std::sync::Arc;
+
+use iloc_geometry::{Point, Rect};
+use rand::Rng;
+use rand::RngCore;
+
+use crate::pdf::{Axis, LocationPdf, SharedPdf};
+
+/// Weighted mixture of location pdfs.
+#[derive(Debug, Clone)]
+pub struct MixturePdf {
+    /// `(normalised weight, component)`, weights summing to 1.
+    components: Vec<(f64, SharedPdf)>,
+    /// Cumulative weights for sampling.
+    cum: Vec<f64>,
+    /// Hull of the component regions.
+    region: Rect,
+}
+
+impl MixturePdf {
+    /// Builds a mixture from `(weight, pdf)` pairs; weights are
+    /// normalised internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no components are given, any weight is negative or
+    /// non-finite, or all weights are zero.
+    pub fn new(parts: Vec<(f64, SharedPdf)>) -> Self {
+        assert!(!parts.is_empty(), "mixture needs at least one component");
+        assert!(
+            parts.iter().all(|(w, _)| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = parts.iter().map(|(w, _)| w).sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+        let components: Vec<(f64, SharedPdf)> = parts
+            .into_iter()
+            .map(|(w, p)| (w / total, p))
+            .collect();
+        let mut cum = Vec::with_capacity(components.len());
+        let mut acc = 0.0;
+        for (w, _) in &components {
+            acc += w;
+            cum.push(acc);
+        }
+        let region = components
+            .iter()
+            .fold(Rect::EMPTY, |r, (_, p)| r.hull(p.region()));
+        MixturePdf {
+            components,
+            cum,
+            region,
+        }
+    }
+
+    /// Convenience constructor from concrete pdfs with equal weights.
+    pub fn equally_weighted(pdfs: Vec<SharedPdf>) -> Self {
+        MixturePdf::new(pdfs.into_iter().map(|p| (1.0, p)).collect())
+    }
+
+    /// Convenience: two-component mixture.
+    pub fn bimodal(
+        w1: f64,
+        p1: impl LocationPdf + 'static,
+        w2: f64,
+        p2: impl LocationPdf + 'static,
+    ) -> Self {
+        MixturePdf::new(vec![(w1, Arc::new(p1) as SharedPdf), (w2, Arc::new(p2))])
+    }
+
+    /// The normalised component weights.
+    pub fn weights(&self) -> impl Iterator<Item = f64> + '_ {
+        self.components.iter().map(|(w, _)| *w)
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.components.len()
+    }
+}
+
+impl LocationPdf for MixturePdf {
+    fn region(&self) -> Rect {
+        self.region
+    }
+
+    fn density(&self, p: Point) -> f64 {
+        self.components
+            .iter()
+            .map(|(w, c)| w * c.density(p))
+            .sum()
+    }
+
+    fn prob_in_rect(&self, r: Rect) -> f64 {
+        self.components
+            .iter()
+            .map(|(w, c)| w * c.prob_in_rect(r))
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    fn marginal_cdf(&self, axis: Axis, v: f64) -> f64 {
+        self.components
+            .iter()
+            .map(|(w, c)| w * c.marginal_cdf(axis, v))
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Point {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = self
+            .cum
+            .partition_point(|&c| c < u)
+            .min(self.components.len() - 1);
+        self.components[idx].1.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformPdf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bimodal() -> MixturePdf {
+        // 70% in the left box, 30% in the right box.
+        MixturePdf::bimodal(
+            0.7,
+            UniformPdf::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0)),
+            0.3,
+            UniformPdf::new(Rect::from_coords(100.0, 0.0, 110.0, 10.0)),
+        )
+    }
+
+    #[test]
+    fn weights_are_normalised() {
+        let m = MixturePdf::bimodal(
+            7.0,
+            UniformPdf::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0)),
+            3.0,
+            UniformPdf::new(Rect::from_coords(2.0, 0.0, 3.0, 1.0)),
+        );
+        let ws: Vec<f64> = m.weights().collect();
+        assert!((ws[0] - 0.7).abs() < 1e-12);
+        assert!((ws[1] - 0.3).abs() < 1e-12);
+        assert_eq!(m.arity(), 2);
+    }
+
+    #[test]
+    fn region_is_hull_of_components() {
+        let m = bimodal();
+        assert_eq!(m.region(), Rect::from_coords(0.0, 0.0, 110.0, 10.0));
+    }
+
+    #[test]
+    fn total_mass_is_one_and_splits_by_weight() {
+        let m = bimodal();
+        assert!((m.prob_in_rect(m.region()) - 1.0).abs() < 1e-12);
+        assert!((m.prob_in_rect(Rect::from_coords(0.0, 0.0, 10.0, 10.0)) - 0.7).abs() < 1e-12);
+        assert!((m.prob_in_rect(Rect::from_coords(100.0, 0.0, 110.0, 10.0)) - 0.3).abs() < 1e-12);
+        // The gap between the modes carries no mass.
+        assert_eq!(m.prob_in_rect(Rect::from_coords(20.0, 0.0, 90.0, 10.0)), 0.0);
+    }
+
+    #[test]
+    fn density_is_weighted_sum() {
+        let m = bimodal();
+        assert!((m.density(Point::new(5.0, 5.0)) - 0.7 / 100.0).abs() < 1e-12);
+        assert!((m.density(Point::new(105.0, 5.0)) - 0.3 / 100.0).abs() < 1e-12);
+        assert_eq!(m.density(Point::new(50.0, 5.0)), 0.0);
+    }
+
+    #[test]
+    fn marginal_cdf_steps_across_modes() {
+        let m = bimodal();
+        assert_eq!(m.marginal_cdf(Axis::X, -1.0), 0.0);
+        assert!((m.marginal_cdf(Axis::X, 10.0) - 0.7).abs() < 1e-12);
+        assert!((m.marginal_cdf(Axis::X, 50.0) - 0.7).abs() < 1e-12);
+        assert_eq!(m.marginal_cdf(Axis::X, 110.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_bisection_works_on_flat_cdf_regions() {
+        // The default quantile must cope with the plateau between the
+        // modes.
+        let m = bimodal();
+        let q30 = m.quantile(Axis::X, 0.3);
+        assert!((m.marginal_cdf(Axis::X, q30) - 0.3).abs() < 1e-9);
+        let q90 = m.quantile(Axis::X, 0.9);
+        assert!(q90 > 100.0 && q90 < 110.0);
+    }
+
+    #[test]
+    fn pbounds_work_for_mixtures() {
+        use crate::pbound::PBound;
+        let m = bimodal();
+        let b = PBound::compute(&m, 0.3);
+        // The p-bound contract: exactly 30% of mass on the far side of
+        // each cut line. (On the flat CDF plateau between the modes any
+        // point is a valid quantile; the contract is on the masses.)
+        assert!((m.marginal_cdf(Axis::X, b.left()) - 0.3).abs() < 1e-9);
+        assert!((1.0 - m.marginal_cdf(Axis::X, b.right()) - 0.3).abs() < 1e-9);
+        assert!(b.left() > 0.0 && b.left() < 10.0);
+    }
+
+    #[test]
+    fn sampling_respects_weights_and_support() {
+        let m = bimodal();
+        let mut rng = StdRng::seed_from_u64(13);
+        const N: usize = 20_000;
+        let mut left = 0usize;
+        for _ in 0..N {
+            let s = m.sample(&mut rng);
+            assert!(m.density(s) > 0.0, "sample outside support: {s}");
+            if s.x <= 10.0 {
+                left += 1;
+            }
+        }
+        let frac = left as f64 / N as f64;
+        assert!((frac - 0.7).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn rejects_empty_mixture() {
+        let _ = MixturePdf::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn rejects_all_zero_weights() {
+        let _ = MixturePdf::new(vec![(
+            0.0,
+            Arc::new(UniformPdf::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0))) as SharedPdf,
+        )]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Database object types: point objects `Si` and uncertain objects `Oi`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use iloc_geometry::{Point, Rect};
+
+use crate::catalog::UCatalog;
+use crate::pdf::{LocationPdf, SharedPdf};
+
+/// Opaque object identifier (`Si` / `Oi` subscripts in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(v: u64) -> Self {
+        ObjectId(v)
+    }
+}
+
+/// A **point object** `Si`: an exactly-known location (a shop, a
+/// building, a non-moving user). Queried by IPQ / C-IPQ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointObject {
+    /// Identifier.
+    pub id: ObjectId,
+    /// Exact location `(xi, yi)`.
+    pub loc: Point,
+}
+
+impl PointObject {
+    /// Creates a point object.
+    pub fn new(id: impl Into<ObjectId>, loc: Point) -> Self {
+        PointObject {
+            id: id.into(),
+            loc,
+        }
+    }
+}
+
+/// An **uncertain object** `Oi`: an uncertainty region plus pdf
+/// (a moving vehicle, a privacy-cloaked user). Queried by IUQ / C-IUQ.
+///
+/// Each object carries its pre-computed [`UCatalog`] (paper Section 5);
+/// building it is part of data ingestion, not of query execution,
+/// matching the paper's cost model.
+#[derive(Debug, Clone)]
+pub struct UncertainObject {
+    /// Identifier.
+    pub id: ObjectId,
+    pdf: SharedPdf,
+    catalog: UCatalog,
+}
+
+impl UncertainObject {
+    /// Creates an uncertain object with the paper's default six-level
+    /// U-catalog.
+    pub fn new(id: impl Into<ObjectId>, pdf: impl LocationPdf + 'static) -> Self {
+        let pdf: SharedPdf = Arc::new(pdf);
+        let catalog = UCatalog::build_default(pdf.as_ref());
+        UncertainObject {
+            id: id.into(),
+            pdf,
+            catalog,
+        }
+    }
+
+    /// Creates an uncertain object from an already-shared pdf.
+    pub fn from_shared(id: impl Into<ObjectId>, pdf: SharedPdf) -> Self {
+        let catalog = UCatalog::build_default(pdf.as_ref());
+        UncertainObject {
+            id: id.into(),
+            pdf,
+            catalog,
+        }
+    }
+
+    /// Creates an uncertain object with custom catalog levels.
+    pub fn with_catalog_levels(
+        id: impl Into<ObjectId>,
+        pdf: impl LocationPdf + 'static,
+        levels: &[f64],
+    ) -> Self {
+        let pdf: SharedPdf = Arc::new(pdf);
+        let catalog = UCatalog::build(pdf.as_ref(), levels);
+        UncertainObject {
+            id: id.into(),
+            pdf,
+            catalog,
+        }
+    }
+
+    /// The uncertainty pdf `fi`.
+    pub fn pdf(&self) -> &dyn LocationPdf {
+        self.pdf.as_ref()
+    }
+
+    /// Shared handle to the pdf.
+    pub fn pdf_shared(&self) -> SharedPdf {
+        Arc::clone(&self.pdf)
+    }
+
+    /// The uncertainty region `Ui`.
+    pub fn region(&self) -> Rect {
+        self.pdf.region()
+    }
+
+    /// The pre-computed U-catalog.
+    pub fn catalog(&self) -> &UCatalog {
+        &self.catalog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformPdf;
+
+    #[test]
+    fn point_object_construction() {
+        let s = PointObject::new(3u64, Point::new(1.0, 2.0));
+        assert_eq!(s.id, ObjectId(3));
+        assert_eq!(s.loc, Point::new(1.0, 2.0));
+        assert_eq!(s.id.to_string(), "#3");
+    }
+
+    #[test]
+    fn uncertain_object_builds_default_catalog() {
+        let o = UncertainObject::new(1u64, UniformPdf::new(Rect::from_coords(0.0, 0.0, 4.0, 4.0)));
+        assert_eq!(o.catalog().len(), 6);
+        assert_eq!(o.region(), Rect::from_coords(0.0, 0.0, 4.0, 4.0));
+    }
+
+    #[test]
+    fn custom_catalog_levels() {
+        let o = UncertainObject::with_catalog_levels(
+            2u64,
+            UniformPdf::new(Rect::from_coords(0.0, 0.0, 4.0, 4.0)),
+            &[0.25],
+        );
+        let levels: Vec<f64> = o.catalog().levels().collect();
+        assert_eq!(levels, vec![0.0, 0.25]);
+    }
+
+    #[test]
+    fn shared_pdf_is_shared() {
+        let pdf: SharedPdf = Arc::new(UniformPdf::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0)));
+        let o = UncertainObject::from_shared(5u64, Arc::clone(&pdf));
+        assert_eq!(o.pdf().region(), pdf.region());
+    }
+}

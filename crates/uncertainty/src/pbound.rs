@@ -1,0 +1,155 @@
+//! p-bounds (paper Section 5.1, after Cheng et al. VLDB'04 / Tao et al.
+//! VLDB'05).
+//!
+//! The *p-bound* of an uncertain object `Oi` is the rectangle delimited
+//! by four lines `li(p), ri(p), ti(p), bi(p)` such that the probability
+//! of `Oi` lying on the *outside* of each line is exactly `p` (e.g. the
+//! mass strictly left of `li(p)` is `p`). The `0`-bound is the
+//! uncertainty region itself. p-bounds are the pre-computed metadata
+//! behind every constrained-query pruning strategy and behind the PTI.
+
+use iloc_geometry::Rect;
+
+use crate::pdf::{Axis, LocationPdf};
+
+/// A single pre-computed p-bound: the rectangle whose four sides each
+/// cut off exactly `p` probability mass of the object's pdf.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PBound {
+    /// The tail mass cut off by each side, `p ∈ [0, 0.5]`.
+    pub p: f64,
+    /// The bounding rectangle `[l(p), r(p)] × [b(p), t(p)]`.
+    pub rect: Rect,
+}
+
+impl PBound {
+    /// Computes the p-bound of `pdf` for tail mass `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p ∉ [0, 0.5]`: for `p > 0.5` the left/right (or
+    /// bottom/top) cut lines would cross and the bound is undefined.
+    pub fn compute(pdf: &dyn LocationPdf, p: f64) -> Self {
+        assert!(
+            (0.0..=0.5).contains(&p),
+            "p-bound tail mass must be in [0, 0.5], got {p}"
+        );
+        if p == 0.0 {
+            return PBound {
+                p,
+                rect: pdf.region(),
+            };
+        }
+        let l = pdf.quantile(Axis::X, p);
+        let r = pdf.quantile(Axis::X, 1.0 - p);
+        let b = pdf.quantile(Axis::Y, p);
+        let t = pdf.quantile(Axis::Y, 1.0 - p);
+        PBound {
+            p,
+            rect: Rect::from_coords(l, b, r.max(l), t.max(b)),
+        }
+    }
+
+    /// Left cut line `l(p)`.
+    #[inline]
+    pub fn left(&self) -> f64 {
+        self.rect.min.x
+    }
+
+    /// Right cut line `r(p)`.
+    #[inline]
+    pub fn right(&self) -> f64 {
+        self.rect.max.x
+    }
+
+    /// Bottom cut line `b(p)`.
+    #[inline]
+    pub fn bottom(&self) -> f64 {
+        self.rect.min.y
+    }
+
+    /// Top cut line `t(p)`.
+    #[inline]
+    pub fn top(&self) -> f64 {
+        self.rect.max.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::TruncatedGaussianPdf;
+    use crate::uniform::UniformPdf;
+    use iloc_geometry::{Interval, Point};
+
+    #[test]
+    fn zero_bound_is_the_region() {
+        let pdf = UniformPdf::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        let b = PBound::compute(&pdf, 0.0);
+        assert_eq!(b.rect, pdf.region());
+    }
+
+    #[test]
+    fn uniform_pbound_is_linear_shrink() {
+        let pdf = UniformPdf::new(Rect::from_coords(0.0, 0.0, 10.0, 20.0));
+        let b = PBound::compute(&pdf, 0.25);
+        assert!((b.left() - 2.5).abs() < 1e-9);
+        assert!((b.right() - 7.5).abs() < 1e-9);
+        assert!((b.bottom() - 5.0).abs() < 1e-9);
+        assert!((b.top() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_masses_are_exactly_p() {
+        let pdf =
+            TruncatedGaussianPdf::paper_default(Rect::from_coords(0.0, 0.0, 12.0, 12.0));
+        for &p in &[0.1, 0.3, 0.5] {
+            let b = PBound::compute(&pdf, p);
+            // Mass strictly left of l(p) is p.
+            let left_mass = pdf.marginal_prob(Axis::X, Interval::new(0.0, b.left()));
+            let right_mass = pdf.marginal_prob(Axis::X, Interval::new(b.right(), 12.0));
+            assert!((left_mass - p).abs() < 1e-6, "p={p} left={left_mass}");
+            assert!((right_mass - p).abs() < 1e-6, "p={p} right={right_mass}");
+        }
+    }
+
+    #[test]
+    fn half_bound_collapses_to_median_lines() {
+        let pdf = UniformPdf::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        let b = PBound::compute(&pdf, 0.5);
+        assert!((b.left() - b.right()).abs() < 1e-9);
+        assert!((b.rect.center().x - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_nest_monotonically() {
+        let pdf =
+            TruncatedGaussianPdf::paper_default(Rect::from_coords(-4.0, -4.0, 4.0, 4.0));
+        let mut prev = PBound::compute(&pdf, 0.0).rect;
+        for k in 1..=5 {
+            let cur = PBound::compute(&pdf, k as f64 / 10.0).rect;
+            assert!(prev.contains_rect(cur), "p={} not nested", k as f64 / 10.0);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tail mass")]
+    fn rejects_p_above_half() {
+        let pdf = UniformPdf::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0));
+        let _ = PBound::compute(&pdf, 0.6);
+    }
+
+    #[test]
+    fn gaussian_pbound_tighter_than_uniform() {
+        // A Gaussian concentrates mass centrally, so its p-bound is
+        // strictly inside the uniform one for the same region.
+        let region = Rect::centered(Point::new(0.0, 0.0), 6.0, 6.0);
+        let g = TruncatedGaussianPdf::paper_default(region);
+        let u = UniformPdf::new(region);
+        let bg = PBound::compute(&g, 0.2).rect;
+        let bu = PBound::compute(&u, 0.2).rect;
+        assert!(bu.contains_rect(bg));
+        assert!(bg.area() < bu.area());
+    }
+}

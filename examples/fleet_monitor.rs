@@ -1,0 +1,64 @@
+//! Continuous monitoring: a delivery truck drives across town while
+//! the dispatcher keeps a standing query — "which depots are within
+//! 300 units of the truck?" — refreshed every tick.
+//!
+//! The truck's reported position is imprecise (dead-reckoning box),
+//! so each refresh is an imprecise range query. The
+//! [`ContinuousIpq`] runner amortises index work with a safe
+//! envelope: most ticks are answered from cached candidates without
+//! touching the R-tree, with answers identical to fresh snapshots.
+//!
+//! ```text
+//! cargo run --release --example fleet_monitor
+//! ```
+
+use iloc::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // 3 000 depots.
+    let depots: Vec<Point> = (0..3_000)
+        .map(|_| Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
+        .collect();
+    let engine = PointEngine::build(depots);
+
+    // The truck drives a loop; its uncertainty box is ±60 units.
+    let ticks = 500usize;
+    let trajectory: Vec<Issuer> = (0..ticks)
+        .map(|t| {
+            let a = t as f64 / ticks as f64 * std::f64::consts::TAU;
+            let c = Point::new(5_000.0 + 2_500.0 * a.cos(), 5_000.0 + 2_500.0 * a.sin());
+            Issuer::uniform(Rect::centered(c, 60.0, 60.0))
+        })
+        .collect();
+
+    let range = RangeSpec::square(300.0);
+    let mut runner = ContinuousIpq::new(&engine, range, 250.0);
+    let mut total_answers = 0usize;
+    let start = std::time::Instant::now();
+    for issuer in &trajectory {
+        let ans = runner.step(issuer);
+        total_answers += ans.results.len();
+    }
+    let elapsed = start.elapsed();
+
+    println!("{ticks} refreshes in {:.1} ms ({:.1} µs/tick)", elapsed.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e6 / ticks as f64);
+    println!(
+        "index probes: {} (cache hits: {}, {:.0}% of ticks served from the envelope)",
+        runner.probes,
+        runner.cache_hits,
+        100.0 * runner.cache_hits as f64 / ticks as f64
+    );
+    println!("average answer size: {:.1} depots", total_answers as f64 / ticks as f64);
+
+    // Cross-check the final tick against a fresh snapshot.
+    let last = trajectory.last().expect("non-empty trajectory");
+    let snapshot = engine.ipq(last, range);
+    let continuous = runner.step(last);
+    assert_eq!(snapshot.results.len(), continuous.results.len());
+    println!("final tick matches a fresh snapshot ({} answers)", snapshot.results.len());
+}

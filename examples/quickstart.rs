@@ -1,0 +1,60 @@
+//! Quickstart: the four imprecise query types on a toy database.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use iloc::prelude::*;
+
+fn main() {
+    // --- A tiny world -------------------------------------------------
+    // Three shops (exact locations) and three delivery vans (uncertain
+    // locations: each van reported a position up to `r` units stale, so
+    // it lies somewhere in a box around the last fix).
+    let shops = vec![
+        Point::new(480.0, 510.0),
+        Point::new(720.0, 300.0),
+        Point::new(2_000.0, 2_000.0),
+    ];
+    let vans: Vec<UncertainObject> = vec![
+        UncertainObject::new(0u64, UniformPdf::new(Rect::centered(Point::new(520.0, 480.0), 60.0, 60.0))),
+        UncertainObject::new(1u64, UniformPdf::new(Rect::centered(Point::new(900.0, 900.0), 40.0, 40.0))),
+        UncertainObject::new(2u64, TruncatedGaussianPdf::paper_default(
+            Rect::centered(Point::new(650.0, 650.0), 90.0, 90.0),
+        )),
+    ];
+
+    // --- The imprecise issuer -----------------------------------------
+    // The user queries from a phone whose location is only known to a
+    // 100×100 box (GPS error / privacy cloaking), and wants everything
+    // within a 250-unit square range.
+    let issuer = Issuer::uniform(Rect::centered(Point::new(500.0, 500.0), 50.0, 50.0));
+    let range = RangeSpec::square(250.0);
+
+    // --- IPQ: probabilistic range query over the shops ------------------
+    let points = PointEngine::build(shops);
+    let ipq = points.ipq(&issuer, range);
+    println!("IPQ (shops within ±250 of wherever I am):");
+    for m in &ipq.results {
+        println!("  shop {} qualifies with probability {:.3}", m.id, m.probability);
+    }
+
+    // --- IUQ: the same query over the uncertain vans ---------------------
+    let uncertain = UncertainEngine::build(vans);
+    let iuq = uncertain.iuq(&issuer, range);
+    println!("IUQ (vans within ±250 of wherever I am):");
+    for m in &iuq.results {
+        println!("  van {} qualifies with probability {:.3}", m.id, m.probability);
+    }
+
+    // --- Constrained variants: only high-confidence answers -------------
+    let qp = 0.5;
+    let cipq = points.cipq(&issuer, range, qp, CipqStrategy::PExpanded);
+    let ciuq = uncertain.ciuq(&issuer, range, qp, CiuqStrategy::PtiPExpanded);
+    println!("C-IPQ at Qp={qp}: {} shop(s)", cipq.results.len());
+    println!("C-IUQ at Qp={qp}: {} van(s)", ciuq.results.len());
+    println!(
+        "  (pruned without integration: S1={} S2={} S3={})",
+        ciuq.stats.pruned_s1, ciuq.stats.pruned_s2, ciuq.stats.pruned_s3
+    );
+}

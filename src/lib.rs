@@ -1,0 +1,39 @@
+//! # iloc — imprecise location-dependent query evaluation
+//!
+//! Facade crate re-exporting the whole `iloc` workspace: a from-scratch
+//! Rust reproduction of *Chen & Cheng, "Efficient Evaluation of
+//! Imprecise Location-Dependent Queries", ICDE 2007*.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use iloc::prelude::*;
+//!
+//! // A database of certain points and a query issuer whose own location
+//! // is only known to lie in a 500×500 box.
+//! let points = vec![Point::new(4_800.0, 5_100.0), Point::new(9_000.0, 100.0)];
+//! let issuer = Issuer::uniform(Rect::centered(Point::new(5_000.0, 5_000.0), 250.0, 250.0));
+//! let query = RangeSpec::new(500.0, 500.0);
+//!
+//! let engine = PointEngine::build(points);
+//! let answers = engine.ipq(&issuer, query);
+//! // The nearby point qualifies with probability 1, the far one is pruned.
+//! assert_eq!(answers.results.len(), 1);
+//! assert!((answers.results[0].probability - 1.0).abs() < 1e-9);
+//! ```
+//!
+//! See the `examples/` directory for complete scenarios and
+//! `crates/bench` for the reproduction of every figure in the paper.
+
+pub use iloc_core as core;
+pub use iloc_datagen as datagen;
+pub use iloc_geometry as geometry;
+pub use iloc_index as index;
+pub use iloc_uncertainty as uncertainty;
+
+/// Convenient glob-import surface for applications.
+pub mod prelude {
+    pub use iloc_core::prelude::*;
+    pub use iloc_geometry::{Interval, Point, Rect};
+    pub use iloc_uncertainty::prelude::*;
+}
