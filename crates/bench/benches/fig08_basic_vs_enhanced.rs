@@ -16,9 +16,11 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("enhanced/u{u}"), |b| {
             b.iter(|| bed.long_beach.iuq(&issuer, range))
         });
-        group.sample_size(10).bench_function(format!("basic/u{u}"), |b| {
-            b.iter(|| bed.long_beach.iuq_basic(&issuer, range, 30))
-        });
+        group
+            .sample_size(10)
+            .bench_function(format!("basic/u{u}"), |b| {
+                b.iter(|| bed.long_beach.iuq_basic(&issuer, range, 30))
+            });
     }
     group.finish();
 }

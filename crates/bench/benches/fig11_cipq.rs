@@ -13,10 +13,16 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11");
     for qp in [0.0, 0.3, 0.6, 0.9] {
         group.bench_function(format!("minkowski/qp{qp}"), |b| {
-            b.iter(|| bed.california.cipq(&issuer, range, qp, CipqStrategy::MinkowskiSum))
+            b.iter(|| {
+                bed.california
+                    .cipq(&issuer, range, qp, CipqStrategy::MinkowskiSum)
+            })
         });
         group.bench_function(format!("p_expanded/qp{qp}"), |b| {
-            b.iter(|| bed.california.cipq(&issuer, range, qp, CipqStrategy::PExpanded))
+            b.iter(|| {
+                bed.california
+                    .cipq(&issuer, range, qp, CipqStrategy::PExpanded)
+            })
         });
     }
     group.finish();

@@ -13,10 +13,16 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12");
     for qp in [0.0, 0.3, 0.6, 0.9] {
         group.bench_function(format!("rtree_minkowski/qp{qp}"), |b| {
-            b.iter(|| bed.long_beach.ciuq(&issuer, range, qp, CiuqStrategy::RTreeMinkowski))
+            b.iter(|| {
+                bed.long_beach
+                    .ciuq(&issuer, range, qp, CiuqStrategy::RTreeMinkowski)
+            })
         });
         group.bench_function(format!("pti_p_expanded/qp{qp}"), |b| {
-            b.iter(|| bed.long_beach.ciuq(&issuer, range, qp, CiuqStrategy::PtiPExpanded))
+            b.iter(|| {
+                bed.long_beach
+                    .ciuq(&issuer, range, qp, CiuqStrategy::PtiPExpanded)
+            })
         });
     }
     group.finish();

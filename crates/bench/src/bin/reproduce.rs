@@ -48,7 +48,11 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create csv output directory");
     }
 
-    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
     println!(
         "iloc reproduction harness — {} scale ({} points, {} uncertain objects, {} queries/point)",
         if quick { "quick" } else { "paper" },
@@ -100,7 +104,11 @@ fn main() {
         save("ablation_integrators", "x", &ablations::integrators(&bed));
     }
     if wants("catalog", "ablations") {
-        save("ablation_catalog", "levels", &ablations::catalog_sizes(&bed));
+        save(
+            "ablation_catalog",
+            "levels",
+            &ablations::catalog_sizes(&bed),
+        );
     }
     if wants("index", "ablations") {
         save("ablation_index", "x", &ablations::index_choice(&bed));

@@ -10,8 +10,8 @@ use iloc_core::eval::constrained::{
 };
 use iloc_core::expand::{minkowski_query, p_expanded_query};
 use iloc_core::{CipqStrategy, ContinuousIpq, Integrator, Issuer, RangeSpec};
-use iloc_geometry::Point;
 use iloc_datagen::{california_points, point_objects, WorkloadGen};
+use iloc_geometry::Point;
 use iloc_geometry::Rect;
 use iloc_index::{AccessStats, GridFile, NaiveIndex, RTree, RTreeParams, RangeIndex};
 use iloc_uncertainty::UniformPdf;
@@ -70,8 +70,7 @@ pub fn catalog_sizes(bed: &TestBed) -> Vec<Row> {
     for (label, levels) in catalogs {
         let issuers = WorkloadGen::new(1500).issuer_regions(bed.scale.queries, DEFAULT_U);
         let s = Summary::collect(bed.scale.queries, |q| {
-            let issuer =
-                Issuer::with_pdf_and_levels(UniformPdf::new(issuers[q]), &levels);
+            let issuer = Issuer::with_pdf_and_levels(UniformPdf::new(issuers[q]), &levels);
             bed.california
                 .cipq(&issuer, range, qp, CipqStrategy::PExpanded)
         });
@@ -160,7 +159,10 @@ pub fn gaussian_objects(bed: &TestBed) -> Vec<Row> {
     let queries = bed.scale.mc_queries;
     let backends: [(&str, Integrator); 2] = [
         ("exact separable (ours)", Integrator::Auto),
-        ("monte-carlo 250 (paper)", Integrator::MonteCarlo { samples: 250 }),
+        (
+            "monte-carlo 250 (paper)",
+            Integrator::MonteCarlo { samples: 250 },
+        ),
     ];
     let mut rows = Vec::new();
     for (label, integ) in backends {

@@ -8,8 +8,8 @@
 //! ratio. Expected reproduction shape: both curves far above their
 //! Figure-11 counterparts; p-expanded still wins and falls with `Qp`.
 
-use iloc_core::{CipqStrategy, Integrator, Issuer, RangeSpec};
 use iloc_core::integrate::PAPER_MC_SAMPLES_POINT;
+use iloc_core::{CipqStrategy, Integrator, Issuer, RangeSpec};
 use iloc_datagen::WorkloadGen;
 
 use crate::config::{TestBed, DEFAULT_U, DEFAULT_W};

@@ -43,11 +43,9 @@ fn fig08_basic_dominates_enhanced_and_gap_grows() {
     // Claim 2: the absolute gap widens with u (compare the sweep's
     // endpoints).
     let gap_lo = basic[0].summary.avg_ms - enhanced[0].summary.avg_ms;
-    let gap_hi = basic[basic.len() - 1].summary.avg_ms - enhanced[enhanced.len() - 1].summary.avg_ms;
-    assert!(
-        gap_hi > gap_lo,
-        "gap did not widen: {gap_lo} → {gap_hi}"
-    );
+    let gap_hi =
+        basic[basic.len() - 1].summary.avg_ms - enhanced[enhanced.len() - 1].summary.avg_ms;
+    assert!(gap_hi > gap_lo, "gap did not widen: {gap_lo} → {gap_hi}");
 }
 
 #[test]

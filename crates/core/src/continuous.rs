@@ -17,14 +17,41 @@
 //! assert this); only the index I/O changes.
 
 use iloc_geometry::Rect;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iloc_index::AccessStats;
+use iloc_uncertainty::PointObject;
 
 use crate::engine::PointEngine;
-use crate::expand::minkowski_query;
 use crate::integrate::Integrator;
+use crate::pipeline::{
+    AcceptPolicy, DualityEvaluator, ExecutionContext, FilterStage, PreparedQuery, PruneChain,
+    QueryPipeline,
+};
 use crate::query::{Issuer, RangeSpec};
-use crate::result::{Match, QueryAnswer};
+use crate::result::QueryAnswer;
+
+/// Filter stage serving candidates from the cached safe envelope,
+/// re-checked against the *current* expanded query — the continuous
+/// query's replacement for an index probe on cache hits.
+#[derive(Debug, Clone, Copy)]
+struct EnvelopeFilter<'a> {
+    cached: &'a [u32],
+    objects: &'a [PointObject],
+    expanded: Rect,
+}
+
+impl FilterStage for EnvelopeFilter<'_> {
+    fn candidates(&self, stats: &mut AccessStats) -> Vec<u32> {
+        let hits: Vec<u32> = self
+            .cached
+            .iter()
+            .copied()
+            .filter(|&idx| self.expanded.contains_point(self.objects[idx as usize].loc))
+            .collect();
+        stats.items_tested += self.cached.len() as u64;
+        stats.candidates += hits.len() as u64;
+        hits
+    }
+}
 
 /// Stateful runner for a continuous IPQ over a point database.
 #[derive(Debug)]
@@ -61,47 +88,41 @@ impl<'a> ContinuousIpq<'a> {
     /// cached candidates while the motion stays inside the envelope.
     pub fn step(&mut self, issuer: &Issuer) -> QueryAnswer {
         let start = std::time::Instant::now();
-        let mut answer = QueryAnswer::default();
-        let expanded = minkowski_query(issuer, self.range);
+        let query = PreparedQuery::new(issuer, self.range);
+        let expanded = query.expanded;
 
+        let mut probe_stats = AccessStats::new();
         let hit = matches!(&self.envelope, Some((env, _)) if env.contains_rect(expanded));
         if hit {
             self.cache_hits += 1;
         } else {
             let env = expanded.expand(self.slack, self.slack);
-            let cands = self
-                .engine
-                .raw_candidates(env, &mut answer.stats.access);
+            let cands = self.engine.raw_candidates(env, &mut probe_stats);
             self.probes += 1;
             self.envelope = Some((env, cands));
         }
         let (_, cached) = self.envelope.as_ref().expect("envelope just ensured");
 
-        let mut rng = StdRng::seed_from_u64(crate::engine::DEFAULT_QUERY_SEED);
-        for &idx in cached {
-            let obj = &self.engine.objects()[idx as usize];
-            // Cheap pre-filter against the *current* expanded query
-            // before paying for the probability.
-            if !expanded.contains_point(obj.loc) {
-                continue;
-            }
-            let pi = Integrator::Auto.point_probability(
-                issuer.pdf(),
-                self.range,
-                obj.loc,
-                &mut rng,
-                &mut answer.stats,
-            );
-            if pi > 0.0 {
-                answer.results.push(Match {
-                    id: obj.id,
-                    probability: pi,
-                });
-            } else {
-                answer.stats.refined_out += 1;
-            }
+        // Same pipeline as a snapshot IPQ, with the index probe
+        // replaced by the envelope cache.
+        let mut answer = QueryPipeline {
+            query,
+            objects: self.engine.objects(),
+            filter: EnvelopeFilter {
+                cached,
+                objects: self.engine.objects(),
+                expanded,
+            },
+            prune: PruneChain::none(),
+            refine: &DualityEvaluator,
+            accept: AcceptPolicy::Positive,
         }
-        answer.finalize();
+        .execute(&mut ExecutionContext::new(Integrator::Auto));
+        // The envelope probe's node visits are real I/O, but its hit
+        // count is the *envelope's* candidate set, not this query's —
+        // EnvelopeFilter already reported the latter.
+        probe_stats.candidates = 0;
+        answer.stats.access.absorb(probe_stats);
         answer.stats.elapsed = start.elapsed();
         answer
     }

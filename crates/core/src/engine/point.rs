@@ -1,6 +1,6 @@
-//! Engine for point-object databases (IPQ / C-IPQ).
-
-use std::time::Instant;
+//! Engine for point-object databases (IPQ / C-IPQ) — a thin facade
+//! over [`crate::pipeline::QueryPipeline`]: it owns the object table
+//! and the R-tree and assembles one pipeline per query.
 
 use iloc_geometry::{Point, Rect};
 use iloc_index::{RTree, RTreeParams, RangeIndex};
@@ -8,9 +8,12 @@ use iloc_uncertainty::PointObject;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::eval::basic;
-use crate::expand::{minkowski_query, p_expanded_query};
+use crate::expand::p_expanded_query;
 use crate::integrate::Integrator;
+use crate::pipeline::{
+    execute_batch, AcceptPolicy, BasicEvaluator, BatchEngine, DualityEvaluator, ExecutionContext,
+    PointRequest, PreparedQuery, ProbabilityEvaluator, PruneChain, QueryPipeline, RectFilter,
+};
 use crate::query::{CipqStrategy, Issuer, RangeSpec};
 use crate::result::{Match, QueryAnswer};
 
@@ -73,12 +76,33 @@ impl PointEngine {
     /// Raw R-tree filter results — indices into [`Self::objects`] whose
     /// locations fall inside `filter`. Exposed for pipelines that
     /// assemble their own refinement (ablations, continuous queries).
-    pub fn raw_candidates(
-        &self,
-        filter: Rect,
-        stats: &mut iloc_index::AccessStats,
-    ) -> Vec<u32> {
+    pub fn raw_candidates(&self, filter: Rect, stats: &mut iloc_index::AccessStats) -> Vec<u32> {
         self.tree.query_range(filter, stats)
+    }
+
+    /// Assembles and runs one pipeline: R-tree filter with `filter`,
+    /// no pruning (point objects carry no catalogs), `refine`, and
+    /// `accept`.
+    fn run(
+        &self,
+        query: PreparedQuery<'_>,
+        filter: Rect,
+        refine: &dyn ProbabilityEvaluator<PointObject>,
+        accept: AcceptPolicy,
+        integrator: Integrator,
+    ) -> QueryAnswer {
+        QueryPipeline {
+            query,
+            objects: &self.objects,
+            filter: RectFilter {
+                index: &self.tree,
+                query: filter,
+            },
+            prune: PruneChain::none(),
+            refine,
+            accept,
+        }
+        .execute(&mut ExecutionContext::new(integrator))
     }
 
     /// **IPQ** (Definition 3) via the enhanced pipeline: Minkowski-sum
@@ -90,33 +114,20 @@ impl PointEngine {
     /// IPQ with an explicit integrator (the experiments use
     /// [`Integrator::MonteCarlo`] to reproduce the paper's non-uniform
     /// timings).
-    pub fn ipq_with(&self, issuer: &Issuer, range: RangeSpec, integrator: Integrator) -> QueryAnswer {
-        let start = Instant::now();
-        let mut answer = QueryAnswer::default();
-        let mut rng = StdRng::seed_from_u64(DEFAULT_QUERY_SEED);
-        let filter = minkowski_query(issuer, range);
-        let candidates = self.tree.query_range(filter, &mut answer.stats.access);
-        for idx in candidates {
-            let obj = &self.objects[idx as usize];
-            let pi = integrator.point_probability(
-                issuer.pdf(),
-                range,
-                obj.loc,
-                &mut rng,
-                &mut answer.stats,
-            );
-            if pi > 0.0 {
-                answer.results.push(Match {
-                    id: obj.id,
-                    probability: pi,
-                });
-            } else {
-                answer.stats.refined_out += 1;
-            }
-        }
-        answer.finalize();
-        answer.stats.elapsed = start.elapsed();
-        answer
+    pub fn ipq_with(
+        &self,
+        issuer: &Issuer,
+        range: RangeSpec,
+        integrator: Integrator,
+    ) -> QueryAnswer {
+        let query = PreparedQuery::new(issuer, range);
+        self.run(
+            query,
+            query.expanded,
+            &DualityEvaluator,
+            AcceptPolicy::Positive,
+            integrator,
+        )
     }
 
     /// IPQ via the **basic method** (Section 3.3, Eq. 2): numerical
@@ -124,26 +135,14 @@ impl PointEngine {
     /// `per_axis` controls the sampling grid (the paper's "set of
     /// sampling points").
     pub fn ipq_basic(&self, issuer: &Issuer, range: RangeSpec, per_axis: usize) -> QueryAnswer {
-        let start = Instant::now();
-        let mut answer = QueryAnswer::default();
-        let filter = minkowski_query(issuer, range);
-        let candidates = self.tree.query_range(filter, &mut answer.stats.access);
-        for idx in candidates {
-            let obj = &self.objects[idx as usize];
-            let pi =
-                basic::point_probability(issuer.pdf(), range, obj.loc, per_axis, &mut answer.stats);
-            if pi > 0.0 {
-                answer.results.push(Match {
-                    id: obj.id,
-                    probability: pi,
-                });
-            } else {
-                answer.stats.refined_out += 1;
-            }
-        }
-        answer.finalize();
-        answer.stats.elapsed = start.elapsed();
-        answer
+        let query = PreparedQuery::new(issuer, range);
+        self.run(
+            query,
+            query.expanded,
+            &BasicEvaluator { per_axis },
+            AcceptPolicy::Positive,
+            Integrator::Auto,
+        )
     }
 
     /// **IPNN** — imprecise probabilistic nearest-neighbour query (the
@@ -154,8 +153,11 @@ impl PointEngine {
     /// Candidates are pruned with the MINDIST/MAXDIST bound lifted to
     /// the issuer *region* (two R-tree probes), then refined with
     /// `method`.
+    ///
+    /// NN queries are not range queries, so this path stays outside the
+    /// filter→prune→refine [`QueryPipeline`].
     pub fn ipnn(&self, issuer: &Issuer, method: crate::eval::nn::NnMethod) -> QueryAnswer {
-        let start = Instant::now();
+        let start = std::time::Instant::now();
         let mut answer = QueryAnswer::default();
         let mut rng = StdRng::seed_from_u64(DEFAULT_QUERY_SEED);
         let locs: Vec<Point> = self.objects.iter().map(|o| o.loc).collect();
@@ -216,35 +218,41 @@ impl PointEngine {
         integrator: Integrator,
     ) -> QueryAnswer {
         assert!((0.0..=1.0).contains(&qp), "threshold must be in [0, 1]");
-        let start = Instant::now();
-        let mut answer = QueryAnswer::default();
-        let mut rng = StdRng::seed_from_u64(DEFAULT_QUERY_SEED);
+        let query = PreparedQuery::new(issuer, range);
         let filter = match strategy {
-            CipqStrategy::MinkowskiSum => minkowski_query(issuer, range),
+            CipqStrategy::MinkowskiSum => query.expanded,
             CipqStrategy::PExpanded => p_expanded_query(issuer, range, qp).1,
         };
-        let candidates = self.tree.query_range(filter, &mut answer.stats.access);
-        for idx in candidates {
-            let obj = &self.objects[idx as usize];
-            let pi = integrator.point_probability(
-                issuer.pdf(),
-                range,
-                obj.loc,
-                &mut rng,
-                &mut answer.stats,
-            );
-            if pi >= qp && pi > 0.0 {
-                answer.results.push(Match {
-                    id: obj.id,
-                    probability: pi,
-                });
-            } else {
-                answer.stats.refined_out += 1;
-            }
+        self.run(
+            query,
+            filter,
+            &DualityEvaluator,
+            AcceptPolicy::AtLeast(qp),
+            integrator,
+        )
+    }
+
+    /// Answers a request slice in parallel on all cores; answers are
+    /// bit-identical to issuing each request sequentially.
+    pub fn execute_batch(&self, requests: &[PointRequest]) -> Vec<QueryAnswer> {
+        execute_batch(self, requests)
+    }
+}
+
+impl BatchEngine for PointEngine {
+    type Request = PointRequest;
+
+    fn execute_one(&self, request: &PointRequest) -> QueryAnswer {
+        match request.constraint {
+            None => self.ipq_with(&request.issuer, request.range, request.integrator),
+            Some(c) => self.cipq_with(
+                &request.issuer,
+                request.range,
+                c.qp,
+                c.strategy,
+                request.integrator,
+            ),
         }
-        answer.finalize();
-        answer.stats.elapsed = start.elapsed();
-        answer
     }
 }
 
@@ -361,7 +369,12 @@ mod tests {
     #[should_panic(expected = "threshold")]
     fn cipq_rejects_bad_threshold() {
         let engine = PointEngine::build(grid_points());
-        let _ = engine.cipq(&issuer(), RangeSpec::square(10.0), 1.5, CipqStrategy::PExpanded);
+        let _ = engine.cipq(
+            &issuer(),
+            RangeSpec::square(10.0),
+            1.5,
+            CipqStrategy::PExpanded,
+        );
     }
 
     #[test]
@@ -407,10 +420,8 @@ mod tests {
     #[test]
     fn ipnn_certain_when_one_point_dominates() {
         use crate::eval::nn::NnMethod;
-        let engine = PointEngine::build(vec![
-            Point::new(500.0, 500.0),
-            Point::new(5_000.0, 5_000.0),
-        ]);
+        let engine =
+            PointEngine::build(vec![Point::new(500.0, 500.0), Point::new(5_000.0, 5_000.0)]);
         let iss = Issuer::uniform(Rect::centered(Point::new(510.0, 505.0), 30.0, 30.0));
         let ans = engine.ipnn(&iss, NnMethod::MonteCarlo { samples: 500 });
         assert_eq!(ans.results.len(), 1);

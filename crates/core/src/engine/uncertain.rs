@@ -1,20 +1,20 @@
-//! Engine for uncertain-object databases (IUQ / C-IUQ).
-
-use std::time::Instant;
+//! Engine for uncertain-object databases (IUQ / C-IUQ) — a thin facade
+//! over [`crate::pipeline::QueryPipeline`]: it owns the object table,
+//! the R-tree and the PTI, and assembles one pipeline per query.
 
 use iloc_index::{Pti, PtiParams, PtiQuery, RTree, RTreeParams, RangeIndex};
 use iloc_uncertainty::UncertainObject;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use crate::eval::basic;
-use crate::eval::constrained::{try_prune, PruneContext, PruneOutcome};
-use crate::expand::{minkowski_query, p_expanded_query};
+use crate::eval::constrained::PruneContext;
+use crate::expand::p_expanded_query;
 use crate::integrate::Integrator;
+use crate::pipeline::{
+    execute_batch, AcceptPolicy, BasicEvaluator, BatchEngine, DualityEvaluator, ExecutionContext,
+    PreparedQuery, ProbabilityEvaluator, PruneChain, PtiFilter, QueryPipeline, RectFilter,
+    UncertainRequest,
+};
 use crate::query::{CiuqStrategy, Issuer, RangeSpec};
-use crate::result::{Match, QueryAnswer};
-
-use super::DEFAULT_QUERY_SEED;
+use crate::result::QueryAnswer;
 
 /// An uncertain-object database with both a plain R-tree and a PTI,
 /// answering IUQ and C-IUQ.
@@ -83,8 +83,10 @@ impl UncertainEngine {
         );
         let idx = self.objects.len() as u32;
         self.tree.insert(object.region(), idx);
-        self.pti
-            .insert(object.catalog().bounds().iter().map(|b| b.rect).collect(), idx);
+        self.pti.insert(
+            object.catalog().bounds().iter().map(|b| b.rect).collect(),
+            idx,
+        );
         self.objects.push(object);
     }
 
@@ -114,6 +116,30 @@ impl UncertainEngine {
         self.tree.query_range(filter, stats)
     }
 
+    /// Assembles and runs one R-tree-filtered pipeline (the Minkowski
+    /// plans share this; the PTI plan builds its own filter + pruning
+    /// chain in [`Self::ciuq_with`]).
+    fn run_rtree(
+        &self,
+        query: PreparedQuery<'_>,
+        refine: &dyn ProbabilityEvaluator<UncertainObject>,
+        accept: AcceptPolicy,
+        integrator: Integrator,
+    ) -> QueryAnswer {
+        QueryPipeline {
+            query,
+            objects: &self.objects,
+            filter: RectFilter {
+                index: &self.tree,
+                query: query.expanded,
+            },
+            prune: PruneChain::none(),
+            refine,
+            accept,
+        }
+        .execute(&mut ExecutionContext::new(integrator))
+    }
+
     /// **IUQ** (Definition 4) via the enhanced pipeline: Minkowski
     /// filter + Lemma 4 refinement with the best available integrator.
     pub fn iuq(&self, issuer: &Issuer, range: RangeSpec) -> QueryAnswer {
@@ -121,65 +147,27 @@ impl UncertainEngine {
     }
 
     /// IUQ with an explicit integrator.
-    pub fn iuq_with(&self, issuer: &Issuer, range: RangeSpec, integrator: Integrator) -> QueryAnswer {
-        let start = Instant::now();
-        let mut answer = QueryAnswer::default();
-        let mut rng = StdRng::seed_from_u64(DEFAULT_QUERY_SEED);
-        let expanded = minkowski_query(issuer, range);
-        let candidates = self.tree.query_range(expanded, &mut answer.stats.access);
-        for idx in candidates {
-            let obj = &self.objects[idx as usize];
-            let pi = integrator.object_probability(
-                issuer.pdf(),
-                range,
-                obj.pdf(),
-                expanded,
-                &mut rng,
-                &mut answer.stats,
-            );
-            if pi > 0.0 {
-                answer.results.push(Match {
-                    id: obj.id,
-                    probability: pi,
-                });
-            } else {
-                answer.stats.refined_out += 1;
-            }
-        }
-        answer.finalize();
-        answer.stats.elapsed = start.elapsed();
-        answer
+    pub fn iuq_with(
+        &self,
+        issuer: &Issuer,
+        range: RangeSpec,
+        integrator: Integrator,
+    ) -> QueryAnswer {
+        let query = PreparedQuery::new(issuer, range);
+        self.run_rtree(query, &DualityEvaluator, AcceptPolicy::Positive, integrator)
     }
 
     /// IUQ via the **basic method** (Section 3.3, Eq. 4): numerical
     /// integration over the issuer region for every candidate — the
     /// slow baseline of Figure 8.
     pub fn iuq_basic(&self, issuer: &Issuer, range: RangeSpec, per_axis: usize) -> QueryAnswer {
-        let start = Instant::now();
-        let mut answer = QueryAnswer::default();
-        let expanded = minkowski_query(issuer, range);
-        let candidates = self.tree.query_range(expanded, &mut answer.stats.access);
-        for idx in candidates {
-            let obj = &self.objects[idx as usize];
-            let pi = basic::object_probability(
-                issuer.pdf(),
-                range,
-                obj.pdf(),
-                per_axis,
-                &mut answer.stats,
-            );
-            if pi > 0.0 {
-                answer.results.push(Match {
-                    id: obj.id,
-                    probability: pi,
-                });
-            } else {
-                answer.stats.refined_out += 1;
-            }
-        }
-        answer.finalize();
-        answer.stats.elapsed = start.elapsed();
-        answer
+        let query = PreparedQuery::new(issuer, range);
+        self.run_rtree(
+            query,
+            &BasicEvaluator { per_axis },
+            AcceptPolicy::Positive,
+            Integrator::Auto,
+        )
     }
 
     /// **C-IUQ** (Definition 6): objects with `pi ≥ qp`, with the index
@@ -205,90 +193,80 @@ impl UncertainEngine {
         integrator: Integrator,
     ) -> QueryAnswer {
         assert!((0.0..=1.0).contains(&qp), "threshold must be in [0, 1]");
-        let start = Instant::now();
-        let mut answer = QueryAnswer::default();
-        let mut rng = StdRng::seed_from_u64(DEFAULT_QUERY_SEED);
-        let expanded = minkowski_query(issuer, range);
-
-        let candidates = match strategy {
-            CiuqStrategy::RTreeMinkowski => {
-                self.tree.query_range(expanded, &mut answer.stats.access)
-            }
+        let query = PreparedQuery::new(issuer, range);
+        match strategy {
+            // The paper's baseline: plain R-tree + Minkowski filter,
+            // no pruning — every candidate is refined.
+            CiuqStrategy::RTreeMinkowski => self.run_rtree(
+                query,
+                &DualityEvaluator,
+                AcceptPolicy::AtLeast(qp),
+                integrator,
+            ),
+            // PTI filter + the Section 5.2 object-level pruning chain.
+            // At `qp = 0` no object can ever be pruned (every test
+            // bounds `pi` by a positive level), so the chain is empty.
             CiuqStrategy::PtiPExpanded => {
                 let (_, p_expanded) = p_expanded_query(issuer, range, qp);
-                let q = PtiQuery {
-                    expanded,
-                    p_expanded,
-                    threshold: qp,
+                let prune = if qp > 0.0 {
+                    PruneChain::section_5_2(PruneContext {
+                        qp,
+                        expanded: query.expanded,
+                        p_expanded,
+                        issuer,
+                        range,
+                    })
+                } else {
+                    PruneChain::none()
                 };
-                self.pti.query(&q, &mut answer.stats.access)
-            }
-        };
-
-        // Object-level pruning (Strategies 1–3) before any integral —
-        // only for the PTI pipeline; the R-tree baseline refines every
-        // candidate, as in the paper's comparison. At `qp = 0` no
-        // object can ever be pruned (every test bounds `pi` by a
-        // positive level), so skip the tests entirely.
-        let prune_ctx = match strategy {
-            CiuqStrategy::PtiPExpanded if qp > 0.0 => {
-                let (_, p_expanded) = p_expanded_query(issuer, range, qp);
-                Some(PruneContext {
-                    qp,
-                    expanded,
-                    p_expanded,
-                    issuer,
-                    range,
-                })
-            }
-            _ => None,
-        };
-
-        for idx in candidates {
-            let obj = &self.objects[idx as usize];
-            if let Some(ctx) = &prune_ctx {
-                match try_prune(obj, ctx) {
-                    PruneOutcome::Strategy1 => {
-                        answer.stats.pruned_s1 += 1;
-                        continue;
-                    }
-                    PruneOutcome::Strategy2 => {
-                        answer.stats.pruned_s2 += 1;
-                        continue;
-                    }
-                    PruneOutcome::Strategy3 => {
-                        answer.stats.pruned_s3 += 1;
-                        continue;
-                    }
-                    PruneOutcome::Keep => {}
+                QueryPipeline {
+                    query,
+                    objects: &self.objects,
+                    filter: PtiFilter {
+                        index: &self.pti,
+                        query: PtiQuery {
+                            expanded: query.expanded,
+                            p_expanded,
+                            threshold: qp,
+                        },
+                    },
+                    prune,
+                    refine: &DualityEvaluator,
+                    accept: AcceptPolicy::AtLeast(qp),
                 }
-            }
-            let pi = integrator.object_probability(
-                issuer.pdf(),
-                range,
-                obj.pdf(),
-                expanded,
-                &mut rng,
-                &mut answer.stats,
-            );
-            if pi >= qp && pi > 0.0 {
-                answer.results.push(Match {
-                    id: obj.id,
-                    probability: pi,
-                });
-            } else {
-                answer.stats.refined_out += 1;
+                .execute(&mut ExecutionContext::new(integrator))
             }
         }
-        answer.finalize();
-        answer.stats.elapsed = start.elapsed();
-        answer
+    }
+
+    /// Answers a request slice in parallel on all cores; answers are
+    /// bit-identical to issuing each request sequentially.
+    pub fn execute_batch(&self, requests: &[UncertainRequest]) -> Vec<QueryAnswer> {
+        execute_batch(self, requests)
+    }
+}
+
+impl BatchEngine for UncertainEngine {
+    type Request = UncertainRequest;
+
+    fn execute_one(&self, request: &UncertainRequest) -> QueryAnswer {
+        match request.constraint {
+            None => self.iuq_with(&request.issuer, request.range, request.integrator),
+            Some(c) => self.ciuq_with(
+                &request.issuer,
+                request.range,
+                c.qp,
+                c.strategy,
+                request.integrator,
+            ),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expand::minkowski_query;
     use iloc_geometry::{Point, Rect};
     use iloc_uncertainty::UniformPdf;
 

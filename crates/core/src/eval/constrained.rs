@@ -121,7 +121,7 @@ mod tests {
     use crate::integrate::Integrator;
     use crate::stats::QueryStats;
     use iloc_geometry::Point;
-    use iloc_uncertainty::{UniformPdf, UncertainObject};
+    use iloc_uncertainty::{UncertainObject, UniformPdf};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -151,7 +151,10 @@ mod tests {
         // Strategy 2.
         let c = ctx(&issuer, range, 0.5);
         let o = obj(Rect::from_coords(95.0, 95.0, 118.0, 118.0));
-        assert!(o.region().overlaps(c.expanded), "test setup: in Minkowski sum");
+        assert!(
+            o.region().overlaps(c.expanded),
+            "test setup: in Minkowski sum"
+        );
         assert_eq!(try_prune(&o, &c), PruneOutcome::Strategy2);
     }
 

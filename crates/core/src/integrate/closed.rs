@@ -183,8 +183,8 @@ mod tests {
         let range = RangeSpec::new(12.0, 18.0);
         let expanded = expanded(u0, range);
         let reference = uniform_uniform(u0, ui, range, expanded);
-        let via_separable =
-            uniform_separable(u0, &UniformPdf::new(ui), range, expanded).expect("uniform is separable");
+        let via_separable = uniform_separable(u0, &UniformPdf::new(ui), range, expanded)
+            .expect("uniform is separable");
         assert!((reference - via_separable).abs() < 1e-12);
     }
 
@@ -218,8 +218,8 @@ mod tests {
 
     #[test]
     fn separable_returns_none_for_non_separable_pdfs() {
-        use iloc_uncertainty::DiscPdf;
         use iloc_geometry::Point;
+        use iloc_uncertainty::DiscPdf;
         let u0 = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
         let object = DiscPdf::new(Point::new(12.0, 5.0), 4.0);
         let range = RangeSpec::square(5.0);

@@ -125,8 +125,12 @@ mod tests {
         let object = UniformPdf::new(Rect::from_coords(40.0, 10.0, 90.0, 60.0));
         let range = RangeSpec::square(20.0);
         let expanded = expand_query(issuer.region(), 20.0, 20.0);
-        let exact =
-            super::super::closed::uniform_uniform(issuer.region(), object.region(), range, expanded);
+        let exact = super::super::closed::uniform_uniform(
+            issuer.region(),
+            object.region(),
+            range,
+            expanded,
+        );
         let mut s = QueryStats::new();
         let coarse = object_probability(&issuer, range, &object, expanded, 10, &mut s);
         let fine = object_probability(&issuer, range, &object, expanded, 160, &mut s);

@@ -82,7 +82,8 @@ mod tests {
     #[test]
     fn object_estimator_matches_quadrature_for_gaussian() {
         let issuer = TruncatedGaussianPdf::paper_default(Rect::from_coords(0.0, 0.0, 60.0, 60.0));
-        let object = TruncatedGaussianPdf::paper_default(Rect::from_coords(40.0, 20.0, 100.0, 80.0));
+        let object =
+            TruncatedGaussianPdf::paper_default(Rect::from_coords(40.0, 20.0, 100.0, 80.0));
         let range = RangeSpec::square(20.0);
         let expanded = expand_query(issuer.region(), 20.0, 20.0);
         let mut rng = StdRng::seed_from_u64(6);

@@ -101,9 +101,9 @@ impl Integrator {
                 // Exact whenever the issuer is uniform and the object
                 // pdf is axis-separable (uniform, truncated Gaussian);
                 // the paper's Monte-Carlo otherwise.
-                let exact = issuer_pdf.uniform_region().and_then(|u0| {
-                    closed::uniform_separable(u0, object_pdf, range, expanded)
-                });
+                let exact = issuer_pdf
+                    .uniform_region()
+                    .and_then(|u0| closed::uniform_separable(u0, object_pdf, range, expanded));
                 match exact {
                     Some(p) => p,
                     None => mc::object_probability(
@@ -125,9 +125,9 @@ impl Integrator {
                     .expect("Integrator::Exact requires uniform object pdfs for IUQ");
                 closed::uniform_uniform(u0, ui, range, expanded)
             }
-            Integrator::Grid { per_axis } => grid::object_probability(
-                issuer_pdf, range, object_pdf, expanded, per_axis, stats,
-            ),
+            Integrator::Grid { per_axis } => {
+                grid::object_probability(issuer_pdf, range, object_pdf, expanded, per_axis, stats)
+            }
             Integrator::MonteCarlo { samples } => {
                 mc::object_probability(issuer_pdf, range, object_pdf, samples, rng, stats)
             }
@@ -156,20 +156,43 @@ mod tests {
 
         let mut stats = QueryStats::new();
         let exact = Integrator::Exact.object_probability(
-            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+            &issuer,
+            range,
+            &object,
+            expanded,
+            &mut rng(),
+            &mut stats,
         );
         let gridv = Integrator::Grid { per_axis: 200 }.object_probability(
-            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+            &issuer,
+            range,
+            &object,
+            expanded,
+            &mut rng(),
+            &mut stats,
         );
         let mcv = Integrator::MonteCarlo { samples: 60_000 }.object_probability(
-            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+            &issuer,
+            range,
+            &object,
+            expanded,
+            &mut rng(),
+            &mut stats,
         );
         let auto = Integrator::Auto.object_probability(
-            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+            &issuer,
+            range,
+            &object,
+            expanded,
+            &mut rng(),
+            &mut stats,
         );
         assert!(exact > 0.0 && exact < 1.0, "non-trivial case: {exact}");
         assert_eq!(auto, exact, "Auto must take the exact path");
-        assert!((gridv - exact).abs() < 1e-3, "grid {gridv} vs exact {exact}");
+        assert!(
+            (gridv - exact).abs() < 1e-3,
+            "grid {gridv} vs exact {exact}"
+        );
         assert!((mcv - exact).abs() < 0.01, "mc {mcv} vs exact {exact}");
         assert!(stats.mc_samples >= 60_000);
         assert!(stats.grid_cells > 0);
@@ -183,12 +206,25 @@ mod tests {
         let mut stats = QueryStats::new();
         let exact =
             Integrator::Exact.point_probability(&issuer, range, loc, &mut rng(), &mut stats);
-        let gridv = Integrator::Grid { per_axis: 300 }
-            .point_probability(&issuer, range, loc, &mut rng(), &mut stats);
-        let mcv = Integrator::MonteCarlo { samples: 100_000 }
-            .point_probability(&issuer, range, loc, &mut rng(), &mut stats);
+        let gridv = Integrator::Grid { per_axis: 300 }.point_probability(
+            &issuer,
+            range,
+            loc,
+            &mut rng(),
+            &mut stats,
+        );
+        let mcv = Integrator::MonteCarlo { samples: 100_000 }.point_probability(
+            &issuer,
+            range,
+            loc,
+            &mut rng(),
+            &mut stats,
+        );
         assert!(exact > 0.0 && exact < 1.0);
-        assert!((gridv - exact).abs() < 2e-3, "grid {gridv} vs exact {exact}");
+        assert!(
+            (gridv - exact).abs() < 2e-3,
+            "grid {gridv} vs exact {exact}"
+        );
         assert!((mcv - exact).abs() < 0.01, "mc {mcv} vs exact {exact}");
     }
 
@@ -201,7 +237,12 @@ mod tests {
         let expanded = expand_query(issuer.region(), 2.0, 2.0);
         let mut stats = QueryStats::new();
         let _ = Integrator::Exact.object_probability(
-            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+            &issuer,
+            range,
+            &object,
+            expanded,
+            &mut rng(),
+            &mut stats,
         );
     }
 
@@ -211,18 +252,32 @@ mod tests {
         // use the closed form — zero sampling — and agree with fine
         // quadrature.
         let issuer = UniformPdf::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0));
-        let object = TruncatedGaussianPdf::paper_default(Rect::from_coords(60.0, 60.0, 140.0, 140.0));
+        let object =
+            TruncatedGaussianPdf::paper_default(Rect::from_coords(60.0, 60.0, 140.0, 140.0));
         let range = RangeSpec::square(30.0);
         let expanded = expand_query(issuer.region(), 30.0, 30.0);
         let mut stats = QueryStats::new();
         let auto = Integrator::Auto.object_probability(
-            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+            &issuer,
+            range,
+            &object,
+            expanded,
+            &mut rng(),
+            &mut stats,
         );
         assert_eq!(stats.mc_samples, 0, "closed form must not sample");
         let reference = Integrator::Grid { per_axis: 250 }.object_probability(
-            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+            &issuer,
+            range,
+            &object,
+            expanded,
+            &mut rng(),
+            &mut stats,
         );
-        assert!((auto - reference).abs() < 2e-3, "auto {auto} vs ref {reference}");
+        assert!(
+            (auto - reference).abs() < 2e-3,
+            "auto {auto} vs ref {reference}"
+        );
     }
 
     #[test]
@@ -237,12 +292,25 @@ mod tests {
         let expanded = expand_query(issuer.region(), 30.0, 30.0);
         let mut stats = QueryStats::new();
         let auto = Integrator::Auto.object_probability(
-            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+            &issuer,
+            range,
+            &object,
+            expanded,
+            &mut rng(),
+            &mut stats,
         );
         assert_eq!(stats.mc_samples as usize, PAPER_MC_SAMPLES_UNCERTAIN);
         let reference = Integrator::Grid { per_axis: 250 }.object_probability(
-            &issuer, range, &object, expanded, &mut rng(), &mut stats,
+            &issuer,
+            range,
+            &object,
+            expanded,
+            &mut rng(),
+            &mut stats,
         );
-        assert!((auto - reference).abs() < 0.08, "auto {auto} vs ref {reference}");
+        assert!(
+            (auto - reference).abs() < 0.08,
+            "auto {auto} vs ref {reference}"
+        );
     }
 }

@@ -26,9 +26,12 @@
 //!   uniform pdfs (Eq. 6 / Eq. 8).
 //! * [`eval::constrained`] — the three C-IUQ pruning strategies of
 //!   Section 5.2 built on p-bounds and U-catalogs.
+//! * [`pipeline`] — the **unified query-execution pipeline**: every
+//!   query type runs the same explicit filter → prune → refine plan,
+//!   batchable across all cores with [`pipeline::execute_batch`].
 //! * [`engine`] — [`engine::PointEngine`] and
-//!   [`engine::UncertainEngine`] tie the pieces to the
-//!   spatial indexes (R-tree, PTI) of `iloc-index`.
+//!   [`engine::UncertainEngine`], thin facades that tie the pipeline to
+//!   the spatial indexes (R-tree, PTI) of `iloc-index`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +41,7 @@ pub mod engine;
 pub mod eval;
 pub mod expand;
 pub mod integrate;
+pub mod pipeline;
 pub mod quality;
 pub mod query;
 pub mod result;
@@ -46,8 +50,11 @@ pub mod stats;
 pub use continuous::ContinuousIpq;
 pub use engine::{PointEngine, UncertainEngine};
 pub use expand::{minkowski_query, p_expanded_query};
-pub use quality::{assess, QualityReport};
 pub use integrate::Integrator;
+pub use pipeline::{
+    execute_batch, BatchEngine, ExecutionContext, PointRequest, QueryPipeline, UncertainRequest,
+};
+pub use quality::{assess, QualityReport};
 pub use query::{CipqStrategy, CiuqStrategy, Issuer, RangeSpec};
 pub use result::{Match, QueryAnswer};
 pub use stats::QueryStats;
@@ -57,6 +64,9 @@ pub mod prelude {
     pub use crate::continuous::ContinuousIpq;
     pub use crate::engine::{PointEngine, UncertainEngine};
     pub use crate::integrate::Integrator;
+    pub use crate::pipeline::{
+        execute_batch, BatchEngine, ExecutionContext, PointRequest, UncertainRequest,
+    };
     pub use crate::quality::{assess, QualityReport};
     pub use crate::query::{CipqStrategy, CiuqStrategy, Issuer, RangeSpec};
     pub use crate::result::{Match, QueryAnswer};

@@ -1,0 +1,270 @@
+//! Batched query execution: rayon fan-out of request slices with
+//! per-query execution contexts.
+//!
+//! A deployed location service does not answer one query at a time; it
+//! drains a queue of requests from millions of issuers. [`execute_batch`]
+//! runs any [`BatchEngine`] over a request slice on all cores. Because
+//! every query gets a **fresh context seeded identically to the
+//! sequential path**, parallel answers are bit-identical to
+//! [`execute_batch_sequential`] — determinism is a property of the
+//! plan, not of scheduling.
+
+use rayon::prelude::*;
+
+use crate::integrate::Integrator;
+use crate::query::{CipqStrategy, CiuqStrategy, Issuer, RangeSpec};
+use crate::result::QueryAnswer;
+
+/// An engine that can answer self-contained query requests; the batch
+/// executors fan its `execute_one` out over request slices.
+pub trait BatchEngine: Sync {
+    /// One self-contained query request.
+    type Request: Sync;
+
+    /// Answers one request exactly as the corresponding sequential
+    /// engine method would.
+    fn execute_one(&self, request: &Self::Request) -> QueryAnswer;
+}
+
+/// Answers every request in parallel (rayon work distribution across
+/// all cores), preserving request order in the output.
+pub fn execute_batch<E: BatchEngine>(engine: &E, requests: &[E::Request]) -> Vec<QueryAnswer> {
+    requests
+        .par_iter()
+        .map(|request| engine.execute_one(request))
+        .collect()
+}
+
+/// Answers every request on the calling thread — the reference the
+/// parallel path is property-tested against.
+pub fn execute_batch_sequential<E: BatchEngine>(
+    engine: &E,
+    requests: &[E::Request],
+) -> Vec<QueryAnswer> {
+    requests
+        .iter()
+        .map(|request| engine.execute_one(request))
+        .collect()
+}
+
+/// The constrained part of a point request (C-IPQ, Definition 5).
+#[derive(Debug, Clone, Copy)]
+pub struct PointConstraint {
+    /// Probability threshold `Qp`.
+    pub qp: f64,
+    /// Filter strategy to compare (Figure 11).
+    pub strategy: CipqStrategy,
+}
+
+/// One self-contained request against a point database: an IPQ, or a
+/// C-IPQ when a constraint is present.
+#[derive(Debug, Clone)]
+pub struct PointRequest {
+    /// The imprecise issuer.
+    pub issuer: Issuer,
+    /// The range shape.
+    pub range: RangeSpec,
+    /// Integrator for the refine stage.
+    pub integrator: Integrator,
+    /// Optional C-IPQ constraint.
+    pub constraint: Option<PointConstraint>,
+}
+
+impl PointRequest {
+    /// An unconstrained IPQ request.
+    pub fn ipq(issuer: Issuer, range: RangeSpec) -> Self {
+        PointRequest {
+            issuer,
+            range,
+            integrator: Integrator::Auto,
+            constraint: None,
+        }
+    }
+
+    /// A constrained C-IPQ request.
+    pub fn cipq(issuer: Issuer, range: RangeSpec, qp: f64, strategy: CipqStrategy) -> Self {
+        PointRequest {
+            issuer,
+            range,
+            integrator: Integrator::Auto,
+            constraint: Some(PointConstraint { qp, strategy }),
+        }
+    }
+
+    /// Overrides the integrator (the experiments use Monte-Carlo for
+    /// non-uniform pdfs).
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
+        self
+    }
+}
+
+/// The constrained part of an uncertain request (C-IUQ, Definition 6).
+#[derive(Debug, Clone, Copy)]
+pub struct UncertainConstraint {
+    /// Probability threshold `Qp`.
+    pub qp: f64,
+    /// Index / pruning combination to use (Figure 12).
+    pub strategy: CiuqStrategy,
+}
+
+/// One self-contained request against an uncertain-object database: an
+/// IUQ, or a C-IUQ when a constraint is present.
+#[derive(Debug, Clone)]
+pub struct UncertainRequest {
+    /// The imprecise issuer.
+    pub issuer: Issuer,
+    /// The range shape.
+    pub range: RangeSpec,
+    /// Integrator for the refine stage.
+    pub integrator: Integrator,
+    /// Optional C-IUQ constraint.
+    pub constraint: Option<UncertainConstraint>,
+}
+
+impl UncertainRequest {
+    /// An unconstrained IUQ request.
+    pub fn iuq(issuer: Issuer, range: RangeSpec) -> Self {
+        UncertainRequest {
+            issuer,
+            range,
+            integrator: Integrator::Auto,
+            constraint: None,
+        }
+    }
+
+    /// A constrained C-IUQ request.
+    pub fn ciuq(issuer: Issuer, range: RangeSpec, qp: f64, strategy: CiuqStrategy) -> Self {
+        UncertainRequest {
+            issuer,
+            range,
+            integrator: Integrator::Auto,
+            constraint: Some(UncertainConstraint { qp, strategy }),
+        }
+    }
+
+    /// Overrides the integrator.
+    pub fn with_integrator(mut self, integrator: Integrator) -> Self {
+        self.integrator = integrator;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{PointEngine, UncertainEngine};
+    use iloc_geometry::{Point, Rect};
+    use iloc_uncertainty::{UncertainObject, UniformPdf};
+
+    fn point_engine() -> PointEngine {
+        PointEngine::build(
+            (0..400)
+                .map(|k| Point::new((k % 20) as f64 * 50.0, (k / 20) as f64 * 50.0))
+                .collect(),
+        )
+    }
+
+    fn uncertain_engine() -> UncertainEngine {
+        UncertainEngine::build(
+            (0..100)
+                .map(|k| {
+                    let c = Point::new(
+                        (k % 10) as f64 * 100.0 + 50.0,
+                        (k / 10) as f64 * 100.0 + 50.0,
+                    );
+                    UncertainObject::new(k as u64, UniformPdf::new(Rect::centered(c, 20.0, 20.0)))
+                })
+                .collect(),
+        )
+    }
+
+    fn point_requests() -> Vec<PointRequest> {
+        (0..64)
+            .map(|k| {
+                let c = Point::new(100.0 + k as f64 * 12.0, 300.0 + (k % 7) as f64 * 30.0);
+                let issuer = Issuer::uniform(Rect::centered(c, 60.0, 60.0));
+                if k % 3 == 0 {
+                    PointRequest::cipq(
+                        issuer,
+                        RangeSpec::square(80.0),
+                        0.2,
+                        CipqStrategy::PExpanded,
+                    )
+                } else {
+                    PointRequest::ipq(issuer, RangeSpec::square(80.0))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_point_batch_is_bit_identical_to_sequential() {
+        let engine = point_engine();
+        let requests = point_requests();
+        let par = execute_batch(&engine, &requests);
+        let seq = execute_batch_sequential(&engine, &requests);
+        assert_eq!(par.len(), seq.len());
+        for (k, (a, b)) in par.iter().zip(&seq).enumerate() {
+            assert!(a.same_matches(b), "request {k} diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_uncertain_batch_is_bit_identical_to_sequential() {
+        let engine = uncertain_engine();
+        let requests: Vec<UncertainRequest> = (0..48)
+            .map(|k| {
+                let c = Point::new(80.0 + k as f64 * 18.0, 500.0);
+                let issuer = Issuer::uniform(Rect::centered(c, 80.0, 80.0));
+                match k % 3 {
+                    0 => UncertainRequest::iuq(issuer, RangeSpec::square(120.0)),
+                    1 => UncertainRequest::ciuq(
+                        issuer,
+                        RangeSpec::square(120.0),
+                        0.3,
+                        CiuqStrategy::PtiPExpanded,
+                    ),
+                    _ => UncertainRequest::ciuq(
+                        issuer,
+                        RangeSpec::square(120.0),
+                        0.3,
+                        CiuqStrategy::RTreeMinkowski,
+                    ),
+                }
+            })
+            .collect();
+        let par = execute_batch(&engine, &requests);
+        let seq = execute_batch_sequential(&engine, &requests);
+        assert_eq!(par.len(), seq.len());
+        for (k, (a, b)) in par.iter().zip(&seq).enumerate() {
+            assert!(a.same_matches(b), "request {k} diverged");
+        }
+    }
+
+    #[test]
+    fn batch_answers_match_direct_engine_calls() {
+        let engine = point_engine();
+        let requests = point_requests();
+        let batch = execute_batch(&engine, &requests);
+        for (request, answer) in requests.iter().zip(&batch) {
+            let direct = match request.constraint {
+                None => engine.ipq_with(&request.issuer, request.range, request.integrator),
+                Some(c) => engine.cipq_with(
+                    &request.issuer,
+                    request.range,
+                    c.qp,
+                    c.strategy,
+                    request.integrator,
+                ),
+            };
+            assert!(answer.same_matches(&direct));
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let engine = point_engine();
+        assert!(execute_batch(&engine, &[]).is_empty());
+    }
+}

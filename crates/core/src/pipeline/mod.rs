@@ -1,0 +1,320 @@
+//! The unified query-execution pipeline.
+//!
+//! Both of the paper's engines answer every query with the same shape
+//! of plan — **filter → prune → refine** — which earlier versions of
+//! this workspace had duplicated (with small variations) inside
+//! `PointEngine` and `UncertainEngine`. This module makes the plan an
+//! explicit, composable object so the two engines become thin facades
+//! and later scaling work (sharding, caching, async serving) has one
+//! seam to plug into.
+//!
+//! ## Stages ↔ paper sections
+//!
+//! | Stage | Type | Paper |
+//! |-------|------|-------|
+//! | **Filter** | [`FilterStage`]: [`RectFilter`] over any [`iloc_index::RangeIndex`] backend (R-tree, grid file, naive scan) probed with the Minkowski sum `R ⊕ U0` (Lemma 1, Section 4.1) or a `p`-expanded query (Definition 7 + Lemma 5); [`PtiFilter`] for the PTI's node-level pruning (Section 5.3) | 4.1, 5.1, 5.3 |
+//! | **Prune** | [`PruneChain`] of trait-object [`PruneStage`]s — the three object-level pruning strategies for constrained queries, each recording its eliminations in [`QueryStats`] (`pruned_s1`/`s2`/`s3`) | 5.2 |
+//! | **Refine** | [`ProbabilityEvaluator`]: [`DualityEvaluator`] computes qualification probabilities through the query–data duality closed/numeric forms (Lemmas 2–4) via the context's [`Integrator`]; [`BasicEvaluator`] is the Section 3.3 baseline that integrates over the issuer region (Eq. 2 / Eq. 4) | 3.3, 4.2 |
+//!
+//! Execution state (integrator choice, the seeded RNG and the per-query
+//! cost counters) travels in an [`ExecutionContext`], so a pipeline
+//! value itself is immutable and shareable.
+//!
+//! ## Batching
+//!
+//! [`execute_batch`] runs any slice of requests against a
+//! [`BatchEngine`] on all cores via rayon, one fresh seeded context per
+//! query, so answers are **bit-identical** to sequential execution
+//! (property-tested in `tests/pipeline.rs`).
+//!
+//! ```
+//! use iloc_core::pipeline::{execute_batch, PointRequest};
+//! use iloc_core::{Issuer, PointEngine, RangeSpec};
+//! use iloc_geometry::{Point, Rect};
+//!
+//! let engine = PointEngine::build(vec![Point::new(5.0, 5.0)]);
+//! let requests: Vec<PointRequest> = (0..64)
+//!     .map(|k| {
+//!         let c = Point::new(k as f64, 5.0);
+//!         PointRequest::ipq(Issuer::uniform(Rect::centered(c, 2.0, 2.0)), RangeSpec::square(4.0))
+//!     })
+//!     .collect();
+//! let answers = execute_batch(&engine, &requests);
+//! assert_eq!(answers.len(), 64);
+//! ```
+
+mod batch;
+mod filter;
+mod prune;
+mod refine;
+
+pub use batch::{
+    execute_batch, execute_batch_sequential, BatchEngine, PointConstraint, PointRequest,
+    UncertainConstraint, UncertainRequest,
+};
+pub use filter::{FilterStage, PtiFilter, RectFilter};
+pub use prune::{ExpandedQueryPrune, ProductRulePrune, PruneChain, PruneStage, TailPrune};
+pub use refine::{BasicEvaluator, DualityEvaluator, PipelineObject, ProbabilityEvaluator};
+
+use std::time::Instant;
+
+use iloc_geometry::Rect;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::engine::DEFAULT_QUERY_SEED;
+use crate::expand::minkowski_query;
+use crate::integrate::Integrator;
+use crate::query::{Issuer, RangeSpec};
+use crate::result::{Match, QueryAnswer};
+use crate::stats::QueryStats;
+
+/// Mutable per-execution state threaded through the stages: the
+/// integrator the refine stage uses, the seeded RNG feeding its
+/// Monte-Carlo paths, and the cost counters every stage records into.
+///
+/// One context serves one query execution; batch execution creates a
+/// fresh context per query (same seed), which is what makes parallel
+/// answers bit-identical to sequential ones.
+#[derive(Debug, Clone)]
+pub struct ExecutionContext {
+    /// Strategy for the refine stage's probability integrals.
+    pub integrator: Integrator,
+    /// Deterministic RNG for sampling integrators.
+    pub rng: StdRng,
+    /// Cost counters; moved into the [`QueryAnswer`] on completion.
+    pub stats: QueryStats,
+    seed: u64,
+}
+
+impl ExecutionContext {
+    /// Context with the engine-default RNG seed; query answers are
+    /// deterministic for a given database and query.
+    pub fn new(integrator: Integrator) -> Self {
+        ExecutionContext::seeded(integrator, DEFAULT_QUERY_SEED)
+    }
+
+    /// Context with an explicit RNG seed.
+    pub fn seeded(integrator: Integrator, seed: u64) -> Self {
+        ExecutionContext {
+            integrator,
+            rng: StdRng::seed_from_u64(seed),
+            stats: QueryStats::new(),
+            seed,
+        }
+    }
+
+    /// Returns the context to its post-construction state: zeroed
+    /// stats and a freshly reseeded RNG. Called at the start of every
+    /// [`QueryPipeline::execute`] so a reused context yields the same
+    /// answers as a fresh one.
+    fn reset(&mut self) {
+        self.stats = QueryStats::new();
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// An imprecise range query with its derived geometry, shared by every
+/// stage: the issuer `O0`, the range shape `R`, and the expanded query
+/// `R ⊕ U0` of Lemma 1.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedQuery<'q> {
+    /// The query issuer (pdf + U-catalog).
+    pub issuer: &'q Issuer,
+    /// The range shape.
+    pub range: RangeSpec,
+    /// The Minkowski sum `R ⊕ U0`; objects outside it cannot qualify.
+    pub expanded: Rect,
+}
+
+impl<'q> PreparedQuery<'q> {
+    /// Prepares a query, computing the expanded rectangle.
+    pub fn new(issuer: &'q Issuer, range: RangeSpec) -> Self {
+        PreparedQuery {
+            issuer,
+            range,
+            expanded: minkowski_query(issuer, range),
+        }
+    }
+}
+
+/// Post-refinement acceptance test (the only place IPQ/IUQ differ from
+/// their constrained variants).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AcceptPolicy {
+    /// Keep every strictly positive probability (IPQ / IUQ,
+    /// Definitions 3–4).
+    Positive,
+    /// Keep positive probabilities of at least the threshold `Qp`
+    /// (C-IPQ / C-IUQ, Definitions 5–6).
+    AtLeast(f64),
+}
+
+impl AcceptPolicy {
+    /// Does probability `pi` make the result set?
+    #[inline]
+    pub fn accepts(self, pi: f64) -> bool {
+        match self {
+            AcceptPolicy::Positive => pi > 0.0,
+            AcceptPolicy::AtLeast(qp) => pi > 0.0 && pi >= qp,
+        }
+    }
+}
+
+/// One fully-planned query execution: the object table, the three
+/// stages, and the acceptance policy.
+///
+/// Generic over the object type `O` (point or uncertain) and the
+/// filter backend `F`, which is in turn generic over any
+/// [`iloc_index::RangeIndex`] via [`RectFilter`]. The plan is immutable;
+/// all mutable state lives in the [`ExecutionContext`].
+pub struct QueryPipeline<'p, O, F> {
+    /// The prepared query shared by every stage.
+    pub query: PreparedQuery<'p>,
+    /// The engine's object table; filter output indexes into it.
+    pub objects: &'p [O],
+    /// Filter stage: index probe producing candidate slots.
+    pub filter: F,
+    /// Prune stage: object-level elimination before any integral.
+    pub prune: PruneChain<'p, O>,
+    /// Refine stage: qualification-probability evaluation.
+    pub refine: &'p dyn ProbabilityEvaluator<O>,
+    /// Acceptance policy applied to refined probabilities.
+    pub accept: AcceptPolicy,
+}
+
+impl<O: PipelineObject, F: FilterStage> QueryPipeline<'_, O, F> {
+    /// Runs filter → prune → refine, returning the answer with its
+    /// cost accounting. The context is reset first (zeroed stats,
+    /// reseeded RNG), so executing through a reused context gives the
+    /// same answer as through a fresh one.
+    pub fn execute(&self, ctx: &mut ExecutionContext) -> QueryAnswer {
+        let start = Instant::now();
+        ctx.reset();
+        let mut results = Vec::new();
+        let candidates = self.filter.candidates(&mut ctx.stats.access);
+        for slot in candidates {
+            let object = &self.objects[slot as usize];
+            if self.prune.try_prune(&self.query, object, &mut ctx.stats) {
+                continue;
+            }
+            let pi = self.refine.probability(&self.query, object, ctx);
+            if self.accept.accepts(pi) {
+                results.push(Match {
+                    id: object.object_id(),
+                    probability: pi,
+                });
+            } else {
+                ctx.stats.refined_out += 1;
+            }
+        }
+        let mut answer = QueryAnswer {
+            results,
+            stats: std::mem::take(&mut ctx.stats),
+        };
+        answer.finalize();
+        answer.stats.elapsed = start.elapsed();
+        answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc_geometry::Point;
+    use iloc_index::NaiveIndex;
+    use iloc_uncertainty::PointObject;
+
+    fn objects() -> Vec<PointObject> {
+        (0..10)
+            .map(|k| PointObject::new(k as u64, Point::new(k as f64 * 10.0, 50.0)))
+            .collect()
+    }
+
+    fn naive_index(objs: &[PointObject]) -> NaiveIndex<u32> {
+        NaiveIndex::new(
+            objs.iter()
+                .enumerate()
+                .map(|(k, o)| (Rect::from_point(o.loc), k as u32))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn pipeline_runs_over_any_range_index_backend() {
+        // The same plan executes against a backend the engines never
+        // use — the point of the `RangeIndex`-generic filter stage.
+        let objs = objects();
+        let index = naive_index(&objs);
+        let issuer = Issuer::uniform(Rect::from_coords(40.0, 40.0, 60.0, 60.0));
+        let query = PreparedQuery::new(&issuer, RangeSpec::square(15.0));
+        let pipeline = QueryPipeline {
+            query,
+            objects: &objs,
+            filter: RectFilter {
+                index: &index,
+                query: query.expanded,
+            },
+            prune: PruneChain::none(),
+            refine: &DualityEvaluator,
+            accept: AcceptPolicy::Positive,
+        };
+        let mut ctx = ExecutionContext::new(Integrator::Auto);
+        let answer = pipeline.execute(&mut ctx);
+        assert!(!answer.results.is_empty());
+        for m in &answer.results {
+            assert!(m.probability > 0.0);
+        }
+        // Filter accounting flowed into the answer.
+        assert!(answer.stats.access.candidates > 0);
+        assert_eq!(answer.stats.prob_evals, answer.stats.access.candidates);
+    }
+
+    #[test]
+    fn accept_policy_thresholds() {
+        assert!(AcceptPolicy::Positive.accepts(1e-9));
+        assert!(!AcceptPolicy::Positive.accepts(0.0));
+        assert!(AcceptPolicy::AtLeast(0.5).accepts(0.5));
+        assert!(!AcceptPolicy::AtLeast(0.5).accepts(0.49));
+        assert!(!AcceptPolicy::AtLeast(0.0).accepts(0.0));
+    }
+
+    #[test]
+    fn context_reseeds_deterministically() {
+        let mut a = ExecutionContext::new(Integrator::Auto);
+        let mut b = ExecutionContext::new(Integrator::Auto);
+        use rand::RngCore;
+        assert_eq!(a.rng.next_u64(), b.rng.next_u64());
+    }
+
+    #[test]
+    fn reused_context_gives_bit_identical_answers() {
+        // Monte-Carlo refinement consumes the RNG; a second execute
+        // through the same context must reseed and reproduce the
+        // first answer exactly.
+        let objs = objects();
+        let index = naive_index(&objs);
+        let issuer = Issuer::uniform(Rect::from_coords(40.0, 40.0, 60.0, 60.0));
+        let query = PreparedQuery::new(&issuer, RangeSpec::square(15.0));
+        let pipeline = QueryPipeline {
+            query,
+            objects: &objs,
+            filter: RectFilter {
+                index: &index,
+                query: query.expanded,
+            },
+            prune: PruneChain::none(),
+            refine: &DualityEvaluator,
+            accept: AcceptPolicy::Positive,
+        };
+        let mut shared = ExecutionContext::new(Integrator::MonteCarlo { samples: 200 });
+        let first = pipeline.execute(&mut shared);
+        let second = pipeline.execute(&mut shared);
+        let fresh = pipeline.execute(&mut ExecutionContext::new(Integrator::MonteCarlo {
+            samples: 200,
+        }));
+        assert!(!first.results.is_empty());
+        assert!(first.same_matches(&second));
+        assert!(first.same_matches(&fresh));
+    }
+}

@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use iloc_geometry::{Point, Rect};
-use iloc_uncertainty::{
-    LocationPdf, SharedPdf, TruncatedGaussianPdf, UCatalog, UniformPdf,
-};
+use iloc_uncertainty::{LocationPdf, SharedPdf, TruncatedGaussianPdf, UCatalog, UniformPdf};
 
 /// The range-query shape: an axis-parallel rectangle of half-width `w`
 /// and half-height `h` centred wherever the issuer happens to be
@@ -125,7 +123,10 @@ mod tests {
     #[test]
     fn range_spec_constructors() {
         let r = RangeSpec::new(2.0, 3.0);
-        assert_eq!(r.at(Point::new(10.0, 10.0)), Rect::from_coords(8.0, 7.0, 12.0, 13.0));
+        assert_eq!(
+            r.at(Point::new(10.0, 10.0)),
+            Rect::from_coords(8.0, 7.0, 12.0, 13.0)
+        );
         let s = RangeSpec::square(5.0);
         assert_eq!(s.w, s.h);
     }

@@ -33,6 +33,19 @@ impl QueryAnswer {
             .map(|i| self.results[i].probability)
     }
 
+    /// `true` when `other` reports exactly the same matches: same ids
+    /// in the same order with **bit-identical** probabilities. Stats
+    /// are not compared. This is the determinism contract batched,
+    /// cached, and re-executed plans are tested against.
+    pub fn same_matches(&self, other: &QueryAnswer) -> bool {
+        self.results.len() == other.results.len()
+            && self
+                .results
+                .iter()
+                .zip(&other.results)
+                .all(|(a, b)| a.id == b.id && a.probability.to_bits() == b.probability.to_bits())
+    }
+
     /// Sorts matches by id; called by the engines before returning.
     pub(crate) fn finalize(&mut self) {
         self.results.sort_by_key(|m| m.id);
@@ -58,5 +71,28 @@ mod tests {
         assert_eq!(a.results[0].id, ObjectId(2));
         assert_eq!(a.probability_of(ObjectId(5)), Some(0.5));
         assert_eq!(a.probability_of(ObjectId(9)), None);
+    }
+
+    #[test]
+    fn same_matches_compares_ids_and_bits() {
+        let answer = |ps: &[(u64, f64)]| QueryAnswer {
+            results: ps
+                .iter()
+                .map(|&(id, p)| Match {
+                    id: ObjectId(id),
+                    probability: p,
+                })
+                .collect(),
+            ..Default::default()
+        };
+        let a = answer(&[(1, 0.5), (2, 0.25)]);
+        assert!(a.same_matches(&answer(&[(1, 0.5), (2, 0.25)])));
+        assert!(!a.same_matches(&answer(&[(1, 0.5)])));
+        assert!(!a.same_matches(&answer(&[(1, 0.5), (3, 0.25)])));
+        assert!(!a.same_matches(&answer(&[(1, 0.5), (2, 0.25 + 1e-16)])));
+        // Stats are irrelevant.
+        let mut b = answer(&[(1, 0.5), (2, 0.25)]);
+        b.stats.prob_evals = 99;
+        assert!(a.same_matches(&b));
     }
 }

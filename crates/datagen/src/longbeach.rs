@@ -48,7 +48,10 @@ pub fn long_beach_rects(n: usize, seed: u64) -> Vec<Rect> {
                 pick -= w;
             }
             let (cx, cy, r) = centers[idx];
-            (cx + normal_draw(&mut rng) * r, cy + normal_draw(&mut rng) * r)
+            (
+                cx + normal_draw(&mut rng) * r,
+                cy + normal_draw(&mut rng) * r,
+            )
         } else {
             (
                 rng.gen_range(SPACE.min.x..SPACE.max.x),

@@ -63,7 +63,8 @@ impl Circle {
         let x1 = rect.max.x - self.center.x;
         let y0 = rect.min.y - self.center.y;
         let y1 = rect.max.y - self.center.y;
-        let area = signed_corner_area(x1, y1, r) - signed_corner_area(x0, y1, r)
+        let area = signed_corner_area(x1, y1, r)
+            - signed_corner_area(x0, y1, r)
             - signed_corner_area(x1, y0, r)
             + signed_corner_area(x0, y0, r);
         area.clamp(0.0, self.area().min(rect.area()))
@@ -111,7 +112,10 @@ mod tests {
     #[test]
     fn disjoint_rect_zero_area() {
         let c = unit();
-        assert_eq!(c.intersection_area(Rect::from_coords(2.0, 2.0, 3.0, 3.0)), 0.0);
+        assert_eq!(
+            c.intersection_area(Rect::from_coords(2.0, 2.0, 3.0, 3.0)),
+            0.0
+        );
     }
 
     #[test]
@@ -204,7 +208,10 @@ mod tests {
     #[test]
     fn zero_radius_is_measure_zero() {
         let c = Circle::new(Point::new(0.0, 0.0), 0.0);
-        assert_eq!(c.intersection_area(Rect::from_coords(-1.0, -1.0, 1.0, 1.0)), 0.0);
+        assert_eq!(
+            c.intersection_area(Rect::from_coords(-1.0, -1.0, 1.0, 1.0)),
+            0.0
+        );
         assert_eq!(c.area(), 0.0);
     }
 

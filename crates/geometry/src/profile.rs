@@ -68,10 +68,10 @@ mod tests {
     #[test]
     fn profile_matches_direct_overlap_everywhere() {
         let cases = [
-            (2.0, Interval::new(0.0, 10.0)),  // wide side, plateau = 2w
-            (10.0, Interval::new(0.0, 4.0)),  // narrow side, plateau = |side|
-            (3.0, Interval::new(-5.0, 1.0)),  // negative coordinates
-            (2.0, Interval::new(0.0, 4.0)),   // exactly 2w == |side|
+            (2.0, Interval::new(0.0, 10.0)), // wide side, plateau = 2w
+            (10.0, Interval::new(0.0, 4.0)), // narrow side, plateau = |side|
+            (3.0, Interval::new(-5.0, 1.0)), // negative coordinates
+            (2.0, Interval::new(0.0, 4.0)),  // exactly 2w == |side|
         ];
         for (w, side) in cases {
             let f = overlap_profile(w, side);

@@ -329,7 +329,11 @@ mod tests {
         // Outside on the right: farthest is the opposite corner.
         assert_eq!(a.max_distance(Point::new(5.0, 2.0)), (25.0f64 + 4.0).sqrt());
         // min_distance ≤ max_distance always.
-        for p in [Point::new(-3.0, 7.0), Point::new(1.0, 1.0), Point::new(9.0, -2.0)] {
+        for p in [
+            Point::new(-3.0, 7.0),
+            Point::new(1.0, 1.0),
+            Point::new(9.0, -2.0),
+        ] {
             assert!(a.min_distance(p) <= a.max_distance(p));
         }
         assert_eq!(Rect::EMPTY.max_distance(Point::ORIGIN), f64::INFINITY);

@@ -153,7 +153,12 @@ mod tests {
                 let x = rng.gen_range(0.0..95.0);
                 let y = rng.gen_range(0.0..95.0);
                 (
-                    Rect::from_coords(x, y, x + rng.gen_range(0.0..5.0), y + rng.gen_range(0.0..5.0)),
+                    Rect::from_coords(
+                        x,
+                        y,
+                        x + rng.gen_range(0.0..5.0),
+                        y + rng.gen_range(0.0..5.0),
+                    ),
                     k,
                 )
             })

@@ -69,6 +69,8 @@ mod tests {
         let idx: NaiveIndex<u32> = NaiveIndex::default();
         assert!(idx.is_empty());
         let mut stats = AccessStats::new();
-        assert!(idx.query_range(Rect::from_coords(0.0, 0.0, 1.0, 1.0), &mut stats).is_empty());
+        assert!(idx
+            .query_range(Rect::from_coords(0.0, 0.0, 1.0, 1.0), &mut stats)
+            .is_empty());
     }
 }

@@ -507,7 +507,8 @@ fn quadratic_split_by<E>(
         let d1 = mbr1.hull(rects[i]).area() - mbr1.area();
         let d2 = mbr2.hull(rects[i]).area() - mbr2.area();
         let to_g1 = d1 < d2
-            || (d1 == d2 && (mbr1.area() < mbr2.area() || (mbr1.area() == mbr2.area() && n1 <= n2)));
+            || (d1 == d2
+                && (mbr1.area() < mbr2.area() || (mbr1.area() == mbr2.area() && n1 <= n2)));
         if to_g1 {
             assign[i] = 1;
             mbr1 = mbr1.hull(rects[i]);
@@ -602,7 +603,12 @@ mod tests {
             .map(|_| {
                 let x = rng.gen_range(0.0..950.0);
                 let y = rng.gen_range(0.0..950.0);
-                Rect::from_coords(x, y, x + rng.gen_range(5.0..50.0), y + rng.gen_range(5.0..50.0))
+                Rect::from_coords(
+                    x,
+                    y,
+                    x + rng.gen_range(5.0..50.0),
+                    y + rng.gen_range(5.0..50.0),
+                )
             })
             .collect();
         let objects = regions
@@ -736,7 +742,12 @@ mod tests {
             .map(|_| {
                 let x = rng.gen_range(0.0..950.0);
                 let y = rng.gen_range(0.0..950.0);
-                Rect::from_coords(x, y, x + rng.gen_range(5.0..40.0), y + rng.gen_range(5.0..40.0))
+                Rect::from_coords(
+                    x,
+                    y,
+                    x + rng.gen_range(5.0..40.0),
+                    y + rng.gen_range(5.0..40.0),
+                )
             })
             .collect();
         let bulk = Pti::bulk_load(
@@ -790,8 +801,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "one bound per level")]
     fn insert_rejects_wrong_bound_count() {
-        let mut pti: Pti<usize> =
-            Pti::bulk_load(levels(), Vec::new(), PtiParams::default());
+        let mut pti: Pti<usize> = Pti::bulk_load(levels(), Vec::new(), PtiParams::default());
         pti.insert(vec![Rect::from_coords(0.0, 0.0, 1.0, 1.0)], 0);
     }
 

@@ -51,12 +51,7 @@ impl<T: Copy> RTree<T> {
     /// Returns the `k` stored items nearest to `q` (by `MINDIST` to
     /// their extents), closest first, with their distances. Returns
     /// fewer than `k` when the tree is smaller.
-    pub fn nearest_neighbors(
-        &self,
-        q: Point,
-        k: usize,
-        stats: &mut AccessStats,
-    ) -> Vec<(T, f64)> {
+    pub fn nearest_neighbors(&self, q: Point, k: usize, stats: &mut AccessStats) -> Vec<(T, f64)> {
         use crate::traits::RangeIndex as _;
         let mut out = Vec::with_capacity(k.min(self.len()));
         if k == 0 || self.is_empty() {

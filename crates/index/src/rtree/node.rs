@@ -44,9 +44,7 @@ impl<T: Copy> Node<T> {
     /// MBR over all entries ([`Rect::EMPTY`] for an empty leaf).
     pub fn mbr(&self) -> Rect {
         match &self.kind {
-            NodeKind::Leaf(entries) => entries
-                .iter()
-                .fold(Rect::EMPTY, |acc, &(r, _)| acc.hull(r)),
+            NodeKind::Leaf(entries) => entries.iter().fold(Rect::EMPTY, |acc, &(r, _)| acc.hull(r)),
             NodeKind::Internal(children) => children
                 .iter()
                 .fold(Rect::EMPTY, |acc, &(r, _)| acc.hull(r)),

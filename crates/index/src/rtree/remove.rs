@@ -62,7 +62,10 @@ impl<T: Copy + PartialEq> RTree<T> {
         let min = self.params.min_entries;
         // Leaf: remove in place.
         if let NodeKind::Leaf(entries) = &mut self.nodes[node_idx].kind {
-            let Some(pos) = entries.iter().position(|&(r, it)| r == extent && it == item) else {
+            let Some(pos) = entries
+                .iter()
+                .position(|&(r, it)| r == extent && it == item)
+            else {
                 return false;
             };
             entries.swap_remove(pos);
@@ -169,7 +172,9 @@ mod tests {
         assert!(tree.remove(pt(1.0, 1.0), 1));
         assert!(tree.is_empty());
         let mut stats = AccessStats::new();
-        assert!(tree.query_range(Rect::from_coords(0.0, 0.0, 5.0, 5.0), &mut stats).is_empty());
+        assert!(tree
+            .query_range(Rect::from_coords(0.0, 0.0, 5.0, 5.0), &mut stats)
+            .is_empty());
         // Tree remains usable.
         tree.insert(pt(2.0, 2.0), 2);
         assert_eq!(tree.len(), 1);

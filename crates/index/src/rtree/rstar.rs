@@ -58,9 +58,7 @@ pub fn rstar_split<E: Copy>(entries: Vec<Entry<E>>, min: usize) -> (Vec<Entry<E>
                 let area = g1.area() + g2.area();
                 let better = match &best {
                     None => true,
-                    Some((bo, ba, _, _)) => {
-                        overlap < *bo || (overlap == *bo && area < *ba)
-                    }
+                    Some((bo, ba, _, _)) => overlap < *bo || (overlap == *bo && area < *ba),
                 };
                 if better {
                     best = Some((overlap, area, order.clone(), split_at));
@@ -146,7 +144,12 @@ mod tests {
         for i in 0..4 {
             for j in 0..2 {
                 entries.push((
-                    Rect::from_coords(i as f64 * 2.0, j as f64 * 2.0, i as f64 * 2.0 + 1.0, j as f64 * 2.0 + 1.0),
+                    Rect::from_coords(
+                        i as f64 * 2.0,
+                        j as f64 * 2.0,
+                        i as f64 * 2.0 + 1.0,
+                        j as f64 * 2.0 + 1.0,
+                    ),
                     id,
                 ));
                 id += 1;

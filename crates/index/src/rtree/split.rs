@@ -17,7 +17,10 @@ pub fn entries_mbr<E>(entries: &[Entry<E>]) -> Rect {
 
 /// Splits an overflowing entry list into two groups, each with at least
 /// `min` entries.
-pub fn quadratic_split<E: Copy>(entries: Vec<Entry<E>>, min: usize) -> (Vec<Entry<E>>, Vec<Entry<E>>) {
+pub fn quadratic_split<E: Copy>(
+    entries: Vec<Entry<E>>,
+    min: usize,
+) -> (Vec<Entry<E>>, Vec<Entry<E>>) {
     debug_assert!(entries.len() >= 2 * min, "cannot split below 2*min entries");
     let n = entries.len();
 
@@ -26,9 +29,8 @@ pub fn quadratic_split<E: Copy>(entries: Vec<Entry<E>>, min: usize) -> (Vec<Entr
     let mut worst = f64::NEG_INFINITY;
     for i in 0..n {
         for j in (i + 1)..n {
-            let d = entries[i].0.hull(entries[j].0).area()
-                - entries[i].0.area()
-                - entries[j].0.area();
+            let d =
+                entries[i].0.hull(entries[j].0).area() - entries[i].0.area() - entries[j].0.area();
             if d > worst {
                 worst = d;
                 s1 = i;
@@ -147,7 +149,10 @@ mod tests {
     #[test]
     fn entries_mbr_hulls_all() {
         let entries = vec![(pt(0.0, 0.0), 0), (pt(5.0, -2.0), 1), (pt(3.0, 7.0), 2)];
-        assert_eq!(entries_mbr(&entries), Rect::from_coords(0.0, -2.0, 5.0, 7.0));
+        assert_eq!(
+            entries_mbr(&entries),
+            Rect::from_coords(0.0, -2.0, 5.0, 7.0)
+        );
         assert!(entries_mbr::<usize>(&[]).is_empty());
     }
 }

@@ -70,7 +70,12 @@ fn inserts_maintain_invariants_and_match_oracle() {
     for _ in 0..100 {
         let x = rng.gen_range(-50.0..1050.0);
         let y = rng.gen_range(-50.0..1050.0);
-        let q = Rect::from_coords(x, y, x + rng.gen_range(0.0..200.0), y + rng.gen_range(0.0..200.0));
+        let q = Rect::from_coords(
+            x,
+            y,
+            x + rng.gen_range(0.0..200.0),
+            y + rng.gen_range(0.0..200.0),
+        );
         let mut s1 = AccessStats::new();
         let mut s2 = AccessStats::new();
         assert_eq!(
@@ -145,7 +150,10 @@ fn query_visits_fraction_of_nodes_on_clustered_data() {
     let items = random_rects(5000, 7);
     let tree = RTree::bulk_load(items, RTreeParams::default());
     let mut stats = AccessStats::new();
-    let _ = tree.query_range(Rect::centered(Point::new(500.0, 500.0), 20.0, 20.0), &mut stats);
+    let _ = tree.query_range(
+        Rect::centered(Point::new(500.0, 500.0), 20.0, 20.0),
+        &mut stats,
+    );
     assert!(
         (stats.nodes_visited as usize) < tree.node_count() / 4,
         "visited {} of {} nodes",

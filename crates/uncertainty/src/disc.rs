@@ -91,10 +91,7 @@ impl LocationPdf for DiscPdf {
         let c = self.disc.center;
         let r = self.disc.radius;
         loop {
-            let p = Point::new(
-                c.x + rng.gen_range(-r..=r),
-                c.y + rng.gen_range(-r..=r),
-            );
+            let p = Point::new(c.x + rng.gen_range(-r..=r), c.y + rng.gen_range(-r..=r));
             if self.disc.contains_point(p) {
                 return p;
             }

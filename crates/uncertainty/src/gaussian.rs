@@ -74,8 +74,18 @@ impl TruncatedGaussianPdf {
 
     fn axis_params(&self, axis: Axis) -> (Interval, f64, f64, f64) {
         match axis {
-            Axis::X => (self.region.x_interval(), self.mean.x, self.sigma.0, self.z.0),
-            Axis::Y => (self.region.y_interval(), self.mean.y, self.sigma.1, self.z.1),
+            Axis::X => (
+                self.region.x_interval(),
+                self.mean.x,
+                self.sigma.0,
+                self.z.0,
+            ),
+            Axis::Y => (
+                self.region.y_interval(),
+                self.mean.y,
+                self.sigma.1,
+                self.z.1,
+            ),
         }
     }
 

@@ -82,13 +82,7 @@ impl HistogramPdf {
     /// Panics when `smoothing` is negative/non-finite, when it is zero
     /// and no observation falls inside the region, or on the
     /// [`HistogramPdf::new`] invariant violations.
-    pub fn fit(
-        region: Rect,
-        nx: usize,
-        ny: usize,
-        observations: &[Point],
-        smoothing: f64,
-    ) -> Self {
+    pub fn fit(region: Rect, nx: usize, ny: usize, observations: &[Point], smoothing: f64) -> Self {
         assert!(
             smoothing.is_finite() && smoothing >= 0.0,
             "smoothing must be finite and non-negative"
@@ -207,7 +201,10 @@ impl LocationPdf for HistogramPdf {
     fn sample(&self, rng: &mut dyn RngCore) -> Point {
         // Cell by cumulative mass, then uniform within the cell.
         let u: f64 = rng.gen_range(0.0..1.0);
-        let idx = self.cum.partition_point(|&c| c < u).min(self.mass.len() - 1);
+        let idx = self
+            .cum
+            .partition_point(|&c| c < u)
+            .min(self.mass.len() - 1);
         let (i, j) = (idx % self.nx, idx / self.nx);
         let cell = self.cell_rect(i, j);
         let x = rng.gen_range(cell.min.x..=cell.max.x);

@@ -42,10 +42,8 @@ impl MixturePdf {
         );
         let total: f64 = parts.iter().map(|(w, _)| w).sum();
         assert!(total > 0.0, "at least one weight must be positive");
-        let components: Vec<(f64, SharedPdf)> = parts
-            .into_iter()
-            .map(|(w, p)| (w / total, p))
-            .collect();
+        let components: Vec<(f64, SharedPdf)> =
+            parts.into_iter().map(|(w, p)| (w / total, p)).collect();
         let mut cum = Vec::with_capacity(components.len());
         let mut acc = 0.0;
         for (w, _) in &components {
@@ -94,10 +92,7 @@ impl LocationPdf for MixturePdf {
     }
 
     fn density(&self, p: Point) -> f64 {
-        self.components
-            .iter()
-            .map(|(w, c)| w * c.density(p))
-            .sum()
+        self.components.iter().map(|(w, c)| w * c.density(p)).sum()
     }
 
     fn prob_in_rect(&self, r: Rect) -> f64 {
@@ -170,7 +165,10 @@ mod tests {
         assert!((m.prob_in_rect(Rect::from_coords(0.0, 0.0, 10.0, 10.0)) - 0.7).abs() < 1e-12);
         assert!((m.prob_in_rect(Rect::from_coords(100.0, 0.0, 110.0, 10.0)) - 0.3).abs() < 1e-12);
         // The gap between the modes carries no mass.
-        assert_eq!(m.prob_in_rect(Rect::from_coords(20.0, 0.0, 90.0, 10.0)), 0.0);
+        assert_eq!(
+            m.prob_in_rect(Rect::from_coords(20.0, 0.0, 90.0, 10.0)),
+            0.0
+        );
     }
 
     #[test]

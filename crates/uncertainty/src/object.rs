@@ -37,10 +37,7 @@ pub struct PointObject {
 impl PointObject {
     /// Creates a point object.
     pub fn new(id: impl Into<ObjectId>, loc: Point) -> Self {
-        PointObject {
-            id: id.into(),
-            loc,
-        }
+        PointObject { id: id.into(), loc }
     }
 }
 

@@ -101,8 +101,7 @@ mod tests {
 
     #[test]
     fn tail_masses_are_exactly_p() {
-        let pdf =
-            TruncatedGaussianPdf::paper_default(Rect::from_coords(0.0, 0.0, 12.0, 12.0));
+        let pdf = TruncatedGaussianPdf::paper_default(Rect::from_coords(0.0, 0.0, 12.0, 12.0));
         for &p in &[0.1, 0.3, 0.5] {
             let b = PBound::compute(&pdf, p);
             // Mass strictly left of l(p) is p.
@@ -123,8 +122,7 @@ mod tests {
 
     #[test]
     fn bounds_nest_monotonically() {
-        let pdf =
-            TruncatedGaussianPdf::paper_default(Rect::from_coords(-4.0, -4.0, 4.0, 4.0));
+        let pdf = TruncatedGaussianPdf::paper_default(Rect::from_coords(-4.0, -4.0, 4.0, 4.0));
         let mut prev = PBound::compute(&pdf, 0.0).rect;
         for k in 1..=5 {
             let cur = PBound::compute(&pdf, k as f64 / 10.0).rect;

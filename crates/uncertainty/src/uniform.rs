@@ -138,7 +138,9 @@ mod tests {
     fn total_mass_is_one() {
         let f = pdf();
         assert!((f.prob_in_rect(f.region()) - 1.0).abs() < 1e-12);
-        assert!((f.prob_in_rect(Rect::from_coords(-100.0, -100.0, 100.0, 100.0)) - 1.0).abs() < 1e-12);
+        assert!(
+            (f.prob_in_rect(Rect::from_coords(-100.0, -100.0, 100.0, 100.0)) - 1.0).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -146,7 +148,10 @@ mod tests {
         let f = pdf();
         let r = Rect::from_coords(0.0, 0.0, 5.0, 5.0);
         assert!((f.prob_in_rect(r) - 0.5).abs() < 1e-12);
-        assert_eq!(f.prob_in_rect(Rect::from_coords(20.0, 20.0, 30.0, 30.0)), 0.0);
+        assert_eq!(
+            f.prob_in_rect(Rect::from_coords(20.0, 20.0, 30.0, 30.0)),
+            0.0
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use iloc_geometry::{Point, Rect};
 use iloc_uncertainty::{
-    Axis, DiscPdf, HistogramPdf, LocationPdf, MixturePdf, PBound, SharedPdf,
-    TruncatedGaussianPdf, UCatalog, UniformPdf,
+    Axis, DiscPdf, HistogramPdf, MixturePdf, PBound, SharedPdf, TruncatedGaussianPdf, UCatalog,
+    UniformPdf,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -20,7 +20,9 @@ fn any_pdf() -> impl Strategy<Value = SharedPdf> {
     let region = (0.0..500.0f64, 0.0..500.0f64, 10.0..200.0f64, 10.0..200.0f64)
         .prop_map(|(x, y, w, h)| Rect::centered(Point::new(x, y), w, h));
     prop_oneof![
-        region.clone().prop_map(|r| Arc::new(UniformPdf::new(r)) as SharedPdf),
+        region
+            .clone()
+            .prop_map(|r| Arc::new(UniformPdf::new(r)) as SharedPdf),
         region
             .clone()
             .prop_map(|r| Arc::new(TruncatedGaussianPdf::paper_default(r)) as SharedPdf),

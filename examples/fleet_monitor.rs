@@ -45,20 +45,29 @@ fn main() {
     }
     let elapsed = start.elapsed();
 
-    println!("{ticks} refreshes in {:.1} ms ({:.1} µs/tick)", elapsed.as_secs_f64() * 1e3,
-        elapsed.as_secs_f64() * 1e6 / ticks as f64);
+    println!(
+        "{ticks} refreshes in {:.1} ms ({:.1} µs/tick)",
+        elapsed.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e6 / ticks as f64
+    );
     println!(
         "index probes: {} (cache hits: {}, {:.0}% of ticks served from the envelope)",
         runner.probes,
         runner.cache_hits,
         100.0 * runner.cache_hits as f64 / ticks as f64
     );
-    println!("average answer size: {:.1} depots", total_answers as f64 / ticks as f64);
+    println!(
+        "average answer size: {:.1} depots",
+        total_answers as f64 / ticks as f64
+    );
 
     // Cross-check the final tick against a fresh snapshot.
     let last = trajectory.last().expect("non-empty trajectory");
     let snapshot = engine.ipq(last, range);
     let continuous = runner.step(last);
     assert_eq!(snapshot.results.len(), continuous.results.len());
-    println!("final tick matches a fresh snapshot ({} answers)", snapshot.results.len());
+    println!(
+        "final tick matches a fresh snapshot ({} answers)",
+        snapshot.results.len()
+    );
 }

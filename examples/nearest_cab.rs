@@ -42,7 +42,10 @@ fn main() {
     // Only act when one stand is the nearest with ≥ 90 % confidence.
     let confident = engine.cipnn(&rider, 0.9, NnMethod::Grid { per_axis: 160 });
     match confident.results.first() {
-        Some(m) => println!("dispatching to stand {} (confidence {:.3})", m.id.0, m.probability),
+        Some(m) => println!(
+            "dispatching to stand {} (confidence {:.3})",
+            m.id.0, m.probability
+        ),
         None => println!("no stand is nearest with ≥90% confidence — widening search…"),
     }
 

@@ -21,12 +21,7 @@ fn main() {
 
     // A downtown full of restaurants (point objects).
     let restaurants: Vec<Point> = (0..5_000)
-        .map(|_| {
-            Point::new(
-                rng.gen_range(0.0..10_000.0),
-                rng.gen_range(0.0..10_000.0),
-            )
-        })
+        .map(|_| Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
         .collect();
     let engine = PointEngine::build(restaurants);
 

@@ -17,11 +17,22 @@ fn main() {
         Point::new(2_000.0, 2_000.0),
     ];
     let vans: Vec<UncertainObject> = vec![
-        UncertainObject::new(0u64, UniformPdf::new(Rect::centered(Point::new(520.0, 480.0), 60.0, 60.0))),
-        UncertainObject::new(1u64, UniformPdf::new(Rect::centered(Point::new(900.0, 900.0), 40.0, 40.0))),
-        UncertainObject::new(2u64, TruncatedGaussianPdf::paper_default(
-            Rect::centered(Point::new(650.0, 650.0), 90.0, 90.0),
-        )),
+        UncertainObject::new(
+            0u64,
+            UniformPdf::new(Rect::centered(Point::new(520.0, 480.0), 60.0, 60.0)),
+        ),
+        UncertainObject::new(
+            1u64,
+            UniformPdf::new(Rect::centered(Point::new(900.0, 900.0), 40.0, 40.0)),
+        ),
+        UncertainObject::new(
+            2u64,
+            TruncatedGaussianPdf::paper_default(Rect::centered(
+                Point::new(650.0, 650.0),
+                90.0,
+                90.0,
+            )),
+        ),
     ];
 
     // --- The imprecise issuer -----------------------------------------
@@ -36,7 +47,10 @@ fn main() {
     let ipq = points.ipq(&issuer, range);
     println!("IPQ (shops within ±250 of wherever I am):");
     for m in &ipq.results {
-        println!("  shop {} qualifies with probability {:.3}", m.id, m.probability);
+        println!(
+            "  shop {} qualifies with probability {:.3}",
+            m.id, m.probability
+        );
     }
 
     // --- IUQ: the same query over the uncertain vans ---------------------
@@ -44,7 +58,10 @@ fn main() {
     let iuq = uncertain.iuq(&issuer, range);
     println!("IUQ (vans within ±250 of wherever I am):");
     for m in &iuq.results {
-        println!("  van {} qualifies with probability {:.3}", m.id, m.probability);
+        println!(
+            "  van {} qualifies with probability {:.3}",
+            m.id, m.probability
+        );
     }
 
     // --- Constrained variants: only high-confidence answers -------------

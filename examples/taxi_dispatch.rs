@@ -30,7 +30,10 @@ fn main() {
             let staleness: f64 = rng.gen_range(5.0..120.0); // seconds
             let max_speed = 4.0; // units per second
             let r = (staleness * max_speed).min(480.0);
-            UncertainObject::new(id, UniformPdf::new(Rect::centered(Point::new(cx, cy), r, r)))
+            UncertainObject::new(
+                id,
+                UniformPdf::new(Rect::centered(Point::new(cx, cy), r, r)),
+            )
         })
         .collect();
     let dispatch = UncertainEngine::build(cabs);

@@ -145,15 +145,29 @@ fn basic_and_enhanced_agree_on_realistic_data() {
     let range = RangeSpec::square(500.0);
     let enhanced = engine.iuq(&issuer, range);
     let basic = engine.iuq_basic(&issuer, range, 60);
-    assert_eq!(enhanced.results.len(), basic.results.len());
-    for (a, b) in enhanced.results.iter().zip(&basic.results) {
-        assert_eq!(a.id, b.id);
+    // The 60×60 midpoint grid cannot resolve probabilities far below
+    // one cell's mass, so compare answers above that floor; everything
+    // the grid does find must agree with the exact answer.
+    for a in &enhanced.results {
+        if a.probability > 0.01 {
+            let got = basic
+                .probability_of(a.id)
+                .unwrap_or_else(|| panic!("{} missing from basic answer", a.id));
+            assert!(
+                (a.probability - got).abs() < 0.01,
+                "{}: {} vs {}",
+                a.id,
+                a.probability,
+                got
+            );
+        }
+    }
+    // The basic method can only see objects the exact method confirms.
+    for b in &basic.results {
         assert!(
-            (a.probability - b.probability).abs() < 0.01,
-            "{}: {} vs {}",
-            a.id,
-            a.probability,
-            b.probability
+            enhanced.probability_of(b.id).is_some(),
+            "basic found {} that the exact evaluator scores zero",
+            b.id
         );
     }
 }

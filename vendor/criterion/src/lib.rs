@@ -1,0 +1,197 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! crate provides the subset of criterion's API the workspace's bench
+//! targets use — [`Criterion`], benchmark groups, [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — with a
+//! simple mean-of-samples timing loop printed to stdout. There is no
+//! statistical analysis, warm-up modelling, or HTML report; the point
+//! is that `cargo bench` runs and prints comparable numbers offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(&id.into(), sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for subsequent benchmarks in the
+    /// group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (matching criterion's API; nothing to flush
+    /// here).
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {id:<48} (no samples)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort();
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "  {id:<48} mean {:>12.3?}  median {:>12.3?}  ({} samples)",
+        mean,
+        median,
+        sorted.len()
+    );
+}
+
+/// Times closures handed to it by a benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` `sample_size` times, recording one wall-clock sample
+    /// per run; the result is passed through [`black_box`] so the
+    /// optimiser cannot discard the work.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark group function (criterion's macro surface).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default().sample_size(7);
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert_eq!(runs, 7);
+    }
+
+    #[test]
+    fn group_overrides_sample_size() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0usize;
+        group.sample_size(3).bench_function("inner", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,131 @@
+//! Case execution.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-property configuration (`proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` premise failed — draw another case.
+    Reject,
+    /// An assertion failed — the property is falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// FNV-1a, used to give every property its own deterministic stream.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+/// Runs one property to completion: `config.cases` accepted cases
+/// within a generous global reject budget, and a panic carrying the
+/// first failure. Exhausting the budget before reaching the accepted
+/// count is an error (matching real proptest's too-many-global-rejects
+/// behaviour) — a property must never silently pass under-tested.
+/// Deterministic per property name.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    case: &mut dyn FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = StdRng::seed_from_u64(fnv1a(name));
+    let budget = (config.cases as u64).saturating_mul(256).max(4096);
+    let mut accepted: u64 = 0;
+    let mut attempts: u64 = 0;
+    while accepted < config.cases as u64 && attempts < budget {
+        attempts += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case {accepted} (attempt {attempts}): {msg}")
+            }
+        }
+    }
+    assert!(
+        accepted >= config.cases as u64,
+        "property `{name}`: too many prop_assume! rejects — only {accepted} of {} \
+         cases accepted in {attempts} attempts; loosen the premise or the strategies",
+        config.cases
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_and_counts_cases() {
+        let mut n = 0u32;
+        run_cases(&ProptestConfig::with_cases(50), "counting", &mut |_rng| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_message() {
+        run_cases(&ProptestConfig::default(), "failing", &mut |_rng| {
+            Err(TestCaseError::fail("boom".into()))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume! rejects")]
+    fn all_rejected_is_an_error() {
+        run_cases(&ProptestConfig::with_cases(5), "rejecting", &mut |_rng| {
+            Err(TestCaseError::Reject)
+        });
+    }
+
+    #[test]
+    fn partial_acceptance_with_heavy_rejection_passes() {
+        let mut flip = false;
+        run_cases(
+            &ProptestConfig::with_cases(10),
+            "alternating",
+            &mut |_rng| {
+                flip = !flip;
+                if flip {
+                    Err(TestCaseError::Reject)
+                } else {
+                    Ok(())
+                }
+            },
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Parallel iterator combinators over slices.
+
+use crate::current_num_threads;
+
+/// Conversion of `&[T]` / `&Vec<T>` into a parallel iterator,
+/// mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: 'a;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Returns a parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+/// A parallel computation that can be mapped and collected.
+pub trait ParallelIterator: Sized {
+    /// Item produced by this stage.
+    type Item: Send;
+
+    /// Runs the whole chain in parallel, preserving input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Applies `f` to every item (executed on the worker threads).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the results, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+}
+
+/// Collection types a parallel iterator can finish into.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from the in-order results.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Parallel iterator over a slice (`par_iter`).
+#[derive(Debug, Clone, Copy)]
+pub struct SlicePar<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+    fn run(self) -> Vec<&'a T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// The result of [`ParallelIterator::map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<'a, T, R, F> ParallelIterator for Map<SlicePar<'a, T>, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        par_map_slice(self.base.slice, &self.f)
+    }
+}
+
+/// Chunked fork-join map over a slice: one contiguous chunk per worker,
+/// results written straight into their output slots.
+fn par_map_slice<'a, T, R, F>(slice: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = slice.len();
+    let workers = current_num_threads().clamp(1, n.max(1));
+    if workers <= 1 || n < 2 {
+        return slice.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|scope| {
+        for (input, output) in slice.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot, item) in output.iter_mut().zip(input) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), input.len());
+        for (i, v) in doubled.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [42u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![43]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let input: Vec<u32> = (0..100_000).collect();
+        let _: Vec<u32> = input
+            .par_iter()
+            .map(|&x| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                x
+            })
+            .collect();
+        // On a multi-core host at least two workers must have run.
+        if current_num_threads() > 1 {
+            assert!(ids.lock().unwrap().len() > 1);
+        }
+    }
+
+    #[test]
+    fn par_iter_without_map_collects_refs() {
+        let input = vec![1, 2, 3];
+        let refs: Vec<&i32> = input.par_iter().collect();
+        assert_eq!(refs, vec![&1, &2, &3]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! crate implements the subset of rayon's public surface the workspace
+//! uses — `slice.par_iter().map(f).collect::<Vec<_>>()` — with
+//! **genuine data parallelism**: the input is divided into one
+//! contiguous chunk per available core and mapped on scoped OS threads
+//! (`std::thread::scope`), writing results directly into their final
+//! slots so output order always equals input order.
+//!
+//! Differences from real rayon are intentional and documented:
+//!
+//! * scheduling is static chunking, not work stealing — fine for the
+//!   workspace's batch executor, whose per-query costs are smoothed by
+//!   chunk granularity;
+//! * there is no global thread pool; threads are spawned per call.
+//!   Batch sizes in this workspace are large (thousands to millions of
+//!   queries), so spawn cost is noise;
+//! * only the combinators the workspace uses exist. Extending the
+//!   surface is deliberate work, not an accident.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod iter;
+pub mod prelude;
+
+pub use iter::{IntoParallelRefIterator, ParallelIterator};
+
+/// Number of worker threads a parallel call will use for `len` items.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

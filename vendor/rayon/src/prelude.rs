@@ -1,0 +1,3 @@
+//! Glob-import surface mirroring `rayon::prelude`.
+
+pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
