@@ -1,0 +1,455 @@
+//! Tracked batch-throughput benchmark — the perf contract of the
+//! query hot path.
+//!
+//! Runs the four serving-shaped workloads (IPQ, C-IPQ, IUQ batches and
+//! a continuous C-IPQ walk) at Long-Beach/California scale and a
+//! steady-state single-query loop, and emits
+//! `BENCH_batch_throughput.json` with queries/sec, p50/p99 latency and
+//! **allocations per query** measured by a counting global allocator.
+//!
+//! ```text
+//! cargo run --release -p iloc-bench --bin throughput -- [flags]
+//!
+//! --quick           ~10x smaller datasets and batches (CI smoke)
+//! --save-baseline   additionally write the flat BENCH_baseline.json
+//! --check-allocs    exit non-zero when the steady-state loop is not
+//!                   allocation-free (CI gate)
+//! --out PATH        report path (default BENCH_batch_throughput.json)
+//! --baseline PATH   baseline path (default BENCH_baseline.json)
+//! ```
+//!
+//! The workloads are fully deterministic (fixed seeds), so two runs of
+//! the same binary — or of two versions of the workspace — measure
+//! exactly the same queries; `BENCH_baseline.json` captured on an older
+//! commit is directly comparable and the report embeds the speedup.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use iloc_core::pipeline::{
+    execute_batch, BatchEngine, ExecutionContext, PointRequest, UncertainRequest,
+};
+use iloc_core::{
+    CipqStrategy, ContinuousIpq, Integrator, Issuer, PointEngine, QueryAnswer, RangeSpec,
+    UncertainEngine,
+};
+use iloc_datagen::{
+    california_points, long_beach_rects, uniform_objects, WorkloadGen, CALIFORNIA_SIZE,
+    LONG_BEACH_SIZE,
+};
+use iloc_geometry::{Point, Rect};
+
+/// Counts every heap allocation the process performs. `dealloc` is
+/// intentionally not counted: the invariant under test is "the hot
+/// path requests no new memory", and growth shows up in `alloc` /
+/// `realloc` / `alloc_zeroed` only.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Paper Table 2 defaults: issuer half-size and range half-size.
+const U: f64 = 250.0;
+const W: f64 = 500.0;
+const SEED: u64 = 2007;
+
+#[derive(Debug, Clone, Copy)]
+struct BenchScale {
+    points: usize,
+    uncertain: usize,
+    ipq_queries: usize,
+    cipq_queries: usize,
+    iuq_queries: usize,
+    continuous_ticks: usize,
+    steady_warmup: usize,
+    steady_queries: usize,
+}
+
+impl BenchScale {
+    fn full() -> Self {
+        BenchScale {
+            points: CALIFORNIA_SIZE,
+            uncertain: LONG_BEACH_SIZE,
+            ipq_queries: 512,
+            cipq_queries: 512,
+            iuq_queries: 256,
+            continuous_ticks: 1_024,
+            steady_warmup: 256,
+            steady_queries: 2_048,
+        }
+    }
+
+    fn quick() -> Self {
+        BenchScale {
+            points: 6_200,
+            uncertain: 5_300,
+            ipq_queries: 64,
+            cipq_queries: 64,
+            iuq_queries: 32,
+            continuous_ticks: 128,
+            steady_warmup: 64,
+            steady_queries: 256,
+        }
+    }
+}
+
+/// One measured workload.
+#[derive(Debug, Clone)]
+struct Report {
+    name: &'static str,
+    queries: usize,
+    elapsed: Duration,
+    p50: Duration,
+    p99: Duration,
+    allocs_per_query: f64,
+    results_total: usize,
+}
+
+impl Report {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Measures one batch workload: wall clock around the batch call,
+/// per-query latency percentiles from the answers' own stats, and the
+/// allocation delta across the call.
+///
+/// Batch `allocs_per_query` deliberately includes the executor's
+/// fan-out overhead (worker spawns, one context per chunk, answer
+/// assembly), so it varies with core count. The machine-independent,
+/// CI-gated number is `steady_state.allocs_per_query`, which measures
+/// the single-threaded hot path alone.
+fn measure_batch(
+    name: &'static str,
+    queries: usize,
+    run: impl FnOnce() -> Vec<QueryAnswer>,
+) -> Report {
+    let a0 = allocations();
+    let t0 = Instant::now();
+    let answers = run();
+    let elapsed = t0.elapsed();
+    let allocs = allocations() - a0;
+    assert_eq!(answers.len(), queries, "{name}: unexpected answer count");
+    let results_total = answers.iter().map(|a| a.results.len()).sum();
+    let mut lat: Vec<Duration> = answers.iter().map(|a| a.stats.elapsed).collect();
+    lat.sort_unstable();
+    Report {
+        name,
+        queries,
+        elapsed,
+        p50: percentile(&lat, 0.50),
+        p99: percentile(&lat, 0.99),
+        allocs_per_query: allocs as f64 / queries as f64,
+        results_total,
+    }
+}
+
+fn ipq_requests(n: usize, seed: u64) -> Vec<PointRequest> {
+    let mut gen = WorkloadGen::new(seed);
+    (0..n)
+        .map(|_| PointRequest::ipq(Issuer::uniform(gen.issuer_region(U)), RangeSpec::square(W)))
+        .collect()
+}
+
+fn cipq_requests(n: usize, seed: u64) -> Vec<PointRequest> {
+    let mut gen = WorkloadGen::new(seed);
+    (0..n)
+        .map(|_| {
+            PointRequest::cipq(
+                Issuer::uniform(gen.issuer_region(U)),
+                RangeSpec::square(W),
+                0.3,
+                CipqStrategy::PExpanded,
+            )
+        })
+        .collect()
+}
+
+fn iuq_requests(n: usize, seed: u64) -> Vec<UncertainRequest> {
+    let mut gen = WorkloadGen::new(seed);
+    (0..n)
+        .map(|_| UncertainRequest::iuq(Issuer::uniform(gen.issuer_region(U)), RangeSpec::square(W)))
+        .collect()
+}
+
+/// A deterministic drive across the space for the continuous workload.
+fn walk(ticks: usize) -> Vec<Issuer> {
+    (0..ticks)
+        .map(|t| {
+            let s = t as f64;
+            let c = Point::new(1_000.0 + (s * 7.3) % 8_000.0, 1_000.0 + (s * 3.1) % 8_000.0);
+            Issuer::uniform(Rect::centered(c, U, U))
+        })
+        .collect()
+}
+
+/// The steady-state loop: one query shape answered over and over
+/// through the engine's request executor — the serving configuration
+/// whose allocation count the CI gate pins to zero.
+fn measure_steady_state(engine: &PointEngine, scale: BenchScale) -> Report {
+    let requests = ipq_requests(64, SEED + 9);
+    let mut run_one = steady_runner(engine);
+    for k in 0..scale.steady_warmup {
+        let _ = run_one(&requests[k % requests.len()]);
+    }
+    let mut lat: Vec<Duration> = Vec::with_capacity(scale.steady_queries);
+    let mut results_total = 0usize;
+    let a0 = allocations();
+    let t0 = Instant::now();
+    for k in 0..scale.steady_queries {
+        let (n_results, elapsed) = run_one(&requests[k % requests.len()]);
+        results_total += n_results;
+        lat.push(elapsed);
+    }
+    let elapsed = t0.elapsed();
+    let allocs = allocations() - a0;
+    lat.sort_unstable();
+    Report {
+        name: "steady_state",
+        queries: scale.steady_queries,
+        elapsed,
+        p50: percentile(&lat, 0.50),
+        p99: percentile(&lat, 0.99),
+        allocs_per_query: allocs as f64 / scale.steady_queries as f64,
+        results_total,
+    }
+}
+
+/// How one steady-state query is answered: the zero-allocation hot
+/// path — one reused context (with its scratch buffers) and one reused
+/// answer across the whole loop. Pre-refactor this measured
+/// `engine.execute_one` (fresh context + buffers per call), which is
+/// the baseline the report compares against.
+fn steady_runner(engine: &PointEngine) -> impl FnMut(&PointRequest) -> (usize, Duration) + '_ {
+    let mut ctx = ExecutionContext::new(Integrator::Auto);
+    let mut answer = QueryAnswer::default();
+    move |request| {
+        engine.execute_one_into(request, &mut ctx, &mut answer);
+        (answer.results.len(), answer.stats.elapsed)
+    }
+}
+
+fn fmt_duration_us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn workload_json(r: &Report) -> String {
+    format!(
+        concat!(
+            "{{\"queries\": {}, \"elapsed_s\": {:.4}, \"qps\": {:.1}, ",
+            "\"p50_us\": {:.2}, \"p99_us\": {:.2}, ",
+            "\"allocs_per_query\": {:.3}, \"results_total\": {}}}"
+        ),
+        r.queries,
+        r.elapsed.as_secs_f64(),
+        r.qps(),
+        fmt_duration_us(r.p50),
+        fmt_duration_us(r.p99),
+        r.allocs_per_query,
+        r.results_total,
+    )
+}
+
+/// Pulls `"key": <number>` out of the flat baseline file.
+fn flat_value(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let save_baseline = args.iter().any(|a| a == "--save-baseline");
+    let check_allocs = args.iter().any(|a| a == "--check-allocs");
+    let arg_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_batch_throughput.json".into());
+    let baseline_path = arg_value("--baseline").unwrap_or_else(|| "BENCH_baseline.json".into());
+
+    let scale = if quick {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    };
+    let mode = if quick { "quick" } else { "full" };
+    eprintln!(
+        "throughput bench ({mode}): {} points, {} uncertain objects",
+        scale.points, scale.uncertain
+    );
+
+    let t0 = Instant::now();
+    let point_engine = PointEngine::build(california_points(scale.points, SEED));
+    let uncertain_engine = UncertainEngine::build(uniform_objects(&long_beach_rects(
+        scale.uncertain,
+        SEED + 1,
+    )));
+    eprintln!("engines built in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let ipq = {
+        let requests = ipq_requests(scale.ipq_queries, SEED + 2);
+        measure_batch("ipq_batch", requests.len(), || {
+            execute_batch(&point_engine, &requests)
+        })
+    };
+    eprintln!("  {} done: {:.0} q/s", ipq.name, ipq.qps());
+
+    let cipq = {
+        let requests = cipq_requests(scale.cipq_queries, SEED + 3);
+        measure_batch("cipq_batch", requests.len(), || {
+            execute_batch(&point_engine, &requests)
+        })
+    };
+    eprintln!("  {} done: {:.0} q/s", cipq.name, cipq.qps());
+
+    let iuq = {
+        let requests = iuq_requests(scale.iuq_queries, SEED + 4);
+        measure_batch("iuq_batch", requests.len(), || {
+            execute_batch(&uncertain_engine, &requests)
+        })
+    };
+    eprintln!("  {} done: {:.0} q/s", iuq.name, iuq.qps());
+
+    let continuous = {
+        let issuers = walk(scale.continuous_ticks);
+        let mut runner = ContinuousIpq::new(&point_engine, RangeSpec::square(W), 2.0 * U);
+        measure_batch("cipq_continuous", issuers.len(), || {
+            issuers.iter().map(|iss| runner.step(iss)).collect()
+        })
+    };
+    eprintln!("  {} done: {:.0} q/s", continuous.name, continuous.qps());
+
+    let steady = measure_steady_state(&point_engine, scale);
+    eprintln!(
+        "  {} done: {:.0} q/s, {:.3} allocs/query",
+        steady.name,
+        steady.qps(),
+        steady.allocs_per_query
+    );
+
+    let reports = [&ipq, &cipq, &iuq, &continuous, &steady];
+
+    // Flat baseline schema: "<workload>_qps" + steady-state allocs.
+    let mut flat = String::from("{\n");
+    let _ = writeln!(flat, "  \"mode\": \"{mode}\",");
+    for r in reports {
+        let _ = writeln!(flat, "  \"{}_qps\": {:.1},", r.name, r.qps());
+    }
+    let _ = writeln!(
+        flat,
+        "  \"steady_state_allocs_per_query\": {:.3}",
+        steady.allocs_per_query
+    );
+    flat.push_str("}\n");
+    if save_baseline {
+        std::fs::write(&baseline_path, &flat).expect("write baseline");
+        eprintln!("baseline saved to {baseline_path}");
+    }
+
+    // Full report, embedding the baseline (same mode only) when found.
+    let baseline = std::fs::read_to_string(&baseline_path).ok().filter(|b| {
+        let same_mode = b.contains(&format!("\"mode\": \"{mode}\""));
+        if !same_mode {
+            eprintln!("note: {baseline_path} was captured in a different mode; skipping speedup");
+        }
+        same_mode && !save_baseline
+    });
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"batch_throughput\",");
+    let _ = writeln!(json, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"point_objects\": {}, \"uncertain_objects\": {}, \"u\": {U}, \"w\": {W}, \"seed\": {SEED}}},",
+        scale.points, scale.uncertain
+    );
+    let _ = writeln!(json, "  \"workloads\": {{");
+    for (k, r) in reports.iter().enumerate() {
+        let comma = if k + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{}\": {}{comma}", r.name, workload_json(r));
+    }
+    let _ = writeln!(json, "  }}");
+    if let Some(base) = &baseline {
+        let _ = writeln!(json, "  , \"baseline\": {{");
+        let mut parts: Vec<String> = Vec::new();
+        for r in reports {
+            if let Some(qps) = flat_value(base, &format!("{}_qps", r.name)) {
+                parts.push(format!("    \"{}_qps\": {qps}", r.name));
+            }
+        }
+        if let Some(a) = flat_value(base, "steady_state_allocs_per_query") {
+            parts.push(format!("    \"steady_state_allocs_per_query\": {a}"));
+        }
+        let _ = writeln!(json, "{}", parts.join(",\n"));
+        let _ = writeln!(json, "  }}");
+        let _ = writeln!(json, "  , \"speedup_vs_baseline\": {{");
+        let mut parts: Vec<String> = Vec::new();
+        for r in reports {
+            if let Some(qps) = flat_value(base, &format!("{}_qps", r.name)) {
+                if qps > 0.0 {
+                    parts.push(format!("    \"{}\": {:.2}", r.name, r.qps() / qps));
+                }
+            }
+        }
+        let _ = writeln!(json, "{}", parts.join(",\n"));
+        let _ = writeln!(json, "  }}");
+    }
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write report");
+    eprintln!("report written to {out_path}");
+    print!("{json}");
+
+    if check_allocs && steady.allocs_per_query > 0.0 {
+        eprintln!(
+            "FAIL: steady-state hot path performed {:.3} allocations/query (expected 0)",
+            steady.allocs_per_query
+        );
+        std::process::exit(1);
+    }
+}

@@ -14,7 +14,7 @@ use iloc_datagen::{california_points, point_objects, WorkloadGen};
 use iloc_geometry::Point;
 use iloc_geometry::Rect;
 use iloc_index::{AccessStats, GridFile, NaiveIndex, RTree, RTreeParams, RangeIndex};
-use iloc_uncertainty::UniformPdf;
+use iloc_uncertainty::{LocationPdf, UniformPdf};
 
 use crate::config::{TestBed, DEFAULT_U, DEFAULT_W};
 use crate::harness::{print_table, Row, Summary};

@@ -17,13 +17,13 @@
 //! assert this); only the index I/O changes.
 
 use iloc_geometry::Rect;
-use iloc_index::AccessStats;
+use iloc_index::{AccessStats, TraversalScratch};
 use iloc_uncertainty::PointObject;
 
 use crate::engine::PointEngine;
 use crate::integrate::Integrator;
 use crate::pipeline::{
-    AcceptPolicy, DualityEvaluator, ExecutionContext, FilterStage, PreparedQuery, PruneChain,
+    AcceptPolicy, EvaluatorKind, ExecutionContext, FilterStage, PreparedQuery, PruneChain,
     QueryPipeline,
 };
 use crate::query::{Issuer, RangeSpec};
@@ -31,7 +31,9 @@ use crate::result::QueryAnswer;
 
 /// Filter stage serving candidates from the cached safe envelope,
 /// re-checked against the *current* expanded query — the continuous
-/// query's replacement for an index probe on cache hits.
+/// query's replacement for an index probe on cache hits. Writes the
+/// surviving slots straight into the pipeline's scratch buffer; no
+/// allocation per tick.
 #[derive(Debug, Clone, Copy)]
 struct EnvelopeFilter<'a> {
     cached: &'a [u32],
@@ -40,26 +42,40 @@ struct EnvelopeFilter<'a> {
 }
 
 impl FilterStage for EnvelopeFilter<'_> {
-    fn candidates(&self, stats: &mut AccessStats) -> Vec<u32> {
-        let hits: Vec<u32> = self
-            .cached
-            .iter()
-            .copied()
-            .filter(|&idx| self.expanded.contains_point(self.objects[idx as usize].loc))
-            .collect();
+    fn candidates_into(
+        &self,
+        stats: &mut AccessStats,
+        _traversal: &mut TraversalScratch,
+        out: &mut Vec<u32>,
+    ) {
+        for &idx in self.cached {
+            if self.expanded.contains_point(self.objects[idx as usize].loc) {
+                out.push(idx);
+            }
+        }
         stats.items_tested += self.cached.len() as u64;
-        stats.candidates += hits.len() as u64;
-        hits
+        stats.candidates += out.len() as u64;
     }
 }
 
 /// Stateful runner for a continuous IPQ over a point database.
+///
+/// The runner owns one [`ExecutionContext`] (and with it the query
+/// scratch) plus the envelope's candidate buffer, both reused across
+/// [`step`](ContinuousIpq::step) calls — a steady-state tick through
+/// [`step_into`](ContinuousIpq::step_into) allocates nothing.
 #[derive(Debug)]
 pub struct ContinuousIpq<'a> {
     engine: &'a PointEngine,
     range: RangeSpec,
     slack: f64,
-    envelope: Option<(Rect, Vec<u32>)>,
+    /// The current envelope rectangle, when valid.
+    envelope: Option<Rect>,
+    /// Candidates of the current envelope (buffer reused across
+    /// re-probes).
+    cached: Vec<u32>,
+    /// Long-lived execution state reused every tick.
+    ctx: ExecutionContext,
     /// Index probes actually issued (≤ ticks).
     pub probes: u64,
     /// Ticks served from the cached envelope.
@@ -78,6 +94,8 @@ impl<'a> ContinuousIpq<'a> {
             range,
             slack,
             envelope: None,
+            cached: Vec::new(),
+            ctx: ExecutionContext::new(Integrator::Auto),
             probes: 0,
             cache_hits: 0,
         }
@@ -87,44 +105,60 @@ impl<'a> ContinuousIpq<'a> {
     /// region. Equivalent to `engine.ipq(issuer, range)` but reuses
     /// cached candidates while the motion stays inside the envelope.
     pub fn step(&mut self, issuer: &Issuer) -> QueryAnswer {
+        let mut answer = QueryAnswer::default();
+        self.step_into(issuer, &mut answer);
+        answer
+    }
+
+    /// Like [`ContinuousIpq::step`], overwriting a caller-owned answer
+    /// — the allocation-free form for long-running monitors.
+    pub fn step_into(&mut self, issuer: &Issuer, answer: &mut QueryAnswer) {
         let start = std::time::Instant::now();
         let query = PreparedQuery::new(issuer, self.range);
         let expanded = query.expanded;
 
         let mut probe_stats = AccessStats::new();
-        let hit = matches!(&self.envelope, Some((env, _)) if env.contains_rect(expanded));
+        let hit = matches!(&self.envelope, Some(env) if env.contains_rect(expanded));
         if hit {
             self.cache_hits += 1;
         } else {
             let env = expanded.expand(self.slack, self.slack);
-            let cands = self.engine.raw_candidates(env, &mut probe_stats);
+            self.cached.clear();
+            self.engine.raw_candidates_scratch(
+                env,
+                &mut probe_stats,
+                &mut self.ctx.scratch.traversal,
+                &mut self.cached,
+            );
+            // Keep the envelope sorted once: every tick's filtered
+            // subset then stays sorted, so the pipeline's candidate
+            // sort reduces to its linear pre-check.
+            self.cached.sort_unstable();
             self.probes += 1;
-            self.envelope = Some((env, cands));
+            self.envelope = Some(env);
         }
-        let (_, cached) = self.envelope.as_ref().expect("envelope just ensured");
 
         // Same pipeline as a snapshot IPQ, with the index probe
         // replaced by the envelope cache.
-        let mut answer = QueryPipeline {
+        QueryPipeline {
             query,
             objects: self.engine.objects(),
             filter: EnvelopeFilter {
-                cached,
+                cached: &self.cached,
                 objects: self.engine.objects(),
                 expanded,
             },
             prune: PruneChain::none(),
-            refine: &DualityEvaluator,
+            refine: EvaluatorKind::Duality,
             accept: AcceptPolicy::Positive,
         }
-        .execute(&mut ExecutionContext::new(Integrator::Auto));
+        .execute_into(&mut self.ctx, answer);
         // The envelope probe's node visits are real I/O, but its hit
         // count is the *envelope's* candidate set, not this query's —
         // EnvelopeFilter already reported the latter.
         probe_stats.candidates = 0;
         answer.stats.access.absorb(probe_stats);
         answer.stats.elapsed = start.elapsed();
-        answer
     }
 }
 

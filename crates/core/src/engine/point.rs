@@ -3,7 +3,7 @@
 //! and the R-tree and assembles one pipeline per query.
 
 use iloc_geometry::{Point, Rect};
-use iloc_index::{RTree, RTreeParams, RangeIndex};
+use iloc_index::{RTree, RTreeParams, RangeIndex, TraversalScratch};
 use iloc_uncertainty::PointObject;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,8 +11,8 @@ use rand::SeedableRng;
 use crate::expand::p_expanded_query;
 use crate::integrate::Integrator;
 use crate::pipeline::{
-    execute_batch, AcceptPolicy, BasicEvaluator, BatchEngine, DualityEvaluator, ExecutionContext,
-    PointRequest, PreparedQuery, ProbabilityEvaluator, PruneChain, QueryPipeline, RectFilter,
+    execute_batch, AcceptPolicy, BatchEngine, EvaluatorKind, ExecutionContext, PointRequest,
+    PreparedQuery, PruneChain, QueryPipeline, RectFilter,
 };
 use crate::query::{CipqStrategy, Issuer, RangeSpec};
 use crate::result::{Match, QueryAnswer};
@@ -80,17 +80,30 @@ impl PointEngine {
         self.tree.query_range(filter, stats)
     }
 
-    /// Assembles and runs one pipeline: R-tree filter with `filter`,
-    /// no pruning (point objects carry no catalogs), `refine`, and
-    /// `accept`.
-    fn run(
+    /// Allocation-free variant of [`Self::raw_candidates`]: candidates
+    /// are pushed into `out`, the probe's DFS runs on `scratch`.
+    pub fn raw_candidates_scratch(
+        &self,
+        filter: Rect,
+        stats: &mut iloc_index::AccessStats,
+        scratch: &mut TraversalScratch,
+        out: &mut Vec<u32>,
+    ) {
+        self.tree.query_range_scratch(filter, stats, scratch, out);
+    }
+
+    /// Assembles and runs one pipeline through the caller's context:
+    /// R-tree filter with `filter`, no pruning (point objects carry no
+    /// catalogs), `refine`, and `accept`.
+    fn run_into(
         &self,
         query: PreparedQuery<'_>,
         filter: Rect,
-        refine: &dyn ProbabilityEvaluator<PointObject>,
+        refine: EvaluatorKind,
         accept: AcceptPolicy,
-        integrator: Integrator,
-    ) -> QueryAnswer {
+        ctx: &mut ExecutionContext,
+        answer: &mut QueryAnswer,
+    ) {
         QueryPipeline {
             query,
             objects: &self.objects,
@@ -102,7 +115,28 @@ impl PointEngine {
             refine,
             accept,
         }
-        .execute(&mut ExecutionContext::new(integrator))
+        .execute_into(ctx, answer)
+    }
+
+    /// One-shot wrapper over [`Self::run_into`] with a fresh context.
+    fn run(
+        &self,
+        query: PreparedQuery<'_>,
+        filter: Rect,
+        refine: EvaluatorKind,
+        accept: AcceptPolicy,
+        integrator: Integrator,
+    ) -> QueryAnswer {
+        let mut answer = QueryAnswer::default();
+        self.run_into(
+            query,
+            filter,
+            refine,
+            accept,
+            &mut ExecutionContext::new(integrator),
+            &mut answer,
+        );
+        answer
     }
 
     /// **IPQ** (Definition 3) via the enhanced pipeline: Minkowski-sum
@@ -124,7 +158,7 @@ impl PointEngine {
         self.run(
             query,
             query.expanded,
-            &DualityEvaluator,
+            EvaluatorKind::Duality,
             AcceptPolicy::Positive,
             integrator,
         )
@@ -139,7 +173,7 @@ impl PointEngine {
         self.run(
             query,
             query.expanded,
-            &BasicEvaluator { per_axis },
+            EvaluatorKind::Basic { per_axis },
             AcceptPolicy::Positive,
             Integrator::Auto,
         )
@@ -217,19 +251,44 @@ impl PointEngine {
         strategy: CipqStrategy,
         integrator: Integrator,
     ) -> QueryAnswer {
+        let mut answer = QueryAnswer::default();
+        self.cipq_into(
+            issuer,
+            range,
+            qp,
+            strategy,
+            &mut ExecutionContext::new(integrator),
+            &mut answer,
+        );
+        answer
+    }
+
+    /// C-IPQ through the caller's context — the single place that maps
+    /// a constraint to its filter rectangle, shared by the one-shot
+    /// API and the batch executor.
+    fn cipq_into(
+        &self,
+        issuer: &Issuer,
+        range: RangeSpec,
+        qp: f64,
+        strategy: CipqStrategy,
+        ctx: &mut ExecutionContext,
+        answer: &mut QueryAnswer,
+    ) {
         assert!((0.0..=1.0).contains(&qp), "threshold must be in [0, 1]");
         let query = PreparedQuery::new(issuer, range);
         let filter = match strategy {
             CipqStrategy::MinkowskiSum => query.expanded,
             CipqStrategy::PExpanded => p_expanded_query(issuer, range, qp).1,
         };
-        self.run(
+        self.run_into(
             query,
             filter,
-            &DualityEvaluator,
+            EvaluatorKind::Duality,
             AcceptPolicy::AtLeast(qp),
-            integrator,
-        )
+            ctx,
+            answer,
+        );
     }
 
     /// Answers a request slice in parallel on all cores; answers are
@@ -242,15 +301,32 @@ impl PointEngine {
 impl BatchEngine for PointEngine {
     type Request = PointRequest;
 
-    fn execute_one(&self, request: &PointRequest) -> QueryAnswer {
+    fn execute_one_into(
+        &self,
+        request: &PointRequest,
+        ctx: &mut ExecutionContext,
+        answer: &mut QueryAnswer,
+    ) {
+        ctx.prepare(request.integrator);
         match request.constraint {
-            None => self.ipq_with(&request.issuer, request.range, request.integrator),
-            Some(c) => self.cipq_with(
+            None => {
+                let query = PreparedQuery::new(&request.issuer, request.range);
+                self.run_into(
+                    query,
+                    query.expanded,
+                    EvaluatorKind::Duality,
+                    AcceptPolicy::Positive,
+                    ctx,
+                    answer,
+                );
+            }
+            Some(c) => self.cipq_into(
                 &request.issuer,
                 request.range,
                 c.qp,
                 c.strategy,
-                request.integrator,
+                ctx,
+                answer,
             ),
         }
     }
@@ -259,6 +335,7 @@ impl BatchEngine for PointEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use iloc_uncertainty::LocationPdf;
 
     fn grid_points() -> Vec<Point> {
         // 21×21 grid with spacing 50 covering [0,1000]².

@@ -9,9 +9,8 @@ use crate::eval::constrained::PruneContext;
 use crate::expand::p_expanded_query;
 use crate::integrate::Integrator;
 use crate::pipeline::{
-    execute_batch, AcceptPolicy, BasicEvaluator, BatchEngine, DualityEvaluator, ExecutionContext,
-    PreparedQuery, ProbabilityEvaluator, PruneChain, PtiFilter, QueryPipeline, RectFilter,
-    UncertainRequest,
+    execute_batch, AcceptPolicy, BatchEngine, EvaluatorKind, ExecutionContext, PreparedQuery,
+    PruneChain, PtiFilter, QueryPipeline, RectFilter, UncertainRequest,
 };
 use crate::query::{CiuqStrategy, Issuer, RangeSpec};
 use crate::result::QueryAnswer;
@@ -116,16 +115,17 @@ impl UncertainEngine {
         self.tree.query_range(filter, stats)
     }
 
-    /// Assembles and runs one R-tree-filtered pipeline (the Minkowski
-    /// plans share this; the PTI plan builds its own filter + pruning
-    /// chain in [`Self::ciuq_with`]).
-    fn run_rtree(
+    /// Assembles and runs one R-tree-filtered pipeline through the
+    /// caller's context (the Minkowski plans share this; the PTI plan
+    /// builds its own filter + pruning chain in [`Self::ciuq_into`]).
+    fn run_rtree_into(
         &self,
         query: PreparedQuery<'_>,
-        refine: &dyn ProbabilityEvaluator<UncertainObject>,
+        refine: EvaluatorKind,
         accept: AcceptPolicy,
-        integrator: Integrator,
-    ) -> QueryAnswer {
+        ctx: &mut ExecutionContext,
+        answer: &mut QueryAnswer,
+    ) {
         QueryPipeline {
             query,
             objects: &self.objects,
@@ -137,7 +137,26 @@ impl UncertainEngine {
             refine,
             accept,
         }
-        .execute(&mut ExecutionContext::new(integrator))
+        .execute_into(ctx, answer)
+    }
+
+    /// One-shot wrapper over [`Self::run_rtree_into`].
+    fn run_rtree(
+        &self,
+        query: PreparedQuery<'_>,
+        refine: EvaluatorKind,
+        accept: AcceptPolicy,
+        integrator: Integrator,
+    ) -> QueryAnswer {
+        let mut answer = QueryAnswer::default();
+        self.run_rtree_into(
+            query,
+            refine,
+            accept,
+            &mut ExecutionContext::new(integrator),
+            &mut answer,
+        );
+        answer
     }
 
     /// **IUQ** (Definition 4) via the enhanced pipeline: Minkowski
@@ -154,7 +173,12 @@ impl UncertainEngine {
         integrator: Integrator,
     ) -> QueryAnswer {
         let query = PreparedQuery::new(issuer, range);
-        self.run_rtree(query, &DualityEvaluator, AcceptPolicy::Positive, integrator)
+        self.run_rtree(
+            query,
+            EvaluatorKind::Duality,
+            AcceptPolicy::Positive,
+            integrator,
+        )
     }
 
     /// IUQ via the **basic method** (Section 3.3, Eq. 4): numerical
@@ -164,7 +188,7 @@ impl UncertainEngine {
         let query = PreparedQuery::new(issuer, range);
         self.run_rtree(
             query,
-            &BasicEvaluator { per_axis },
+            EvaluatorKind::Basic { per_axis },
             AcceptPolicy::Positive,
             Integrator::Auto,
         )
@@ -192,16 +216,40 @@ impl UncertainEngine {
         strategy: CiuqStrategy,
         integrator: Integrator,
     ) -> QueryAnswer {
+        let mut answer = QueryAnswer::default();
+        self.ciuq_into(
+            issuer,
+            range,
+            qp,
+            strategy,
+            &mut ExecutionContext::new(integrator),
+            &mut answer,
+        );
+        answer
+    }
+
+    /// C-IUQ through the caller's context (prepared by the caller; the
+    /// pipeline resets it per execution).
+    fn ciuq_into(
+        &self,
+        issuer: &Issuer,
+        range: RangeSpec,
+        qp: f64,
+        strategy: CiuqStrategy,
+        ctx: &mut ExecutionContext,
+        answer: &mut QueryAnswer,
+    ) {
         assert!((0.0..=1.0).contains(&qp), "threshold must be in [0, 1]");
         let query = PreparedQuery::new(issuer, range);
         match strategy {
             // The paper's baseline: plain R-tree + Minkowski filter,
             // no pruning — every candidate is refined.
-            CiuqStrategy::RTreeMinkowski => self.run_rtree(
+            CiuqStrategy::RTreeMinkowski => self.run_rtree_into(
                 query,
-                &DualityEvaluator,
+                EvaluatorKind::Duality,
                 AcceptPolicy::AtLeast(qp),
-                integrator,
+                ctx,
+                answer,
             ),
             // PTI filter + the Section 5.2 object-level pruning chain.
             // At `qp = 0` no object can ever be pruned (every test
@@ -231,10 +279,10 @@ impl UncertainEngine {
                         },
                     },
                     prune,
-                    refine: &DualityEvaluator,
+                    refine: EvaluatorKind::Duality,
                     accept: AcceptPolicy::AtLeast(qp),
                 }
-                .execute(&mut ExecutionContext::new(integrator))
+                .execute_into(ctx, answer)
             }
         }
     }
@@ -249,15 +297,31 @@ impl UncertainEngine {
 impl BatchEngine for UncertainEngine {
     type Request = UncertainRequest;
 
-    fn execute_one(&self, request: &UncertainRequest) -> QueryAnswer {
+    fn execute_one_into(
+        &self,
+        request: &UncertainRequest,
+        ctx: &mut ExecutionContext,
+        answer: &mut QueryAnswer,
+    ) {
+        ctx.prepare(request.integrator);
         match request.constraint {
-            None => self.iuq_with(&request.issuer, request.range, request.integrator),
-            Some(c) => self.ciuq_with(
+            None => {
+                let query = PreparedQuery::new(&request.issuer, request.range);
+                self.run_rtree_into(
+                    query,
+                    EvaluatorKind::Duality,
+                    AcceptPolicy::Positive,
+                    ctx,
+                    answer,
+                )
+            }
+            Some(c) => self.ciuq_into(
                 &request.issuer,
                 request.range,
                 c.qp,
                 c.strategy,
-                request.integrator,
+                ctx,
+                answer,
             ),
         }
     }

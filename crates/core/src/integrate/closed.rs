@@ -16,20 +16,25 @@
 //! O(1), independent of region sizes — this is what Figure 8 measures
 //! against the sampling baseline.
 
-use iloc_geometry::{overlap_profile, Interval, PiecewiseLinear, Rect};
+use iloc_geometry::{Interval, OverlapProfile, Rect};
 use iloc_uncertainty::{Axis, LocationPdf};
 
 use crate::query::RangeSpec;
 
 /// Exact IUQ qualification probability for a uniform issuer on `u0` and
 /// a uniform object on `ui`; `expanded` is `R ⊕ U0`.
+///
+/// This is the innermost function of the zero-allocation hot path: the
+/// overlap profiles live on the stack ([`OverlapProfile`]) and the
+/// whole evaluation is branch-light straight-line arithmetic.
+#[inline]
 pub fn uniform_uniform(u0: Rect, ui: Rect, range: RangeSpec, expanded: Rect) -> f64 {
     let domain = ui.intersect(expanded);
     if domain.is_empty() || u0.area() == 0.0 || ui.area() == 0.0 {
         return 0.0;
     }
-    let ox = overlap_profile(range.w, u0.x_interval());
-    let oy = overlap_profile(range.h, u0.y_interval());
+    let ox = OverlapProfile::new(range.w, u0.x_interval());
+    let oy = OverlapProfile::new(range.h, u0.y_interval());
     let ix = ox.integral_over(domain.x_interval());
     let iy = oy.integral_over(domain.y_interval());
     ((ix * iy) / (u0.area() * ui.area())).clamp(0.0, 1.0)
@@ -45,9 +50,13 @@ pub fn uniform_uniform(u0: Rect, ui: Rect, range: RangeSpec, expanded: Rect) -> 
 /// piecewise-*linear* overlap profile against the object's marginal —
 /// exact segment by segment. Returns `None` when the object pdf does
 /// not expose closed-form marginals.
-pub fn uniform_separable(
+///
+/// Generic over the pdf type so calls with a concrete pdf (from the
+/// `PdfKind` dispatch) monomorphise and inline; `&dyn LocationPdf`
+/// still works.
+pub fn uniform_separable<P: LocationPdf + ?Sized>(
     u0: Rect,
-    object_pdf: &dyn LocationPdf,
+    object_pdf: &P,
     range: RangeSpec,
     expanded: Rect,
 ) -> Option<f64> {
@@ -58,18 +67,18 @@ pub fn uniform_separable(
     if domain.is_empty() {
         return Some(0.0);
     }
-    let ox = overlap_profile(range.w, u0.x_interval());
-    let oy = overlap_profile(range.h, u0.y_interval());
+    let ox = OverlapProfile::new(range.w, u0.x_interval());
+    let oy = OverlapProfile::new(range.h, u0.y_interval());
     let ix = profile_against_marginal(object_pdf, Axis::X, &ox, domain.x_interval())?;
     let iy = profile_against_marginal(object_pdf, Axis::Y, &oy, domain.y_interval())?;
     Some(((ix * iy) / u0.area()).clamp(0.0, 1.0))
 }
 
 /// `∫_I profile(x) dF_axis(x)`, exact per linear segment.
-fn profile_against_marginal(
-    pdf: &dyn LocationPdf,
+fn profile_against_marginal<P: LocationPdf + ?Sized>(
+    pdf: &P,
     axis: Axis,
-    profile: &PiecewiseLinear,
+    profile: &OverlapProfile,
     i: Interval,
 ) -> Option<f64> {
     let mut acc = 0.0;

@@ -21,7 +21,7 @@ pub mod grid;
 pub mod mc;
 
 use iloc_geometry::{Point, Rect};
-use iloc_uncertainty::LocationPdf;
+use iloc_uncertainty::{LocationPdf, PdfKind};
 use rand::rngs::StdRng;
 
 use crate::query::RangeSpec;
@@ -64,9 +64,13 @@ pub enum Integrator {
 impl Integrator {
     /// Qualification probability of a **point object** at `loc`
     /// (Lemma 3: `∫_{R(loc) ∩ U0} f0`).
+    ///
+    /// Takes the issuer pdf as a [`PdfKind`] so the closed rectangle
+    /// mass of the concrete pdfs inlines into the per-candidate loop.
+    #[inline]
     pub fn point_probability(
         &self,
-        issuer_pdf: &dyn LocationPdf,
+        issuer_pdf: &PdfKind,
         range: RangeSpec,
         loc: Point,
         rng: &mut StdRng,
@@ -86,11 +90,17 @@ impl Integrator {
 
     /// Qualification probability of an **uncertain object** (Lemma 4 /
     /// Eq. 8). `expanded` is the pre-computed `R ⊕ U0`.
+    ///
+    /// Takes both pdfs as [`PdfKind`]s: `Auto`'s closed-form arm
+    /// matches on the concrete variants, so the uniform/uniform and
+    /// uniform/Gaussian paths monomorphise and inline instead of going
+    /// through two layers of `dyn` dispatch.
+    #[inline]
     pub fn object_probability(
         &self,
-        issuer_pdf: &dyn LocationPdf,
+        issuer_pdf: &PdfKind,
         range: RangeSpec,
-        object_pdf: &dyn LocationPdf,
+        object_pdf: &PdfKind,
         expanded: Rect,
         rng: &mut StdRng,
         stats: &mut QueryStats,
@@ -100,10 +110,18 @@ impl Integrator {
             Integrator::Auto => {
                 // Exact whenever the issuer is uniform and the object
                 // pdf is axis-separable (uniform, truncated Gaussian);
-                // the paper's Monte-Carlo otherwise.
-                let exact = issuer_pdf
-                    .uniform_region()
-                    .and_then(|u0| closed::uniform_separable(u0, object_pdf, range, expanded));
+                // the paper's Monte-Carlo otherwise. The nested match
+                // statically dispatches the two common object kinds.
+                let exact = match (issuer_pdf.uniform_region(), object_pdf) {
+                    (Some(u0), PdfKind::Uniform(ui)) => {
+                        Some(closed::uniform_uniform(u0, ui.region(), range, expanded))
+                    }
+                    (Some(u0), PdfKind::Gaussian(g)) => {
+                        closed::uniform_separable(u0, g, range, expanded)
+                    }
+                    (Some(u0), other) => closed::uniform_separable(u0, other, range, expanded),
+                    (None, _) => None,
+                };
                 match exact {
                     Some(p) => p,
                     None => mc::object_probability(
@@ -149,8 +167,8 @@ mod tests {
     /// All integrators must agree on a uniform/uniform configuration.
     #[test]
     fn integrators_agree_on_uniform_case() {
-        let issuer = UniformPdf::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0));
-        let object = UniformPdf::new(Rect::from_coords(80.0, 80.0, 160.0, 160.0));
+        let issuer = PdfKind::from(UniformPdf::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0)));
+        let object = PdfKind::from(UniformPdf::new(Rect::from_coords(80.0, 80.0, 160.0, 160.0)));
         let range = RangeSpec::square(30.0);
         let expanded = expand_query(issuer.region(), range.w, range.h);
 
@@ -200,7 +218,9 @@ mod tests {
 
     #[test]
     fn point_probability_matches_across_integrators() {
-        let issuer = TruncatedGaussianPdf::paper_default(Rect::from_coords(0.0, 0.0, 120.0, 120.0));
+        let issuer = PdfKind::from(TruncatedGaussianPdf::paper_default(Rect::from_coords(
+            0.0, 0.0, 120.0, 120.0,
+        )));
         let range = RangeSpec::square(40.0);
         let loc = Point::new(100.0, 60.0);
         let mut stats = QueryStats::new();
@@ -231,8 +251,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "uniform")]
     fn exact_rejects_gaussian_object() {
-        let issuer = UniformPdf::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0));
-        let object = TruncatedGaussianPdf::paper_default(Rect::from_coords(5.0, 5.0, 15.0, 15.0));
+        let issuer = PdfKind::from(UniformPdf::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0)));
+        let object = PdfKind::from(TruncatedGaussianPdf::paper_default(Rect::from_coords(
+            5.0, 5.0, 15.0, 15.0,
+        )));
         let range = RangeSpec::square(2.0);
         let expanded = expand_query(issuer.region(), 2.0, 2.0);
         let mut stats = QueryStats::new();
@@ -251,9 +273,10 @@ mod tests {
         // Uniform issuer + axis-separable (Gaussian) object: Auto must
         // use the closed form — zero sampling — and agree with fine
         // quadrature.
-        let issuer = UniformPdf::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0));
-        let object =
-            TruncatedGaussianPdf::paper_default(Rect::from_coords(60.0, 60.0, 140.0, 140.0));
+        let issuer = PdfKind::from(UniformPdf::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0)));
+        let object = PdfKind::from(TruncatedGaussianPdf::paper_default(Rect::from_coords(
+            60.0, 60.0, 140.0, 140.0,
+        )));
         let range = RangeSpec::square(30.0);
         let expanded = expand_query(issuer.region(), 30.0, 30.0);
         let mut stats = QueryStats::new();
@@ -286,8 +309,8 @@ mod tests {
         use iloc_uncertainty::DiscPdf;
         // A disc object is not axis-separable: Auto must fall back to
         // the paper's Monte-Carlo with its calibrated sample count.
-        let issuer = UniformPdf::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0));
-        let object = DiscPdf::new(Point::new(110.0, 50.0), 30.0);
+        let issuer = PdfKind::from(UniformPdf::new(Rect::from_coords(0.0, 0.0, 100.0, 100.0)));
+        let object = PdfKind::from(DiscPdf::new(Point::new(110.0, 50.0), 30.0));
         let range = RangeSpec::square(30.0);
         let expanded = expand_query(issuer.region(), 30.0, 30.0);
         let mut stats = QueryStats::new();

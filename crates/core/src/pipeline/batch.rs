@@ -1,12 +1,15 @@
-//! Batched query execution: rayon fan-out of request slices with
-//! per-query execution contexts.
+//! Batched query execution: rayon fan-out of request chunks with one
+//! long-lived execution context per worker.
 //!
 //! A deployed location service does not answer one query at a time; it
-//! drains a queue of requests from millions of issuers. [`execute_batch`]
-//! runs any [`BatchEngine`] over a request slice on all cores. Because
-//! every query gets a **fresh context seeded identically to the
-//! sequential path**, parallel answers are bit-identical to
-//! [`execute_batch_sequential`] — determinism is a property of the
+//! drains a queue of requests from millions of issuers.
+//! [`execute_batch`] runs any [`BatchEngine`] over a request slice on
+//! all cores: the slice is chunked per worker and each worker reuses
+//! **one** context — scratch buffers stay warm across its whole chunk,
+//! so per-query allocations are amortised away. The context is reset
+//! (zeroed stats, reseeded RNG) for every query, exactly as a fresh
+//! per-query context would be, so parallel answers are bit-identical
+//! to [`execute_batch_sequential`] — determinism is a property of the
 //! plan, not of scheduling.
 
 use rayon::prelude::*;
@@ -15,35 +18,76 @@ use crate::integrate::Integrator;
 use crate::query::{CipqStrategy, CiuqStrategy, Issuer, RangeSpec};
 use crate::result::QueryAnswer;
 
+use super::ExecutionContext;
+
 /// An engine that can answer self-contained query requests; the batch
-/// executors fan its `execute_one` out over request slices.
+/// executors fan its `execute_one_into` out over request chunks.
 pub trait BatchEngine: Sync {
     /// One self-contained query request.
     type Request: Sync;
 
-    /// Answers one request exactly as the corresponding sequential
-    /// engine method would.
-    fn execute_one(&self, request: &Self::Request) -> QueryAnswer;
+    /// Answers one request through the caller's context (which the
+    /// engine prepares and resets), overwriting `answer` — exactly as
+    /// the corresponding sequential engine method would. Reusing one
+    /// context and answer across calls keeps the path allocation-free
+    /// after warm-up.
+    fn execute_one_into(
+        &self,
+        request: &Self::Request,
+        ctx: &mut ExecutionContext,
+        answer: &mut QueryAnswer,
+    );
+
+    /// Answers one request with a fresh context, returning the answer.
+    fn execute_one(&self, request: &Self::Request) -> QueryAnswer {
+        let mut ctx = ExecutionContext::new(Integrator::Auto);
+        let mut answer = QueryAnswer::default();
+        self.execute_one_into(request, &mut ctx, &mut answer);
+        answer
+    }
 }
 
 /// Answers every request in parallel (rayon work distribution across
-/// all cores), preserving request order in the output.
+/// all cores, one contiguous chunk and one reused context per worker),
+/// preserving request order in the output.
 pub fn execute_batch<E: BatchEngine>(engine: &E, requests: &[E::Request]) -> Vec<QueryAnswer> {
-    requests
-        .par_iter()
-        .map(|request| engine.execute_one(request))
-        .collect()
+    if requests.is_empty() {
+        return Vec::new();
+    }
+    let workers = rayon::current_num_threads().max(1);
+    let chunk_size = requests.len().div_ceil(workers).max(1);
+    let per_chunk: Vec<Vec<QueryAnswer>> = requests
+        .par_chunks(chunk_size)
+        .map(|chunk| {
+            let mut ctx = ExecutionContext::new(Integrator::Auto);
+            chunk
+                .iter()
+                .map(|request| {
+                    let mut answer = QueryAnswer::default();
+                    engine.execute_one_into(request, &mut ctx, &mut answer);
+                    answer
+                })
+                .collect()
+        })
+        .collect();
+    per_chunk.into_iter().flatten().collect()
 }
 
-/// Answers every request on the calling thread — the reference the
-/// parallel path is property-tested against.
+/// Answers every request on the calling thread through one reused
+/// context — the reference the parallel path is property-tested
+/// against.
 pub fn execute_batch_sequential<E: BatchEngine>(
     engine: &E,
     requests: &[E::Request],
 ) -> Vec<QueryAnswer> {
+    let mut ctx = ExecutionContext::new(Integrator::Auto);
     requests
         .iter()
-        .map(|request| engine.execute_one(request))
+        .map(|request| {
+            let mut answer = QueryAnswer::default();
+            engine.execute_one_into(request, &mut ctx, &mut answer);
+            answer
+        })
         .collect()
 }
 

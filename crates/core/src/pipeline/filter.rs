@@ -10,14 +10,23 @@
 //!   which prunes whole subtrees with node-level Strategy 1/2 tests.
 
 use iloc_geometry::Rect;
-use iloc_index::{AccessStats, Pti, PtiQuery, RangeIndex};
+use iloc_index::{AccessStats, Pti, PtiQuery, RangeIndex, TraversalScratch};
 
 /// A candidate producer. Implementations record their logical I/O in
-/// [`AccessStats`]; the returned `u32`s index the pipeline's object
-/// table.
+/// [`AccessStats`] and **write** candidate slots into a caller-owned
+/// buffer (the pipeline passes its context's scratch, keeping the hot
+/// path allocation-free); the pushed `u32`s index the pipeline's
+/// object table. `traversal` provides reusable index-descent state;
+/// filters that do not walk a tree ignore it.
 pub trait FilterStage {
-    /// Probes the index, returning candidate slots.
-    fn candidates(&self, stats: &mut AccessStats) -> Vec<u32>;
+    /// Probes the index, pushing candidate slots into `out` (which the
+    /// caller has cleared).
+    fn candidates_into(
+        &self,
+        stats: &mut AccessStats,
+        traversal: &mut TraversalScratch,
+        out: &mut Vec<u32>,
+    );
 }
 
 /// Rectangle filter over any spatial index.
@@ -30,8 +39,14 @@ pub struct RectFilter<'a, I> {
 }
 
 impl<I: RangeIndex<u32>> FilterStage for RectFilter<'_, I> {
-    fn candidates(&self, stats: &mut AccessStats) -> Vec<u32> {
-        self.index.query_range(self.query, stats)
+    fn candidates_into(
+        &self,
+        stats: &mut AccessStats,
+        traversal: &mut TraversalScratch,
+        out: &mut Vec<u32>,
+    ) {
+        self.index
+            .query_range_scratch(self.query, stats, traversal, out);
     }
 }
 
@@ -45,8 +60,13 @@ pub struct PtiFilter<'a> {
 }
 
 impl FilterStage for PtiFilter<'_> {
-    fn candidates(&self, stats: &mut AccessStats) -> Vec<u32> {
-        self.index.query(&self.query, stats)
+    fn candidates_into(
+        &self,
+        stats: &mut AccessStats,
+        traversal: &mut TraversalScratch,
+        out: &mut Vec<u32>,
+    ) {
+        self.index.query_scratch(&self.query, stats, traversal, out);
     }
 }
 
@@ -66,7 +86,9 @@ mod tests {
             query: Rect::from_coords(-1.0, -1.0, 2.0, 2.0),
         };
         let mut stats = AccessStats::new();
-        let hits = filter.candidates(&mut stats);
+        let mut scratch = TraversalScratch::new();
+        let mut hits = Vec::new();
+        filter.candidates_into(&mut stats, &mut scratch, &mut hits);
         assert_eq!(hits, vec![0]);
         assert_eq!(stats.candidates, 1);
     }

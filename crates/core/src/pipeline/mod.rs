@@ -14,18 +14,33 @@
 //! |-------|------|-------|
 //! | **Filter** | [`FilterStage`]: [`RectFilter`] over any [`iloc_index::RangeIndex`] backend (R-tree, grid file, naive scan) probed with the Minkowski sum `R ⊕ U0` (Lemma 1, Section 4.1) or a `p`-expanded query (Definition 7 + Lemma 5); [`PtiFilter`] for the PTI's node-level pruning (Section 5.3) | 4.1, 5.1, 5.3 |
 //! | **Prune** | [`PruneChain`] of trait-object [`PruneStage`]s — the three object-level pruning strategies for constrained queries, each recording its eliminations in [`QueryStats`] (`pruned_s1`/`s2`/`s3`) | 5.2 |
-//! | **Refine** | [`ProbabilityEvaluator`]: [`DualityEvaluator`] computes qualification probabilities through the query–data duality closed/numeric forms (Lemmas 2–4) via the context's [`Integrator`]; [`BasicEvaluator`] is the Section 3.3 baseline that integrates over the issuer region (Eq. 2 / Eq. 4) | 3.3, 4.2 |
+//! | **Refine** | [`EvaluatorKind`] (static dispatch over the two [`ProbabilityEvaluator`]s): [`DualityEvaluator`] computes qualification probabilities through the query–data duality closed/numeric forms (Lemmas 2–4) via the context's [`Integrator`]; [`BasicEvaluator`] is the Section 3.3 baseline that integrates over the issuer region (Eq. 2 / Eq. 4) | 3.3, 4.2 |
 //!
-//! Execution state (integrator choice, the seeded RNG and the per-query
-//! cost counters) travels in an [`ExecutionContext`], so a pipeline
-//! value itself is immutable and shareable.
+//! Execution state (integrator choice, the seeded RNG, the per-query
+//! cost counters and the reusable [`QueryScratch`] buffers) travels in
+//! an [`ExecutionContext`], so a pipeline value itself is immutable
+//! and shareable.
+//!
+//! ## The zero-allocation invariant
+//!
+//! A steady-state query — [`QueryPipeline::execute_into`] through a
+//! warm, reused context into a reused answer — performs **no heap
+//! allocation**: the filter stage writes candidates into the context's
+//! scratch, index probes run on the scratch traversal stack, the
+//! built-in prune chain is held inline, and both refine evaluators are
+//! statically dispatched (`EvaluatorKind` over the concrete
+//! [`iloc_uncertainty::PdfKind`] pdfs). CI enforces this with the
+//! throughput bench's `--check-allocs` gate; treat an allocation on
+//! this path as a regression.
 //!
 //! ## Batching
 //!
 //! [`execute_batch`] runs any slice of requests against a
-//! [`BatchEngine`] on all cores via rayon, one fresh seeded context per
-//! query, so answers are **bit-identical** to sequential execution
-//! (property-tested in `tests/pipeline.rs`).
+//! [`BatchEngine`] on all cores via rayon: requests are chunked per
+//! worker, each worker reuses one long-lived context (reset and
+//! reseeded identically for every query), so answers are
+//! **bit-identical** to sequential execution (property-tested in
+//! `tests/pipeline.rs`).
 //!
 //! ```
 //! use iloc_core::pipeline::{execute_batch, PointRequest};
@@ -53,12 +68,15 @@ pub use batch::{
     UncertainConstraint, UncertainRequest,
 };
 pub use filter::{FilterStage, PtiFilter, RectFilter};
-pub use prune::{ExpandedQueryPrune, ProductRulePrune, PruneChain, PruneStage, TailPrune};
-pub use refine::{BasicEvaluator, DualityEvaluator, PipelineObject, ProbabilityEvaluator};
+pub use prune::{PruneChain, PruneStage};
+pub use refine::{
+    BasicEvaluator, DualityEvaluator, EvaluatorKind, PipelineObject, ProbabilityEvaluator,
+};
 
 use std::time::Instant;
 
 use iloc_geometry::Rect;
+use iloc_index::TraversalScratch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -69,13 +87,101 @@ use crate::query::{Issuer, RangeSpec};
 use crate::result::{Match, QueryAnswer};
 use crate::stats::QueryStats;
 
+/// Reusable buffers of one query execution: the candidate list the
+/// filter stage writes into and the index-traversal stack.
+///
+/// The scratch lives inside an [`ExecutionContext`]; executing through
+/// a warm (reused) context touches only these buffers, which is what
+/// makes the steady-state query path allocation-free. Buffers are
+/// cleared — never shrunk — between executions, and their contents
+/// carry no information across queries (property-tested: a dirty
+/// scratch answers bit-identically to a fresh one).
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    /// Candidate object slots produced by the filter stage.
+    pub(crate) candidates: Vec<u32>,
+    /// DFS stack for R-tree / PTI probes.
+    pub(crate) traversal: TraversalScratch,
+    /// Ping-pong buffer for the candidate radix sort.
+    pub(crate) radix: Vec<u32>,
+}
+
+/// Sorts candidate slots with an LSD radix sort through a caller-owned
+/// ping-pong buffer.
+///
+/// Index probes emit candidates in DFS order; refining them that way
+/// means the final by-id match sort dominates the whole query (a
+/// comparison sort of the result set costs more than the refinement
+/// itself at paper scale). Counting passes over the *slots* are far
+/// cheaper — `O(passes · n)` with 256-way buckets, no comparisons —
+/// and because the engines assign ids in slot order, the produced
+/// matches then come out already sorted. Allocation-free once `aux`
+/// has grown to workload size.
+pub(crate) fn sort_candidates(v: &mut Vec<u32>, aux: &mut Vec<u32>) {
+    /// One counting pass on the byte at `shift`.
+    fn radix_pass(src: &[u32], dst: &mut [u32], shift: u32) {
+        let mut pos = [0usize; 256];
+        for &x in src {
+            pos[((x >> shift) & 0xff) as usize] += 1;
+        }
+        let mut acc = 0usize;
+        for p in pos.iter_mut() {
+            let count = *p;
+            *p = acc;
+            acc += count;
+        }
+        for &x in src {
+            let bucket = ((x >> shift) & 0xff) as usize;
+            dst[pos[bucket]] = x;
+            pos[bucket] += 1;
+        }
+    }
+
+    if v.len() < 2 || v.windows(2).all(|w| w[0] <= w[1]) {
+        return;
+    }
+    let max = *v.iter().max().expect("non-empty") as u64;
+    aux.clear();
+    aux.resize(v.len(), 0);
+    let mut data_in_v = true;
+    let mut shift = 0u32;
+    loop {
+        if data_in_v {
+            radix_pass(v, aux, shift);
+        } else {
+            radix_pass(aux, v, shift);
+        }
+        data_in_v = !data_in_v;
+        shift += 8;
+        if (max >> shift) == 0 {
+            break;
+        }
+    }
+    if !data_in_v {
+        std::mem::swap(v, aux);
+    }
+}
+
+impl QueryScratch {
+    /// A scratch with no retained capacity.
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
+}
+
 /// Mutable per-execution state threaded through the stages: the
 /// integrator the refine stage uses, the seeded RNG feeding its
-/// Monte-Carlo paths, and the cost counters every stage records into.
+/// Monte-Carlo paths, the cost counters every stage records into, and
+/// the reusable [`QueryScratch`] buffers.
 ///
-/// One context serves one query execution; batch execution creates a
-/// fresh context per query (same seed), which is what makes parallel
-/// answers bit-identical to sequential ones.
+/// One context serves one query execution *at a time* and is designed
+/// to be **reused**: every execution starts by [`reset`]ting the
+/// context (zeroed stats, reseeded RNG), so answers through a reused
+/// context are bit-identical to answers through a fresh one, while the
+/// scratch buffers keep their capacity. Batch execution keeps one
+/// long-lived context per worker.
+///
+/// [`reset`]: ExecutionContext::reset
 #[derive(Debug, Clone)]
 pub struct ExecutionContext {
     /// Strategy for the refine stage's probability integrals.
@@ -84,6 +190,8 @@ pub struct ExecutionContext {
     pub rng: StdRng,
     /// Cost counters; moved into the [`QueryAnswer`] on completion.
     pub stats: QueryStats,
+    /// Reusable buffers (candidates, traversal stack).
+    pub(crate) scratch: QueryScratch,
     seed: u64,
 }
 
@@ -100,14 +208,24 @@ impl ExecutionContext {
             integrator,
             rng: StdRng::seed_from_u64(seed),
             stats: QueryStats::new(),
+            scratch: QueryScratch::new(),
             seed,
         }
     }
 
+    /// Reconfigures the integrator ahead of the next execution (the
+    /// per-request batch path reuses one context across requests with
+    /// differing integrators).
+    #[inline]
+    pub fn prepare(&mut self, integrator: Integrator) {
+        self.integrator = integrator;
+    }
+
     /// Returns the context to its post-construction state: zeroed
-    /// stats and a freshly reseeded RNG. Called at the start of every
-    /// [`QueryPipeline::execute`] so a reused context yields the same
-    /// answers as a fresh one.
+    /// stats and a freshly reseeded RNG (scratch buffers keep their
+    /// capacity). Called at the start of every
+    /// [`QueryPipeline::execute_into`] so a reused context yields the
+    /// same answers as a fresh one.
     fn reset(&mut self) {
         self.stats = QueryStats::new();
         self.rng = StdRng::seed_from_u64(self.seed);
@@ -164,11 +282,13 @@ impl AcceptPolicy {
 /// One fully-planned query execution: the object table, the three
 /// stages, and the acceptance policy.
 ///
-/// Generic over the object type `O` (point or uncertain) and the
-/// filter backend `F`, which is in turn generic over any
-/// [`iloc_index::RangeIndex`] via [`RectFilter`]. The plan is immutable;
+/// Generic over the object type `O` (point or uncertain), the filter
+/// backend `F` (in turn generic over any [`iloc_index::RangeIndex`]
+/// via [`RectFilter`]) and the refine evaluator `E` — by default the
+/// statically-dispatched [`EvaluatorKind`], so the whole per-candidate
+/// loop monomorphises without virtual calls. The plan is immutable;
 /// all mutable state lives in the [`ExecutionContext`].
-pub struct QueryPipeline<'p, O, F> {
+pub struct QueryPipeline<'p, O, F, E = EvaluatorKind> {
     /// The prepared query shared by every stage.
     pub query: PreparedQuery<'p>,
     /// The engine's object table; filter output indexes into it.
@@ -178,29 +298,59 @@ pub struct QueryPipeline<'p, O, F> {
     /// Prune stage: object-level elimination before any integral.
     pub prune: PruneChain<'p, O>,
     /// Refine stage: qualification-probability evaluation.
-    pub refine: &'p dyn ProbabilityEvaluator<O>,
+    pub refine: E,
     /// Acceptance policy applied to refined probabilities.
     pub accept: AcceptPolicy,
 }
 
-impl<O: PipelineObject, F: FilterStage> QueryPipeline<'_, O, F> {
+impl<O: PipelineObject, F: FilterStage, E: ProbabilityEvaluator<O>> QueryPipeline<'_, O, F, E> {
     /// Runs filter → prune → refine, returning the answer with its
-    /// cost accounting. The context is reset first (zeroed stats,
-    /// reseeded RNG), so executing through a reused context gives the
-    /// same answer as through a fresh one.
+    /// cost accounting. Convenience wrapper over
+    /// [`QueryPipeline::execute_into`] that allocates a fresh answer.
     pub fn execute(&self, ctx: &mut ExecutionContext) -> QueryAnswer {
+        let mut answer = QueryAnswer::default();
+        self.execute_into(ctx, &mut answer);
+        answer
+    }
+
+    /// Runs filter → prune → refine, overwriting `answer` with the
+    /// result and its cost accounting.
+    ///
+    /// The context is reset first (zeroed stats, reseeded RNG), so
+    /// executing through a reused context gives the same answer as
+    /// through a fresh one. A *steady-state* execution — warm context
+    /// scratch, an `answer` whose buffers have already grown to
+    /// workload size — performs **zero heap allocations**: candidates
+    /// land in the context's [`QueryScratch`], the index probe runs on
+    /// the scratch traversal stack, and matches stage directly into
+    /// the reused `answer.results`. The throughput bench's CI gate
+    /// (`throughput --check-allocs`) pins this invariant.
+    pub fn execute_into(&self, ctx: &mut ExecutionContext, answer: &mut QueryAnswer) {
         let start = Instant::now();
         ctx.reset();
-        let mut results = Vec::new();
-        let candidates = self.filter.candidates(&mut ctx.stats.access);
-        for slot in candidates {
+        answer.results.clear();
+        // The candidate buffer is taken out of the scratch for the
+        // duration of the loop so the context stays borrowable by the
+        // refine stage; its capacity survives round trips.
+        let mut candidates = std::mem::take(&mut ctx.scratch.candidates);
+        candidates.clear();
+        self.filter.candidates_into(
+            &mut ctx.stats.access,
+            &mut ctx.scratch.traversal,
+            &mut candidates,
+        );
+        // Refine in slot order: sequential object-table access, and the
+        // matches come out pre-sorted (engines assign ids in slot
+        // order), collapsing the final sort to a linear check.
+        sort_candidates(&mut candidates, &mut ctx.scratch.radix);
+        for &slot in &candidates {
             let object = &self.objects[slot as usize];
             if self.prune.try_prune(&self.query, object, &mut ctx.stats) {
                 continue;
             }
             let pi = self.refine.probability(&self.query, object, ctx);
             if self.accept.accepts(pi) {
-                results.push(Match {
+                answer.results.push(Match {
                     id: object.object_id(),
                     probability: pi,
                 });
@@ -208,13 +358,10 @@ impl<O: PipelineObject, F: FilterStage> QueryPipeline<'_, O, F> {
                 ctx.stats.refined_out += 1;
             }
         }
-        let mut answer = QueryAnswer {
-            results,
-            stats: std::mem::take(&mut ctx.stats),
-        };
-        answer.finalize();
+        ctx.scratch.candidates = candidates;
+        answer.stats = std::mem::take(&mut ctx.stats);
+        crate::result::sort_matches(&mut answer.results);
         answer.stats.elapsed = start.elapsed();
-        answer
     }
 }
 
@@ -256,7 +403,7 @@ mod tests {
                 query: query.expanded,
             },
             prune: PruneChain::none(),
-            refine: &DualityEvaluator,
+            refine: EvaluatorKind::Duality,
             accept: AcceptPolicy::Positive,
         };
         let mut ctx = ExecutionContext::new(Integrator::Auto);
@@ -304,7 +451,7 @@ mod tests {
                 query: query.expanded,
             },
             prune: PruneChain::none(),
-            refine: &DualityEvaluator,
+            refine: EvaluatorKind::Duality,
             accept: AcceptPolicy::Positive,
         };
         let mut shared = ExecutionContext::new(Integrator::MonteCarlo { samples: 200 });

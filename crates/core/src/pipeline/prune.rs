@@ -1,19 +1,18 @@
 //! The **Prune** stage: object-level elimination before any
 //! probability integral (paper Section 5.2).
 //!
-//! The three pruning strategies are modelled as a chain of trait
-//! objects so plans can mix, reorder, or extend them; each stage
-//! records its eliminations in its own [`QueryStats`] counter, which is
-//! how the experiments attribute pruning power per strategy
-//! (Figure 12's discussion).
+//! The paper's three strategies are applied through
+//! [`super::PipelineObject::try_section_5_2`] (the single
+//! implementation of the stack), each elimination attributed to its
+//! own [`QueryStats`] counter — that is how the experiments report
+//! pruning power per strategy (Figure 12's discussion). Custom boxed
+//! [`PruneStage`]s can be appended for experimental plans.
 
 use std::fmt;
 
 use iloc_uncertainty::UncertainObject;
 
-use crate::eval::constrained::{
-    strategy1_prunes, strategy2_prunes, strategy3_prunes, PruneContext,
-};
+use crate::eval::constrained::PruneContext;
 use crate::stats::QueryStats;
 
 use super::PreparedQuery;
@@ -33,35 +32,58 @@ pub trait PruneStage<O>: fmt::Debug + Sync {
 
 /// An ordered chain of pruning stages; the first stage that fires
 /// eliminates the candidate (cheapest-first, as in the paper).
+///
+/// The paper's Section-5.2 stack is held **inline** (one copied
+/// [`PruneContext`]) rather than as boxed trait objects, so assembling
+/// a constrained plan performs no heap allocation — part of the query
+/// hot path's zero-allocation invariant. Custom boxed stages can still
+/// be appended via [`PruneChain::new`] for experimental plans.
 pub struct PruneChain<'p, O> {
-    stages: Vec<Box<dyn PruneStage<O> + 'p>>,
+    /// The built-in Section-5.2 stack, applied first (via
+    /// [`super::PipelineObject::try_section_5_2`]).
+    section52: Option<PruneContext<'p>>,
+    /// Extension point: additional stages applied in order.
+    custom: Vec<Box<dyn PruneStage<O> + 'p>>,
 }
 
-impl<'p, O> PruneChain<'p, O> {
+impl<'p, O: super::PipelineObject> PruneChain<'p, O> {
     /// The empty chain (unconstrained queries, and the paper's R-tree
     /// baseline which refines every candidate).
     pub fn none() -> Self {
-        PruneChain { stages: Vec::new() }
+        PruneChain {
+            section52: None,
+            custom: Vec::new(),
+        }
     }
 
-    /// A chain of explicit stages, applied in order.
+    /// A chain of explicit custom stages, applied in order.
     pub fn new(stages: Vec<Box<dyn PruneStage<O> + 'p>>) -> Self {
-        PruneChain { stages }
+        PruneChain {
+            section52: None,
+            custom: stages,
+        }
     }
 
-    /// Number of stages.
+    /// Number of stages (the built-in Section-5.2 stack counts as its
+    /// three strategies).
     pub fn len(&self) -> usize {
-        self.stages.len()
+        self.section52.map_or(0, |_| 3) + self.custom.len()
     }
 
     /// `true` when no stage is installed.
     pub fn is_empty(&self) -> bool {
-        self.stages.is_empty()
+        self.len() == 0
     }
 
     /// Runs the chain; `true` eliminates the candidate.
+    #[inline]
     pub fn try_prune(&self, query: &PreparedQuery<'_>, object: &O, stats: &mut QueryStats) -> bool {
-        self.stages
+        if let Some(ctx) = &self.section52 {
+            if object.try_section_5_2(ctx, stats) {
+                return true;
+            }
+        }
+        self.custom
             .iter()
             .any(|stage| stage.try_prune(query, object, stats))
     }
@@ -70,90 +92,30 @@ impl<'p, O> PruneChain<'p, O> {
 impl<'p> PruneChain<'p, UncertainObject> {
     /// The paper's Section 5.2 stack in its published order —
     /// Strategy 2 (cheapest), then Strategy 1, then the Strategy 3
-    /// product rule.
+    /// product rule. Allocation-free: the chain is the copied context.
     pub fn section_5_2(ctx: PruneContext<'p>) -> Self {
-        PruneChain::new(vec![
-            Box::new(ExpandedQueryPrune(ctx)),
-            Box::new(TailPrune(ctx)),
-            Box::new(ProductRulePrune(ctx)),
-        ])
+        PruneChain {
+            section52: Some(ctx),
+            custom: Vec::new(),
+        }
     }
 }
 
 impl<O> fmt::Debug for PruneChain<'_, O> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let builtin = if self.section52.is_some() {
+            &[
+                "strategy2-p-expanded",
+                "strategy1-tail",
+                "strategy3-product",
+            ][..]
+        } else {
+            &[]
+        };
         f.debug_list()
-            .entries(self.stages.iter().map(|s| s.name()))
+            .entries(builtin.iter().copied())
+            .entries(self.custom.iter().map(|s| s.name()))
             .finish()
-    }
-}
-
-/// **Strategy 1**: the possible-qualification region `Ui ∩ (R ⊕ U0)`
-/// lies in a `≤ Qp` tail of the object's own p-bounds.
-#[derive(Debug, Clone, Copy)]
-pub struct TailPrune<'p>(pub PruneContext<'p>);
-
-impl PruneStage<UncertainObject> for TailPrune<'_> {
-    fn name(&self) -> &'static str {
-        "strategy1-tail"
-    }
-    fn try_prune(
-        &self,
-        _query: &PreparedQuery<'_>,
-        object: &UncertainObject,
-        stats: &mut QueryStats,
-    ) -> bool {
-        let fired = strategy1_prunes(object, &self.0);
-        if fired {
-            stats.pruned_s1 += 1;
-        }
-        fired
-    }
-}
-
-/// **Strategy 2**: `Ui` lies completely outside the issuer's
-/// conservative `M`-expanded query.
-#[derive(Debug, Clone, Copy)]
-pub struct ExpandedQueryPrune<'p>(pub PruneContext<'p>);
-
-impl PruneStage<UncertainObject> for ExpandedQueryPrune<'_> {
-    fn name(&self) -> &'static str {
-        "strategy2-p-expanded"
-    }
-    fn try_prune(
-        &self,
-        _query: &PreparedQuery<'_>,
-        object: &UncertainObject,
-        stats: &mut QueryStats,
-    ) -> bool {
-        let fired = strategy2_prunes(object, &self.0);
-        if fired {
-            stats.pruned_s2 += 1;
-        }
-        fired
-    }
-}
-
-/// **Strategy 3**: the `qmin · dmin < Qp` product rule combining both
-/// catalogs.
-#[derive(Debug, Clone, Copy)]
-pub struct ProductRulePrune<'p>(pub PruneContext<'p>);
-
-impl PruneStage<UncertainObject> for ProductRulePrune<'_> {
-    fn name(&self) -> &'static str {
-        "strategy3-product"
-    }
-    fn try_prune(
-        &self,
-        _query: &PreparedQuery<'_>,
-        object: &UncertainObject,
-        stats: &mut QueryStats,
-    ) -> bool {
-        let fired = strategy3_prunes(object, &self.0);
-        if fired {
-            stats.pruned_s3 += 1;
-        }
-        fired
     }
 }
 

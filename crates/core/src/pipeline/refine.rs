@@ -13,6 +13,10 @@
 use iloc_uncertainty::{ObjectId, PointObject, UncertainObject};
 
 use crate::eval::basic;
+use crate::eval::constrained::{
+    strategy1_prunes, strategy2_prunes, strategy3_prunes, PruneContext,
+};
+use crate::stats::QueryStats;
 
 use super::{ExecutionContext, PreparedQuery};
 
@@ -21,6 +25,16 @@ use super::{ExecutionContext, PreparedQuery};
 pub trait PipelineObject: Sync {
     /// The object's identifier as reported in [`crate::result::Match`].
     fn object_id(&self) -> ObjectId;
+
+    /// Applies the built-in Section-5.2 pruning tests to this object,
+    /// recording any elimination in `stats`. The default keeps the
+    /// object — only objects with U-catalogs (uncertain objects) can be
+    /// pruned without an integral.
+    #[inline]
+    fn try_section_5_2(&self, ctx: &PruneContext<'_>, stats: &mut QueryStats) -> bool {
+        let _ = (ctx, stats);
+        false
+    }
 }
 
 impl PipelineObject for PointObject {
@@ -32,6 +46,26 @@ impl PipelineObject for PointObject {
 impl PipelineObject for UncertainObject {
     fn object_id(&self) -> ObjectId {
         self.id
+    }
+
+    /// The paper's Section 5.2 stack in its published order —
+    /// Strategy 2 (cheapest), then Strategy 1, then the Strategy 3
+    /// product rule — with per-strategy elimination counters.
+    #[inline]
+    fn try_section_5_2(&self, ctx: &PruneContext<'_>, stats: &mut QueryStats) -> bool {
+        if strategy2_prunes(self, ctx) {
+            stats.pruned_s2 += 1;
+            return true;
+        }
+        if strategy1_prunes(self, ctx) {
+            stats.pruned_s1 += 1;
+            return true;
+        }
+        if strategy3_prunes(self, ctx) {
+            stats.pruned_s3 += 1;
+            return true;
+        }
+        false
     }
 }
 
@@ -83,6 +117,44 @@ impl ProbabilityEvaluator<UncertainObject> for DualityEvaluator {
             &mut ctx.rng,
             &mut ctx.stats,
         )
+    }
+}
+
+/// The refine stage as a statically-dispatched enum: the paper's two
+/// evaluation methods behind one `Copy` value, so the per-candidate
+/// loop compiles to a direct (inlinable) call instead of a virtual one.
+///
+/// This is what the engines install; the [`ProbabilityEvaluator`]
+/// trait remains for plans refining through custom evaluators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvaluatorKind {
+    /// The Section 4.2 enhanced method ([`DualityEvaluator`]).
+    Duality,
+    /// The Section 3.3 baseline ([`BasicEvaluator`]).
+    Basic {
+        /// Sampling-grid resolution per axis.
+        per_axis: usize,
+    },
+}
+
+impl<O> ProbabilityEvaluator<O> for EvaluatorKind
+where
+    DualityEvaluator: ProbabilityEvaluator<O>,
+    BasicEvaluator: ProbabilityEvaluator<O>,
+{
+    #[inline]
+    fn probability(
+        &self,
+        query: &PreparedQuery<'_>,
+        object: &O,
+        ctx: &mut ExecutionContext,
+    ) -> f64 {
+        match *self {
+            EvaluatorKind::Duality => DualityEvaluator.probability(query, object, ctx),
+            EvaluatorKind::Basic { per_axis } => {
+                BasicEvaluator { per_axis }.probability(query, object, ctx)
+            }
+        }
     }
 }
 

@@ -1,10 +1,8 @@
 //! Query-side types: the imprecise issuer, the range specification, and
 //! the strategy selectors the experiments compare.
 
-use std::sync::Arc;
-
 use iloc_geometry::{Point, Rect};
-use iloc_uncertainty::{LocationPdf, SharedPdf, TruncatedGaussianPdf, UCatalog, UniformPdf};
+use iloc_uncertainty::{LocationPdf, PdfKind, TruncatedGaussianPdf, UCatalog, UniformPdf};
 
 /// The range-query shape: an axis-parallel rectangle of half-width `w`
 /// and half-height `h` centred wherever the issuer happens to be
@@ -46,7 +44,7 @@ impl RangeSpec {
 /// U-catalog (used to build `p`-expanded queries).
 #[derive(Debug, Clone)]
 pub struct Issuer {
-    pdf: SharedPdf,
+    pdf: PdfKind,
     catalog: UCatalog,
 }
 
@@ -62,23 +60,26 @@ impl Issuer {
     }
 
     /// Issuer with an arbitrary pdf; the default six-level U-catalog is
-    /// computed on construction.
-    pub fn with_pdf(pdf: impl LocationPdf + 'static) -> Self {
-        let pdf: SharedPdf = Arc::new(pdf);
-        let catalog = UCatalog::build_default(pdf.as_ref());
+    /// computed on construction. Accepts any workspace pdf type, a
+    /// [`PdfKind`] or a shared handle; wrap other [`LocationPdf`]
+    /// implementations with [`PdfKind::shared`].
+    pub fn with_pdf(pdf: impl Into<PdfKind>) -> Self {
+        let pdf = pdf.into();
+        let catalog = UCatalog::build_default(&pdf);
         Issuer { pdf, catalog }
     }
 
     /// Issuer with custom catalog levels.
-    pub fn with_pdf_and_levels(pdf: impl LocationPdf + 'static, levels: &[f64]) -> Self {
-        let pdf: SharedPdf = Arc::new(pdf);
-        let catalog = UCatalog::build(pdf.as_ref(), levels);
+    pub fn with_pdf_and_levels(pdf: impl Into<PdfKind>, levels: &[f64]) -> Self {
+        let pdf = pdf.into();
+        let catalog = UCatalog::build(&pdf, levels);
         Issuer { pdf, catalog }
     }
 
-    /// The issuer's pdf `f0`.
-    pub fn pdf(&self) -> &dyn LocationPdf {
-        self.pdf.as_ref()
+    /// The issuer's pdf `f0`, statically dispatched over the concrete
+    /// pdf types (coerces to `&dyn LocationPdf` where needed).
+    pub fn pdf(&self) -> &PdfKind {
+        &self.pdf
     }
 
     /// The issuer's uncertainty region `U0`.

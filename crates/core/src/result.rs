@@ -46,10 +46,24 @@ impl QueryAnswer {
                 .all(|(a, b)| a.id == b.id && a.probability.to_bits() == b.probability.to_bits())
     }
 
-    /// Sorts matches by id; called by the engines before returning.
+    /// Sorts matches by id; used by the non-pipeline paths (e.g. NN
+    /// queries). The pipeline hot path goes through [`sort_matches`].
     pub(crate) fn finalize(&mut self) {
-        self.results.sort_by_key(|m| m.id);
+        self.results.sort_unstable_by_key(|m| m.id);
     }
+}
+
+/// Sorts matches by id on the hot path. Unstable sort on purpose: ids
+/// are unique (one match per object), so the order is fully determined
+/// — and the standard library's *stable* sort would heap-allocate its
+/// merge buffer on the otherwise allocation-free steady-state path.
+/// The pre-check skips the sort entirely for the common case of an
+/// index filter that emitted candidates in id order.
+pub(crate) fn sort_matches(v: &mut [Match]) {
+    if v.windows(2).all(|w| w[0].id <= w[1].id) {
+        return;
+    }
+    v.sort_unstable_by_key(|m| m.id);
 }
 
 #[cfg(test)]
@@ -71,6 +85,37 @@ mod tests {
         assert_eq!(a.results[0].id, ObjectId(2));
         assert_eq!(a.probability_of(ObjectId(5)), Some(0.5));
         assert_eq!(a.probability_of(ObjectId(9)), None);
+    }
+
+    #[test]
+    fn scratch_sort_matches_standard_sort() {
+        use iloc_uncertainty::ObjectId;
+        // Deterministic pseudo-random id streams with runs, duplicates
+        // of nothing (unique ids), sorted, reversed, tiny, and empty.
+        let cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![7],
+            (0..100).collect(),
+            (0..100).rev().collect(),
+            (0..50).chain(25..80).chain(10..30).collect(),
+            (0..500).map(|k: u64| (k * 7919) % 1231).collect(),
+        ];
+        for ids in cases {
+            let mut v: Vec<Match> = ids
+                .iter()
+                .map(|&id| Match {
+                    id: ObjectId(id),
+                    probability: id as f64,
+                })
+                .collect();
+            let mut expect = v.clone();
+            expect.sort_by_key(|m| m.id);
+            sort_matches(&mut v);
+            assert_eq!(
+                v.iter().map(|m| m.id).collect::<Vec<_>>(),
+                expect.iter().map(|m| m.id).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

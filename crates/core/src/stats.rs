@@ -41,6 +41,21 @@ impl QueryStats {
         QueryStats::default()
     }
 
+    /// `true` when every deterministic counter equals `other`'s
+    /// (wall-clock `elapsed` is excluded). The scratch-reuse property
+    /// tests use this to pin reused-context executions to the exact
+    /// cost accounting of fresh-context ones.
+    pub fn same_counters(&self, other: &QueryStats) -> bool {
+        self.access == other.access
+            && self.prob_evals == other.prob_evals
+            && self.mc_samples == other.mc_samples
+            && self.grid_cells == other.grid_cells
+            && self.pruned_s1 == other.pruned_s1
+            && self.pruned_s2 == other.pruned_s2
+            && self.pruned_s3 == other.pruned_s3
+            && self.refined_out == other.refined_out
+    }
+
     /// Merges counters from another query (used when averaging over a
     /// workload).
     pub fn absorb(&mut self, other: &QueryStats) {

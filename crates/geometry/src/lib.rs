@@ -33,5 +33,5 @@ pub use interval::Interval;
 pub use minkowski::minkowski_sum;
 pub use piecewise::PiecewiseLinear;
 pub use point::Point;
-pub use profile::overlap_profile;
+pub use profile::{overlap_profile, OverlapProfile};
 pub use rect::Rect;

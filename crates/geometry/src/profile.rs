@@ -21,8 +21,108 @@
 use crate::interval::Interval;
 use crate::piecewise::PiecewiseLinear;
 
+/// An overlap profile held entirely on the stack: a trapezoid needs at
+/// most four knots, so the query hot path can build and integrate one
+/// per candidate without touching the heap (the heap-backed
+/// [`PiecewiseLinear`] view is available via [`overlap_profile`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapProfile {
+    knots: [(f64, f64); 4],
+    len: usize,
+}
+
+impl OverlapProfile {
+    /// Builds the profile `x ↦ |[x−w, x+w] ∩ side|`.
+    ///
+    /// `w` must be non-negative and `side` non-empty. Degenerate inputs
+    /// (`w == 0` or a zero-length side) yield the zero function, which
+    /// makes downstream probabilities vanish exactly as measure theory
+    /// dictates.
+    #[inline]
+    pub fn new(w: f64, side: Interval) -> Self {
+        // Hard asserts, matching `overlap_profile`: both branches are
+        // perfectly predicted in the hot loop, and an inverted side or
+        // negative half-extent must surface as a caller bug rather
+        // than a silently-clamped probability.
+        assert!(w >= 0.0, "query half-extent must be non-negative");
+        assert!(!side.is_empty(), "issuer side interval must be non-empty");
+        let (a, b) = (side.lo, side.hi);
+        let plateau = (2.0 * w).min(b - a);
+        let x_lo = a - w;
+        let x_hi = b + w;
+        let mut p = OverlapProfile {
+            knots: [(0.0, 0.0); 4],
+            len: 0,
+        };
+        if x_hi <= x_lo {
+            // Only possible when w == 0 and a == b: a single point of
+            // zero measure — the zero function.
+            return p;
+        }
+        let mid_lo = (a + w).min(b - w);
+        let mid_hi = (a + w).max(b - w);
+        p.push(x_lo, 0.0);
+        if mid_lo > x_lo {
+            p.push(mid_lo, plateau);
+        }
+        if mid_hi > p.knots[p.len - 1].0 {
+            p.push(mid_hi, plateau);
+        }
+        if x_hi > p.knots[p.len - 1].0 {
+            p.push(x_hi, 0.0);
+        }
+        if p.len < 2 {
+            p.len = 0;
+        }
+        p
+    }
+
+    #[inline]
+    fn push(&mut self, x: f64, y: f64) {
+        self.knots[self.len] = (x, y);
+        self.len += 1;
+    }
+
+    /// The knots defining the trapezoid (empty for the zero function).
+    #[inline]
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots[..self.len]
+    }
+
+    /// Exact integral `∫_I f(x) dx` over an arbitrary interval `I`
+    /// (portions outside the support contribute zero). Identical
+    /// segment arithmetic to [`PiecewiseLinear::integral_over`], so the
+    /// two representations agree bit for bit.
+    #[inline]
+    pub fn integral_over(&self, i: Interval) -> f64 {
+        if self.len < 2 {
+            return 0.0;
+        }
+        let support = Interval::new(self.knots[0].0, self.knots[self.len - 1].0);
+        let i = i.intersect(support);
+        if i.is_empty() || i.length() == 0.0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for pair in self.knots[..self.len].windows(2) {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            let seg = Interval::new(x0, x1).intersect(i);
+            if seg.is_empty() || seg.length() == 0.0 {
+                continue;
+            }
+            let slope = (y1 - y0) / (x1 - x0);
+            let f_lo = y0 + slope * (seg.lo - x0);
+            let f_hi = y0 + slope * (seg.hi - x0);
+            total += 0.5 * (f_lo + f_hi) * seg.length();
+        }
+        total
+    }
+}
+
 /// Builds the overlap profile `x ↦ |[x−w, x+w] ∩ side|` as a
-/// piecewise-linear function.
+/// heap-backed piecewise-linear function (see [`OverlapProfile`] for
+/// the allocation-free representation the hot path uses).
 ///
 /// `w` must be non-negative and `side` non-empty. Degenerate inputs
 /// (`w == 0` or a zero-length side) yield the zero function on the
@@ -31,30 +131,11 @@ use crate::piecewise::PiecewiseLinear;
 pub fn overlap_profile(w: f64, side: Interval) -> PiecewiseLinear {
     assert!(w >= 0.0, "query half-extent must be non-negative");
     assert!(!side.is_empty(), "issuer side interval must be non-empty");
-    let (a, b) = (side.lo, side.hi);
-    let plateau = (2.0 * w).min(b - a);
-    let x_lo = a - w;
-    let x_hi = b + w;
-    if x_hi <= x_lo {
-        // Only possible when w == 0 and a == b: a single point, zero measure.
+    let p = OverlapProfile::new(w, side);
+    if p.knots().len() < 2 {
         return PiecewiseLinear::zero();
     }
-    let mid_lo = (a + w).min(b - w);
-    let mid_hi = (a + w).max(b - w);
-    let mut knots: Vec<(f64, f64)> = vec![(x_lo, 0.0)];
-    if mid_lo > x_lo {
-        knots.push((mid_lo, plateau));
-    }
-    if mid_hi > knots[knots.len() - 1].0 {
-        knots.push((mid_hi, plateau));
-    }
-    if x_hi > knots[knots.len() - 1].0 {
-        knots.push((x_hi, 0.0));
-    }
-    if knots.len() < 2 {
-        return PiecewiseLinear::zero();
-    }
-    PiecewiseLinear::new(knots)
+    PiecewiseLinear::new(p.knots().to_vec())
 }
 
 #[cfg(test)]

@@ -34,4 +34,4 @@ pub use naive::NaiveIndex;
 pub use pti::{Pti, PtiParams, PtiQuery};
 pub use rtree::{RTree, RTreeParams, SplitPolicy};
 pub use stats::AccessStats;
-pub use traits::RangeIndex;
+pub use traits::{RangeIndex, TraversalScratch};

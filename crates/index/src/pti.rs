@@ -23,6 +23,7 @@ use iloc_geometry::Rect;
 
 use crate::rtree::RTreeParams;
 use crate::stats::AccessStats;
+use crate::traits::TraversalScratch;
 
 /// PTI construction parameters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -243,11 +244,12 @@ impl<T: Copy> Pti<T> {
                 let mut best_area = f64::INFINITY;
                 for (i, c) in children.iter().enumerate() {
                     let mbr = c.bounds[0];
-                    let enl = mbr.hull(extent).area() - mbr.area();
-                    if enl < best_enl || (enl == best_enl && mbr.area() < best_area) {
+                    let area = mbr.area();
+                    let enl = mbr.hull(extent).area() - area;
+                    if enl < best_enl || (enl == best_enl && area < best_area) {
                         best = i;
                         best_enl = enl;
-                        best_area = mbr.area();
+                        best_area = area;
                     }
                 }
                 let entry_bounds = entry.bounds.clone();
@@ -376,6 +378,19 @@ impl<T: Copy> Pti<T> {
     /// survives the Strategy 1 + Strategy 2 node tests (and the same
     /// tests at the leaf level) is pushed into `out`.
     pub fn query_into(&self, q: &PtiQuery, stats: &mut AccessStats, out: &mut Vec<T>) {
+        self.query_scratch(q, stats, &mut TraversalScratch::new(), out);
+    }
+
+    /// Like [`Pti::query_into`], but traversal state comes from (and
+    /// returns to) `scratch`, so repeated probes through a warm scratch
+    /// are allocation-free.
+    pub fn query_scratch(
+        &self,
+        q: &PtiQuery,
+        stats: &mut AccessStats,
+        scratch: &mut TraversalScratch,
+        out: &mut Vec<T>,
+    ) {
         if self.len == 0 {
             return;
         }
@@ -384,7 +399,9 @@ impl<T: Copy> Pti<T> {
             "p-expanded query must be inside the expanded query"
         );
         let k = self.level_floor(q.threshold);
-        let mut stack = vec![self.root];
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(self.root);
         while let Some(idx) = stack.pop() {
             stats.nodes_visited += 1;
             match &self.nodes[idx].kind {

@@ -24,7 +24,7 @@ pub use rstar::SplitPolicy;
 use iloc_geometry::Rect;
 
 use crate::stats::AccessStats;
-use crate::traits::RangeIndex;
+use crate::traits::{RangeIndex, TraversalScratch};
 
 /// Fanout configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,8 +195,8 @@ impl<T: Copy> RTree<T> {
                 let mut best_enl = f64::INFINITY;
                 let mut best_area = f64::INFINITY;
                 for (i, &(mbr, _)) in children.iter().enumerate() {
-                    let enl = mbr.hull(extent).area() - mbr.area();
                     let area = mbr.area();
+                    let enl = mbr.hull(extent).area() - area;
                     if enl < best_enl || (enl == best_enl && area < best_area) {
                         best = i;
                         best_enl = enl;
@@ -296,10 +296,22 @@ impl<T: Copy> RangeIndex<T> for RTree<T> {
     }
 
     fn query_range_into(&self, query: Rect, stats: &mut AccessStats, out: &mut Vec<T>) {
+        self.query_range_scratch(query, stats, &mut TraversalScratch::new(), out);
+    }
+
+    fn query_range_scratch(
+        &self,
+        query: Rect,
+        stats: &mut AccessStats,
+        scratch: &mut TraversalScratch,
+        out: &mut Vec<T>,
+    ) {
         if self.len == 0 {
             return;
         }
-        let mut stack = vec![self.root];
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(self.root);
         while let Some(idx) = stack.pop() {
             stats.nodes_visited += 1;
             match &self.nodes[idx].kind {

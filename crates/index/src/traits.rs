@@ -4,6 +4,27 @@ use iloc_geometry::Rect;
 
 use crate::stats::AccessStats;
 
+/// Reusable tree-traversal state (the DFS stack of node indices).
+///
+/// Hierarchical indexes (`RTree`, `Pti`) need a stack of pending nodes
+/// per probe; allocating it anew for every query shows up directly in
+/// the hot path. Callers that probe repeatedly keep one
+/// `TraversalScratch` alive and pass it to
+/// [`RangeIndex::query_range_scratch`] — after warm-up the probe then
+/// performs no heap allocation. Flat indexes ignore it.
+#[derive(Debug, Clone, Default)]
+pub struct TraversalScratch {
+    /// Pending node arena indices (empty between probes).
+    pub(crate) stack: Vec<usize>,
+}
+
+impl TraversalScratch {
+    /// A scratch with no retained capacity.
+    pub fn new() -> Self {
+        TraversalScratch::default()
+    }
+}
+
 /// A spatial index over items with rectangular extents (a point object
 /// is a degenerate rectangle).
 ///
@@ -23,6 +44,21 @@ pub trait RangeIndex<T: Copy> {
     /// Pushes every item whose extent overlaps `query` into `out`,
     /// updating `stats` with the logical accesses performed.
     fn query_range_into(&self, query: Rect, stats: &mut AccessStats, out: &mut Vec<T>);
+
+    /// Like [`RangeIndex::query_range_into`], but traversal state comes
+    /// from (and returns to) `scratch`, so repeated probes through a
+    /// warm scratch are allocation-free. The default forwards to
+    /// `query_range_into`; hierarchical indexes override it.
+    fn query_range_scratch(
+        &self,
+        query: Rect,
+        stats: &mut AccessStats,
+        scratch: &mut TraversalScratch,
+        out: &mut Vec<T>,
+    ) {
+        let _ = scratch;
+        self.query_range_into(query, stats, out);
+    }
 
     /// Convenience wrapper returning a fresh vector.
     fn query_range(&self, query: Rect, stats: &mut AccessStats) -> Vec<T> {

@@ -26,6 +26,7 @@ pub mod catalog;
 pub mod disc;
 pub mod gaussian;
 pub mod histogram;
+pub mod kind;
 pub mod math;
 pub mod mixture;
 pub mod object;
@@ -37,6 +38,7 @@ pub use catalog::UCatalog;
 pub use disc::DiscPdf;
 pub use gaussian::TruncatedGaussianPdf;
 pub use histogram::HistogramPdf;
+pub use kind::PdfKind;
 pub use mixture::MixturePdf;
 pub use object::{ObjectId, PointObject, UncertainObject};
 pub use pbound::PBound;
@@ -49,6 +51,7 @@ pub mod prelude {
     pub use crate::disc::DiscPdf;
     pub use crate::gaussian::TruncatedGaussianPdf;
     pub use crate::histogram::HistogramPdf;
+    pub use crate::kind::PdfKind;
     pub use crate::mixture::MixturePdf;
     pub use crate::object::{ObjectId, PointObject, UncertainObject};
     pub use crate::pbound::PBound;

@@ -1,11 +1,11 @@
 //! Database object types: point objects `Si` and uncertain objects `Oi`.
 
 use std::fmt;
-use std::sync::Arc;
 
 use iloc_geometry::{Point, Rect};
 
 use crate::catalog::UCatalog;
+use crate::kind::PdfKind;
 use crate::pdf::{LocationPdf, SharedPdf};
 
 /// Opaque object identifier (`Si` / `Oi` subscripts in the paper).
@@ -51,16 +51,18 @@ impl PointObject {
 pub struct UncertainObject {
     /// Identifier.
     pub id: ObjectId,
-    pdf: SharedPdf,
+    pdf: PdfKind,
     catalog: UCatalog,
 }
 
 impl UncertainObject {
     /// Creates an uncertain object with the paper's default six-level
-    /// U-catalog.
-    pub fn new(id: impl Into<ObjectId>, pdf: impl LocationPdf + 'static) -> Self {
-        let pdf: SharedPdf = Arc::new(pdf);
-        let catalog = UCatalog::build_default(pdf.as_ref());
+    /// U-catalog. Accepts any workspace pdf type, a [`PdfKind`], or a
+    /// [`SharedPdf`]; wrap other [`LocationPdf`] implementations with
+    /// [`PdfKind::shared`].
+    pub fn new(id: impl Into<ObjectId>, pdf: impl Into<PdfKind>) -> Self {
+        let pdf = pdf.into();
+        let catalog = UCatalog::build_default(&pdf);
         UncertainObject {
             id: id.into(),
             pdf,
@@ -70,22 +72,17 @@ impl UncertainObject {
 
     /// Creates an uncertain object from an already-shared pdf.
     pub fn from_shared(id: impl Into<ObjectId>, pdf: SharedPdf) -> Self {
-        let catalog = UCatalog::build_default(pdf.as_ref());
-        UncertainObject {
-            id: id.into(),
-            pdf,
-            catalog,
-        }
+        UncertainObject::new(id, PdfKind::from(pdf))
     }
 
     /// Creates an uncertain object with custom catalog levels.
     pub fn with_catalog_levels(
         id: impl Into<ObjectId>,
-        pdf: impl LocationPdf + 'static,
+        pdf: impl Into<PdfKind>,
         levels: &[f64],
     ) -> Self {
-        let pdf: SharedPdf = Arc::new(pdf);
-        let catalog = UCatalog::build(pdf.as_ref(), levels);
+        let pdf = pdf.into();
+        let catalog = UCatalog::build(&pdf, levels);
         UncertainObject {
             id: id.into(),
             pdf,
@@ -93,14 +90,10 @@ impl UncertainObject {
         }
     }
 
-    /// The uncertainty pdf `fi`.
-    pub fn pdf(&self) -> &dyn LocationPdf {
-        self.pdf.as_ref()
-    }
-
-    /// Shared handle to the pdf.
-    pub fn pdf_shared(&self) -> SharedPdf {
-        Arc::clone(&self.pdf)
+    /// The uncertainty pdf `fi`, statically dispatched over the
+    /// concrete pdf types (coerces to `&dyn LocationPdf` where needed).
+    pub fn pdf(&self) -> &PdfKind {
+        &self.pdf
     }
 
     /// The uncertainty region `Ui`.
@@ -147,6 +140,7 @@ mod tests {
 
     #[test]
     fn shared_pdf_is_shared() {
+        use std::sync::Arc;
         let pdf: SharedPdf = Arc::new(UniformPdf::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0)));
         let o = UncertainObject::from_shared(5u64, Arc::clone(&pdf));
         assert_eq!(o.pdf().region(), pdf.region());

@@ -4,12 +4,19 @@
 //!   evaluators plug into the same pipeline and agree within the
 //!   integrator's discretisation tolerance on random uniform-pdf
 //!   workloads;
-//! * [`execute_batch`] (rayon, all cores) returns **bit-identical**
-//!   answers to sequential execution under the same seed, for random
-//!   mixed IPQ/C-IPQ/IUQ/C-IUQ request batches.
+//! * [`execute_batch`] (rayon, all cores, one long-lived context per
+//!   worker) returns **bit-identical** answers to sequential execution
+//!   under the same seed, for random mixed IPQ/C-IPQ/IUQ/C-IUQ request
+//!   batches;
+//! * a **dirty, reused** `ExecutionContext` — scratch buffers and RNG
+//!   state left over from arbitrary earlier queries — yields
+//!   bit-identical answers *and* identical deterministic cost counters
+//!   to a fresh context, across IPQ, C-IUQ and continuous workloads
+//!   (the correctness half of the zero-allocation hot path).
 
 use iloc::core::pipeline::{
-    execute_batch, execute_batch_sequential, PointRequest, UncertainRequest,
+    execute_batch, execute_batch_sequential, BatchEngine, ExecutionContext, PointRequest,
+    UncertainRequest,
 };
 use iloc::prelude::*;
 use proptest::prelude::*;
@@ -182,6 +189,116 @@ proptest! {
         let par = execute_batch(&engine, &requests);
         let seq = execute_batch_sequential(&engine, &requests);
         assert_bit_identical(&par, &seq);
+    }
+
+    /// A context dirtied by arbitrary earlier point queries (warm
+    /// scratch buffers, consumed RNG) answers every subsequent request
+    /// bit-identically to a fresh context, with identical cost
+    /// counters. Monte-Carlo requests are mixed in so RNG reseeding is
+    /// exercised, not just the closed-form paths.
+    #[test]
+    fn dirty_reused_context_matches_fresh_point_queries(
+        pts in point_db(),
+        issuers in proptest::collection::vec(
+            (100.0..900.0f64, 100.0..900.0f64, 20.0..120.0f64), 2..24),
+        w in 30.0..250.0f64,
+        qp in 0.0..0.9f64,
+    ) {
+        let engine = PointEngine::build(pts);
+        let range = RangeSpec::square(w);
+        let requests: Vec<PointRequest> = issuers
+            .into_iter()
+            .enumerate()
+            .map(|(k, (x, y, u))| {
+                let iss = Issuer::uniform(Rect::centered(Point::new(x, y), u, u));
+                match k % 4 {
+                    0 => PointRequest::ipq(iss, range),
+                    1 => PointRequest::cipq(iss, range, qp, CipqStrategy::MinkowskiSum),
+                    2 => PointRequest::cipq(iss, range, qp, CipqStrategy::PExpanded),
+                    _ => PointRequest::ipq(iss, range)
+                        .with_integrator(Integrator::MonteCarlo { samples: 64 }),
+                }
+            })
+            .collect();
+        // Dirty the context and the reused answer on the whole stream.
+        let mut reused_ctx = ExecutionContext::new(Integrator::Auto);
+        let mut reused_answer = QueryAnswer::default();
+        for request in &requests {
+            engine.execute_one_into(request, &mut reused_ctx, &mut reused_answer);
+        }
+        // Then every request must reproduce the fresh-context result.
+        for request in &requests {
+            engine.execute_one_into(request, &mut reused_ctx, &mut reused_answer);
+            let fresh = engine.execute_one(request);
+            prop_assert!(reused_answer.same_matches(&fresh));
+            prop_assert!(reused_answer.stats.same_counters(&fresh.stats));
+        }
+    }
+
+    /// Same guarantee for uncertain queries, covering the PTI filter +
+    /// Section-5.2 prune chain (whose per-strategy counters must also
+    /// be oblivious to scratch reuse).
+    #[test]
+    fn dirty_reused_context_matches_fresh_uncertain_queries(
+        objs in uncertain_db(),
+        issuers in proptest::collection::vec(
+            (100.0..900.0f64, 100.0..900.0f64, 20.0..120.0f64), 2..16),
+        w in 30.0..250.0f64,
+        qp in 0.0..0.9f64,
+    ) {
+        let engine = UncertainEngine::build(objs);
+        let range = RangeSpec::square(w);
+        let requests: Vec<UncertainRequest> = issuers
+            .into_iter()
+            .enumerate()
+            .map(|(k, (x, y, u))| {
+                let iss = Issuer::uniform(Rect::centered(Point::new(x, y), u, u));
+                match k % 3 {
+                    0 => UncertainRequest::iuq(iss, range),
+                    1 => UncertainRequest::ciuq(iss, range, qp, CiuqStrategy::PtiPExpanded),
+                    _ => UncertainRequest::ciuq(iss, range, qp, CiuqStrategy::RTreeMinkowski),
+                }
+            })
+            .collect();
+        let mut reused_ctx = ExecutionContext::new(Integrator::Auto);
+        let mut reused_answer = QueryAnswer::default();
+        for request in &requests {
+            engine.execute_one_into(request, &mut reused_ctx, &mut reused_answer);
+        }
+        for request in &requests {
+            engine.execute_one_into(request, &mut reused_ctx, &mut reused_answer);
+            let fresh = engine.execute_one(request);
+            prop_assert!(reused_answer.same_matches(&fresh));
+            prop_assert!(reused_answer.stats.same_counters(&fresh.stats));
+        }
+    }
+
+    /// A continuous runner (owned context + envelope cache, reused
+    /// answer) tracks snapshot evaluation exactly at every tick of a
+    /// random walk — the filter swap and the buffer reuse change cost,
+    /// never answers.
+    #[test]
+    fn continuous_steady_state_equals_snapshots(
+        pts in point_db(),
+        start in (100.0..900.0f64, 100.0..900.0f64),
+        steps in proptest::collection::vec((-40.0..40.0f64, -40.0..40.0f64), 1..30),
+        u in 20.0..100.0f64,
+        w in 30.0..200.0f64,
+        slack in 0.0..300.0f64,
+    ) {
+        let engine = PointEngine::build(pts);
+        let range = RangeSpec::square(w);
+        let mut runner = ContinuousIpq::new(&engine, range, slack);
+        let mut answer = QueryAnswer::default();
+        let (mut x, mut y) = start;
+        for (dx, dy) in steps {
+            x += dx;
+            y += dy;
+            let issuer = Issuer::uniform(Rect::centered(Point::new(x, y), u, u));
+            runner.step_into(&issuer, &mut answer);
+            let snapshot = engine.ipq(&issuer, range);
+            prop_assert!(answer.same_matches(&snapshot));
+        }
     }
 
     /// Batch answers equal the answers from the one-query engine

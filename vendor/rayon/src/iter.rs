@@ -65,6 +65,57 @@ impl<T> FromParallelIterator<T> for Vec<T> {
     }
 }
 
+/// Conversion of `&[T]` into a parallel iterator over contiguous
+/// chunks, mirroring `rayon::slice::ParallelSlice::par_chunks`.
+pub trait ParallelSlice<T: Sync> {
+    /// Returns a parallel iterator over chunks of at most `chunk_size`
+    /// elements (the final chunk may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunk_size` is zero.
+    fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ChunksPar {
+            slice: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// Parallel iterator over slice chunks (`par_chunks`).
+#[derive(Debug, Clone, Copy)]
+pub struct ChunksPar<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksPar<'a, T> {
+    type Item = &'a [T];
+    fn run(self) -> Vec<&'a [T]> {
+        self.slice.chunks(self.size).collect()
+    }
+}
+
+impl<'a, T, R, F> ParallelIterator for Map<ChunksPar<'a, T>, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let chunks: Vec<&'a [T]> = self.base.slice.chunks(self.base.size).collect();
+        let f = &self.f;
+        par_map_slice(&chunks, &|c: &&'a [T]| f(c))
+    }
+}
+
 /// Parallel iterator over a slice (`par_iter`).
 #[derive(Debug, Clone, Copy)]
 pub struct SlicePar<'a, T> {
@@ -175,5 +226,31 @@ mod tests {
         let input = vec![1, 2, 3];
         let refs: Vec<&i32> = input.par_iter().collect();
         assert_eq!(refs, vec![&1, &2, &3]);
+    }
+
+    #[test]
+    fn par_chunks_preserves_order_and_covers_all_items() {
+        let input: Vec<u64> = (0..10_001).collect();
+        for chunk_size in [1usize, 7, 1000, 20_000] {
+            let sums: Vec<u64> = input
+                .par_chunks(chunk_size)
+                .map(|c| c.iter().sum())
+                .collect();
+            assert_eq!(sums.len(), input.len().div_ceil(chunk_size));
+            assert_eq!(sums.iter().sum::<u64>(), input.iter().sum::<u64>());
+            // First chunk is exactly the prefix: order preserved.
+            let first: u64 = input[..chunk_size.min(input.len())].iter().sum();
+            assert_eq!(sums[0], first);
+        }
+        let empty: Vec<u64> = Vec::new();
+        let none: Vec<u64> = empty.par_chunks(4).map(|c| c.iter().sum()).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn par_chunks_rejects_zero_size() {
+        let v = [1, 2, 3];
+        let _ = v.par_chunks(0);
     }
 }

@@ -25,7 +25,7 @@
 pub mod iter;
 pub mod prelude;
 
-pub use iter::{IntoParallelRefIterator, ParallelIterator};
+pub use iter::{IntoParallelRefIterator, ParallelIterator, ParallelSlice};
 
 /// Number of worker threads a parallel call will use for `len` items.
 pub fn current_num_threads() -> usize {

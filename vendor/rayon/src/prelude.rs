@@ -1,3 +1,3 @@
 //! Glob-import surface mirroring `rayon::prelude`.
 
-pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
+pub use crate::iter::{IntoParallelRefIterator, ParallelIterator, ParallelSlice};
