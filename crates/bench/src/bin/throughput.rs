@@ -1,8 +1,9 @@
 //! Tracked batch-throughput benchmark — the perf contract of the
 //! query hot path.
 //!
-//! Runs the four serving-shaped workloads (IPQ, C-IPQ, IUQ batches and
-//! a continuous C-IPQ walk) at Long-Beach/California scale and a
+//! Runs the serving-shaped workloads — IPQ, C-IPQ and IUQ batches, a
+//! continuous C-IPQ walk, and a `mixed` update/query stream against
+//! the sharded serving engine — at Long-Beach/California scale plus a
 //! steady-state single-query loop, and emits
 //! `BENCH_batch_throughput.json` with queries/sec, p50/p99 latency and
 //! **allocations per query** measured by a counting global allocator.
@@ -92,6 +93,9 @@ struct BenchScale {
     continuous_ticks: usize,
     steady_warmup: usize,
     steady_queries: usize,
+    mixed_rounds: usize,
+    mixed_updates_per_round: usize,
+    mixed_queries_per_round: usize,
 }
 
 impl BenchScale {
@@ -105,6 +109,9 @@ impl BenchScale {
             continuous_ticks: 1_024,
             steady_warmup: 256,
             steady_queries: 2_048,
+            mixed_rounds: 16,
+            mixed_updates_per_round: 512,
+            mixed_queries_per_round: 64,
         }
     }
 
@@ -118,6 +125,9 @@ impl BenchScale {
             continuous_ticks: 128,
             steady_warmup: 64,
             steady_queries: 256,
+            mixed_rounds: 8,
+            mixed_updates_per_round: 96,
+            mixed_queries_per_round: 16,
         }
     }
 }
@@ -253,6 +263,75 @@ fn measure_steady_state(engine: &PointEngine, scale: BenchScale) -> Report {
     }
 }
 
+/// Shards the serving layer uses in the mixed scenario.
+const MIXED_SHARDS: usize = 4;
+
+/// The `mixed` scenario: a sharded serving engine under the
+/// update-mix stream — each round submits a batch of
+/// arrival/departure/move events, commits them as one epoch, and
+/// answers a query batch against the fresh snapshot through a warm
+/// [`ShardServer`]. `elapsed` covers update application + commits +
+/// queries, so qps is *serving throughput under churn*, and
+/// `allocs_per_query` includes the copy-on-write epoch cost (the
+/// query-only zero-allocation invariant is gated separately by
+/// `steady_state`).
+fn measure_mixed(scale: BenchScale) -> Report {
+    use iloc_core::serve::{ShardServer, ShardedEngine, Update};
+    use iloc_datagen::{PointUpdate, PointUpdateGen, UpdateMix};
+    use iloc_uncertainty::{ObjectId, PointObject};
+
+    let (base, mut gen) =
+        PointUpdateGen::over_california(scale.points, SEED, UpdateMix::balanced());
+    let sharded: ShardedEngine<PointEngine> = ShardedEngine::build(
+        base.iter()
+            .enumerate()
+            .map(|(k, &p)| PointObject::new(k as u64, p))
+            .collect(),
+        MIXED_SHARDS,
+    );
+    let requests = ipq_requests(64, SEED + 5);
+    let mut server = ShardServer::new(sharded.snapshot());
+    let mut answer = QueryAnswer::default();
+    for k in 0..scale.steady_warmup {
+        server.execute_into(&requests[k % requests.len()], &mut answer);
+    }
+
+    let total_queries = scale.mixed_rounds * scale.mixed_queries_per_round;
+    let mut lat: Vec<Duration> = Vec::with_capacity(total_queries);
+    let mut results_total = 0usize;
+    let a0 = allocations();
+    let t0 = Instant::now();
+    for round in 0..scale.mixed_rounds {
+        for event in gen.stream(scale.mixed_updates_per_round) {
+            sharded.submit(match event {
+                PointUpdate::Arrive { id, loc } => Update::Arrive(PointObject::new(id, loc)),
+                PointUpdate::Depart { id } => Update::Depart(ObjectId(id)),
+                PointUpdate::Move { id, to } => Update::Move(PointObject::new(id, to)),
+            });
+        }
+        sharded.commit();
+        server.rebind(sharded.snapshot());
+        for k in 0..scale.mixed_queries_per_round {
+            let request = &requests[(round * scale.mixed_queries_per_round + k) % requests.len()];
+            server.execute_into(request, &mut answer);
+            results_total += answer.results.len();
+            lat.push(answer.stats.elapsed);
+        }
+    }
+    let elapsed = t0.elapsed();
+    let allocs = allocations() - a0;
+    lat.sort_unstable();
+    Report {
+        name: "mixed",
+        queries: total_queries,
+        elapsed,
+        p50: percentile(&lat, 0.50),
+        p99: percentile(&lat, 0.99),
+        allocs_per_query: allocs as f64 / total_queries as f64,
+        results_total,
+    }
+}
+
 /// How one steady-state query is answered: the zero-allocation hot
 /// path — one reused context (with its scratch buffers) and one reused
 /// answer across the whole loop. Pre-refactor this measured
@@ -365,6 +444,14 @@ fn main() {
     };
     eprintln!("  {} done: {:.0} q/s", continuous.name, continuous.qps());
 
+    let mixed = measure_mixed(scale);
+    eprintln!(
+        "  {} done: {:.0} q/s under {} updates/round",
+        mixed.name,
+        mixed.qps(),
+        scale.mixed_updates_per_round
+    );
+
     let steady = measure_steady_state(&point_engine, scale);
     eprintln!(
         "  {} done: {:.0} q/s, {:.3} allocs/query",
@@ -373,7 +460,7 @@ fn main() {
         steady.allocs_per_query
     );
 
-    let reports = [&ipq, &cipq, &iuq, &continuous, &steady];
+    let reports = [&ipq, &cipq, &iuq, &continuous, &mixed, &steady];
 
     // Flat baseline schema: "<workload>_qps" + steady-state allocs.
     let mut flat = String::from("{\n");

@@ -2,9 +2,11 @@
 //! over [`crate::pipeline::QueryPipeline`]: it owns the object table
 //! and the R-tree and assembles one pipeline per query.
 
+use std::collections::HashMap;
+
 use iloc_geometry::{Point, Rect};
 use iloc_index::{RTree, RTreeParams, RangeIndex, TraversalScratch};
-use iloc_uncertainty::PointObject;
+use iloc_uncertainty::{ObjectId, PointObject};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,10 +22,22 @@ use crate::result::{Match, QueryAnswer};
 use super::DEFAULT_QUERY_SEED;
 
 /// A point-object database with its R-tree, answering IPQ and C-IPQ.
+///
+/// Object ids are expected to be unique within one engine (the
+/// serving layer routes updates by id); [`PointEngine::insert`]
+/// allocates collision-free ids automatically.
 #[derive(Debug, Clone)]
 pub struct PointEngine {
     objects: Vec<PointObject>,
     tree: RTree<u32>,
+    /// Id → object-table slot, maintained by every insert/remove so
+    /// departures resolve in O(1) (removal under churn would
+    /// otherwise scan the table per update).
+    slots: HashMap<ObjectId, u32>,
+    /// Next id handed out by [`PointEngine::insert`]; kept strictly
+    /// above every stored id so departures can never make a later
+    /// arrival collide with a live object.
+    next_id: u64,
 }
 
 impl PointEngine {
@@ -46,16 +60,66 @@ impl PointEngine {
             .map(|(k, o)| (Rect::from_point(o.loc), k as u32))
             .collect();
         let tree = RTree::bulk_load(entries, RTreeParams::default());
-        PointEngine { objects, tree }
+        let slots = objects
+            .iter()
+            .enumerate()
+            .map(|(k, o)| (o.id, k as u32))
+            .collect();
+        let next_id = objects.iter().map(|o| o.id.0 + 1).max().unwrap_or(0);
+        PointEngine {
+            objects,
+            tree,
+            slots,
+            next_id,
+        }
     }
 
-    /// Inserts one point object dynamically; returns its id.
+    /// Inserts one point object dynamically; returns its fresh id.
     pub fn insert(&mut self, loc: Point) -> iloc_uncertainty::ObjectId {
-        let id = iloc_uncertainty::ObjectId(self.objects.len() as u64);
-        self.tree
-            .insert(Rect::from_point(loc), self.objects.len() as u32);
-        self.objects.push(PointObject { id, loc });
+        let id = iloc_uncertainty::ObjectId(self.next_id);
+        self.insert_object(PointObject { id, loc });
         id
+    }
+
+    /// Inserts one point object with a caller-chosen id (the sharded
+    /// serving layer routes arrivals by id). **Upsert**: when the id
+    /// is already live, the existing object is replaced — a retried
+    /// or duplicate arrival must not leave an unremovable orphan
+    /// behind a stale id→slot mapping.
+    pub fn insert_object(&mut self, object: PointObject) {
+        if self.slots.contains_key(&object.id) {
+            self.remove(object.id);
+        }
+        self.next_id = self.next_id.max(object.id.0 + 1);
+        let slot = self.objects.len() as u32;
+        self.slots.insert(object.id, slot);
+        self.tree.insert(Rect::from_point(object.loc), slot);
+        self.objects.push(object);
+    }
+
+    /// Removes the object with the given id, maintaining the R-tree
+    /// incrementally (no rebuild); returns `true` when present.
+    ///
+    /// The object table is kept dense: the last object is swapped into
+    /// the vacated slot and its index entry is re-keyed accordingly.
+    pub fn remove(&mut self, id: iloc_uncertainty::ObjectId) -> bool {
+        let Some(slot) = self.slots.remove(&id) else {
+            return false;
+        };
+        let removed = self
+            .tree
+            .remove(Rect::from_point(self.objects[slot as usize].loc), slot);
+        assert!(removed, "object table and R-tree out of sync");
+        let last = self.objects.len() - 1;
+        if slot as usize != last {
+            let moved = self.objects[last];
+            let rekeyed = self.tree.remove(Rect::from_point(moved.loc), last as u32);
+            assert!(rekeyed, "object table and R-tree out of sync");
+            self.tree.insert(Rect::from_point(moved.loc), slot);
+            self.slots.insert(moved.id, slot);
+        }
+        self.objects.swap_remove(slot as usize);
+        true
     }
 
     /// Number of stored objects.
@@ -474,6 +538,23 @@ mod tests {
         assert!(c.results.is_empty());
         let c = engine.cipnn(&iss, 0.2, NnMethod::Grid { per_axis: 96 });
         assert_eq!(c.results.len(), 4);
+    }
+
+    #[test]
+    fn insert_object_upserts_live_ids() {
+        let mut engine = PointEngine::build(vec![Point::new(10.0, 10.0), Point::new(20.0, 20.0)]);
+        // A duplicate arrival replaces the live object, never
+        // duplicating its id.
+        engine.insert_object(PointObject::new(0u64, Point::new(500.0, 500.0)));
+        assert_eq!(engine.len(), 2);
+        let iss = Issuer::uniform(Rect::centered(Point::new(500.0, 500.0), 30.0, 30.0));
+        let ans = engine.ipq(&iss, RangeSpec::square(40.0));
+        assert_eq!(ans.results.len(), 1);
+        assert_eq!(ans.results[0].id, ObjectId(0));
+        // No orphan: the id is fully gone after one removal.
+        assert!(engine.remove(ObjectId(0)));
+        assert!(!engine.remove(ObjectId(0)));
+        assert_eq!(engine.len(), 1);
     }
 
     #[test]

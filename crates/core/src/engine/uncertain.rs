@@ -2,8 +2,10 @@
 //! over [`crate::pipeline::QueryPipeline`]: it owns the object table,
 //! the R-tree and the PTI, and assembles one pipeline per query.
 
+use std::collections::HashMap;
+
 use iloc_index::{Pti, PtiParams, PtiQuery, RTree, RTreeParams, RangeIndex};
-use iloc_uncertainty::UncertainObject;
+use iloc_uncertainty::{ObjectId, UncertainObject};
 
 use crate::eval::constrained::PruneContext;
 use crate::expand::p_expanded_query;
@@ -17,11 +19,17 @@ use crate::result::QueryAnswer;
 
 /// An uncertain-object database with both a plain R-tree and a PTI,
 /// answering IUQ and C-IUQ.
+///
+/// Object ids are expected to be unique within one engine (the
+/// serving layer routes updates by id).
 #[derive(Debug, Clone)]
 pub struct UncertainEngine {
     objects: Vec<UncertainObject>,
     tree: RTree<u32>,
     pti: Pti<u32>,
+    /// Id → object-table slot, maintained by every insert/remove so
+    /// departures resolve in O(1).
+    slots: HashMap<ObjectId, u32>,
 }
 
 impl UncertainEngine {
@@ -59,17 +67,33 @@ impl UncertainEngine {
             .collect();
         let pti = Pti::bulk_load(levels, pti_objects, PtiParams::default());
 
-        UncertainEngine { objects, tree, pti }
+        let slots = objects
+            .iter()
+            .enumerate()
+            .map(|(k, o)| (o.id, k as u32))
+            .collect();
+        UncertainEngine {
+            objects,
+            tree,
+            pti,
+            slots,
+        }
     }
 
     /// Inserts one uncertain object dynamically, maintaining both the
-    /// R-tree and the PTI.
+    /// R-tree and the PTI. **Upsert**: when the id is already live,
+    /// the existing object is replaced — a retried or duplicate
+    /// arrival must not leave an unremovable orphan behind a stale
+    /// id→slot mapping.
     ///
     /// # Panics
     ///
     /// Panics when the object's catalog levels differ from the
     /// engine's (the PTI needs one shared level table).
     pub fn insert(&mut self, object: UncertainObject) {
+        if self.slots.contains_key(&object.id) {
+            self.remove(object.id);
+        }
         let obj_levels: Vec<f64> = object.catalog().levels().collect();
         if self.objects.is_empty() {
             // First object fixes the level table.
@@ -81,12 +105,57 @@ impl UncertainEngine {
             "all objects must share the same catalog levels"
         );
         let idx = self.objects.len() as u32;
+        self.slots.insert(object.id, idx);
         self.tree.insert(object.region(), idx);
         self.pti.insert(
             object.catalog().bounds().iter().map(|b| b.rect).collect(),
             idx,
         );
         self.objects.push(object);
+    }
+
+    /// Removes the object with the given id, maintaining **both**
+    /// indexes incrementally — Guttman condense-tree on the R-tree and
+    /// constrained-rectangle repair on the PTI; returns `true` when
+    /// present.
+    ///
+    /// The object table is kept dense: the last object is swapped into
+    /// the vacated slot and both index entries are re-keyed.
+    pub fn remove(&mut self, id: iloc_uncertainty::ObjectId) -> bool {
+        let Some(slot_u32) = self.slots.remove(&id) else {
+            return false;
+        };
+        let slot = slot_u32 as usize;
+        let region = self.objects[slot].region();
+        let tree_removed = self.tree.remove(region, slot_u32);
+        let pti_removed = self.pti.remove(region, slot_u32);
+        assert!(
+            tree_removed && pti_removed,
+            "object table and indexes out of sync"
+        );
+        let last = self.objects.len() - 1;
+        if slot != last {
+            let moved_region = self.objects[last].region();
+            let tree_rekeyed = self.tree.remove(moved_region, last as u32);
+            let pti_rekeyed = self.pti.remove(moved_region, last as u32);
+            assert!(
+                tree_rekeyed && pti_rekeyed,
+                "object table and indexes out of sync"
+            );
+            self.tree.insert(moved_region, slot_u32);
+            self.pti.insert(
+                self.objects[last]
+                    .catalog()
+                    .bounds()
+                    .iter()
+                    .map(|b| b.rect)
+                    .collect(),
+                slot_u32,
+            );
+            self.slots.insert(self.objects[last].id, slot_u32);
+        }
+        self.objects.swap_remove(slot);
+        true
     }
 
     /// Number of stored objects.
@@ -446,6 +515,26 @@ mod tests {
         assert!(engine.is_empty());
         let ans = engine.iuq(&issuer(), RangeSpec::square(10.0));
         assert!(ans.results.is_empty());
+    }
+
+    #[test]
+    fn insert_upserts_live_ids() {
+        use iloc_uncertainty::ObjectId;
+        let mut engine = UncertainEngine::build(grid_objects());
+        let n = engine.len();
+        // A duplicate arrival replaces the live object in the table,
+        // the R-tree and the PTI.
+        engine.insert(UncertainObject::new(
+            0u64,
+            UniformPdf::new(Rect::centered(Point::new(500.0, 500.0), 10.0, 10.0)),
+        ));
+        assert_eq!(engine.len(), n);
+        let ans = engine.iuq(&issuer(), RangeSpec::square(60.0));
+        assert!(ans.probability_of(ObjectId(0)).is_some());
+        // No orphan: the id is fully gone after one removal.
+        assert!(engine.remove(ObjectId(0)));
+        assert!(!engine.remove(ObjectId(0)));
+        assert_eq!(engine.len(), n - 1);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! * [`constrained`] — Section 5.2: the three object-level pruning
 //!   strategies for constrained queries.
 
+//! * [`oracle`] — a Monte-Carlo simulation of the probability model
+//!   itself, independent of all evaluation machinery; the differential
+//!   reference the oracle test layer checks every pipeline against.
 //! * [`nn`] — beyond the paper: imprecise probabilistic
 //!   nearest-neighbour queries (the conclusion's future-work item).
 
@@ -15,3 +18,4 @@ pub mod basic;
 pub mod constrained;
 pub mod duality;
 pub mod nn;
+pub mod oracle;

@@ -31,7 +31,12 @@
 //!   batchable across all cores with [`pipeline::execute_batch`].
 //! * [`engine`] — [`engine::PointEngine`] and
 //!   [`engine::UncertainEngine`], thin facades that tie the pipeline to
-//!   the spatial indexes (R-tree, PTI) of `iloc-index`.
+//!   the spatial indexes (R-tree, PTI) of `iloc-index`, maintained
+//!   incrementally under inserts and removes.
+//! * [`serve`] — the **sharded serving layer**: dynamic catalogs
+//!   (arrive / depart / move) behind epoch-style snapshots,
+//!   hash-partitioned across per-shard engines with id-ordered fan-in
+//!   merging.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +50,7 @@ pub mod pipeline;
 pub mod quality;
 pub mod query;
 pub mod result;
+pub mod serve;
 pub mod stats;
 
 pub use continuous::ContinuousIpq;
@@ -57,6 +63,7 @@ pub use pipeline::{
 pub use quality::{assess, QualityReport};
 pub use query::{CipqStrategy, CiuqStrategy, Issuer, RangeSpec};
 pub use result::{Match, QueryAnswer};
+pub use serve::{ServeEngine, ShardServer, ShardedEngine, Snapshot, Update};
 pub use stats::QueryStats;
 
 /// Glob-import surface for applications.
@@ -70,5 +77,6 @@ pub mod prelude {
     pub use crate::quality::{assess, QualityReport};
     pub use crate::query::{CipqStrategy, CiuqStrategy, Issuer, RangeSpec};
     pub use crate::result::{Match, QueryAnswer};
+    pub use crate::serve::{ServeEngine, ShardServer, ShardedEngine, Snapshot, Update};
     pub use crate::stats::QueryStats;
 }

@@ -1,0 +1,488 @@
+//! `ShardedEngine`, its epoch snapshots, and the per-worker
+//! `ShardServer` serving loop. See the [module docs](super) for the
+//! snapshot-consistency invariant.
+
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use crate::integrate::Integrator;
+use crate::pipeline::{execute_batch, BatchEngine, ExecutionContext};
+use crate::result::QueryAnswer;
+use crate::stats::QueryStats;
+
+use super::{shard_of, ServeEngine, Update};
+
+/// One immutable epoch of the whole sharded catalog. Cloning is two
+/// atomic increments; every clone reads the same object set forever.
+#[derive(Debug, Clone)]
+pub struct Snapshot<E> {
+    epoch: u64,
+    shards: Arc<Vec<Arc<E>>>,
+}
+
+impl<E: ServeEngine> Snapshot<E> {
+    /// The epoch this snapshot was committed at (0 = the build).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total live objects across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// `true` when no shard holds an object.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// The per-shard engines (each a complete single-node engine over
+    /// its partition).
+    pub fn shards(&self) -> &[Arc<E>] {
+        &self.shards
+    }
+
+    /// Answers one request with a fresh context: fan-out to every
+    /// shard, fan-in merged in id order.
+    pub fn execute_one(&self, request: &E::Request) -> QueryAnswer {
+        BatchEngine::execute_one(self, request)
+    }
+
+    /// Answers a request slice in parallel on all cores; answers are
+    /// bit-identical to issuing each request sequentially.
+    pub fn execute_batch(&self, requests: &[E::Request]) -> Vec<QueryAnswer> {
+        execute_batch(self, requests)
+    }
+
+    /// The shared fan-out/fan-in: runs `request` on every shard
+    /// through `ctx`, merging per-shard matches (disjoint id sets,
+    /// each already id-sorted) into `answer` in global id order and
+    /// summing the cost counters. `partial` is the caller's reusable
+    /// per-shard answer buffer.
+    fn fan_out_into(
+        &self,
+        request: &E::Request,
+        ctx: &mut ExecutionContext,
+        partial: &mut QueryAnswer,
+        answer: &mut QueryAnswer,
+    ) {
+        let start = Instant::now();
+        answer.results.clear();
+        let mut stats = QueryStats::new();
+        for shard in self.shards.iter() {
+            shard.execute_one_into(request, ctx, partial);
+            answer.results.extend_from_slice(&partial.results);
+            stats.absorb(&partial.stats);
+        }
+        crate::result::sort_matches(&mut answer.results);
+        answer.stats = stats;
+        answer.stats.elapsed = start.elapsed();
+    }
+}
+
+impl<E: ServeEngine> BatchEngine for Snapshot<E> {
+    type Request = E::Request;
+
+    fn execute_one_into(
+        &self,
+        request: &E::Request,
+        ctx: &mut ExecutionContext,
+        answer: &mut QueryAnswer,
+    ) {
+        let mut partial = QueryAnswer::default();
+        self.fan_out_into(request, ctx, &mut partial, answer);
+    }
+}
+
+/// A per-worker serving loop bound to one snapshot: owns a long-lived
+/// context and per-shard answer buffer, so a steady-state query
+/// through a warm server performs **no heap allocation** (the same
+/// invariant the single-engine hot path has; the throughput bench's
+/// `mixed` scenario runs on this).
+#[derive(Debug)]
+pub struct ShardServer<E: ServeEngine> {
+    snapshot: Snapshot<E>,
+    ctx: ExecutionContext,
+    partial: QueryAnswer,
+}
+
+impl<E: ServeEngine> ShardServer<E> {
+    /// A server for `snapshot` with cold buffers.
+    pub fn new(snapshot: Snapshot<E>) -> Self {
+        ShardServer {
+            snapshot,
+            ctx: ExecutionContext::new(Integrator::Auto),
+            partial: QueryAnswer::default(),
+        }
+    }
+
+    /// The snapshot this server reads.
+    pub fn snapshot(&self) -> &Snapshot<E> {
+        &self.snapshot
+    }
+
+    /// Follows a newer epoch, keeping the warm buffers.
+    pub fn rebind(&mut self, snapshot: Snapshot<E>) {
+        self.snapshot = snapshot;
+    }
+
+    /// Answers one request into `answer` (cleared first);
+    /// allocation-free once buffers have grown to workload size.
+    pub fn execute_into(&mut self, request: &E::Request, answer: &mut QueryAnswer) {
+        self.snapshot
+            .fan_out_into(request, &mut self.ctx, &mut self.partial, answer);
+    }
+}
+
+/// What one [`ShardedEngine::commit`] applied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitReport {
+    /// The epoch now current (unchanged when nothing was pending).
+    pub epoch: u64,
+    /// Arrivals inserted.
+    pub arrivals: usize,
+    /// Departures that removed a live object.
+    pub departures: usize,
+    /// Moves applied (including moves of unknown ids, which upsert).
+    pub moves: usize,
+    /// Departures whose id was not live (no-ops).
+    pub missed_departures: usize,
+}
+
+/// A dynamic, hash-sharded serving engine. See the
+/// [module docs](super) for the design and the snapshot-consistency
+/// invariant.
+#[derive(Debug)]
+pub struct ShardedEngine<E: ServeEngine> {
+    /// The current epoch, swapped wholesale at commit (the lock guards
+    /// only the pointer swap / clone, never query execution).
+    current: RwLock<Snapshot<E>>,
+    /// Updates buffered for the next epoch.
+    pending: Mutex<Vec<Update<E::Object>>>,
+    /// Serializes commits (readers are never blocked by it).
+    commit_lock: Mutex<()>,
+}
+
+impl<E: ServeEngine> ShardedEngine<E> {
+    /// Partitions `objects` by id hash across `shard_count` shards and
+    /// builds one engine per shard (epoch 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_count` is zero.
+    pub fn build(objects: Vec<E::Object>, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "shard count must be positive");
+        let mut partitions: Vec<Vec<E::Object>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for object in objects {
+            partitions[shard_of(E::object_id(&object), shard_count)].push(object);
+        }
+        let shards: Vec<Arc<E>> = partitions
+            .into_iter()
+            .map(|p| Arc::new(E::build_from(p)))
+            .collect();
+        ShardedEngine {
+            current: RwLock::new(Snapshot {
+                epoch: 0,
+                shards: Arc::new(shards),
+            }),
+            pending: Mutex::new(Vec::new()),
+            commit_lock: Mutex::new(()),
+        }
+    }
+
+    /// The current epoch's snapshot (two atomic increments; never
+    /// blocks on a running commit's apply phase).
+    pub fn snapshot(&self) -> Snapshot<E> {
+        self.current.read().expect("snapshot lock poisoned").clone()
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Live objects in the current epoch.
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// `true` when the current epoch holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot().is_empty()
+    }
+
+    /// Buffers one update for the next epoch (applied at
+    /// [`ShardedEngine::commit`]; invisible to queries until then).
+    pub fn submit(&self, update: Update<E::Object>) {
+        self.pending
+            .lock()
+            .expect("pending lock poisoned")
+            .push(update);
+    }
+
+    /// Buffers a batch of updates for the next epoch.
+    pub fn submit_all(&self, updates: impl IntoIterator<Item = Update<E::Object>>) {
+        self.pending
+            .lock()
+            .expect("pending lock poisoned")
+            .extend(updates);
+    }
+
+    /// Updates buffered but not yet committed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.lock().expect("pending lock poisoned").len()
+    }
+
+    /// Applies every buffered update copy-on-write and publishes the
+    /// next epoch: affected shards are cloned once, mutated through
+    /// their incremental index maintenance, and swapped in atomically.
+    /// Outstanding snapshots keep reading their own epoch. Commits
+    /// serialize with each other; queries proceed throughout.
+    pub fn commit(&self) -> CommitReport {
+        let _serialize = self.commit_lock.lock().expect("commit lock poisoned");
+        let updates = std::mem::take(&mut *self.pending.lock().expect("pending lock poisoned"));
+        let base = self.snapshot();
+        let mut report = CommitReport {
+            epoch: base.epoch,
+            ..CommitReport::default()
+        };
+        if updates.is_empty() {
+            return report;
+        }
+        let shard_count = base.shards.len();
+        let mut shards: Vec<Arc<E>> = base.shards.as_ref().clone();
+        for update in updates {
+            match update {
+                Update::Arrive(object) => {
+                    let s = shard_of(E::object_id(&object), shard_count);
+                    Arc::make_mut(&mut shards[s]).insert_object(object);
+                    report.arrivals += 1;
+                }
+                Update::Depart(id) => {
+                    let s = shard_of(id, shard_count);
+                    if Arc::make_mut(&mut shards[s]).remove_object(id) {
+                        report.departures += 1;
+                    } else {
+                        report.missed_departures += 1;
+                    }
+                }
+                Update::Move(object) => {
+                    let s = shard_of(E::object_id(&object), shard_count);
+                    // insert_object upserts, so a move replaces the
+                    // live object and a move of an unknown id arrives.
+                    Arc::make_mut(&mut shards[s]).insert_object(object);
+                    report.moves += 1;
+                }
+            }
+        }
+        report.epoch = base.epoch + 1;
+        *self.current.write().expect("snapshot lock poisoned") = Snapshot {
+            epoch: report.epoch,
+            shards: Arc::new(shards),
+        };
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PointEngine;
+    use crate::pipeline::PointRequest;
+    use crate::query::{Issuer, RangeSpec};
+    use iloc_geometry::{Point, Rect};
+    use iloc_uncertainty::{ObjectId, PointObject};
+
+    fn grid_objects(n_side: u64) -> Vec<PointObject> {
+        (0..n_side * n_side)
+            .map(|k| {
+                PointObject::new(
+                    k,
+                    Point::new((k % n_side) as f64 * 50.0, (k / n_side) as f64 * 50.0),
+                )
+            })
+            .collect()
+    }
+
+    fn ipq_at(x: f64, y: f64) -> PointRequest {
+        PointRequest::ipq(
+            Issuer::uniform(Rect::centered(Point::new(x, y), 60.0, 60.0)),
+            RangeSpec::square(90.0),
+        )
+    }
+
+    #[test]
+    fn sharded_answers_match_single_engine() {
+        let objects = grid_objects(20);
+        let single = PointEngine::from_objects(objects.clone());
+        for shards in [1usize, 2, 8] {
+            let sharded: ShardedEngine<PointEngine> = ShardedEngine::build(objects.clone(), shards);
+            assert_eq!(sharded.len(), objects.len());
+            let snapshot = sharded.snapshot();
+            for request in [
+                ipq_at(500.0, 500.0),
+                ipq_at(10.0, 10.0),
+                ipq_at(950.0, 80.0),
+            ] {
+                let want = single.execute_one(&request);
+                let got = snapshot.execute_one(&request);
+                assert!(got.same_matches(&want), "{shards} shards diverged");
+                // Merged matches are in id order.
+                assert!(got.results.windows(2).all(|w| w[0].id < w[1].id));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_are_immutable_across_commits() {
+        let sharded: ShardedEngine<PointEngine> = ShardedEngine::build(grid_objects(10), 4);
+        let request = ipq_at(250.0, 250.0);
+        let old = sharded.snapshot();
+        let before = old.execute_one(&request);
+        assert!(!before.results.is_empty());
+
+        // Depart everything the query saw.
+        for m in &before.results {
+            sharded.submit(Update::Depart(m.id));
+        }
+        let report = sharded.commit();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.departures, before.results.len());
+
+        // The old snapshot still answers from epoch 0.
+        assert!(old.execute_one(&request).same_matches(&before));
+        // The new epoch sees the departures.
+        assert!(sharded.snapshot().execute_one(&request).results.is_empty());
+    }
+
+    #[test]
+    fn moves_relocate_objects_atomically() {
+        let sharded: ShardedEngine<PointEngine> = ShardedEngine::build(grid_objects(10), 2);
+        sharded.submit(Update::Move(PointObject::new(
+            0u64,
+            Point::new(480.0, 480.0),
+        )));
+        // Move of an unknown id upserts.
+        sharded.submit(Update::Move(PointObject::new(
+            5_000u64,
+            Point::new(520.0, 520.0),
+        )));
+        let report = sharded.commit();
+        assert_eq!((report.moves, report.arrivals), (2, 0));
+        assert_eq!(sharded.len(), 101);
+
+        let ans = sharded.snapshot().execute_one(&ipq_at(500.0, 500.0));
+        assert!(ans.probability_of(ObjectId(0)).is_some());
+        assert!(ans.probability_of(ObjectId(5_000)).is_some());
+    }
+
+    #[test]
+    fn duplicate_arrivals_upsert_instead_of_corrupting() {
+        let sharded: ShardedEngine<PointEngine> = ShardedEngine::build(grid_objects(4), 2);
+        let n = sharded.len();
+        // A retried arrival committed twice must not duplicate the id.
+        for _ in 0..2 {
+            sharded.submit(Update::Arrive(PointObject::new(
+                3u64,
+                Point::new(100.0, 100.0),
+            )));
+        }
+        sharded.commit();
+        assert_eq!(sharded.len(), n);
+        // One departure fully removes it — no unremovable orphan.
+        sharded.submit(Update::Depart(ObjectId(3)));
+        let report = sharded.commit();
+        assert_eq!(report.departures, 1);
+        assert_eq!(sharded.len(), n - 1);
+        let ans = sharded.snapshot().execute_one(&ipq_at(100.0, 100.0));
+        assert!(ans.probability_of(ObjectId(3)).is_none());
+    }
+
+    #[test]
+    fn empty_commit_keeps_epoch() {
+        let sharded: ShardedEngine<PointEngine> = ShardedEngine::build(grid_objects(4), 3);
+        assert_eq!(sharded.commit(), CommitReport::default());
+        assert_eq!(sharded.epoch(), 0);
+        sharded.submit(Update::Depart(ObjectId(999)));
+        let report = sharded.commit();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.missed_departures, 1);
+    }
+
+    #[test]
+    fn shard_server_matches_one_shot_execution() {
+        let sharded: ShardedEngine<PointEngine> = ShardedEngine::build(grid_objects(14), 4);
+        let snapshot = sharded.snapshot();
+        let mut server = ShardServer::new(snapshot.clone());
+        let mut answer = QueryAnswer::default();
+        for k in 0..40u64 {
+            let request = ipq_at(25.0 * k as f64 % 700.0, 300.0);
+            server.execute_into(&request, &mut answer);
+            assert!(answer.same_matches(&snapshot.execute_one(&request)), "{k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_queries_see_consistent_epochs() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let sharded: Arc<ShardedEngine<PointEngine>> =
+            Arc::new(ShardedEngine::build(grid_objects(10), 4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let request = ipq_at(250.0, 250.0);
+
+        // Readers: the result-set size for the fixed query flips
+        // between "all present" and "all departed" but must never be
+        // partial — that would be a torn epoch.
+        let full = sharded.snapshot().execute_one(&request).results.len();
+        assert!(full >= 4);
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let sharded = Arc::clone(&sharded);
+                let stop = Arc::clone(&stop);
+                let request = request.clone();
+                std::thread::spawn(move || {
+                    let mut observed = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let n = sharded.snapshot().execute_one(&request).results.len();
+                        observed.push(n);
+                    }
+                    observed
+                })
+            })
+            .collect();
+
+        // Writer: alternately departs and re-arrives the whole result
+        // set, one commit per transition.
+        let members = sharded.snapshot().execute_one(&request);
+        for _ in 0..20 {
+            for m in &members.results {
+                sharded.submit(Update::Depart(m.id));
+            }
+            sharded.commit();
+            for m in &members.results {
+                let k = m.id.0;
+                sharded.submit(Update::Arrive(PointObject::new(
+                    m.id,
+                    Point::new((k % 10) as f64 * 50.0, (k / 10) as f64 * 50.0),
+                )));
+            }
+            sharded.commit();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            for n in reader.join().expect("reader panicked") {
+                assert!(
+                    n == full || n == 0,
+                    "torn epoch: query saw {n} of {full} objects"
+                );
+            }
+        }
+        assert_eq!(sharded.epoch(), 40);
+    }
+}

@@ -16,6 +16,10 @@
 //! rectangle set. Every generator is deterministic in its seed, so
 //! experiments are exactly repeatable. See DESIGN.md ("Substitutions")
 //! for the full rationale.
+//!
+//! Beyond the static sets, [`updates`] generates seeded
+//! arrival/departure/move streams over them — the churn workload the
+//! sharded serving layer and the `mixed` throughput scenario consume.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,11 +28,13 @@ pub mod california;
 pub mod io;
 pub mod longbeach;
 pub mod objects;
+pub mod updates;
 pub mod workload;
 
 pub use california::california_points;
 pub use longbeach::long_beach_rects;
 pub use objects::{gaussian_objects, point_objects, uniform_objects};
+pub use updates::{PointUpdate, PointUpdateGen, RectUpdate, RectUpdateGen, UpdateMix};
 pub use workload::WorkloadGen;
 
 use iloc_geometry::Rect;

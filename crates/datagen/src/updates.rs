@@ -1,0 +1,380 @@
+//! Update-mix workload generation for the dynamic serving scenario:
+//! seeded arrival / departure / move streams over the California and
+//! Long Beach sets.
+//!
+//! The paper's experiments query a static snapshot; the serving layer
+//! additionally needs churn. A generator starts from one of the
+//! standard datasets (ids `0..n` in dataset order), then emits a
+//! deterministic event stream: **arrivals** (a fresh id at a uniform
+//! position in [`SPACE`]), **departures** (a uniformly chosen live
+//! id) and **moves** (a live object displaced by a bounded jitter,
+//! clamped into the space). The generator tracks the live set itself,
+//! so departures and moves always reference live ids and the stream
+//! can be replayed against any engine — the final
+//! [`PointUpdateGen::live`] set is what a from-scratch rebuild should
+//! contain, which is exactly what the dynamic-vs-rebuild property
+//! suite compares.
+
+use iloc_geometry::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::california::california_points;
+use crate::longbeach::long_beach_rects;
+use crate::SPACE;
+
+/// Maximum per-move displacement along each axis.
+const MOVE_JITTER: f64 = 120.0;
+
+/// Relative frequency of the three event kinds (need not sum to 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateMix {
+    /// Weight of arrivals.
+    pub arrivals: f64,
+    /// Weight of departures.
+    pub departures: f64,
+    /// Weight of moves.
+    pub moves: f64,
+}
+
+impl UpdateMix {
+    /// Moving-objects default: churn dominated by movement, arrivals
+    /// and departures balanced (the catalog size stays stationary in
+    /// expectation).
+    pub fn balanced() -> Self {
+        UpdateMix {
+            arrivals: 0.2,
+            departures: 0.2,
+            moves: 0.6,
+        }
+    }
+
+    /// Draws one event kind (0 = arrive, 1 = depart, 2 = move).
+    fn pick(&self, rng: &mut StdRng) -> u8 {
+        assert!(
+            self.arrivals >= 0.0 && self.departures >= 0.0 && self.moves >= 0.0,
+            "weights must be non-negative"
+        );
+        let total = self.arrivals + self.departures + self.moves;
+        assert!(total > 0.0, "at least one weight must be positive");
+        let x = rng.gen_range(0.0..total);
+        if x < self.arrivals {
+            0
+        } else if x < self.arrivals + self.departures {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+/// One event of a point-object stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PointUpdate {
+    /// A new object enters at `loc`.
+    Arrive {
+        /// Fresh id (never reused within one stream).
+        id: u64,
+        /// Entry location.
+        loc: Point,
+    },
+    /// A live object leaves.
+    Depart {
+        /// The departing object's id.
+        id: u64,
+    },
+    /// A live object relocates.
+    Move {
+        /// The moving object's id.
+        id: u64,
+        /// Its new location.
+        to: Point,
+    },
+}
+
+/// One event of an uncertain-object (rectangle) stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RectUpdate {
+    /// A new object enters with this uncertainty region.
+    Arrive {
+        /// Fresh id (never reused within one stream).
+        id: u64,
+        /// Entry uncertainty region.
+        region: Rect,
+    },
+    /// A live object leaves.
+    Depart {
+        /// The departing object's id.
+        id: u64,
+    },
+    /// A live object's uncertainty region relocates.
+    Move {
+        /// The moving object's id.
+        id: u64,
+        /// Its translated uncertainty region.
+        to: Rect,
+    },
+}
+
+/// Clamps a point into the data space.
+fn clamp_point(p: Point) -> Point {
+    Point::new(
+        p.x.clamp(SPACE.min.x, SPACE.max.x),
+        p.y.clamp(SPACE.min.y, SPACE.max.y),
+    )
+}
+
+/// Deterministic arrival/departure/move stream over point objects.
+#[derive(Debug)]
+pub struct PointUpdateGen {
+    rng: StdRng,
+    mix: UpdateMix,
+    live: Vec<(u64, Point)>,
+    next_id: u64,
+}
+
+impl PointUpdateGen {
+    /// A generator seeded over the California point set: the base
+    /// catalog is `california_points(base_size, seed)` with ids
+    /// `0..base_size`, and the event stream is driven by the same
+    /// seed.
+    pub fn over_california(base_size: usize, seed: u64, mix: UpdateMix) -> (Vec<Point>, Self) {
+        let base = california_points(base_size, seed);
+        let gen = PointUpdateGen::from_base(&base, seed, mix);
+        (base, gen)
+    }
+
+    /// A generator over an arbitrary base catalog (ids `0..len`).
+    pub fn from_base(base: &[Point], seed: u64, mix: UpdateMix) -> Self {
+        PointUpdateGen {
+            // Offset the seed so the stream is independent of the
+            // base-set draw it shares a seed with.
+            rng: StdRng::seed_from_u64(seed ^ 0x5EED_0F0B_B1E5),
+            mix,
+            live: base
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(k, p)| (k as u64, p))
+                .collect(),
+            next_id: base.len() as u64,
+        }
+    }
+
+    /// The live `(id, location)` set after every event emitted so far
+    /// — the catalog a from-scratch rebuild should contain.
+    pub fn live(&self) -> &[(u64, Point)] {
+        &self.live
+    }
+
+    /// Draws the next event. With an empty live set the event is
+    /// always an arrival.
+    pub fn next_update(&mut self) -> PointUpdate {
+        let kind = if self.live.is_empty() {
+            0
+        } else {
+            self.mix.pick(&mut self.rng)
+        };
+        match kind {
+            0 => {
+                let id = self.next_id;
+                self.next_id += 1;
+                let loc = Point::new(
+                    self.rng.gen_range(SPACE.min.x..=SPACE.max.x),
+                    self.rng.gen_range(SPACE.min.y..=SPACE.max.y),
+                );
+                self.live.push((id, loc));
+                PointUpdate::Arrive { id, loc }
+            }
+            1 => {
+                let k = self.rng.gen_range(0..self.live.len());
+                let (id, _) = self.live.swap_remove(k);
+                PointUpdate::Depart { id }
+            }
+            _ => {
+                let k = self.rng.gen_range(0..self.live.len());
+                let (id, loc) = self.live[k];
+                let to = clamp_point(Point::new(
+                    loc.x + self.rng.gen_range(-MOVE_JITTER..=MOVE_JITTER),
+                    loc.y + self.rng.gen_range(-MOVE_JITTER..=MOVE_JITTER),
+                ));
+                self.live[k] = (id, to);
+                PointUpdate::Move { id, to }
+            }
+        }
+    }
+
+    /// Draws a batch of events.
+    pub fn stream(&mut self, count: usize) -> Vec<PointUpdate> {
+        (0..count).map(|_| self.next_update()).collect()
+    }
+}
+
+/// Deterministic arrival/departure/move stream over uncertain-object
+/// rectangles.
+#[derive(Debug)]
+pub struct RectUpdateGen {
+    rng: StdRng,
+    mix: UpdateMix,
+    live: Vec<(u64, Rect)>,
+    next_id: u64,
+}
+
+impl RectUpdateGen {
+    /// A generator seeded over the Long Beach rectangle set: the base
+    /// catalog is `long_beach_rects(base_size, seed)` with ids
+    /// `0..base_size`, and the event stream is driven by the same
+    /// seed.
+    pub fn over_long_beach(base_size: usize, seed: u64, mix: UpdateMix) -> (Vec<Rect>, Self) {
+        let base = long_beach_rects(base_size, seed);
+        let gen = RectUpdateGen::from_base(&base, seed, mix);
+        (base, gen)
+    }
+
+    /// A generator over an arbitrary base catalog (ids `0..len`).
+    pub fn from_base(base: &[Rect], seed: u64, mix: UpdateMix) -> Self {
+        RectUpdateGen {
+            rng: StdRng::seed_from_u64(seed ^ 0x5EED_0F2E_C750),
+            mix,
+            live: base
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(k, r)| (k as u64, r))
+                .collect(),
+            next_id: base.len() as u64,
+        }
+    }
+
+    /// The live `(id, region)` set after every event emitted so far.
+    pub fn live(&self) -> &[(u64, Rect)] {
+        &self.live
+    }
+
+    /// Draws the next event (always an arrival when nothing is live).
+    pub fn next_update(&mut self) -> RectUpdate {
+        let kind = if self.live.is_empty() {
+            0
+        } else {
+            self.mix.pick(&mut self.rng)
+        };
+        match kind {
+            0 => {
+                let id = self.next_id;
+                self.next_id += 1;
+                let w = self.rng.gen_range(2.0..60.0);
+                let h = self.rng.gen_range(2.0..60.0);
+                let cx = self.rng.gen_range(SPACE.min.x + w..SPACE.max.x - w);
+                let cy = self.rng.gen_range(SPACE.min.y + h..SPACE.max.y - h);
+                let region = Rect::centered(Point::new(cx, cy), w, h);
+                self.live.push((id, region));
+                RectUpdate::Arrive { id, region }
+            }
+            1 => {
+                let k = self.rng.gen_range(0..self.live.len());
+                let (id, _) = self.live.swap_remove(k);
+                RectUpdate::Depart { id }
+            }
+            _ => {
+                let k = self.rng.gen_range(0..self.live.len());
+                let (id, region) = self.live[k];
+                // Translate, clamping the whole region into the space.
+                let dx = self
+                    .rng
+                    .gen_range(-MOVE_JITTER..=MOVE_JITTER)
+                    .clamp(SPACE.min.x - region.min.x, SPACE.max.x - region.max.x);
+                let dy = self
+                    .rng
+                    .gen_range(-MOVE_JITTER..=MOVE_JITTER)
+                    .clamp(SPACE.min.y - region.min.y, SPACE.max.y - region.max.y);
+                let to = Rect::from_coords(
+                    region.min.x + dx,
+                    region.min.y + dy,
+                    region.max.x + dx,
+                    region.max.y + dy,
+                );
+                self.live[k] = (id, to);
+                RectUpdate::Move { id, to }
+            }
+        }
+    }
+
+    /// Draws a batch of events.
+    pub fn stream(&mut self, count: usize) -> Vec<RectUpdate> {
+        (0..count).map(|_| self.next_update()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mk = || {
+            let (_, mut gen) = PointUpdateGen::over_california(500, 7, UpdateMix::balanced());
+            gen.stream(1_000)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn events_reference_live_ids_and_track_the_live_set() {
+        let (base, mut gen) = PointUpdateGen::over_california(300, 3, UpdateMix::balanced());
+        let mut live: HashSet<u64> = (0..base.len() as u64).collect();
+        let mut seen_ids: HashSet<u64> = live.clone();
+        for event in gen.stream(2_000) {
+            match event {
+                PointUpdate::Arrive { id, loc } => {
+                    assert!(seen_ids.insert(id), "arrival reused id {id}");
+                    assert!(live.insert(id));
+                    assert!(SPACE.contains_point(loc));
+                }
+                PointUpdate::Depart { id } => assert!(live.remove(&id), "departed dead id {id}"),
+                PointUpdate::Move { id, to } => {
+                    assert!(live.contains(&id), "moved dead id {id}");
+                    assert!(SPACE.contains_point(to));
+                }
+            }
+        }
+        let tracked: HashSet<u64> = gen.live().iter().map(|&(id, _)| id).collect();
+        assert_eq!(tracked, live);
+    }
+
+    #[test]
+    fn mix_ratios_are_roughly_honoured() {
+        let mix = UpdateMix {
+            arrivals: 0.5,
+            departures: 0.1,
+            moves: 0.4,
+        };
+        let (_, mut gen) = PointUpdateGen::over_california(2_000, 11, mix);
+        let mut counts = [0usize; 3];
+        for event in gen.stream(10_000) {
+            match event {
+                PointUpdate::Arrive { .. } => counts[0] += 1,
+                PointUpdate::Depart { .. } => counts[1] += 1,
+                PointUpdate::Move { .. } => counts[2] += 1,
+            }
+        }
+        assert!((4_500..=5_500).contains(&counts[0]), "{counts:?}");
+        assert!((600..=1_400).contains(&counts[1]), "{counts:?}");
+        assert!((3_500..=4_500).contains(&counts[2]), "{counts:?}");
+    }
+
+    #[test]
+    fn rect_moves_stay_inside_the_space() {
+        let (_, mut gen) = RectUpdateGen::over_long_beach(1_000, 5, UpdateMix::balanced());
+        for event in gen.stream(5_000) {
+            match event {
+                RectUpdate::Arrive { region, .. } => assert!(SPACE.contains_rect(region)),
+                RectUpdate::Move { to, .. } => {
+                    assert!(SPACE.contains_rect(to), "moved out of space: {to:?}")
+                }
+                RectUpdate::Depart { .. } => {}
+            }
+        }
+        assert!(!gen.live().is_empty());
+    }
+}

@@ -5,11 +5,17 @@
 //! The data space is cut into `nx × ny` equal cells; each cell lists
 //! every entry whose extent overlaps it. A range query visits the cells
 //! the query rectangle overlaps and dedupes the union of their lists.
+//!
+//! Extents need not lie inside `space`: spans are clamped, so an
+//! out-of-space extent lands in the nearest border cells (queries stay
+//! correct, only the directory's selectivity degrades). Entries live in
+//! a slot arena; removals tombstone their slot (reused by later
+//! inserts), so the directory never needs rebuilding under churn.
 
 use iloc_geometry::Rect;
 
 use crate::stats::AccessStats;
-use crate::traits::RangeIndex;
+use crate::traits::{RangeIndex, TraversalScratch};
 
 /// Uniform-directory grid file.
 #[derive(Debug, Clone)]
@@ -18,7 +24,13 @@ pub struct GridFile<T> {
     nx: usize,
     ny: usize,
     cells: Vec<Vec<u32>>,
+    /// Slot arena; tombstoned slots hold [`Rect::EMPTY`] and are
+    /// unreachable from any cell list.
     entries: Vec<(Rect, T)>,
+    /// Tombstoned slots available for reuse.
+    free: Vec<u32>,
+    /// Live entry count.
+    len: usize,
 }
 
 impl<T: Copy> GridFile<T> {
@@ -27,35 +39,94 @@ impl<T: Copy> GridFile<T> {
     /// # Panics
     ///
     /// Panics when the directory dimensions are zero, `space` has zero
-    /// area, or an entry extent falls outside `space`.
+    /// area, or an entry extent is non-finite.
     pub fn new(space: Rect, nx: usize, ny: usize, entries: Vec<(Rect, T)>) -> Self {
         assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
         assert!(space.area() > 0.0, "space must have positive area");
-        let mut cells = vec![Vec::new(); nx * ny];
-        for (i, (extent, _)) in entries.iter().enumerate() {
-            assert!(
-                space.contains_rect(*extent),
-                "entry extent {extent:?} outside the grid space"
-            );
-            let (i0, i1, j0, j1) = cell_span(space, nx, ny, *extent);
-            for j in j0..=j1 {
-                for ii in i0..=i1 {
-                    cells[j * nx + ii].push(i as u32);
-                }
-            }
-        }
-        GridFile {
+        let mut gf = GridFile {
             space,
             nx,
             ny,
-            cells,
-            entries,
+            cells: vec![Vec::new(); nx * ny],
+            entries: Vec::with_capacity(entries.len()),
+            free: Vec::new(),
+            len: 0,
+        };
+        for (extent, item) in entries {
+            gf.insert(extent, item);
         }
+        gf
     }
 
     /// Directory dimensions.
     pub fn dims(&self) -> (usize, usize) {
         (self.nx, self.ny)
+    }
+
+    /// Inserts one item, reusing a tombstoned slot when available.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `extent` is empty or non-finite (an empty extent
+    /// would overlap no cell and leak from the directory).
+    pub fn insert(&mut self, extent: Rect, item: T) {
+        assert!(
+            extent.is_finite() && !extent.is_empty(),
+            "extent must be finite and non-empty"
+        );
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot as usize] = (extent, item);
+                slot
+            }
+            None => {
+                self.entries.push((extent, item));
+                (self.entries.len() - 1) as u32
+            }
+        };
+        let (i0, i1, j0, j1) = cell_span(self.space, self.nx, self.ny, extent);
+        for j in j0..=j1 {
+            for i in i0..=i1 {
+                self.cells[j * self.nx + i].push(slot);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Removes one stored entry matching `(extent, item)` exactly;
+    /// returns `true` when an entry was found and removed.
+    pub fn remove(&mut self, extent: Rect, item: T) -> bool
+    where
+        T: PartialEq,
+    {
+        if !extent.is_finite() {
+            return false; // Tombstones are non-finite; never match one.
+        }
+        // Every cell the extent overlaps lists its slot, so probing a
+        // single cell of the span bounds the search to that cell's
+        // occupancy instead of the whole arena.
+        let (i0, i1, j0, j1) = cell_span(self.space, self.nx, self.ny, extent);
+        let Some(slot) = self.cells[j0 * self.nx + i0]
+            .iter()
+            .copied()
+            .find(|&e| self.entries[e as usize] == (extent, item))
+        else {
+            return false;
+        };
+        for j in j0..=j1 {
+            for i in i0..=i1 {
+                let cell = &mut self.cells[j * self.nx + i];
+                if let Some(pos) = cell.iter().position(|&e| e == slot) {
+                    cell.swap_remove(pos);
+                }
+            }
+        }
+        // Tombstone: EMPTY is non-finite, so no insert can collide and
+        // no future `remove` scan can match the stale pair.
+        self.entries[slot as usize].0 = Rect::EMPTY;
+        self.free.push(slot);
+        self.len -= 1;
+        true
     }
 }
 
@@ -73,28 +144,47 @@ fn cell_span(space: Rect, nx: usize, ny: usize, r: Rect) -> (usize, usize, usize
 
 impl<T: Copy> RangeIndex<T> for GridFile<T> {
     fn len(&self) -> usize {
-        self.entries.len()
+        self.len
+    }
+
+    fn insert(&mut self, extent: Rect, item: T) {
+        GridFile::insert(self, extent, item);
+    }
+
+    fn remove(&mut self, extent: Rect, item: T) -> bool
+    where
+        T: PartialEq,
+    {
+        GridFile::remove(self, extent, item)
     }
 
     fn query_range_into(&self, query: Rect, stats: &mut AccessStats, out: &mut Vec<T>) {
-        if self.entries.is_empty() {
+        self.query_range_scratch(query, stats, &mut TraversalScratch::new(), out);
+    }
+
+    fn query_range_scratch(
+        &self,
+        query: Rect,
+        stats: &mut AccessStats,
+        scratch: &mut TraversalScratch,
+        out: &mut Vec<T>,
+    ) {
+        if self.len == 0 || query.is_empty() {
             return;
         }
-        let q = query.intersect(self.space);
-        if q.is_empty() {
-            return;
-        }
-        let (i0, i1, j0, j1) = cell_span(self.space, self.nx, self.ny, q);
-        let mut seen = vec![false; self.entries.len()];
+        // The span clamp maps any finite query into the directory, so
+        // out-of-space queries still probe the border cells (where
+        // out-of-space extents live).
+        let (i0, i1, j0, j1) = cell_span(self.space, self.nx, self.ny, query);
+        scratch.begin_dedup(self.entries.len());
         for j in j0..=j1 {
             for i in i0..=i1 {
                 stats.buckets_visited += 1;
                 for &e in &self.cells[j * self.nx + i] {
                     let e = e as usize;
-                    if seen[e] {
+                    if !scratch.mark(e) {
                         continue;
                     }
-                    seen[e] = true;
                     stats.items_tested += 1;
                     let (extent, item) = self.entries[e];
                     if extent.overlaps(query) {
@@ -184,16 +274,109 @@ mod tests {
         let entries = vec![(Rect::from_point(Point::new(50.0, 50.0)), 1usize)];
         let gf = GridFile::new(space(), 4, 4, entries);
         let mut stats = AccessStats::new();
+        // The span clamp sends the probe to the border cells; no
+        // in-space entry can match.
         assert!(gf
             .query_range(Rect::from_coords(200.0, 200.0, 300.0, 300.0), &mut stats)
             .is_empty());
-        assert_eq!(stats.buckets_visited, 0);
+        assert_eq!(stats.buckets_visited, 1);
     }
 
     #[test]
-    #[should_panic(expected = "outside the grid space")]
-    fn rejects_out_of_space_entries() {
-        let entries = vec![(Rect::from_point(Point::new(500.0, 50.0)), 1usize)];
-        let _ = GridFile::new(space(), 4, 4, entries);
+    fn out_of_space_entries_are_clamped_not_rejected() {
+        // An extent beyond the directory lands in border cells and is
+        // still found, both by in-space and out-of-space queries.
+        let far = Rect::from_point(Point::new(500.0, 50.0));
+        let gf = GridFile::new(space(), 4, 4, vec![(far, 1usize)]);
+        let mut stats = AccessStats::new();
+        assert_eq!(
+            gf.query_range(Rect::from_coords(400.0, 0.0, 600.0, 100.0), &mut stats),
+            vec![1]
+        );
+        let mut stats = AccessStats::new();
+        assert!(gf
+            .query_range(Rect::from_coords(0.0, 0.0, 100.0, 40.0), &mut stats)
+            .is_empty());
+    }
+
+    #[test]
+    fn degenerate_query_rect_finds_touching_entries() {
+        let entries = vec![(Rect::from_coords(10.0, 10.0, 20.0, 20.0), 3usize)];
+        let gf = GridFile::new(space(), 8, 8, entries);
+        let mut stats = AccessStats::new();
+        // A zero-area query on the entry's corner still overlaps it
+        // (closed-region semantics).
+        assert_eq!(
+            gf.query_range(Rect::from_point(Point::new(20.0, 20.0)), &mut stats),
+            vec![3]
+        );
+        // An actually-empty query reports nothing.
+        let mut stats = AccessStats::new();
+        assert!(gf.query_range(Rect::EMPTY, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn remove_tombstones_and_reuses_slots() {
+        let mut gf = GridFile::new(
+            space(),
+            4,
+            4,
+            vec![
+                (Rect::from_coords(5.0, 5.0, 95.0, 95.0), 1usize),
+                (Rect::from_point(Point::new(50.0, 50.0)), 2),
+            ],
+        );
+        assert!(!gf.remove(Rect::from_point(Point::new(1.0, 1.0)), 1));
+        assert!(!gf.remove(Rect::EMPTY, 1));
+        assert!(gf.remove(Rect::from_coords(5.0, 5.0, 95.0, 95.0), 1));
+        assert_eq!(gf.len(), 1);
+        let mut stats = AccessStats::new();
+        assert_eq!(
+            gf.query_range(Rect::from_coords(0.0, 0.0, 100.0, 100.0), &mut stats),
+            vec![2]
+        );
+        // The tombstoned slot is reused by the next insert.
+        gf.insert(Rect::from_point(Point::new(10.0, 90.0)), 3);
+        assert_eq!(gf.entries.len(), 2);
+        assert_eq!(gf.len(), 2);
+        let mut stats = AccessStats::new();
+        let mut hits = gf.query_range(Rect::from_coords(0.0, 0.0, 100.0, 100.0), &mut stats);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-empty")]
+    fn rejects_empty_extents() {
+        // An inverted (empty but finite) extent would overlap no cell
+        // and leak from the directory; inserts must reject it.
+        let mut gf: GridFile<usize> = GridFile::new(space(), 4, 4, Vec::new());
+        gf.insert(Rect::from_coords(80.0, 80.0, 5.0, 5.0), 9);
+    }
+
+    #[test]
+    fn dirty_scratch_probes_match_fresh_ones() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let entries: Vec<(Rect, usize)> = (0..300)
+            .map(|k| {
+                let x = rng.gen_range(0.0..90.0);
+                let y = rng.gen_range(0.0..90.0);
+                (Rect::from_coords(x, y, x + 8.0, y + 8.0), k)
+            })
+            .collect();
+        let gf = GridFile::new(space(), 8, 8, entries);
+        let mut scratch = TraversalScratch::new();
+        for _ in 0..50 {
+            let x = rng.gen_range(-5.0..95.0);
+            let y = rng.gen_range(-5.0..95.0);
+            let q = Rect::from_coords(x, y, x + 12.0, y + 12.0);
+            let mut s1 = AccessStats::new();
+            let mut s2 = AccessStats::new();
+            let mut warm = Vec::new();
+            gf.query_range_scratch(q, &mut s1, &mut scratch, &mut warm);
+            let fresh = gf.query_range(q, &mut s2);
+            assert_eq!(warm, fresh);
+            assert_eq!(s1, s2);
+        }
     }
 }

@@ -23,6 +23,10 @@ impl<T: Copy> NaiveIndex<T> {
 
     /// Appends one item.
     pub fn insert(&mut self, extent: Rect, item: T) {
+        assert!(
+            extent.is_finite() && !extent.is_empty(),
+            "extent must be finite and non-empty"
+        );
         self.entries.push((extent, item));
     }
 }
@@ -30,6 +34,27 @@ impl<T: Copy> NaiveIndex<T> {
 impl<T: Copy> RangeIndex<T> for NaiveIndex<T> {
     fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    fn insert(&mut self, extent: Rect, item: T) {
+        NaiveIndex::insert(self, extent, item);
+    }
+
+    fn remove(&mut self, extent: Rect, item: T) -> bool
+    where
+        T: PartialEq,
+    {
+        match self
+            .entries
+            .iter()
+            .position(|&(r, it)| r == extent && it == item)
+        {
+            Some(pos) => {
+                self.entries.swap_remove(pos);
+                true
+            }
+            None => false,
+        }
     }
 
     fn query_range_into(&self, query: Rect, stats: &mut AccessStats, out: &mut Vec<T>) {

@@ -23,7 +23,7 @@ use iloc_geometry::Rect;
 
 use crate::rtree::RTreeParams;
 use crate::stats::AccessStats;
-use crate::traits::TraversalScratch;
+use crate::traits::{RangeIndex, TraversalScratch};
 
 /// PTI construction parameters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -75,8 +75,9 @@ pub struct PtiQuery {
 /// The Probability Threshold Index.
 ///
 /// Built by bulk loading (the experiments index static snapshots, as in
-/// the paper) and maintained incrementally via [`Pti::insert`]; all
-/// stored objects must share the same catalog levels.
+/// the paper) and maintained incrementally via [`Pti::insert`] /
+/// [`Pti::remove`]; all stored objects must share the same catalog
+/// levels.
 #[derive(Debug, Clone)]
 pub struct Pti<T> {
     levels: Vec<f64>,
@@ -84,6 +85,8 @@ pub struct Pti<T> {
     root: usize,
     len: usize,
     params: PtiParams,
+    /// Arena slots released by removals, reused by inserts.
+    free: Vec<usize>,
 }
 
 impl<T: Copy> Pti<T> {
@@ -119,6 +122,7 @@ impl<T: Copy> Pti<T> {
             root: 0,
             len,
             params,
+            free: Vec::new(),
         };
         if len == 0 {
             pti.nodes.push(PtiNode {
@@ -207,8 +211,20 @@ impl<T: Copy> Pti<T> {
     }
 
     fn alloc(&mut self, node: PtiNode<T>) -> usize {
-        self.nodes.push(node);
-        self.nodes.len() - 1
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Puts an arena slot on the free list.
+    fn release(&mut self, idx: usize) {
+        debug_assert_ne!(idx, self.root, "cannot release the root");
+        self.nodes[idx].kind = PtiNodeKind::Leaf(Vec::new());
+        self.free.push(idx);
     }
 
     /// Recursive insert; on overflow returns `(bounds1, idx1, bounds2,
@@ -288,6 +304,118 @@ impl<T: Copy> Pti<T> {
                         Some((ba, node_idx, bb, sibling))
                     }
                 }
+            }
+        }
+    }
+
+    /// Removes one stored object whose **0-bound** (uncertainty
+    /// region) is `region` and whose payload equals `item`; returns
+    /// `true` when found. When several identical entries exist, one of
+    /// them is removed.
+    ///
+    /// This is the PTI's *constrained-rectangle repair*: every
+    /// ancestor's per-level merged MBRs are recomputed exactly from
+    /// its surviving children along the removal path (a hull can only
+    /// shrink on removal, so in-place shrinking is not possible — the
+    /// merge must be redone). Emptied nodes are dissolved and their
+    /// arena slots go to the free list; a single-child internal root
+    /// is demoted so repeated insert/remove churn cannot grow the
+    /// height without bound.
+    pub fn remove(&mut self, region: Rect, item: T) -> bool
+    where
+        T: PartialEq,
+    {
+        if self.len == 0 || !self.remove_rec(self.root, region, item) {
+            return false;
+        }
+        self.len -= 1;
+        // Demote the root while it is an internal node with one child.
+        loop {
+            let promote = match &self.nodes[self.root].kind {
+                PtiNodeKind::Internal(children) if children.len() == 1 => Some(children[0].child),
+                _ => None,
+            };
+            match promote {
+                Some(child) => {
+                    let old = self.root;
+                    self.root = child;
+                    self.release(old);
+                }
+                None => break,
+            }
+        }
+        if self.len == 0 {
+            self.nodes[self.root].kind = PtiNodeKind::Leaf(Vec::new());
+        }
+        true
+    }
+
+    /// Depth-first search and removal; returns `true` once removed.
+    fn remove_rec(&mut self, node_idx: usize, region: Rect, item: T) -> bool
+    where
+        T: PartialEq,
+    {
+        // Leaf: remove in place.
+        if let PtiNodeKind::Leaf(entries) = &mut self.nodes[node_idx].kind {
+            let Some(pos) = entries
+                .iter()
+                .position(|e| e.bounds[0] == region && e.item == item)
+            else {
+                return false;
+            };
+            entries.swap_remove(pos);
+            return true;
+        }
+        // Internal: collect candidate children (their 0-bound must
+        // cover the object's region), then recurse without holding a
+        // borrow on this node.
+        let candidates: Vec<(usize, usize)> = match &self.nodes[node_idx].kind {
+            PtiNodeKind::Internal(children) => children
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.bounds[0].contains_rect(region))
+                .map(|(i, c)| (i, c.child))
+                .collect(),
+            PtiNodeKind::Leaf(_) => unreachable!("handled above"),
+        };
+        for (i, child_idx) in candidates {
+            if !self.remove_rec(child_idx, region, item) {
+                continue;
+            }
+            if self.node_entry_count(child_idx) == 0 {
+                // Dissolve the emptied child.
+                let PtiNodeKind::Internal(children) = &mut self.nodes[node_idx].kind else {
+                    unreachable!("node kind is stable");
+                };
+                children.swap_remove(i);
+                self.release(child_idx);
+            } else {
+                // Exact repair: re-merge the child's per-level bounds.
+                let bounds = self.node_bounds(child_idx);
+                let PtiNodeKind::Internal(children) = &mut self.nodes[node_idx].kind else {
+                    unreachable!("node kind is stable");
+                };
+                children[i].bounds = bounds;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Number of entries directly stored in a node.
+    fn node_entry_count(&self, idx: usize) -> usize {
+        match &self.nodes[idx].kind {
+            PtiNodeKind::Leaf(entries) => entries.len(),
+            PtiNodeKind::Internal(children) => children.len(),
+        }
+    }
+
+    /// Exact per-level merged MBRs of a node's entries.
+    fn node_bounds(&self, idx: usize) -> Vec<Rect> {
+        match &self.nodes[idx].kind {
+            PtiNodeKind::Leaf(entries) => merge_bounds(entries.iter().map(|e| e.bounds.as_slice())),
+            PtiNodeKind::Internal(children) => {
+                merge_bounds(children.iter().map(|c| c.bounds.as_slice()))
             }
         }
     }
@@ -438,6 +566,65 @@ impl<T: Copy> Pti<T> {
         let mut out = Vec::new();
         self.query_into(q, stats, &mut out);
         out
+    }
+}
+
+/// A PTI used as a plain spatial index: probes run at threshold 0 (no
+/// p-bound pruning, exactly the Lemma-1 overlap filter), and
+/// trait-level inserts store the extent replicated across every
+/// catalog level — a sound, conservative p-bound (the true `m`-bound
+/// of any pdf is contained in its region, so a larger stored bound
+/// can only prune *less*). This keeps the PTI in the shared
+/// `RangeIndex` conformance suite alongside the other backends.
+impl<T: Copy> RangeIndex<T> for Pti<T> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn insert(&mut self, extent: Rect, item: T) {
+        assert!(
+            extent.is_finite() && !extent.is_empty(),
+            "extent must be finite and non-empty"
+        );
+        Pti::insert(self, vec![extent; self.levels.len()], item);
+    }
+
+    fn remove(&mut self, extent: Rect, item: T) -> bool
+    where
+        T: PartialEq,
+    {
+        Pti::remove(self, extent, item)
+    }
+
+    fn query_range_into(&self, query: Rect, stats: &mut AccessStats, out: &mut Vec<T>) {
+        self.query_into(
+            &PtiQuery {
+                expanded: query,
+                p_expanded: query,
+                threshold: 0.0,
+            },
+            stats,
+            out,
+        );
+    }
+
+    fn query_range_scratch(
+        &self,
+        query: Rect,
+        stats: &mut AccessStats,
+        scratch: &mut TraversalScratch,
+        out: &mut Vec<T>,
+    ) {
+        self.query_scratch(
+            &PtiQuery {
+                expanded: query,
+                p_expanded: query,
+                threshold: 0.0,
+            },
+            stats,
+            scratch,
+            out,
+        );
     }
 }
 
@@ -813,6 +1000,112 @@ mod tests {
             pti.insert(uniform_bounds(r, &lv), k);
         }
         assert_eq!(pti.check_invariants(), 5_000);
+    }
+
+    #[test]
+    fn remove_missing_returns_false() {
+        let (mut pti, regions) = build(50, 6);
+        assert!(!pti.remove(Rect::from_coords(-5.0, -5.0, -1.0, -1.0), 0));
+        assert!(!pti.remove(regions[3], 99));
+        assert_eq!(pti.len(), 50);
+        pti.check_invariants();
+    }
+
+    #[test]
+    fn remove_repairs_merged_bounds_exactly() {
+        let (mut pti, regions) = build(600, 7);
+        // Remove a third of the objects; after every removal the
+        // cached per-level merged MBRs must still be exact hulls.
+        for (k, &r) in regions.iter().enumerate() {
+            if k % 3 == 0 {
+                assert!(pti.remove(r, k), "object {k} not found");
+            }
+        }
+        assert_eq!(pti.check_invariants(), 400);
+        // Survivors are still found, removed objects are not.
+        let expanded = Rect::from_coords(0.0, 0.0, 1_000.0, 1_000.0);
+        let q = PtiQuery {
+            expanded,
+            p_expanded: expanded,
+            threshold: 0.0,
+        };
+        let mut stats = AccessStats::new();
+        let mut got = pti.query(&q, &mut stats);
+        got.sort_unstable();
+        let want: Vec<usize> = (0..600).filter(|k| k % 3 != 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn interleaved_inserts_and_removes_keep_invariants() {
+        let lv = levels();
+        let mut pti: Pti<usize> = Pti::bulk_load(lv.clone(), Vec::new(), PtiParams::default());
+        let mut live: Vec<(Rect, usize)> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut next_id = 0usize;
+        for step in 0..2_000 {
+            let grow = live.len() < 20 || rng.gen_bool(0.55);
+            if grow {
+                let x = rng.gen_range(0.0..950.0);
+                let y = rng.gen_range(0.0..950.0);
+                let r = Rect::from_coords(x, y, x + 10.0, y + 10.0);
+                pti.insert(uniform_bounds(r, &lv), next_id);
+                live.push((r, next_id));
+                next_id += 1;
+            } else {
+                let k = rng.gen_range(0..live.len());
+                let (r, id) = live.swap_remove(k);
+                assert!(pti.remove(r, id), "step {step}: failed to remove {id}");
+            }
+        }
+        assert_eq!(pti.check_invariants(), live.len());
+        // Query equivalence with the surviving set at threshold 0.
+        for _ in 0..30 {
+            let x = rng.gen_range(0.0..900.0);
+            let y = rng.gen_range(0.0..900.0);
+            let expanded = Rect::from_coords(x, y, x + 80.0, y + 80.0);
+            let q = PtiQuery {
+                expanded,
+                p_expanded: expanded,
+                threshold: 0.0,
+            };
+            let mut stats = AccessStats::new();
+            let mut got = pti.query(&q, &mut stats);
+            got.sort_unstable();
+            let mut want: Vec<usize> = live
+                .iter()
+                .filter(|(r, _)| r.overlaps(expanded))
+                .map(|&(_, id)| id)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn remove_to_empty_reuses_arena_slots() {
+        let lv = levels();
+        let mut pti: Pti<usize> = Pti::bulk_load(lv.clone(), Vec::new(), PtiParams::default());
+        for round in 0..3 {
+            for k in 0..300usize {
+                let x = (k % 30) as f64 * 30.0;
+                let y = (k / 30) as f64 * 90.0;
+                let r = Rect::from_coords(x, y, x + 8.0, y + 8.0);
+                pti.insert(uniform_bounds(r, &lv), k);
+            }
+            let nodes = pti.nodes.len();
+            for k in 0..300usize {
+                let x = (k % 30) as f64 * 30.0;
+                let y = (k / 30) as f64 * 90.0;
+                let r = Rect::from_coords(x, y, x + 8.0, y + 8.0);
+                assert!(pti.remove(r, k), "round {round}: object {k} not found");
+            }
+            assert!(pti.is_empty());
+            // Dissolved slots are reused, so the arena stays bounded
+            // across churn rounds.
+            assert!(pti.nodes.len() <= nodes);
+        }
+        pti.check_invariants();
     }
 
     #[test]

@@ -152,7 +152,10 @@ impl<T: Copy> RTree<T> {
 
     /// Inserts an item with the given extent.
     pub fn insert(&mut self, extent: Rect, item: T) {
-        assert!(extent.is_finite(), "extent must be finite");
+        assert!(
+            extent.is_finite() && !extent.is_empty(),
+            "extent must be finite and non-empty"
+        );
         if let Some((r1, n1, r2, n2)) = self.insert_rec(self.root, extent, item) {
             // Root split: grow the tree by one level.
             let new_root = self.alloc(Node::new_internal(vec![(r1, n1), (r2, n2)]));
@@ -293,6 +296,17 @@ impl<T: Copy> RTree<T> {
 impl<T: Copy> RangeIndex<T> for RTree<T> {
     fn len(&self) -> usize {
         self.len
+    }
+
+    fn insert(&mut self, extent: Rect, item: T) {
+        RTree::insert(self, extent, item);
+    }
+
+    fn remove(&mut self, extent: Rect, item: T) -> bool
+    where
+        T: PartialEq,
+    {
+        RTree::remove(self, extent, item)
     }
 
     fn query_range_into(&self, query: Rect, stats: &mut AccessStats, out: &mut Vec<T>) {

@@ -4,18 +4,26 @@ use iloc_geometry::Rect;
 
 use crate::stats::AccessStats;
 
-/// Reusable tree-traversal state (the DFS stack of node indices).
+/// Reusable index-probe state: the DFS stack of node indices plus an
+/// epoch-marked dedup table.
 ///
 /// Hierarchical indexes (`RTree`, `Pti`) need a stack of pending nodes
-/// per probe; allocating it anew for every query shows up directly in
+/// per probe, and the grid file needs a per-entry "already reported"
+/// table; allocating either anew for every query shows up directly in
 /// the hot path. Callers that probe repeatedly keep one
 /// `TraversalScratch` alive and pass it to
 /// [`RangeIndex::query_range_scratch`] — after warm-up the probe then
-/// performs no heap allocation. Flat indexes ignore it.
+/// performs no heap allocation. Backends that need neither ignore it.
 #[derive(Debug, Clone, Default)]
 pub struct TraversalScratch {
     /// Pending node arena indices (empty between probes).
     pub(crate) stack: Vec<usize>,
+    /// Epoch-stamped dedup marks (`marks[e] == epoch` means entry `e`
+    /// was already reported this probe); stamping a new epoch clears
+    /// the whole table in O(1).
+    pub(crate) marks: Vec<u64>,
+    /// The current probe's epoch.
+    pub(crate) epoch: u64,
 }
 
 impl TraversalScratch {
@@ -23,18 +31,65 @@ impl TraversalScratch {
     pub fn new() -> Self {
         TraversalScratch::default()
     }
+
+    /// Starts a new dedup epoch covering entry indices `0..n`,
+    /// growing the mark table as needed (the only allocation, and only
+    /// when `n` exceeds every previous probe's).
+    pub(crate) fn begin_dedup(&mut self, n: usize) {
+        if self.marks.len() < n {
+            self.marks.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // One wraparound every 2^64 probes: reset stale stamps.
+            self.marks.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks entry `e`; returns `true` the first time it is seen in
+    /// the current epoch.
+    #[inline]
+    pub(crate) fn mark(&mut self, e: usize) -> bool {
+        if self.marks[e] == self.epoch {
+            false
+        } else {
+            self.marks[e] = self.epoch;
+            true
+        }
+    }
 }
 
 /// A spatial index over items with rectangular extents (a point object
 /// is a degenerate rectangle).
 ///
-/// The only operation the paper's query pipeline needs is the **range
-/// filter**: report every stored item whose extent overlaps a query
-/// rectangle (the Minkowski sum `R ⊕ U0` or a `p`-expanded query).
-/// Probability refinement happens above the index.
+/// The paper's query pipeline needs the **range filter** — report
+/// every stored item whose extent overlaps a query rectangle (the
+/// Minkowski sum `R ⊕ U0` or a `p`-expanded query); probability
+/// refinement happens above the index. The serving layer additionally
+/// needs **dynamic maintenance**: [`RangeIndex::insert`] and
+/// [`RangeIndex::remove`] keep the index usable under
+/// arrival/departure/move streams without a rebuild. Every backend
+/// must answer queries identically (up to candidate order) to a
+/// from-scratch rebuild on the same live set — the conformance suite
+/// in `tests/conformance.rs` enforces this for all four backends.
 pub trait RangeIndex<T: Copy> {
     /// Number of stored items.
     fn len(&self) -> usize;
+
+    /// Inserts one item with the given extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `extent` is empty or non-finite.
+    fn insert(&mut self, extent: Rect, item: T);
+
+    /// Removes one stored entry matching `(extent, item)` exactly;
+    /// returns `true` when an entry was found and removed. When
+    /// several identical entries exist, one of them is removed.
+    fn remove(&mut self, extent: Rect, item: T) -> bool
+    where
+        T: PartialEq;
 
     /// `true` when the index stores nothing.
     fn is_empty(&self) -> bool {

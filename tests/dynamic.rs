@@ -1,0 +1,335 @@
+//! Dynamic-maintenance bit-identity properties.
+//!
+//! The contract of every insert/remove path in the workspace: after
+//! **any** interleaving of inserts and removes, a query answers
+//! **bit-identically** to a from-scratch rebuild on the final live
+//! set. Pinned here at three layers:
+//!
+//! * index level — the same `QueryPipeline` over a dynamically
+//!   maintained `RTree` / `Pti` / `GridFile` / `NaiveIndex` vs a
+//!   rebuilt one;
+//! * engine level — `PointEngine` / `UncertainEngine` under an
+//!   arrival/departure/move stream vs `from_objects` / `build` on the
+//!   survivors;
+//! * serving level — `ShardedEngine` snapshots across shard counts
+//!   1/2/8, committed in batches, vs a rebuilt single engine.
+//!
+//! All queries also run through **one dirty, reused
+//! `ExecutionContext`** (its `QueryScratch` is never cleared between
+//! layers), so scratch reuse is covered by the same bit-identity bar.
+//! Probabilities use the closed-form integrators (`Integrator::Auto`
+//! over uniform pdfs), which is what makes bit-identity — not mere
+//! approximate equality — the right assertion.
+
+use iloc::core::pipeline::{
+    AcceptPolicy, EvaluatorKind, ExecutionContext, PreparedQuery, PruneChain, QueryPipeline,
+    RectFilter,
+};
+use iloc::core::pipeline::{PointRequest, UncertainRequest};
+use iloc::core::serve::{ShardedEngine, Update};
+use iloc::datagen::{PointUpdate, PointUpdateGen, RectUpdate, RectUpdateGen, UpdateMix};
+use iloc::index::{GridFile, NaiveIndex, Pti, PtiParams, RTree, RTreeParams, RangeIndex};
+use iloc::prelude::*;
+use iloc::uncertainty::{PointObject, UncertainObject, UniformPdf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs one IPQ-shaped pipeline over `index` and the shared object
+/// arena through the caller's (dirty) context.
+fn pipeline_answer<I: RangeIndex<u32>>(
+    index: &I,
+    objects: &[PointObject],
+    issuer: &Issuer,
+    range: RangeSpec,
+    ctx: &mut ExecutionContext,
+) -> QueryAnswer {
+    let query = PreparedQuery::new(issuer, range);
+    QueryPipeline {
+        query,
+        objects,
+        filter: RectFilter {
+            index,
+            query: query.expanded,
+        },
+        prune: PruneChain::none(),
+        refine: EvaluatorKind::Duality,
+        accept: AcceptPolicy::Positive,
+    }
+    .execute(ctx)
+}
+
+/// The index-level property for one backend: interleaved
+/// inserts/removes, then queries bit-identical to a rebuild.
+fn index_dynamic_equals_rebuild<I: RangeIndex<u32>>(
+    name: &str,
+    build: impl Fn(Vec<(Rect, u32)>) -> I,
+) {
+    let mut rng = StdRng::seed_from_u64(0xD11A);
+    // Append-only object arena; the live set indexes into it.
+    let mut arena: Vec<PointObject> = Vec::new();
+    let mut live: Vec<(Rect, u32)> = Vec::new();
+    let mut dynamic = build(Vec::new());
+
+    for _ in 0..1_500 {
+        let grow = live.len() < 50 || rng.gen_bool(0.6);
+        if grow {
+            let slot = arena.len() as u32;
+            let loc = Point::new(rng.gen_range(0.0..2_000.0), rng.gen_range(0.0..2_000.0));
+            arena.push(PointObject::new(slot as u64, loc));
+            let extent = Rect::from_point(loc);
+            dynamic.insert(extent, slot);
+            live.push((extent, slot));
+        } else {
+            let k = rng.gen_range(0..live.len());
+            let (extent, slot) = live.swap_remove(k);
+            assert!(dynamic.remove(extent, slot), "{name}: lost slot {slot}");
+        }
+    }
+    let rebuilt = build(live.clone());
+
+    // One dirty context shared by every execution below.
+    let mut ctx = ExecutionContext::new(Integrator::Auto);
+    for q in 0..25u64 {
+        let c = Point::new(rng.gen_range(0.0..2_000.0), rng.gen_range(0.0..2_000.0));
+        let issuer = Issuer::uniform(Rect::centered(c, 120.0, 120.0));
+        let range = RangeSpec::square(100.0 + 10.0 * q as f64);
+        let a = pipeline_answer(&dynamic, &arena, &issuer, range, &mut ctx);
+        let b = pipeline_answer(&rebuilt, &arena, &issuer, range, &mut ctx);
+        assert!(
+            a.same_matches(&b),
+            "{name}: query {q} diverged from rebuild"
+        );
+        // And against a fresh context (scratch reuse is inert).
+        let fresh = pipeline_answer(
+            &dynamic,
+            &arena,
+            &issuer,
+            range,
+            &mut ExecutionContext::new(Integrator::Auto),
+        );
+        assert!(a.same_matches(&fresh), "{name}: dirty scratch diverged");
+    }
+}
+
+#[test]
+fn rtree_dynamic_equals_rebuild() {
+    index_dynamic_equals_rebuild("rtree", |entries| {
+        RTree::bulk_load(entries, RTreeParams::default())
+    });
+}
+
+#[test]
+fn pti_dynamic_equals_rebuild() {
+    index_dynamic_equals_rebuild("pti", |entries| {
+        Pti::bulk_load(
+            vec![0.0],
+            entries.into_iter().map(|(r, t)| (vec![r], t)).collect(),
+            PtiParams::default(),
+        )
+    });
+}
+
+#[test]
+fn gridfile_dynamic_equals_rebuild() {
+    index_dynamic_equals_rebuild("gridfile", |entries| {
+        GridFile::new(
+            Rect::from_coords(0.0, 0.0, 2_000.0, 2_000.0),
+            12,
+            12,
+            entries,
+        )
+    });
+}
+
+#[test]
+fn naive_dynamic_equals_rebuild() {
+    index_dynamic_equals_rebuild("naive", NaiveIndex::new);
+}
+
+/// Shared driver for the engine/serving-level property over a point
+/// stream: applies the same updates to a dynamic single engine and to
+/// sharded engines (1/2/8 shards, committed in batches), then checks
+/// every layer answers bit-identically to a from-scratch rebuild.
+#[test]
+fn point_stream_equals_rebuild_across_all_layers() {
+    let (base, mut gen) = PointUpdateGen::over_california(1_500, 41, UpdateMix::balanced());
+    let mut dynamic = PointEngine::build(base.clone());
+    let sharded: Vec<ShardedEngine<PointEngine>> = [1usize, 2, 8]
+        .iter()
+        .map(|&n| {
+            ShardedEngine::build(
+                base.iter()
+                    .enumerate()
+                    .map(|(k, &p)| PointObject::new(k as u64, p))
+                    .collect(),
+                n,
+            )
+        })
+        .collect();
+
+    for _round in 0..12 {
+        for event in gen.stream(150) {
+            match event {
+                PointUpdate::Arrive { id, loc } => {
+                    dynamic.insert_object(PointObject::new(id, loc));
+                    for s in &sharded {
+                        s.submit(Update::Arrive(PointObject::new(id, loc)));
+                    }
+                }
+                PointUpdate::Depart { id } => {
+                    assert!(dynamic.remove(iloc::uncertainty::ObjectId(id)));
+                    for s in &sharded {
+                        s.submit(Update::Depart(iloc::uncertainty::ObjectId(id)));
+                    }
+                }
+                PointUpdate::Move { id, to } => {
+                    assert!(dynamic.remove(iloc::uncertainty::ObjectId(id)));
+                    dynamic.insert_object(PointObject::new(id, to));
+                    for s in &sharded {
+                        s.submit(Update::Move(PointObject::new(id, to)));
+                    }
+                }
+            }
+        }
+        // One epoch per round: queries between rounds see each batch
+        // applied atomically.
+        for s in &sharded {
+            s.commit();
+        }
+    }
+
+    // Rebuild on the survivors.
+    let survivors: Vec<PointObject> = gen
+        .live()
+        .iter()
+        .map(|&(id, loc)| PointObject::new(id, loc))
+        .collect();
+    let rebuilt = PointEngine::from_objects(survivors.clone());
+    assert_eq!(dynamic.len(), rebuilt.len());
+    for s in &sharded {
+        assert_eq!(s.len(), rebuilt.len());
+    }
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut ctx = ExecutionContext::new(Integrator::Auto);
+    for q in 0..30 {
+        let c = Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0));
+        let issuer = Issuer::uniform(Rect::centered(c, 250.0, 250.0));
+        let request = if q % 3 == 0 {
+            PointRequest::cipq(
+                issuer,
+                RangeSpec::square(500.0),
+                0.3,
+                CipqStrategy::PExpanded,
+            )
+        } else {
+            PointRequest::ipq(issuer, RangeSpec::square(500.0))
+        };
+        let want = rebuilt.execute_one(&request);
+        // Dynamic single engine, through the shared dirty context.
+        let mut got = QueryAnswer::default();
+        dynamic.execute_one_into(&request, &mut ctx, &mut got);
+        assert!(got.same_matches(&want), "query {q}: dynamic != rebuild");
+        // Every shard count.
+        for s in &sharded {
+            let snap = s.snapshot();
+            let sharded_answer = snap.execute_one(&request);
+            assert!(
+                sharded_answer.same_matches(&want),
+                "query {q}: {} shards != rebuild",
+                snap.shard_count()
+            );
+        }
+    }
+}
+
+#[test]
+fn uncertain_stream_equals_rebuild_across_shard_counts() {
+    let (base, mut gen) = RectUpdateGen::over_long_beach(500, 77, UpdateMix::balanced());
+    let objects = |regions: &[(u64, Rect)]| -> Vec<UncertainObject> {
+        regions
+            .iter()
+            .map(|&(id, r)| UncertainObject::new(id, UniformPdf::new(r)))
+            .collect()
+    };
+    let base_objects: Vec<UncertainObject> = base
+        .iter()
+        .enumerate()
+        .map(|(k, &r)| UncertainObject::new(k as u64, UniformPdf::new(r)))
+        .collect();
+
+    let mut dynamic = UncertainEngine::build(base_objects.clone());
+    let sharded: Vec<ShardedEngine<UncertainEngine>> = [1usize, 2, 8]
+        .iter()
+        .map(|&n| ShardedEngine::build(base_objects.clone(), n))
+        .collect();
+
+    for _round in 0..8 {
+        for event in gen.stream(100) {
+            match event {
+                RectUpdate::Arrive { id, region } => {
+                    dynamic.insert(UncertainObject::new(id, UniformPdf::new(region)));
+                    for s in &sharded {
+                        s.submit(Update::Arrive(UncertainObject::new(
+                            id,
+                            UniformPdf::new(region),
+                        )));
+                    }
+                }
+                RectUpdate::Depart { id } => {
+                    assert!(dynamic.remove(iloc::uncertainty::ObjectId(id)));
+                    for s in &sharded {
+                        s.submit(Update::Depart(iloc::uncertainty::ObjectId(id)));
+                    }
+                }
+                RectUpdate::Move { id, to } => {
+                    assert!(dynamic.remove(iloc::uncertainty::ObjectId(id)));
+                    dynamic.insert(UncertainObject::new(id, UniformPdf::new(to)));
+                    for s in &sharded {
+                        s.submit(Update::Move(UncertainObject::new(id, UniformPdf::new(to))));
+                    }
+                }
+            }
+        }
+        for s in &sharded {
+            s.commit();
+        }
+    }
+
+    let rebuilt = UncertainEngine::build(objects(gen.live()));
+    assert_eq!(dynamic.len(), rebuilt.len());
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut ctx = ExecutionContext::new(Integrator::Auto);
+    for q in 0..20 {
+        let c = Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0));
+        let issuer = Issuer::uniform(Rect::centered(c, 250.0, 250.0));
+        let request = match q % 3 {
+            0 => UncertainRequest::ciuq(
+                issuer,
+                RangeSpec::square(500.0),
+                0.25,
+                CiuqStrategy::PtiPExpanded,
+            ),
+            1 => UncertainRequest::ciuq(
+                issuer,
+                RangeSpec::square(500.0),
+                0.25,
+                CiuqStrategy::RTreeMinkowski,
+            ),
+            _ => UncertainRequest::iuq(issuer, RangeSpec::square(500.0)),
+        };
+        let want = rebuilt.execute_one(&request);
+        let mut got = QueryAnswer::default();
+        dynamic.execute_one_into(&request, &mut ctx, &mut got);
+        assert!(got.same_matches(&want), "query {q}: dynamic != rebuild");
+        for s in &sharded {
+            let snap = s.snapshot();
+            assert!(
+                snap.execute_one(&request).same_matches(&want),
+                "query {q}: {} shards != rebuild",
+                snap.shard_count()
+            );
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Monte-Carlo oracle differential suite.
+//!
+//! The pipeline's answers come out of query expansion, duality and
+//! closed-form / numeric integration. The oracle
+//! (`iloc::core::eval::oracle`) computes the same qualification
+//! probabilities by *simulating the probability model directly* —
+//! sampling the issuer's (and object's) true position from the pdfs
+//! and counting range hits — sharing none of that machinery. Here the
+//! two are compared on randomized scenes within a binomial tolerance:
+//! any systematic disagreement means a pipeline bug.
+//!
+//! Everything is seeded: scenes, oracle draws (one derived seed per
+//! object) and engines are deterministic, so a failure reproduces
+//! exactly.
+
+use iloc::core::eval::oracle::{
+    binomial_tolerance, mc_point_probability, mc_uncertain_probability,
+};
+use iloc::core::pipeline::PointRequest;
+use iloc::core::serve::ShardedEngine;
+use iloc::prelude::*;
+use iloc::uncertainty::{TruncatedGaussianPdf, UncertainObject, UniformPdf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Oracle draws per probability estimate.
+const SAMPLES: u32 = 12_000;
+/// Confidence width in binomial standard deviations. At `z = 5` a
+/// correct pipeline fails one comparison in ~3.5 million; the suite
+/// makes a few hundred.
+const Z: f64 = 5.0;
+
+/// One deterministic oracle seed per (scene, object) pair.
+fn oracle_seed(scene: u64, object: u64) -> u64 {
+    scene.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ object
+}
+
+/// Points clustered where the issuer's expanded query will land, so
+/// candidate probabilities cover the whole (0, 1] range.
+fn scene_points(rng: &mut StdRng, n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(200.0..800.0), rng.gen_range(200.0..800.0)))
+        .collect()
+}
+
+/// A random issuer near the scene's centre — uniform pdf on even
+/// scenes, truncated Gaussian on odd ones.
+fn scene_issuer(rng: &mut StdRng, scene: u64) -> Issuer {
+    let c = Point::new(rng.gen_range(400.0..600.0), rng.gen_range(400.0..600.0));
+    let w = rng.gen_range(40.0..150.0);
+    let h = rng.gen_range(40.0..150.0);
+    let region = Rect::centered(c, w, h);
+    if scene.is_multiple_of(2) {
+        Issuer::uniform(region)
+    } else {
+        Issuer::with_pdf(TruncatedGaussianPdf::paper_default(region))
+    }
+}
+
+#[test]
+fn ipq_agrees_with_oracle_on_randomized_scenes() {
+    for scene in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(1_000 + scene);
+        let points = scene_points(&mut rng, 120);
+        let engine = PointEngine::build(points.clone());
+        let issuer = scene_issuer(&mut rng, scene);
+        let range = RangeSpec::new(rng.gen_range(60.0..200.0), rng.gen_range(60.0..200.0));
+        let answer = engine.ipq(&issuer, range);
+        assert!(
+            !answer.results.is_empty(),
+            "scene {scene}: degenerate scene, no candidates"
+        );
+
+        for object in engine.objects() {
+            let estimate = mc_point_probability(
+                &issuer,
+                object.loc,
+                range,
+                SAMPLES,
+                oracle_seed(scene, object.id.0),
+            );
+            let reported = answer.probability_of(object.id).unwrap_or(0.0);
+            let tol = binomial_tolerance(estimate, SAMPLES, Z);
+            assert!(
+                (reported - estimate).abs() <= tol,
+                "scene {scene}, object {}: pipeline {reported} vs oracle {estimate} (tol {tol})",
+                object.id
+            );
+        }
+    }
+}
+
+#[test]
+fn iuq_agrees_with_oracle_on_randomized_scenes() {
+    for scene in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(2_000 + scene);
+        let objects: Vec<UncertainObject> = scene_points(&mut rng, 60)
+            .into_iter()
+            .enumerate()
+            .map(|(k, c)| {
+                let w = rng.gen_range(5.0..40.0);
+                let h = rng.gen_range(5.0..40.0);
+                let region = Rect::centered(c, w, h);
+                if k % 3 == 0 {
+                    UncertainObject::new(k as u64, TruncatedGaussianPdf::paper_default(region))
+                } else {
+                    UncertainObject::new(k as u64, UniformPdf::new(region))
+                }
+            })
+            .collect();
+        let engine = UncertainEngine::build(objects);
+        let issuer = scene_issuer(&mut rng, scene);
+        let range = RangeSpec::new(rng.gen_range(80.0..220.0), rng.gen_range(80.0..220.0));
+        let answer = engine.iuq(&issuer, range);
+        assert!(
+            !answer.results.is_empty(),
+            "scene {scene}: degenerate scene, no candidates"
+        );
+
+        for object in engine.objects() {
+            let estimate = mc_uncertain_probability(
+                &issuer,
+                object,
+                range,
+                SAMPLES,
+                oracle_seed(scene, object.id.0),
+            );
+            let reported = answer.probability_of(object.id).unwrap_or(0.0);
+            let tol = binomial_tolerance(estimate, SAMPLES, Z);
+            assert!(
+                (reported - estimate).abs() <= tol,
+                "scene {scene}, object {}: pipeline {reported} vs oracle {estimate} (tol {tol})",
+                object.id
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_snapshots_agree_with_oracle() {
+    // The serving layer must not bend probabilities: a fanned-out,
+    // id-merged answer checks against the same oracle as a
+    // single-engine one.
+    let mut rng = StdRng::seed_from_u64(3_000);
+    let points = scene_points(&mut rng, 150);
+    let objects: Vec<_> = points
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| iloc::uncertainty::PointObject::new(k as u64, p))
+        .collect();
+    let sharded: ShardedEngine<PointEngine> = ShardedEngine::build(objects, 3);
+    let issuer = scene_issuer(&mut rng, 0);
+    let range = RangeSpec::square(150.0);
+    let answer = sharded
+        .snapshot()
+        .execute_one(&PointRequest::ipq(issuer.clone(), range));
+    assert!(!answer.results.is_empty());
+
+    for (k, &loc) in points.iter().enumerate() {
+        let estimate = mc_point_probability(&issuer, loc, range, SAMPLES, oracle_seed(3, k as u64));
+        let reported = answer
+            .probability_of(iloc::uncertainty::ObjectId(k as u64))
+            .unwrap_or(0.0);
+        let tol = binomial_tolerance(estimate, SAMPLES, Z);
+        assert!(
+            (reported - estimate).abs() <= tol,
+            "object {k}: sharded {reported} vs oracle {estimate} (tol {tol})"
+        );
+    }
+}
