@@ -1,0 +1,140 @@
+//! Load generator for the network serving layer.
+//!
+//! ```text
+//! cargo run --release -p iloc-bench --bin loadgen -- [flags]
+//!
+//! --addr HOST:PORT  drive an external server (e.g. the `iloc-server`
+//!                   binary); without it an in-process loopback server
+//!                   is spawned
+//! --quick           CI-smoke scale (default: full paper scale)
+//! --clients N       query connections            (default 4/8)
+//! --shards N        shards per catalog           (in-process only)
+//! --workers N       server worker threads        (in-process only)
+//! --queries N       queries per client (mixed window)
+//! --rounds N        update batches during the window
+//! --updates N       updates per batch
+//! --steady N        queries in the alloc-gated steady window
+//! --seed N          workload seed (default 2007)
+//! --check-allocs    exit non-zero unless the steady window performed
+//!                   exactly zero server-side allocations per request
+//! ```
+//!
+//! The allocation gate reads the **server's own counter** over the
+//! wire (stats frames bracketing the steady window), so it works
+//! identically against the in-process server and a separate
+//! `iloc-server` process — the CI smoke job runs the latter.
+
+use std::net::SocketAddr;
+
+use iloc_bench::net::{run_against, run_in_process, NetConfig};
+use iloc_server::alloc_count::{self, CountingAllocator};
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn main() {
+    alloc_count::mark_installed();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let number = |name: &str, default: usize| -> usize {
+        value(name)
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid value for {name}: {v}");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(default)
+    };
+
+    let quick = flag("--quick");
+    let mut cfg = if quick {
+        NetConfig::quick()
+    } else {
+        NetConfig::full()
+    };
+    cfg.clients = number("--clients", cfg.clients);
+    cfg.shards = number("--shards", cfg.shards);
+    cfg.workers = number("--workers", cfg.workers);
+    cfg.points = number("--points", cfg.points);
+    cfg.uncertain = number("--uncertain", cfg.uncertain);
+    cfg.queries_per_client = number("--queries", cfg.queries_per_client);
+    cfg.update_rounds = number("--rounds", cfg.update_rounds);
+    cfg.updates_per_round = number("--updates", cfg.updates_per_round);
+    cfg.steady_queries = number("--steady", cfg.steady_queries);
+    cfg.seed = number("--seed", cfg.seed as usize) as u64;
+
+    let report = match value("--addr") {
+        Some(addr) => {
+            let addr: SocketAddr = addr.parse().unwrap_or_else(|e| {
+                eprintln!("invalid --addr {addr}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!(
+                "loadgen: driving external server at {addr} with {} clients",
+                cfg.clients
+            );
+            run_against(addr, &cfg)
+        }
+        None => {
+            eprintln!(
+                "loadgen: in-process loopback server ({} points, {} uncertain, {} shards, {} workers)",
+                cfg.points,
+                cfg.uncertain,
+                cfg.shards,
+                cfg.resolved_workers()
+            );
+            run_in_process(&cfg)
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("loadgen failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "net: {} queries from {} clients in {:.3}s -> {:.0} q/s (p50 {:.1}us, p99 {:.1}us)",
+        report.queries,
+        report.clients,
+        report.elapsed.as_secs_f64(),
+        report.qps(),
+        report.p50.as_secs_f64() * 1e6,
+        report.p99.as_secs_f64() * 1e6,
+    );
+    println!(
+        "     {} updates in {} commits interleaved; {} matches returned",
+        report.updates_submitted, report.commits, report.results_total
+    );
+    if report.alloc_counting {
+        println!(
+            "     steady window: {} queries, {:.3} server allocations/request",
+            report.steady_queries, report.steady_allocs_per_request
+        );
+    } else {
+        println!(
+            "     steady window: {} queries (server does not count allocations)",
+            report.steady_queries
+        );
+    }
+
+    if flag("--check-allocs") {
+        if !report.alloc_counting {
+            eprintln!("FAIL: --check-allocs needs a server that counts allocations");
+            std::process::exit(1);
+        }
+        if report.steady_allocs_per_request > 0.0 {
+            eprintln!(
+                "FAIL: steady-state request path performed {:.3} allocations/request (expected 0)",
+                report.steady_allocs_per_request
+            );
+            std::process::exit(1);
+        }
+        eprintln!("OK: zero steady-state allocations per request");
+    }
+}

@@ -2,11 +2,13 @@
 //! query hot path.
 //!
 //! Runs the serving-shaped workloads — IPQ, C-IPQ and IUQ batches, a
-//! continuous C-IPQ walk, and a `mixed` update/query stream against
-//! the sharded serving engine — at Long-Beach/California scale plus a
+//! continuous C-IPQ walk, a `mixed` update/query stream against the
+//! sharded serving engine, and a `net` loopback loadgen against the
+//! TCP query server — at Long-Beach/California scale plus a
 //! steady-state single-query loop, and emits
 //! `BENCH_batch_throughput.json` with queries/sec, p50/p99 latency and
-//! **allocations per query** measured by a counting global allocator.
+//! **allocations per query** measured by a counting global allocator
+//! (shared with the server binary; see `iloc_server::alloc_count`).
 //!
 //! ```text
 //! cargo run --release -p iloc-bench --bin throughput -- [flags]
@@ -24,11 +26,10 @@
 //! exactly the same queries; `BENCH_baseline.json` captured on an older
 //! commit is directly comparable and the report embeds the speedup.
 
-use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use iloc_bench::net::{self, NetConfig};
 use iloc_core::pipeline::{
     execute_batch, BatchEngine, ExecutionContext, PointRequest, UncertainRequest,
 };
@@ -41,42 +42,10 @@ use iloc_datagen::{
     LONG_BEACH_SIZE,
 };
 use iloc_geometry::{Point, Rect};
-
-/// Counts every heap allocation the process performs. `dealloc` is
-/// intentionally not counted: the invariant under test is "the hot
-/// path requests no new memory", and growth shows up in `alloc` /
-/// `realloc` / `alloc_zeroed` only.
-struct CountingAllocator;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
+use iloc_server::alloc_count::{self, allocations, CountingAllocator};
 
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
-
-fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
-}
 
 /// Paper Table 2 defaults: issuer half-size and range half-size.
 const U: f64 = 250.0;
@@ -332,6 +301,35 @@ fn measure_mixed(scale: BenchScale) -> Report {
     }
 }
 
+/// The `net` scenario: the loadgen harness against an in-process
+/// loopback [`iloc_server::server::QueryServer`] — `clients`
+/// connections of mixed IPQ/C-IPQ/IUQ traffic racing an update/commit
+/// stream, then a query-only steady window whose **server-side
+/// allocations per request** (read over the wire from the shared
+/// counting allocator) land in `allocs_per_query`. The gap between
+/// `ipq_batch` and `net` qps is the price of the socket and codec.
+fn measure_net(quick: bool) -> Report {
+    let cfg = if quick {
+        NetConfig::quick()
+    } else {
+        NetConfig::full()
+    };
+    let report = net::run_in_process(&cfg).expect("net loadgen");
+    assert!(
+        report.alloc_counting,
+        "throughput binary registers the counting allocator"
+    );
+    Report {
+        name: "net",
+        queries: report.queries,
+        elapsed: report.elapsed,
+        p50: report.p50,
+        p99: report.p99,
+        allocs_per_query: report.steady_allocs_per_request,
+        results_total: report.results_total,
+    }
+}
+
 /// How one steady-state query is answered: the zero-allocation hot
 /// path — one reused context (with its scratch buffers) and one reused
 /// answer across the whole loop. Pre-refactor this measured
@@ -379,6 +377,7 @@ fn flat_value(json: &str, key: &str) -> Option<f64> {
 }
 
 fn main() {
+    alloc_count::mark_installed();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let save_baseline = args.iter().any(|a| a == "--save-baseline");
@@ -452,6 +451,14 @@ fn main() {
         scale.mixed_updates_per_round
     );
 
+    let net = measure_net(quick);
+    eprintln!(
+        "  {} done: {:.0} q/s over loopback, {:.3} allocs/request steady",
+        net.name,
+        net.qps(),
+        net.allocs_per_query
+    );
+
     let steady = measure_steady_state(&point_engine, scale);
     eprintln!(
         "  {} done: {:.0} q/s, {:.3} allocs/query",
@@ -460,7 +467,7 @@ fn main() {
         steady.allocs_per_query
     );
 
-    let reports = [&ipq, &cipq, &iuq, &continuous, &mixed, &steady];
+    let reports = [&ipq, &cipq, &iuq, &continuous, &mixed, &net, &steady];
 
     // Flat baseline schema: "<workload>_qps" + steady-state allocs.
     let mut flat = String::from("{\n");
@@ -532,11 +539,24 @@ fn main() {
     eprintln!("report written to {out_path}");
     print!("{json}");
 
-    if check_allocs && steady.allocs_per_query > 0.0 {
-        eprintln!(
-            "FAIL: steady-state hot path performed {:.3} allocations/query (expected 0)",
-            steady.allocs_per_query
-        );
-        std::process::exit(1);
+    if check_allocs {
+        let mut failed = false;
+        if steady.allocs_per_query > 0.0 {
+            eprintln!(
+                "FAIL: steady-state hot path performed {:.3} allocations/query (expected 0)",
+                steady.allocs_per_query
+            );
+            failed = true;
+        }
+        if net.allocs_per_query > 0.0 {
+            eprintln!(
+                "FAIL: network worker hot path performed {:.3} allocations/request (expected 0)",
+                net.allocs_per_query
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

@@ -191,7 +191,14 @@ mod tests {
             series: "s".into(),
             summary: Summary::default(),
         }];
-        let path = std::env::temp_dir().join("iloc_csv_test.csv");
+        // Unique per process *and* per call: parallel test runs (or two
+        // checkouts sharing a machine) must not race on one temp path.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock after epoch")
+            .as_nanos();
+        let path =
+            std::env::temp_dir().join(format!("iloc_csv_test_{}_{nanos}.csv", std::process::id()));
         write_csv(&path, "u", &rows).unwrap();
         let back = std::fs::read_to_string(&path).unwrap();
         assert_eq!(back, to_csv("u", &rows));

@@ -20,6 +20,8 @@
 pub mod config;
 pub mod experiments;
 pub mod harness;
+pub mod net;
 
 pub use config::{Scale, TestBed};
 pub use harness::{Row, Summary};
+pub use net::{NetConfig, NetReport};

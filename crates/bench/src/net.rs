@@ -1,0 +1,455 @@
+//! The `net` load-generation scenario: mixed query/update traffic
+//! against a [`QueryServer`] over loopback (or any reachable address).
+//!
+//! Two measured phases:
+//!
+//! 1. **Mixed window** — `clients` connections each fire a
+//!    deterministic IPQ/C-IPQ/IUQ mix while one updater connection
+//!    interleaves arrival/departure/move batches and epoch commits.
+//!    Yields serving throughput under churn (qps) and client-observed
+//!    round-trip percentiles.
+//! 2. **Steady window** — a single warm connection runs a query-only
+//!    loop bracketed by two stats frames; the server-reported
+//!    allocation delta divided by the query count is the
+//!    **allocations-per-request** figure the CI smoke job gates at
+//!    zero. The server reports its own counter over the wire, so the
+//!    gate works identically in-process and cross-process.
+//!
+//! Workloads are generated with the same seeds and distributions as
+//! the `throughput` benchmark, so the `net` series in
+//! `BENCH_batch_throughput.json` is comparable with the in-process
+//! series: the gap between `ipq_batch` and `net` is the cost of the
+//! socket, the frame codec and the per-connection workers.
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use iloc_core::pipeline::{PointRequest, UncertainRequest};
+use iloc_core::serve::Update;
+use iloc_core::{CipqStrategy, CiuqStrategy, Issuer, QueryAnswer, RangeSpec};
+use iloc_datagen::{
+    california_points, long_beach_rects, uniform_objects, PointUpdate, PointUpdateGen, UpdateMix,
+    WorkloadGen, CALIFORNIA_SIZE, LONG_BEACH_SIZE,
+};
+use iloc_server::client::{Client, ClientError};
+use iloc_server::protocol::{CommitTarget, StatsReport, WireUpdate};
+use iloc_server::server::{QueryServer, ServerConfig};
+use iloc_uncertainty::{ObjectId, PointObject};
+
+/// Paper Table 2 defaults shared with the throughput bench.
+const U: f64 = 250.0;
+const W: f64 = 500.0;
+
+/// Distinct requests each client cycles through.
+const POOL: usize = 64;
+
+/// Pipeline window is irrelevant here (the scenario measures
+/// request/response round trips), but the connect retry budget is not:
+/// the CI smoke job races the server binary's catalog build.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Tunables for one loadgen run.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Query connections in the mixed window.
+    pub clients: usize,
+    /// Shards per catalog (in-process server only).
+    pub shards: usize,
+    /// Worker threads (in-process server only); 0 means
+    /// `clients + 2` so no connection ever queues behind another.
+    pub workers: usize,
+    /// Point-catalog size (in-process server only).
+    pub points: usize,
+    /// Uncertain-catalog size (in-process server only).
+    pub uncertain: usize,
+    /// Queries per client in the measured mixed window.
+    pub queries_per_client: usize,
+    /// Update batches the updater submits during the mixed window.
+    pub update_rounds: usize,
+    /// Updates per batch (each batch is followed by a commit).
+    pub updates_per_round: usize,
+    /// Queries in the alloc-gated steady window.
+    pub steady_queries: usize,
+    /// Warm-up queries per connection before any measurement.
+    pub warmup: usize,
+    /// Workload seed (shared with the server's dataset seed).
+    pub seed: u64,
+}
+
+impl NetConfig {
+    /// CI-smoke scale (~10x smaller than [`NetConfig::full`]).
+    pub fn quick() -> Self {
+        NetConfig {
+            clients: 4,
+            shards: 4,
+            workers: 0,
+            points: 6_200,
+            uncertain: 5_300,
+            queries_per_client: 192,
+            update_rounds: 8,
+            updates_per_round: 96,
+            steady_queries: 512,
+            warmup: 64,
+            seed: 2007,
+        }
+    }
+
+    /// Paper-scale datasets, the tracked-report configuration.
+    pub fn full() -> Self {
+        NetConfig {
+            clients: 8,
+            shards: 4,
+            workers: 0,
+            points: CALIFORNIA_SIZE,
+            uncertain: LONG_BEACH_SIZE,
+            queries_per_client: 384,
+            update_rounds: 16,
+            updates_per_round: 512,
+            steady_queries: 2_048,
+            warmup: 128,
+            seed: 2007,
+        }
+    }
+
+    /// The worker count actually used by an in-process server.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            // One per query client, one for the updater, one for the
+            // control connection.
+            self.clients + 2
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// What one loadgen run measured.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Query connections driven in the mixed window.
+    pub clients: usize,
+    /// Total queries answered in the mixed window.
+    pub queries: usize,
+    /// Wall clock of the mixed window (queries + updates + commits).
+    pub elapsed: Duration,
+    /// Median client-observed round trip.
+    pub p50: Duration,
+    /// 99th-percentile client-observed round trip.
+    pub p99: Duration,
+    /// Matches returned across the mixed window.
+    pub results_total: usize,
+    /// Updates submitted during the mixed window.
+    pub updates_submitted: usize,
+    /// Epoch commits during the mixed window.
+    pub commits: usize,
+    /// Queries in the steady (alloc-gated) window.
+    pub steady_queries: usize,
+    /// Server-side allocations per request across the steady window
+    /// (−1.0 when the server does not count allocations).
+    pub steady_allocs_per_request: f64,
+    /// Whether the server counts allocations at all.
+    pub alloc_counting: bool,
+    /// Total frames the server reports having handled.
+    pub server_requests: u64,
+}
+
+impl NetReport {
+    /// Mixed-window throughput in queries per second.
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Builds the catalogs an in-process loadgen server uses — the same
+/// datasets, sizes and seed the standalone binary defaults to.
+pub fn build_server(cfg: &NetConfig) -> QueryServer {
+    let points: Vec<PointObject> = california_points(cfg.points, cfg.seed)
+        .into_iter()
+        .enumerate()
+        .map(|(k, p)| PointObject::new(k as u64, p))
+        .collect();
+    let uncertain = uniform_objects(&long_beach_rects(cfg.uncertain, cfg.seed + 1));
+    QueryServer::new(points, uncertain, cfg.shards)
+}
+
+/// Spawns an in-process loopback server, drives it, shuts it down.
+pub fn run_in_process(cfg: &NetConfig) -> Result<NetReport, ClientError> {
+    let server = build_server(cfg);
+    let handle = server
+        .start(&ServerConfig {
+            workers: cfg.resolved_workers(),
+            ..ServerConfig::loopback()
+        })
+        .map_err(ClientError::Io)?;
+    let report = run_against(handle.addr(), cfg);
+    handle.shutdown();
+    report
+}
+
+fn point_pool(seed: u64) -> Vec<PointRequest> {
+    let mut gen = WorkloadGen::new(seed);
+    (0..POOL)
+        .map(|k| {
+            let issuer = Issuer::uniform(gen.issuer_region(U));
+            if k % 5 == 3 {
+                PointRequest::cipq(issuer, RangeSpec::square(W), 0.3, CipqStrategy::PExpanded)
+            } else {
+                PointRequest::ipq(issuer, RangeSpec::square(W))
+            }
+        })
+        .collect()
+}
+
+fn uncertain_pool(seed: u64) -> Vec<UncertainRequest> {
+    let mut gen = WorkloadGen::new(seed);
+    (0..POOL)
+        .map(|k| {
+            let issuer = Issuer::uniform(gen.issuer_region(U));
+            if k % 2 == 0 {
+                UncertainRequest::iuq(issuer, RangeSpec::square(W))
+            } else {
+                UncertainRequest::ciuq(
+                    issuer,
+                    RangeSpec::square(W),
+                    0.3,
+                    CiuqStrategy::PtiPExpanded,
+                )
+            }
+        })
+        .collect()
+}
+
+/// One mixed-window client: cycles its pools, records round trips.
+fn client_run(
+    addr: SocketAddr,
+    cfg: &NetConfig,
+    salt: u64,
+    start: &Barrier,
+) -> Result<(Vec<Duration>, usize), ClientError> {
+    let mut client = Client::connect_retry(addr, CONNECT_TIMEOUT)?;
+    let points = point_pool(cfg.seed + 11 + salt);
+    let uncertains = uncertain_pool(cfg.seed + 23 + salt);
+    let mut answer = QueryAnswer::default();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(cfg.queries_per_client);
+    let mut results_total = 0usize;
+    for k in 0..cfg.warmup {
+        client.point_query_into(&points[k % POOL], &mut answer)?;
+        client.uncertain_query_into(&uncertains[k % POOL], &mut answer)?;
+    }
+    start.wait();
+    for k in 0..cfg.queries_per_client {
+        let t0 = Instant::now();
+        // 1 uncertain query per 5 point queries: IUQ refinement is an
+        // order of magnitude heavier, mirroring a read-mostly mix.
+        if k % 5 == 4 {
+            client.uncertain_query_into(&uncertains[k % POOL], &mut answer)?;
+        } else {
+            client.point_query_into(&points[k % POOL], &mut answer)?;
+        }
+        latencies.push(t0.elapsed());
+        results_total += answer.results.len();
+    }
+    Ok((latencies, results_total))
+}
+
+/// The updater: one arrive/depart/move batch + one commit per round,
+/// as fast as the writer path absorbs them.
+fn updater_run(
+    addr: SocketAddr,
+    cfg: &NetConfig,
+    start: &Barrier,
+) -> Result<(usize, usize), ClientError> {
+    let mut client = Client::connect_retry(addr, CONNECT_TIMEOUT)?;
+    // Same base catalog the server built, so the stream's departures
+    // and moves always reference ids that exist server-side.
+    let (_, mut gen) = PointUpdateGen::over_california(cfg.points, cfg.seed, UpdateMix::balanced());
+    let mut submitted = 0usize;
+    let mut commits = 0usize;
+    start.wait();
+    for _ in 0..cfg.update_rounds {
+        let updates: Vec<WireUpdate> = gen
+            .stream(cfg.updates_per_round)
+            .into_iter()
+            .map(|u| {
+                WireUpdate::Point(match u {
+                    PointUpdate::Arrive { id, loc } => Update::Arrive(PointObject::new(id, loc)),
+                    PointUpdate::Depart { id } => Update::Depart(ObjectId(id)),
+                    PointUpdate::Move { id, to } => Update::Move(PointObject::new(id, to)),
+                })
+            })
+            .collect();
+        submitted += client.submit(&updates)? as usize;
+        client.commit(CommitTarget::Point)?;
+        commits += 1;
+    }
+    Ok((submitted, commits))
+}
+
+/// Drives a server at `addr` through the mixed and steady windows.
+///
+/// The run opens `clients + 2` long-lived connections (control +
+/// updater + query clients) and the server parks one worker per
+/// connection, so the client count is **sized against the server's
+/// reported worker pool** (stats frame): more connections than
+/// workers would queue behind themselves and deadlock the barrier.
+pub fn run_against(addr: SocketAddr, cfg: &NetConfig) -> Result<NetReport, ClientError> {
+    // The control connection outlives both windows; it grabs the first
+    // worker and keeps it warm for the steady phase.
+    let mut control = Client::connect_retry(addr, CONNECT_TIMEOUT)?;
+    let workers = control.stats()?.workers as usize;
+    if workers < 3 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "server has {workers} worker(s); loadgen needs at least 3 \
+                 (control + updater + one client)"
+            ),
+        )));
+    }
+    let client_count = if cfg.clients + 2 > workers {
+        let clamped = workers - 2;
+        eprintln!(
+            "loadgen: server serves {workers} connections concurrently; \
+             clamping {} query clients to {clamped}",
+            cfg.clients
+        );
+        clamped
+    } else {
+        cfg.clients
+    };
+
+    // --- Mixed window -------------------------------------------------
+    let start = Arc::new(Barrier::new(client_count + 2));
+    let elapsed = {
+        let clients: Vec<_> = (0..client_count as u64)
+            .map(|c| {
+                let cfg = cfg.clone();
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || client_run(addr, &cfg, c, &start))
+            })
+            .collect();
+        let updater = {
+            let cfg = cfg.clone();
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || updater_run(addr, &cfg, &start))
+        };
+        start.wait();
+        let t0 = Instant::now();
+        let mut latencies: Vec<Duration> = Vec::new();
+        let mut results_total = 0usize;
+        for c in clients {
+            let (lat, results) = c.join().expect("client thread")?;
+            latencies.extend(lat);
+            results_total += results;
+        }
+        let (submitted, commits) = updater.join().expect("updater thread")?;
+        let elapsed = t0.elapsed();
+        latencies.sort_unstable();
+        (elapsed, latencies, results_total, submitted, commits)
+    };
+    let (elapsed, latencies, results_total, updates_submitted, commits) = elapsed;
+
+    // --- Steady window (alloc-gated) ----------------------------------
+    // Re-warm the control connection *after* the churn so every buffer
+    // (including the worker's rebound snapshot and grown answer) is at
+    // workload size, then bracket a query-only loop with stats frames.
+    let steady_pool = point_pool(cfg.seed + 9);
+    let mut answer = QueryAnswer::default();
+    let mut s1 = StatsReport::default();
+    let mut s2 = StatsReport::default();
+    for k in 0..cfg.warmup.max(32) {
+        control.point_query_into(&steady_pool[k % POOL], &mut answer)?;
+    }
+    control.stats_into(&mut s1)?; // also warms the report buffers
+    control.stats_into(&mut s1)?;
+    for k in 0..cfg.steady_queries {
+        control.point_query_into(&steady_pool[k % POOL], &mut answer)?;
+    }
+    control.stats_into(&mut s2)?;
+
+    let steady_allocs_per_request = if s1.alloc_counting {
+        (s2.allocations - s1.allocations) as f64 / cfg.steady_queries.max(1) as f64
+    } else {
+        -1.0
+    };
+
+    let percentile = |q: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        latencies[((latencies.len() - 1) as f64 * q).round() as usize]
+    };
+
+    Ok(NetReport {
+        clients: client_count,
+        queries: client_count * cfg.queries_per_client,
+        elapsed,
+        p50: percentile(0.50),
+        p99: percentile(0.99),
+        results_total,
+        updates_submitted,
+        commits,
+        steady_queries: cfg.steady_queries,
+        steady_allocs_per_request,
+        alloc_counting: s1.alloc_counting,
+        server_requests: s2.requests_served,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_in_process_loadgen_round_trips() {
+        let cfg = NetConfig {
+            clients: 2,
+            shards: 2,
+            workers: 0,
+            points: 400,
+            uncertain: 100,
+            queries_per_client: 12,
+            update_rounds: 2,
+            updates_per_round: 8,
+            steady_queries: 16,
+            warmup: 4,
+            seed: 7,
+        };
+        let report = run_in_process(&cfg).expect("loadgen");
+        assert_eq!(report.clients, 2);
+        assert_eq!(report.queries, 24);
+        assert_eq!(report.commits, 2);
+        assert_eq!(report.updates_submitted, 16);
+        assert!(report.elapsed > Duration::ZERO);
+        assert!(report.p99 >= report.p50);
+        // The test binary doesn't install the counting allocator, and
+        // the report says so instead of faking a zero.
+        assert!(!report.alloc_counting);
+        assert_eq!(report.steady_allocs_per_request, -1.0);
+        assert!(report.server_requests as usize > report.queries);
+    }
+
+    #[test]
+    fn client_count_is_clamped_to_the_server_worker_pool() {
+        // 4 workers serve 4 connections; control + updater leave room
+        // for 2 query clients, so asking for 4 must clamp — not
+        // deadlock the warm-up barrier.
+        let cfg = NetConfig {
+            clients: 4,
+            shards: 2,
+            workers: 4,
+            points: 400,
+            uncertain: 100,
+            queries_per_client: 8,
+            update_rounds: 1,
+            updates_per_round: 4,
+            steady_queries: 8,
+            warmup: 2,
+            seed: 11,
+        };
+        let report = run_in_process(&cfg).expect("loadgen");
+        assert_eq!(report.clients, 2);
+        assert_eq!(report.queries, 16);
+    }
+}

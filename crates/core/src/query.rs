@@ -76,6 +76,18 @@ impl Issuer {
         Issuer { pdf, catalog }
     }
 
+    /// Replaces the issuer's pdf in place, recomputing the default
+    /// U-catalog while **reusing its storage**. Equivalent to building
+    /// a fresh [`Issuer::with_pdf`], but allocation-free once the
+    /// catalog table has grown to its six default entries — the network
+    /// serving layer decodes each incoming query into a long-lived
+    /// issuer slot through this, which keeps the steady-state request
+    /// path free of heap allocation end to end.
+    pub fn set_pdf(&mut self, pdf: impl Into<PdfKind>) {
+        self.pdf = pdf.into();
+        self.catalog.rebuild_default(&self.pdf);
+    }
+
     /// The issuer's pdf `f0`, statically dispatched over the concrete
     /// pdf types (coerces to `&dyn LocationPdf` where needed).
     pub fn pdf(&self) -> &PdfKind {
@@ -144,6 +156,19 @@ mod tests {
         assert_eq!(iss.catalog().len(), 6);
         assert_eq!(iss.region(), Rect::from_coords(0.0, 0.0, 100.0, 100.0));
         assert!(iss.pdf().uniform_region().is_some());
+    }
+
+    #[test]
+    fn set_pdf_rebuilds_the_catalog_in_place() {
+        let mut iss = Issuer::uniform(Rect::from_coords(0.0, 0.0, 100.0, 100.0));
+        let target = Rect::from_coords(40.0, 10.0, 90.0, 70.0);
+        iss.set_pdf(UniformPdf::new(target));
+        let fresh = Issuer::uniform(target);
+        assert_eq!(iss.region(), target);
+        assert_eq!(iss.catalog(), fresh.catalog());
+        // Works across pdf kinds too.
+        iss.set_pdf(TruncatedGaussianPdf::paper_default(target));
+        assert_eq!(iss.catalog(), Issuer::gaussian(target).catalog());
     }
 
     #[test]

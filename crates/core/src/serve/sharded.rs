@@ -41,6 +41,22 @@ impl<E: ServeEngine> Snapshot<E> {
         self.shards.iter().all(|s| s.is_empty())
     }
 
+    /// Live objects in one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].len()
+    }
+
+    /// Per-shard live-object counts in shard order (what the serving
+    /// layer's stats frame reports; also handy for eyeballing the hash
+    /// partitioning balance).
+    pub fn shard_sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.shards.iter().map(|s| s.len())
+    }
+
     /// The per-shard engines (each a complete single-node engine over
     /// its partition).
     pub fn shards(&self) -> &[Arc<E>] {
@@ -154,6 +170,14 @@ pub struct CommitReport {
     pub missed_departures: usize,
 }
 
+impl CommitReport {
+    /// Total updates this commit applied (arrivals + departures +
+    /// moves; missed departures were consumed but changed nothing).
+    pub fn applied(&self) -> usize {
+        self.arrivals + self.departures + self.moves
+    }
+}
+
 /// A dynamic, hash-sharded serving engine. See the
 /// [module docs](super) for the design and the snapshot-consistency
 /// invariant.
@@ -246,14 +270,21 @@ impl<E: ServeEngine> ShardedEngine<E> {
     pub fn commit(&self) -> CommitReport {
         let _serialize = self.commit_lock.lock().expect("commit lock poisoned");
         let updates = std::mem::take(&mut *self.pending.lock().expect("pending lock poisoned"));
+        if updates.is_empty() {
+            // Early out before touching the shard list: an empty commit
+            // costs two lock round-trips and no epoch (serving loops
+            // commit on a timer, which often fires with nothing
+            // pending).
+            return CommitReport {
+                epoch: self.current.read().expect("snapshot lock poisoned").epoch,
+                ..CommitReport::default()
+            };
+        }
         let base = self.snapshot();
         let mut report = CommitReport {
             epoch: base.epoch,
             ..CommitReport::default()
         };
-        if updates.is_empty() {
-            return report;
-        }
         let shard_count = base.shards.len();
         let mut shards: Vec<Arc<E>> = base.shards.as_ref().clone();
         for update in updates {
@@ -411,6 +442,36 @@ mod tests {
         sharded.submit(Update::Depart(ObjectId(999)));
         let report = sharded.commit();
         assert_eq!(report.epoch, 1);
+        assert_eq!(report.missed_departures, 1);
+        assert_eq!(report.applied(), 0);
+        // An empty commit after a real one reports the current epoch.
+        assert_eq!(sharded.commit().epoch, 1);
+    }
+
+    #[test]
+    fn snapshot_shard_sizes_sum_to_len() {
+        let sharded: ShardedEngine<PointEngine> = ShardedEngine::build(grid_objects(10), 4);
+        let snapshot = sharded.snapshot();
+        let sizes: Vec<usize> = snapshot.shard_sizes().collect();
+        assert_eq!(sizes.len(), 4);
+        assert_eq!(sizes.iter().sum::<usize>(), snapshot.len());
+        for (k, &n) in sizes.iter().enumerate() {
+            assert_eq!(snapshot.shard_len(k), n);
+        }
+    }
+
+    #[test]
+    fn commit_report_counts_applied_updates() {
+        let sharded: ShardedEngine<PointEngine> = ShardedEngine::build(grid_objects(4), 2);
+        sharded.submit(Update::Arrive(PointObject::new(
+            900u64,
+            Point::new(1.0, 1.0),
+        )));
+        sharded.submit(Update::Depart(ObjectId(0)));
+        sharded.submit(Update::Move(PointObject::new(1u64, Point::new(2.0, 2.0))));
+        sharded.submit(Update::Depart(ObjectId(777)));
+        let report = sharded.commit();
+        assert_eq!(report.applied(), 3);
         assert_eq!(report.missed_departures, 1);
     }
 

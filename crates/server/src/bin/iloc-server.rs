@@ -1,0 +1,95 @@
+//! Standalone query server over the standard datasets.
+//!
+//! ```text
+//! cargo run --release -p iloc-server --bin iloc-server -- [flags]
+//!
+//! --addr HOST:PORT   bind address        (default 127.0.0.1:7207)
+//! --points N         point catalog size  (default 62,556 — California)
+//! --uncertain N      uncertain catalog   (default 53,145 — Long Beach)
+//! --shards N         shards per catalog  (default 4)
+//! --workers N        worker threads      (default 8)
+//! --seed N           dataset seed        (default 2007)
+//! --quick            ~10x smaller catalogs (CI smoke)
+//! ```
+//!
+//! The process registers the counting global allocator, so its stats
+//! frames report real allocation counts — a remote load generator can
+//! gate on "zero steady-state allocations per request" without sharing
+//! the server's address space (the CI smoke job does).
+
+use iloc_datagen::{california_points, long_beach_rects, uniform_objects};
+use iloc_server::alloc_count::{self, CountingAllocator};
+use iloc_server::server::{QueryServer, ServerConfig};
+use iloc_uncertainty::PointObject;
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn main() {
+    alloc_count::mark_installed();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let number = |name: &str, default: usize| -> usize {
+        value(name)
+            .map(|v| v.parse().unwrap_or_else(|_| die(name)))
+            .unwrap_or(default)
+    };
+
+    let quick = flag("--quick");
+    let addr = value("--addr").unwrap_or_else(|| "127.0.0.1:7207".to_string());
+    let points = number(
+        "--points",
+        if quick {
+            6_200
+        } else {
+            iloc_datagen::CALIFORNIA_SIZE
+        },
+    );
+    let uncertain = number(
+        "--uncertain",
+        if quick {
+            5_300
+        } else {
+            iloc_datagen::LONG_BEACH_SIZE
+        },
+    );
+    let shards = number("--shards", 4);
+    let workers = number("--workers", 8);
+    let seed = number("--seed", 2007) as u64;
+
+    eprintln!(
+        "building catalogs: {points} points (California), {uncertain} uncertain (Long Beach), \
+         {shards} shards"
+    );
+    let point_objects: Vec<PointObject> = california_points(points, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(k, p)| PointObject::new(k as u64, p))
+        .collect();
+    let uncertain_objects = uniform_objects(&long_beach_rects(uncertain, seed + 1));
+
+    let server = QueryServer::new(point_objects, uncertain_objects, shards);
+    let config = ServerConfig {
+        addr,
+        workers,
+        ..ServerConfig::loopback()
+    };
+    let handle = server.start(&config).unwrap_or_else(|e| {
+        eprintln!("bind failed: {e}");
+        std::process::exit(1);
+    });
+    // Announce readiness on stdout so wrappers can wait for it.
+    println!("listening on {}", handle.addr());
+    handle.join();
+}
+
+fn die(name: &str) -> ! {
+    eprintln!("invalid value for {name}");
+    std::process::exit(2);
+}

@@ -1,0 +1,286 @@
+//! The sync, connection-reusing client.
+//!
+//! One [`Client`] owns one TCP connection plus reusable encode/decode
+//! buffers; the `*_into` methods are **allocation-free once warm**
+//! (the load generator's steady-state loop runs through them), and the
+//! `*_batch_into` methods pipeline a whole request slice through the
+//! socket in windows, amortising round trips.
+
+use std::io::{self, Read as _, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use iloc_core::pipeline::{PointRequest, UncertainRequest};
+use iloc_core::serve::CommitReport;
+use iloc_core::QueryAnswer;
+
+use crate::protocol::{
+    self, opcode, CommitTarget, ErrorCode, StatsReport, WireError, WireUpdate, PROTOCOL_VERSION,
+};
+
+/// Default pipeline window for the batch methods: deep enough to hide
+/// round trips, shallow enough that neither end's socket buffer fills
+/// while the other is still writing.
+pub const DEFAULT_PIPELINE_WINDOW: usize = 32;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The response (or this request) violated the wire format.
+    Wire(WireError),
+    /// The server answered with an error frame.
+    Server {
+        /// Decoded error code, when the byte is a known code.
+        code: Option<ErrorCode>,
+        /// Raw code byte.
+        raw_code: u8,
+        /// Server-provided message.
+        message: String,
+    },
+    /// The server answered with a frame this call did not expect.
+    Unexpected {
+        /// The opcode received.
+        opcode: u8,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server {
+                code,
+                raw_code,
+                message,
+            } => write!(f, "server error {code:?} ({raw_code}): {message}"),
+            ClientError::Unexpected { opcode } => {
+                write!(f, "unexpected response opcode {opcode:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking protocol client over one reused connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`, as every frame is a full
+    /// request or response).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+        })
+    }
+
+    /// Retries [`Client::connect`] until `timeout` elapses — for
+    /// racing a server that is still binding (the CI smoke job starts
+    /// the server binary and the load generator back to back).
+    pub fn connect_retry(addr: impl ToSocketAddrs + Copy, timeout: Duration) -> io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    fn send(&mut self) -> io::Result<()> {
+        self.stream.write_all(&self.write_buf)
+    }
+
+    /// Reads one frame into `read_buf`; returns its opcode. The
+    /// payload is `&self.read_buf[2..]`.
+    fn recv(&mut self) -> Result<u8, ClientError> {
+        let mut len_buf = [0u8; 4];
+        self.stream.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf);
+        if !(2..=protocol::MAX_FRAME_LEN).contains(&len) {
+            return Err(WireError::Malformed("response frame length").into());
+        }
+        self.read_buf.clear();
+        self.read_buf.resize(len as usize, 0);
+        self.stream.read_exact(&mut self.read_buf)?;
+        if self.read_buf[0] != PROTOCOL_VERSION {
+            return Err(WireError::Malformed("response protocol version").into());
+        }
+        Ok(self.read_buf[1])
+    }
+
+    /// Receives one frame and requires opcode `want`; error frames
+    /// surface as [`ClientError::Server`].
+    fn expect(&mut self, want: u8) -> Result<(), ClientError> {
+        let op = self.recv()?;
+        if op == want {
+            return Ok(());
+        }
+        if op == opcode::ERROR {
+            let (raw_code, message) = protocol::decode_error(&self.read_buf[2..])?;
+            return Err(ClientError::Server {
+                code: ErrorCode::from_u8(raw_code),
+                raw_code,
+                message,
+            });
+        }
+        Err(ClientError::Unexpected { opcode: op })
+    }
+
+    /// IPQ / C-IPQ into a reusable answer (allocation-free once warm).
+    pub fn point_query_into(
+        &mut self,
+        request: &PointRequest,
+        answer: &mut QueryAnswer,
+    ) -> Result<(), ClientError> {
+        self.write_buf.clear();
+        protocol::encode_point_query(&mut self.write_buf, request)?;
+        self.send()?;
+        self.expect(opcode::ANSWER)?;
+        protocol::decode_answer_into(&self.read_buf[2..], answer)?;
+        Ok(())
+    }
+
+    /// IPQ / C-IPQ, allocating the answer.
+    pub fn point_query(&mut self, request: &PointRequest) -> Result<QueryAnswer, ClientError> {
+        let mut answer = QueryAnswer::default();
+        self.point_query_into(request, &mut answer)?;
+        Ok(answer)
+    }
+
+    /// IUQ / C-IUQ into a reusable answer (allocation-free once warm).
+    pub fn uncertain_query_into(
+        &mut self,
+        request: &UncertainRequest,
+        answer: &mut QueryAnswer,
+    ) -> Result<(), ClientError> {
+        self.write_buf.clear();
+        protocol::encode_uncertain_query(&mut self.write_buf, request)?;
+        self.send()?;
+        self.expect(opcode::ANSWER)?;
+        protocol::decode_answer_into(&self.read_buf[2..], answer)?;
+        Ok(())
+    }
+
+    /// IUQ / C-IUQ, allocating the answer.
+    pub fn uncertain_query(
+        &mut self,
+        request: &UncertainRequest,
+    ) -> Result<QueryAnswer, ClientError> {
+        let mut answer = QueryAnswer::default();
+        self.uncertain_query_into(request, &mut answer)?;
+        Ok(answer)
+    }
+
+    /// Pipelined batch mode: encodes `window`-sized chunks of
+    /// requests, writes each chunk as one burst, then drains its
+    /// answers — so the socket always has several requests in flight.
+    /// `answers` is resized to match and its elements are reused.
+    ///
+    /// On a mid-batch error the remaining in-flight responses are
+    /// drained so the connection stays usable, then the error returns.
+    pub fn point_query_batch_into(
+        &mut self,
+        requests: &[PointRequest],
+        answers: &mut Vec<QueryAnswer>,
+        window: usize,
+    ) -> Result<(), ClientError> {
+        let window = window.max(1);
+        answers.resize_with(requests.len(), QueryAnswer::default);
+        let mut done = 0;
+        for chunk in requests.chunks(window) {
+            self.write_buf.clear();
+            for request in chunk {
+                protocol::encode_point_query(&mut self.write_buf, request)?;
+            }
+            self.send()?;
+            for k in 0..chunk.len() {
+                if let Err(e) = self.expect(opcode::ANSWER).and_then(|()| {
+                    Ok(protocol::decode_answer_into(
+                        &self.read_buf[2..],
+                        &mut answers[done + k],
+                    )?)
+                }) {
+                    for _ in k + 1..chunk.len() {
+                        let _ = self.recv();
+                    }
+                    return Err(e);
+                }
+            }
+            done += chunk.len();
+        }
+        Ok(())
+    }
+
+    /// Buffers a batch of updates server-side; returns how many the
+    /// server accepted for the next commit.
+    pub fn submit(&mut self, updates: &[WireUpdate]) -> Result<u32, ClientError> {
+        self.write_buf.clear();
+        protocol::encode_update_batch(&mut self.write_buf, updates)?;
+        self.send()?;
+        self.expect(opcode::UPDATE_ACK)?;
+        Ok(protocol::decode_update_ack(&self.read_buf[2..])?)
+    }
+
+    /// Commits one catalog's buffered updates, publishing the next
+    /// epoch; returns the server's commit report.
+    pub fn commit(&mut self, target: CommitTarget) -> Result<CommitReport, ClientError> {
+        self.write_buf.clear();
+        protocol::encode_commit(&mut self.write_buf, target);
+        self.send()?;
+        self.expect(opcode::COMMIT_DONE)?;
+        Ok(protocol::decode_commit_done(&self.read_buf[2..])?)
+    }
+
+    /// Server stats into a reusable report (shard-size buffers keep
+    /// their capacity — the steady-state allocation probe brackets its
+    /// measured window with two of these).
+    pub fn stats_into(&mut self, report: &mut StatsReport) -> Result<(), ClientError> {
+        self.write_buf.clear();
+        protocol::encode_empty(&mut self.write_buf, opcode::STATS);
+        self.send()?;
+        self.expect(opcode::STATS_REPORT)?;
+        protocol::decode_stats_report_into(&self.read_buf[2..], report)?;
+        Ok(())
+    }
+
+    /// Server stats, allocating the report.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        let mut report = StatsReport::default();
+        self.stats_into(&mut report)?;
+        Ok(report)
+    }
+
+    /// Liveness round trip.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.write_buf.clear();
+        protocol::encode_empty(&mut self.write_buf, opcode::PING);
+        self.send()?;
+        self.expect(opcode::PONG)
+    }
+}

@@ -1,0 +1,75 @@
+//! # iloc-server
+//!
+//! The network serving layer: a compact binary **wire protocol**, a
+//! blocking **TCP query server** over the sharded serving engine, and a
+//! sync **client** — the layer that carries the workspace's
+//! zero-allocation, snapshot-consistent query guarantees across a
+//! socket.
+//!
+//! The paper evaluates imprecise location-dependent queries as a
+//! library; a deployed location service answers them for remote
+//! issuers. This crate adds that front end **with no dependencies
+//! beyond `std`** (the build environment has no crates.io access, so
+//! no tokio/hyper): one listener thread accepts connections, a fixed
+//! pool of worker threads serves them, and a single writer thread
+//! applies catalog updates, preserving the [`iloc_core::serve`]
+//! snapshot-consistency invariant end to end.
+//!
+//! ## The three pieces
+//!
+//! * [`protocol`] — versioned, length-prefixed frames encoding the
+//!   paper's four query types (IPQ / C-IPQ / IUQ / C-IUQ), catalog
+//!   update batches (arrive / depart / move), commits, a stats probe,
+//!   and explicit error frames. See `docs/PROTOCOL.md` for the full
+//!   byte-level spec.
+//! * [`server`] — [`server::QueryServer`]: owns a
+//!   [`iloc_core::serve::ShardedEngine`] per catalog (point and
+//!   uncertain); every worker holds a long-lived
+//!   [`iloc_core::serve::ShardServer`] plus reusable decode/encode
+//!   buffers, so a **steady-state query performs zero heap
+//!   allocations** from the moment the request bytes arrive to the
+//!   moment the answer bytes are written back. Reads run against the
+//!   worker's pinned epoch snapshot; updates and commits route through
+//!   the single writer thread.
+//! * [`client`] — [`client::Client`]: sync, connection-reusing, with a
+//!   windowed **pipelined batch mode**; used by the loopback
+//!   integration tests and by the `loadgen` scenario in `iloc-bench`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use iloc_core::pipeline::PointRequest;
+//! use iloc_core::{Issuer, RangeSpec};
+//! use iloc_geometry::{Point, Rect};
+//! use iloc_server::client::Client;
+//! use iloc_server::server::{QueryServer, ServerConfig};
+//! use iloc_uncertainty::PointObject;
+//!
+//! let objects: Vec<PointObject> = (0..100)
+//!     .map(|k| PointObject::new(k as u64, Point::new(k as f64 * 10.0, 500.0)))
+//!     .collect();
+//! let server = QueryServer::new(objects, Vec::new(), 4);
+//! let handle = server.start(&ServerConfig::loopback()).unwrap();
+//!
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let issuer = Issuer::uniform(Rect::centered(Point::new(500.0, 500.0), 50.0, 50.0));
+//! let answer = client
+//!     .point_query(&PointRequest::ipq(issuer, RangeSpec::square(80.0)))
+//!     .unwrap();
+//! assert!(!answer.results.is_empty());
+//!
+//! drop(client);
+//! handle.shutdown();
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc_count;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{CommitTarget, StatsReport, WireError, WireUpdate, PROTOCOL_VERSION};
+pub use server::{QueryServer, ServerConfig, ServerHandle};

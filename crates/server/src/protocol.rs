@@ -1,0 +1,1260 @@
+//! The wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every message — in either direction — is one **frame**:
+//!
+//! ```text
+//! ┌────────────┬───────────┬──────────┬─────────────┐
+//! │ len: u32le │ ver: u8   │ op: u8   │ payload …   │
+//! └────────────┴───────────┴──────────┴─────────────┘
+//!        len = 2 + payload length (covers ver + op + payload)
+//! ```
+//!
+//! All integers are little-endian; `f64`s travel as their IEEE-754 bit
+//! patterns (`to_bits`/`from_bits`), so probabilities round-trip
+//! **bit-identically** — the loopback tests compare network answers to
+//! in-process answers with [`QueryAnswer::same_matches`], the same
+//! contract the batch executor is tested against. The full byte-level
+//! spec (opcodes, payload layouts, error codes, versioning rules)
+//! lives in `docs/PROTOCOL.md`; this module is its executable form.
+//!
+//! ## Design constraints
+//!
+//! * **Allocation-free on the query path.** Encoders append to a
+//!   caller-owned `Vec<u8>` and decoders overwrite caller-owned
+//!   values in place ([`decode_point_query_into`] rebuilds the
+//!   issuer's U-catalog through [`Issuer::set_pdf`] without
+//!   allocating), so a warm client or server worker touches no heap.
+//! * **Malformed input is an error frame, never a panic.** Every
+//!   decoder validates geometry (finite coordinates, positive areas,
+//!   positive sigmas) before calling a constructor that would assert;
+//!   trailing bytes, truncated payloads and out-of-range enums all
+//!   surface as [`WireError`]s the server answers with an
+//!   [`opcode::ERROR`] frame.
+//! * **Versioned.** Byte 4 of every frame carries
+//!   [`PROTOCOL_VERSION`]; a mismatch is rejected with
+//!   [`ErrorCode::BadVersion`] so incompatible ends fail loudly, not
+//!   subtly.
+
+use iloc_core::pipeline::{PointConstraint, PointRequest, UncertainConstraint, UncertainRequest};
+use iloc_core::serve::{CommitReport, ServeEngine, Snapshot, Update};
+use iloc_core::{CipqStrategy, CiuqStrategy, Integrator, QueryAnswer, RangeSpec};
+use iloc_geometry::{Point, Rect};
+use iloc_uncertainty::{
+    DiscPdf, LocationPdf, ObjectId, PdfKind, PointObject, TruncatedGaussianPdf, UncertainObject,
+    UniformPdf,
+};
+
+/// The protocol version this build speaks (frame byte 4).
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard ceiling on one frame's `len` field; larger frames are rejected
+/// with [`ErrorCode::TooLarge`] and the connection is closed (a wild
+/// length usually means the peer is not speaking this protocol).
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Ceiling on Monte-Carlo samples a request may ask for (a 4-byte
+/// sample count would otherwise let one frame buy minutes of CPU).
+pub const MAX_MC_SAMPLES: u32 = 1_000_000;
+
+/// Ceiling on grid-integrator cells per axis, for the same reason.
+pub const MAX_GRID_PER_AXIS: u32 = 4_096;
+
+/// Frame opcodes (requests `0x01..=0x7F`, responses `0x81..=0xFF`).
+pub mod opcode {
+    /// IPQ / C-IPQ against the point catalog → [`ANSWER`].
+    pub const POINT_QUERY: u8 = 0x01;
+    /// IUQ / C-IUQ against the uncertain catalog → [`ANSWER`].
+    pub const UNCERTAIN_QUERY: u8 = 0x02;
+    /// Batch of arrive/depart/move updates → [`UPDATE_ACK`].
+    pub const UPDATE_BATCH: u8 = 0x03;
+    /// Commit one catalog's buffered updates → [`COMMIT_DONE`].
+    pub const COMMIT: u8 = 0x04;
+    /// Server observability probe → [`STATS_REPORT`].
+    pub const STATS: u8 = 0x05;
+    /// Liveness probe → [`PONG`].
+    pub const PING: u8 = 0x06;
+
+    /// Query answer: the id/probability matches.
+    pub const ANSWER: u8 = 0x81;
+    /// Update batch accepted (buffered for the next commit).
+    pub const UPDATE_ACK: u8 = 0x82;
+    /// Commit applied; carries the [`super::CommitReport`] counters.
+    pub const COMMIT_DONE: u8 = 0x83;
+    /// Stats snapshot (epochs, sizes, allocation counters).
+    pub const STATS_REPORT: u8 = 0x84;
+    /// Liveness response.
+    pub const PONG: u8 = 0x85;
+    /// Request failed; carries an [`super::ErrorCode`] and a message.
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// Error codes carried by [`opcode::ERROR`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Frame version byte ≠ [`PROTOCOL_VERSION`]. Connection closes.
+    BadVersion = 1,
+    /// Unknown request opcode.
+    BadOpcode = 2,
+    /// Payload truncated, trailing bytes, or a value out of range
+    /// (non-finite coordinate, zero-area region, bad enum tag …).
+    Malformed = 3,
+    /// The request needs a pdf the wire format cannot carry
+    /// (histogram / mixture / user-defined `Shared` pdfs).
+    UnsupportedPdf = 4,
+    /// Frame length exceeds [`MAX_FRAME_LEN`]. Connection closes.
+    TooLarge = 5,
+    /// The server failed internally while answering.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    /// Decodes a wire byte back into a code.
+    pub fn from_u8(v: u8) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::BadVersion),
+            2 => Some(ErrorCode::BadOpcode),
+            3 => Some(ErrorCode::Malformed),
+            4 => Some(ErrorCode::UnsupportedPdf),
+            5 => Some(ErrorCode::TooLarge),
+            6 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// Why an encode or decode failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload ended early, carried trailing bytes, or held an
+    /// out-of-range value; the message names the offending field.
+    Malformed(&'static str),
+    /// The pdf is a `Shared` handle the wire format cannot encode.
+    UnsupportedPdf,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::UnsupportedPdf => {
+                write!(f, "pdf kind not encodable on the wire (shared/dynamic)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The error code a failed decode maps to on the wire.
+impl From<WireError> for ErrorCode {
+    fn from(e: WireError) -> ErrorCode {
+        match e {
+            WireError::Malformed(_) => ErrorCode::Malformed,
+            WireError::UnsupportedPdf => ErrorCode::UnsupportedPdf,
+        }
+    }
+}
+
+/// Which catalog an update or commit addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitTarget {
+    /// The point-object catalog (IPQ / C-IPQ data).
+    Point,
+    /// The uncertain-object catalog (IUQ / C-IUQ data).
+    Uncertain,
+}
+
+/// One catalog mutation as it travels on the wire, tagged with the
+/// catalog it routes to.
+#[derive(Debug, Clone)]
+pub enum WireUpdate {
+    /// An update to the point catalog.
+    Point(Update<PointObject>),
+    /// An update to the uncertain catalog.
+    Uncertain(Update<UncertainObject>),
+}
+
+/// Per-catalog slice of a [`StatsReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Current epoch.
+    pub epoch: u64,
+    /// Live objects across all shards.
+    pub len: u64,
+    /// Updates buffered but not yet committed.
+    pub pending: u64,
+    /// Live objects per shard, in shard order.
+    pub shard_sizes: Vec<u64>,
+}
+
+/// What a [`opcode::STATS_REPORT`] frame carries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsReport {
+    /// `true` when the server process counts heap allocations (the
+    /// standalone binary registers the counting allocator; a library
+    /// embedding may not). When `false`, `allocations` is meaningless.
+    pub alloc_counting: bool,
+    /// Total heap allocations the server process has performed.
+    pub allocations: u64,
+    /// Frames the server has handled since start (all opcodes).
+    pub requests_served: u64,
+    /// Size of the server's worker pool. One worker serves one
+    /// connection at a time, so this is also the number of
+    /// connections the server serves concurrently — clients that open
+    /// more (the load generator opens `clients + 2`) would queue
+    /// behind themselves and deadlock; they must size against this.
+    pub workers: u32,
+    /// Point-catalog state.
+    pub point: CatalogStats,
+    /// Uncertain-catalog state.
+    pub uncertain: CatalogStats,
+}
+
+/// Process-wide counters the stats frame reports alongside the
+/// catalogs (see [`crate::alloc_count`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CountersView {
+    /// Whether the process counts allocations.
+    pub alloc_counting: bool,
+    /// Allocations so far.
+    pub allocations: u64,
+    /// Frames handled so far.
+    pub requests_served: u64,
+    /// Worker-pool size (= concurrently served connections).
+    pub workers: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Frame scaffolding
+// ---------------------------------------------------------------------------
+
+/// Opens a frame with the given opcode, returning its start offset for
+/// [`finish_frame`]. Appends — callers batching frames clear the
+/// buffer themselves.
+pub fn begin_frame(buf: &mut Vec<u8>, op: u8) -> usize {
+    let at = buf.len();
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    buf.push(PROTOCOL_VERSION);
+    buf.push(op);
+    at
+}
+
+/// Patches the length field of the frame opened at `at`.
+pub fn finish_frame(buf: &mut [u8], at: usize) {
+    let len = (buf.len() - at - 4) as u32;
+    buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// A bounds-checked cursor over one frame's payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `payload`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(WireError::Malformed("payload truncated"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Next byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Next little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len")))
+    }
+
+    /// Next little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len")))
+    }
+
+    /// Next little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+
+    /// Next f64 (bit pattern; NaN/inf pass through — validate where
+    /// finiteness matters).
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Next f64, required finite.
+    pub fn finite(&mut self, what: &'static str) -> Result<f64, WireError> {
+        let v = self.f64()?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(WireError::Malformed(what))
+        }
+    }
+
+    /// Next `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Errors unless the payload was consumed exactly.
+    pub fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_rect(buf: &mut Vec<u8>, r: Rect) {
+    put_f64(buf, r.min.x);
+    put_f64(buf, r.min.y);
+    put_f64(buf, r.max.x);
+    put_f64(buf, r.max.y);
+}
+
+/// Reads a rectangle with finite coordinates and `min ≤ max`.
+fn read_rect(r: &mut Reader<'_>) -> Result<Rect, WireError> {
+    let (x0, y0) = (r.finite("rect min.x")?, r.finite("rect min.y")?);
+    let (x1, y1) = (r.finite("rect max.x")?, r.finite("rect max.y")?);
+    if x0 > x1 || y0 > y1 {
+        return Err(WireError::Malformed("rect min exceeds max"));
+    }
+    Ok(Rect::from_coords(x0, y0, x1, y1))
+}
+
+// ---------------------------------------------------------------------------
+// Pdfs
+// ---------------------------------------------------------------------------
+
+const PDF_UNIFORM: u8 = 0;
+const PDF_GAUSSIAN: u8 = 1;
+const PDF_DISC: u8 = 2;
+
+/// Appends one pdf. Only the concrete kinds travel on the wire;
+/// `Shared` handles are rejected with [`WireError::UnsupportedPdf`].
+pub fn put_pdf(buf: &mut Vec<u8>, pdf: &PdfKind) -> Result<(), WireError> {
+    match pdf {
+        PdfKind::Uniform(u) => {
+            buf.push(PDF_UNIFORM);
+            put_rect(buf, u.region());
+        }
+        PdfKind::Gaussian(g) => {
+            buf.push(PDF_GAUSSIAN);
+            put_rect(buf, g.region());
+            put_f64(buf, g.mean().x);
+            put_f64(buf, g.mean().y);
+            put_f64(buf, g.sigma().0);
+            put_f64(buf, g.sigma().1);
+        }
+        PdfKind::Disc(d) => {
+            buf.push(PDF_DISC);
+            let c = d.disc();
+            put_f64(buf, c.center.x);
+            put_f64(buf, c.center.y);
+            put_f64(buf, c.radius);
+        }
+        PdfKind::Shared(_) => return Err(WireError::UnsupportedPdf),
+    }
+    Ok(())
+}
+
+/// Reads one pdf, validating every constructor precondition so
+/// adversarial bytes produce an error frame rather than a panic.
+pub fn read_pdf(r: &mut Reader<'_>) -> Result<PdfKind, WireError> {
+    match r.u8()? {
+        PDF_UNIFORM => {
+            let region = read_rect(r)?;
+            if region.area() <= 0.0 {
+                return Err(WireError::Malformed("uniform pdf region has zero area"));
+            }
+            Ok(PdfKind::Uniform(UniformPdf::new(region)))
+        }
+        PDF_GAUSSIAN => {
+            let region = read_rect(r)?;
+            let mean = Point::new(r.finite("gaussian mean.x")?, r.finite("gaussian mean.y")?);
+            let (sx, sy) = (r.finite("gaussian sigma.x")?, r.finite("gaussian sigma.y")?);
+            if region.area() <= 0.0 {
+                return Err(WireError::Malformed("gaussian region has zero area"));
+            }
+            if sx <= 0.0 || sy <= 0.0 {
+                return Err(WireError::Malformed("gaussian sigma must be positive"));
+            }
+            // A mean inside the region guarantees the truncation keeps
+            // positive mass on both axes (the constructor asserts it).
+            if !region.contains_point(mean) {
+                return Err(WireError::Malformed("gaussian mean outside its region"));
+            }
+            Ok(PdfKind::Gaussian(TruncatedGaussianPdf::new(
+                region, mean, sx, sy,
+            )))
+        }
+        PDF_DISC => {
+            let center = Point::new(r.finite("disc center.x")?, r.finite("disc center.y")?);
+            let radius = r.finite("disc radius")?;
+            if radius <= 0.0 {
+                return Err(WireError::Malformed("disc radius must be positive"));
+            }
+            Ok(PdfKind::Disc(DiscPdf::new(center, radius)))
+        }
+        _ => Err(WireError::Malformed("unknown pdf tag")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integrators, ranges, constraints
+// ---------------------------------------------------------------------------
+
+const INTEGRATOR_AUTO: u8 = 0;
+const INTEGRATOR_EXACT: u8 = 1;
+const INTEGRATOR_GRID: u8 = 2;
+const INTEGRATOR_MC: u8 = 3;
+
+fn put_integrator(buf: &mut Vec<u8>, integrator: Integrator) {
+    match integrator {
+        Integrator::Auto => buf.push(INTEGRATOR_AUTO),
+        Integrator::Exact => buf.push(INTEGRATOR_EXACT),
+        Integrator::Grid { per_axis } => {
+            buf.push(INTEGRATOR_GRID);
+            put_u32(buf, per_axis as u32);
+        }
+        Integrator::MonteCarlo { samples } => {
+            buf.push(INTEGRATOR_MC);
+            put_u32(buf, samples as u32);
+        }
+    }
+}
+
+fn read_integrator(r: &mut Reader<'_>) -> Result<Integrator, WireError> {
+    match r.u8()? {
+        INTEGRATOR_AUTO => Ok(Integrator::Auto),
+        INTEGRATOR_EXACT => Ok(Integrator::Exact),
+        INTEGRATOR_GRID => {
+            let per_axis = r.u32()?;
+            if per_axis == 0 || per_axis > MAX_GRID_PER_AXIS {
+                return Err(WireError::Malformed("grid per_axis out of range"));
+            }
+            Ok(Integrator::Grid {
+                per_axis: per_axis as usize,
+            })
+        }
+        INTEGRATOR_MC => {
+            let samples = r.u32()?;
+            if samples == 0 || samples > MAX_MC_SAMPLES {
+                return Err(WireError::Malformed("monte-carlo samples out of range"));
+            }
+            Ok(Integrator::MonteCarlo {
+                samples: samples as usize,
+            })
+        }
+        _ => Err(WireError::Malformed("unknown integrator tag")),
+    }
+}
+
+fn put_range(buf: &mut Vec<u8>, range: RangeSpec) {
+    put_f64(buf, range.w);
+    put_f64(buf, range.h);
+}
+
+fn read_range(r: &mut Reader<'_>) -> Result<RangeSpec, WireError> {
+    let w = r.finite("range w")?;
+    let h = r.finite("range h")?;
+    if w < 0.0 || h < 0.0 {
+        return Err(WireError::Malformed("range half-extents must be >= 0"));
+    }
+    Ok(RangeSpec::new(w, h))
+}
+
+fn read_qp(r: &mut Reader<'_>) -> Result<f64, WireError> {
+    let qp = r.finite("constraint qp")?;
+    if !(0.0..=1.0).contains(&qp) {
+        return Err(WireError::Malformed("constraint qp outside [0, 1]"));
+    }
+    Ok(qp)
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+/// Appends an [`opcode::POINT_QUERY`] frame for `request`.
+pub fn encode_point_query(buf: &mut Vec<u8>, request: &PointRequest) -> Result<(), WireError> {
+    let at = begin_frame(buf, opcode::POINT_QUERY);
+    let result = put_pdf(buf, request.issuer.pdf());
+    if result.is_err() {
+        buf.truncate(at);
+        return result;
+    }
+    put_range(buf, request.range);
+    put_integrator(buf, request.integrator);
+    match request.constraint {
+        None => buf.push(0),
+        Some(c) => {
+            buf.push(1);
+            put_f64(buf, c.qp);
+            buf.push(match c.strategy {
+                CipqStrategy::MinkowskiSum => 0,
+                CipqStrategy::PExpanded => 1,
+            });
+        }
+    }
+    finish_frame(buf, at);
+    Ok(())
+}
+
+/// Decodes an [`opcode::POINT_QUERY`] payload **into** a reusable
+/// request slot: the issuer's pdf and U-catalog are rebuilt in place,
+/// so a warm slot makes this allocation-free.
+pub fn decode_point_query_into(
+    payload: &[u8],
+    request: &mut PointRequest,
+) -> Result<(), WireError> {
+    let mut r = Reader::new(payload);
+    let pdf = read_pdf(&mut r)?;
+    let range = read_range(&mut r)?;
+    let integrator = read_integrator(&mut r)?;
+    let constraint = match r.u8()? {
+        0 => None,
+        1 => {
+            let qp = read_qp(&mut r)?;
+            let strategy = match r.u8()? {
+                0 => CipqStrategy::MinkowskiSum,
+                1 => CipqStrategy::PExpanded,
+                _ => return Err(WireError::Malformed("unknown C-IPQ strategy")),
+            };
+            Some(PointConstraint { qp, strategy })
+        }
+        _ => return Err(WireError::Malformed("bad constraint flag")),
+    };
+    r.done()?;
+    request.issuer.set_pdf(pdf);
+    request.range = range;
+    request.integrator = integrator;
+    request.constraint = constraint;
+    Ok(())
+}
+
+/// Appends an [`opcode::UNCERTAIN_QUERY`] frame for `request`.
+pub fn encode_uncertain_query(
+    buf: &mut Vec<u8>,
+    request: &UncertainRequest,
+) -> Result<(), WireError> {
+    let at = begin_frame(buf, opcode::UNCERTAIN_QUERY);
+    let result = put_pdf(buf, request.issuer.pdf());
+    if result.is_err() {
+        buf.truncate(at);
+        return result;
+    }
+    put_range(buf, request.range);
+    put_integrator(buf, request.integrator);
+    match request.constraint {
+        None => buf.push(0),
+        Some(c) => {
+            buf.push(1);
+            put_f64(buf, c.qp);
+            buf.push(match c.strategy {
+                CiuqStrategy::RTreeMinkowski => 0,
+                CiuqStrategy::PtiPExpanded => 1,
+            });
+        }
+    }
+    finish_frame(buf, at);
+    Ok(())
+}
+
+/// Decodes an [`opcode::UNCERTAIN_QUERY`] payload into a reusable
+/// request slot (allocation-free once warm, like the point variant).
+pub fn decode_uncertain_query_into(
+    payload: &[u8],
+    request: &mut UncertainRequest,
+) -> Result<(), WireError> {
+    let mut r = Reader::new(payload);
+    let pdf = read_pdf(&mut r)?;
+    let range = read_range(&mut r)?;
+    let integrator = read_integrator(&mut r)?;
+    let constraint = match r.u8()? {
+        0 => None,
+        1 => {
+            let qp = read_qp(&mut r)?;
+            let strategy = match r.u8()? {
+                0 => CiuqStrategy::RTreeMinkowski,
+                1 => CiuqStrategy::PtiPExpanded,
+                _ => return Err(WireError::Malformed("unknown C-IUQ strategy")),
+            };
+            Some(UncertainConstraint { qp, strategy })
+        }
+        _ => return Err(WireError::Malformed("bad constraint flag")),
+    };
+    r.done()?;
+    request.issuer.set_pdf(pdf);
+    request.range = range;
+    request.integrator = integrator;
+    request.constraint = constraint;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Updates and commits
+// ---------------------------------------------------------------------------
+
+const TARGET_POINT: u8 = 0;
+const TARGET_UNCERTAIN: u8 = 1;
+
+const UPDATE_ARRIVE: u8 = 0;
+const UPDATE_DEPART: u8 = 1;
+const UPDATE_MOVE: u8 = 2;
+
+fn put_target(buf: &mut Vec<u8>, target: CommitTarget) {
+    buf.push(match target {
+        CommitTarget::Point => TARGET_POINT,
+        CommitTarget::Uncertain => TARGET_UNCERTAIN,
+    });
+}
+
+fn read_target(r: &mut Reader<'_>) -> Result<CommitTarget, WireError> {
+    match r.u8()? {
+        TARGET_POINT => Ok(CommitTarget::Point),
+        TARGET_UNCERTAIN => Ok(CommitTarget::Uncertain),
+        _ => Err(WireError::Malformed("unknown catalog target")),
+    }
+}
+
+/// Appends an [`opcode::UPDATE_BATCH`] frame carrying `updates`.
+pub fn encode_update_batch(buf: &mut Vec<u8>, updates: &[WireUpdate]) -> Result<(), WireError> {
+    let at = begin_frame(buf, opcode::UPDATE_BATCH);
+    put_u32(buf, updates.len() as u32);
+    for update in updates {
+        let result = put_update(buf, update);
+        if result.is_err() {
+            buf.truncate(at);
+            return result;
+        }
+    }
+    finish_frame(buf, at);
+    Ok(())
+}
+
+fn put_update(buf: &mut Vec<u8>, update: &WireUpdate) -> Result<(), WireError> {
+    match update {
+        WireUpdate::Point(u) => {
+            buf.push(TARGET_POINT);
+            match u {
+                Update::Arrive(o) | Update::Move(o) => {
+                    buf.push(if matches!(u, Update::Arrive(_)) {
+                        UPDATE_ARRIVE
+                    } else {
+                        UPDATE_MOVE
+                    });
+                    put_u64(buf, o.id.0);
+                    put_f64(buf, o.loc.x);
+                    put_f64(buf, o.loc.y);
+                }
+                Update::Depart(id) => {
+                    buf.push(UPDATE_DEPART);
+                    put_u64(buf, id.0);
+                }
+            }
+        }
+        WireUpdate::Uncertain(u) => {
+            buf.push(TARGET_UNCERTAIN);
+            match u {
+                Update::Arrive(o) | Update::Move(o) => {
+                    buf.push(if matches!(u, Update::Arrive(_)) {
+                        UPDATE_ARRIVE
+                    } else {
+                        UPDATE_MOVE
+                    });
+                    put_u64(buf, o.id.0);
+                    put_pdf(buf, o.pdf())?;
+                }
+                Update::Depart(id) => {
+                    buf.push(UPDATE_DEPART);
+                    put_u64(buf, id.0);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decodes an [`opcode::UPDATE_BATCH`] payload, appending the updates
+/// to `out` (cleared first). Uncertain arrivals rebuild their
+/// U-catalog server-side — updates are the ingestion path, which the
+/// paper's cost model (and the zero-allocation invariant) excludes
+/// from query execution.
+pub fn decode_update_batch(payload: &[u8], out: &mut Vec<WireUpdate>) -> Result<(), WireError> {
+    out.clear();
+    let mut r = Reader::new(payload);
+    let count = r.u32()?;
+    for _ in 0..count {
+        let target = read_target(&mut r)?;
+        let kind = r.u8()?;
+        let id = r.u64()?;
+        let update = match (target, kind) {
+            (CommitTarget::Point, UPDATE_DEPART) => WireUpdate::Point(Update::Depart(ObjectId(id))),
+            (CommitTarget::Point, UPDATE_ARRIVE | UPDATE_MOVE) => {
+                let x = r.finite("point loc.x")?;
+                let y = r.finite("point loc.y")?;
+                let object = PointObject::new(id, Point::new(x, y));
+                WireUpdate::Point(if kind == UPDATE_ARRIVE {
+                    Update::Arrive(object)
+                } else {
+                    Update::Move(object)
+                })
+            }
+            (CommitTarget::Uncertain, UPDATE_DEPART) => {
+                WireUpdate::Uncertain(Update::Depart(ObjectId(id)))
+            }
+            (CommitTarget::Uncertain, UPDATE_ARRIVE | UPDATE_MOVE) => {
+                let pdf = read_pdf(&mut r)?;
+                let object = UncertainObject::new(id, pdf);
+                WireUpdate::Uncertain(if kind == UPDATE_ARRIVE {
+                    Update::Arrive(object)
+                } else {
+                    Update::Move(object)
+                })
+            }
+            _ => return Err(WireError::Malformed("unknown update kind")),
+        };
+        out.push(update);
+    }
+    r.done()
+}
+
+/// Appends an [`opcode::COMMIT`] frame for one catalog.
+pub fn encode_commit(buf: &mut Vec<u8>, target: CommitTarget) {
+    let at = begin_frame(buf, opcode::COMMIT);
+    put_target(buf, target);
+    finish_frame(buf, at);
+}
+
+/// Decodes an [`opcode::COMMIT`] payload.
+pub fn decode_commit(payload: &[u8]) -> Result<CommitTarget, WireError> {
+    let mut r = Reader::new(payload);
+    let target = read_target(&mut r)?;
+    r.done()?;
+    Ok(target)
+}
+
+/// Appends an empty-payload frame ([`opcode::STATS`], [`opcode::PING`],
+/// [`opcode::PONG`]).
+pub fn encode_empty(buf: &mut Vec<u8>, op: u8) {
+    let at = begin_frame(buf, op);
+    finish_frame(buf, at);
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Appends an [`opcode::ANSWER`] frame: the matches (ids + probability
+/// bit patterns) of `answer`. Stats stay server-side; probe them with
+/// [`opcode::STATS`].
+pub fn encode_answer(buf: &mut Vec<u8>, answer: &QueryAnswer) {
+    let at = begin_frame(buf, opcode::ANSWER);
+    put_u32(buf, answer.results.len() as u32);
+    for m in &answer.results {
+        put_u64(buf, m.id.0);
+        put_u64(buf, m.probability.to_bits());
+    }
+    finish_frame(buf, at);
+}
+
+/// Decodes an [`opcode::ANSWER`] payload into a reusable answer
+/// (results overwritten, stats zeroed; allocation-free once the match
+/// buffer has grown to workload size).
+pub fn decode_answer_into(payload: &[u8], answer: &mut QueryAnswer) -> Result<(), WireError> {
+    answer.results.clear();
+    answer.stats = Default::default();
+    let mut r = Reader::new(payload);
+    let count = r.u32()?;
+    for _ in 0..count {
+        let id = ObjectId(r.u64()?);
+        let probability = f64::from_bits(r.u64()?);
+        answer.results.push(iloc_core::Match { id, probability });
+    }
+    r.done()
+}
+
+/// Appends an [`opcode::UPDATE_ACK`] frame.
+pub fn encode_update_ack(buf: &mut Vec<u8>, accepted: u32) {
+    let at = begin_frame(buf, opcode::UPDATE_ACK);
+    put_u32(buf, accepted);
+    finish_frame(buf, at);
+}
+
+/// Decodes an [`opcode::UPDATE_ACK`] payload.
+pub fn decode_update_ack(payload: &[u8]) -> Result<u32, WireError> {
+    let mut r = Reader::new(payload);
+    let accepted = r.u32()?;
+    r.done()?;
+    Ok(accepted)
+}
+
+/// Appends an [`opcode::COMMIT_DONE`] frame for `report`.
+pub fn encode_commit_done(buf: &mut Vec<u8>, report: &CommitReport) {
+    let at = begin_frame(buf, opcode::COMMIT_DONE);
+    put_u64(buf, report.epoch);
+    put_u32(buf, report.arrivals as u32);
+    put_u32(buf, report.departures as u32);
+    put_u32(buf, report.moves as u32);
+    put_u32(buf, report.missed_departures as u32);
+    finish_frame(buf, at);
+}
+
+/// Decodes an [`opcode::COMMIT_DONE`] payload.
+pub fn decode_commit_done(payload: &[u8]) -> Result<CommitReport, WireError> {
+    let mut r = Reader::new(payload);
+    let report = CommitReport {
+        epoch: r.u64()?,
+        arrivals: r.u32()? as usize,
+        departures: r.u32()? as usize,
+        moves: r.u32()? as usize,
+        missed_departures: r.u32()? as usize,
+    };
+    r.done()?;
+    Ok(report)
+}
+
+fn put_catalog<E: ServeEngine>(buf: &mut Vec<u8>, snapshot: &Snapshot<E>, pending: u64) {
+    put_u64(buf, snapshot.epoch());
+    put_u64(buf, snapshot.len() as u64);
+    put_u64(buf, pending);
+    put_u32(buf, snapshot.shard_count() as u32);
+    for n in snapshot.shard_sizes() {
+        put_u64(buf, n as u64);
+    }
+}
+
+/// Appends an [`opcode::STATS_REPORT`] frame directly from engine
+/// snapshots (no intermediate allocation — the stats path stays on the
+/// server's allocation-free budget).
+pub fn encode_stats_report<P: ServeEngine, U: ServeEngine>(
+    buf: &mut Vec<u8>,
+    counters: CountersView,
+    point: (&Snapshot<P>, u64),
+    uncertain: (&Snapshot<U>, u64),
+) {
+    let at = begin_frame(buf, opcode::STATS_REPORT);
+    buf.push(counters.alloc_counting as u8);
+    put_u64(buf, counters.allocations);
+    put_u64(buf, counters.requests_served);
+    put_u32(buf, counters.workers);
+    put_catalog(buf, point.0, point.1);
+    put_catalog(buf, uncertain.0, uncertain.1);
+    finish_frame(buf, at);
+}
+
+fn read_catalog_into(r: &mut Reader<'_>, out: &mut CatalogStats) -> Result<(), WireError> {
+    out.epoch = r.u64()?;
+    out.len = r.u64()?;
+    out.pending = r.u64()?;
+    let shards = r.u32()?;
+    out.shard_sizes.clear();
+    for _ in 0..shards {
+        out.shard_sizes.push(r.u64()?);
+    }
+    Ok(())
+}
+
+/// Decodes an [`opcode::STATS_REPORT`] payload into a reusable report
+/// (shard-size buffers keep their capacity).
+pub fn decode_stats_report_into(payload: &[u8], out: &mut StatsReport) -> Result<(), WireError> {
+    let mut r = Reader::new(payload);
+    out.alloc_counting = r.u8()? != 0;
+    out.allocations = r.u64()?;
+    out.requests_served = r.u64()?;
+    out.workers = r.u32()?;
+    read_catalog_into(&mut r, &mut out.point)?;
+    read_catalog_into(&mut r, &mut out.uncertain)?;
+    r.done()
+}
+
+/// Appends an [`opcode::ERROR`] frame.
+pub fn encode_error(buf: &mut Vec<u8>, code: ErrorCode, message: &str) {
+    let at = begin_frame(buf, opcode::ERROR);
+    buf.push(code as u8);
+    let bytes = message.as_bytes();
+    let n = bytes.len().min(u16::MAX as usize);
+    put_u16(buf, n as u16);
+    buf.extend_from_slice(&bytes[..n]);
+    finish_frame(buf, at);
+}
+
+/// Decodes an [`opcode::ERROR`] payload into `(code, message)`.
+pub fn decode_error(payload: &[u8]) -> Result<(u8, String), WireError> {
+    let mut r = Reader::new(payload);
+    let code = r.u8()?;
+    let n = r.u16()? as usize;
+    let message = String::from_utf8_lossy(r.bytes(n)?).into_owned();
+    r.done()?;
+    Ok((code, message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc_core::Issuer;
+
+    fn frame_payload(buf: &[u8]) -> (u8, &[u8]) {
+        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len + 4, buf.len(), "frame length field");
+        assert_eq!(buf[4], PROTOCOL_VERSION);
+        (buf[5], &buf[6..])
+    }
+
+    fn slot_point_request() -> PointRequest {
+        PointRequest::ipq(
+            Issuer::uniform(Rect::from_coords(0.0, 0.0, 1.0, 1.0)),
+            RangeSpec::square(1.0),
+        )
+    }
+
+    fn slot_uncertain_request() -> UncertainRequest {
+        UncertainRequest::iuq(
+            Issuer::uniform(Rect::from_coords(0.0, 0.0, 1.0, 1.0)),
+            RangeSpec::square(1.0),
+        )
+    }
+
+    #[test]
+    fn point_query_round_trips_every_field() {
+        let cases = vec![
+            PointRequest::ipq(
+                Issuer::uniform(Rect::from_coords(10.0, 20.0, 110.0, 220.0)),
+                RangeSpec::new(30.0, 40.0),
+            ),
+            PointRequest::cipq(
+                Issuer::gaussian(Rect::from_coords(0.0, 0.0, 60.0, 60.0)),
+                RangeSpec::square(25.0),
+                0.3,
+                CipqStrategy::PExpanded,
+            )
+            .with_integrator(Integrator::MonteCarlo { samples: 200 }),
+            PointRequest::cipq(
+                Issuer::with_pdf(DiscPdf::new(Point::new(5.0, 9.0), 4.0)),
+                RangeSpec::square(12.0),
+                0.5,
+                CipqStrategy::MinkowskiSum,
+            )
+            .with_integrator(Integrator::Grid { per_axis: 32 }),
+        ];
+        for request in cases {
+            let mut buf = Vec::new();
+            encode_point_query(&mut buf, &request).unwrap();
+            let (op, payload) = frame_payload(&buf);
+            assert_eq!(op, opcode::POINT_QUERY);
+            let mut slot = slot_point_request();
+            decode_point_query_into(payload, &mut slot).unwrap();
+            assert_eq!(slot.issuer.region(), request.issuer.region());
+            assert_eq!(slot.issuer.catalog(), request.issuer.catalog());
+            assert_eq!(slot.range, request.range);
+            assert_eq!(slot.integrator, request.integrator);
+            match (slot.constraint, request.constraint) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.qp.to_bits(), b.qp.to_bits());
+                    assert_eq!(a.strategy, b.strategy);
+                }
+                other => panic!("constraint mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn uncertain_query_round_trips() {
+        let request = UncertainRequest::ciuq(
+            Issuer::uniform(Rect::from_coords(1.0, 2.0, 501.0, 502.0)),
+            RangeSpec::square(120.0),
+            0.25,
+            CiuqStrategy::PtiPExpanded,
+        );
+        let mut buf = Vec::new();
+        encode_uncertain_query(&mut buf, &request).unwrap();
+        let (op, payload) = frame_payload(&buf);
+        assert_eq!(op, opcode::UNCERTAIN_QUERY);
+        let mut slot = slot_uncertain_request();
+        decode_uncertain_query_into(payload, &mut slot).unwrap();
+        assert_eq!(slot.issuer.catalog(), request.issuer.catalog());
+        assert_eq!(
+            slot.constraint.unwrap().strategy,
+            CiuqStrategy::PtiPExpanded
+        );
+    }
+
+    #[test]
+    fn decode_into_a_warm_slot_is_allocation_free_for_uniform_issuers() {
+        // Not an allocator test (that's the bench gate); this pins the
+        // structural property the hot path relies on — repeated decodes
+        // into one slot leave the catalog storage stable.
+        let request = PointRequest::ipq(
+            Issuer::uniform(Rect::from_coords(10.0, 10.0, 90.0, 90.0)),
+            RangeSpec::square(15.0),
+        );
+        let mut buf = Vec::new();
+        encode_point_query(&mut buf, &request).unwrap();
+        let (_, payload) = frame_payload(&buf);
+        let mut slot = slot_point_request();
+        decode_point_query_into(payload, &mut slot).unwrap();
+        let before = slot.issuer.catalog().bounds().as_ptr();
+        for _ in 0..10 {
+            decode_point_query_into(payload, &mut slot).unwrap();
+        }
+        assert_eq!(slot.issuer.catalog().bounds().as_ptr(), before);
+    }
+
+    #[test]
+    fn shared_pdfs_are_rejected_at_encode_time() {
+        let request = PointRequest::ipq(
+            Issuer::with_pdf(PdfKind::shared(UniformPdf::new(Rect::from_coords(
+                0.0, 0.0, 1.0, 1.0,
+            )))),
+            RangeSpec::square(1.0),
+        );
+        let mut buf = Vec::new();
+        assert_eq!(
+            encode_point_query(&mut buf, &request),
+            Err(WireError::UnsupportedPdf)
+        );
+        // A failed encode leaves no partial frame behind.
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn update_batch_round_trips_both_catalogs() {
+        let updates = vec![
+            WireUpdate::Point(Update::Arrive(PointObject::new(7u64, Point::new(1.5, 2.5)))),
+            WireUpdate::Point(Update::Depart(ObjectId(9))),
+            WireUpdate::Point(Update::Move(PointObject::new(7u64, Point::new(3.0, 4.0)))),
+            WireUpdate::Uncertain(Update::Arrive(UncertainObject::new(
+                11u64,
+                UniformPdf::new(Rect::from_coords(0.0, 0.0, 8.0, 6.0)),
+            ))),
+            WireUpdate::Uncertain(Update::Depart(ObjectId(12))),
+            WireUpdate::Uncertain(Update::Move(UncertainObject::new(
+                11u64,
+                TruncatedGaussianPdf::paper_default(Rect::from_coords(5.0, 5.0, 25.0, 30.0)),
+            ))),
+        ];
+        let mut buf = Vec::new();
+        encode_update_batch(&mut buf, &updates).unwrap();
+        let (op, payload) = frame_payload(&buf);
+        assert_eq!(op, opcode::UPDATE_BATCH);
+        let mut out = Vec::new();
+        decode_update_batch(payload, &mut out).unwrap();
+        assert_eq!(out.len(), updates.len());
+        match (&out[0], &out[3], &out[5]) {
+            (
+                WireUpdate::Point(Update::Arrive(p)),
+                WireUpdate::Uncertain(Update::Arrive(u)),
+                WireUpdate::Uncertain(Update::Move(m)),
+            ) => {
+                assert_eq!(p.id, ObjectId(7));
+                assert_eq!(p.loc, Point::new(1.5, 2.5));
+                assert_eq!(u.id, ObjectId(11));
+                assert_eq!(u.region(), Rect::from_coords(0.0, 0.0, 8.0, 6.0));
+                // The decoded catalog matches a locally-built object's.
+                assert_eq!(
+                    m.catalog(),
+                    UncertainObject::new(
+                        0u64,
+                        TruncatedGaussianPdf::paper_default(Rect::from_coords(
+                            5.0, 5.0, 25.0, 30.0
+                        ))
+                    )
+                    .catalog()
+                );
+            }
+            other => panic!("wrong shapes: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn answer_round_trips_bit_identically() {
+        let mut answer = QueryAnswer::default();
+        for (id, p) in [(3u64, 0.125), (9, 1.0 - 1e-16), (100, f64::MIN_POSITIVE)] {
+            answer.results.push(iloc_core::Match {
+                id: ObjectId(id),
+                probability: p,
+            });
+        }
+        let mut buf = Vec::new();
+        encode_answer(&mut buf, &answer);
+        let (op, payload) = frame_payload(&buf);
+        assert_eq!(op, opcode::ANSWER);
+        let mut back = QueryAnswer::default();
+        back.results.push(iloc_core::Match {
+            id: ObjectId(0),
+            probability: 0.0,
+        }); // dirty slot
+        decode_answer_into(payload, &mut back).unwrap();
+        assert!(back.same_matches(&answer));
+    }
+
+    #[test]
+    fn commit_and_ack_and_error_round_trip() {
+        let mut buf = Vec::new();
+        encode_commit(&mut buf, CommitTarget::Uncertain);
+        let (op, payload) = frame_payload(&buf);
+        assert_eq!(op, opcode::COMMIT);
+        assert_eq!(decode_commit(payload).unwrap(), CommitTarget::Uncertain);
+
+        buf.clear();
+        encode_update_ack(&mut buf, 42);
+        let (_, payload) = frame_payload(&buf);
+        assert_eq!(decode_update_ack(payload).unwrap(), 42);
+
+        buf.clear();
+        let report = CommitReport {
+            epoch: 9,
+            arrivals: 1,
+            departures: 2,
+            moves: 3,
+            missed_departures: 4,
+        };
+        encode_commit_done(&mut buf, &report);
+        let (_, payload) = frame_payload(&buf);
+        assert_eq!(decode_commit_done(payload).unwrap(), report);
+
+        buf.clear();
+        encode_error(&mut buf, ErrorCode::Malformed, "nope");
+        let (op, payload) = frame_payload(&buf);
+        assert_eq!(op, opcode::ERROR);
+        assert_eq!(
+            decode_error(payload).unwrap(),
+            (ErrorCode::Malformed as u8, "nope".to_string())
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_error_not_panic() {
+        let mut slot = slot_point_request();
+        let mut request_bytes = Vec::new();
+        encode_point_query(
+            &mut request_bytes,
+            &PointRequest::ipq(
+                Issuer::uniform(Rect::from_coords(0.0, 0.0, 10.0, 10.0)),
+                RangeSpec::square(5.0),
+            ),
+        )
+        .unwrap();
+        let (_, payload) = frame_payload(&request_bytes);
+
+        // Truncations at every prefix length fail cleanly.
+        for n in 0..payload.len() {
+            assert!(
+                decode_point_query_into(&payload[..n], &mut slot).is_err(),
+                "prefix {n} should be malformed"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut long = payload.to_vec();
+        long.push(0);
+        assert_eq!(
+            decode_point_query_into(&long, &mut slot),
+            Err(WireError::Malformed("trailing bytes"))
+        );
+
+        // Adversarial values: NaN rect, inverted rect, zero-area
+        // region, bad tags.
+        let bad_pdf = |bytes: &[u8]| {
+            let mut r = Reader::new(bytes);
+            read_pdf(&mut r).unwrap_err()
+        };
+        let mut nan_rect = vec![PDF_UNIFORM];
+        nan_rect.extend_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        nan_rect.extend_from_slice(&[0u8; 24]);
+        bad_pdf(&nan_rect);
+
+        let mut inverted = vec![PDF_UNIFORM];
+        for v in [5.0f64, 5.0, 1.0, 9.0] {
+            inverted.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        assert_eq!(
+            bad_pdf(&inverted),
+            WireError::Malformed("rect min exceeds max")
+        );
+
+        let mut flat = vec![PDF_UNIFORM];
+        for v in [5.0f64, 5.0, 5.0, 9.0] {
+            flat.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        assert_eq!(
+            bad_pdf(&flat),
+            WireError::Malformed("uniform pdf region has zero area")
+        );
+
+        assert_eq!(bad_pdf(&[9]), WireError::Malformed("unknown pdf tag"));
+
+        // A gaussian whose mean is outside its region would assert in
+        // the constructor; the decoder rejects it first.
+        let mut far_mean = vec![PDF_GAUSSIAN];
+        for v in [0.0f64, 0.0, 1.0, 1.0, 50.0, 50.0, 0.001, 0.001] {
+            far_mean.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        assert_eq!(
+            bad_pdf(&far_mean),
+            WireError::Malformed("gaussian mean outside its region")
+        );
+    }
+
+    #[test]
+    fn update_batch_count_must_match_payload() {
+        // Count says 100, payload holds one depart: the decoder runs
+        // out of bytes rather than trusting the count.
+        let mut buf = Vec::new();
+        let at = begin_frame(&mut buf, opcode::UPDATE_BATCH);
+        put_u32(&mut buf, 100);
+        buf.push(TARGET_POINT);
+        buf.push(UPDATE_DEPART);
+        put_u64(&mut buf, 1);
+        finish_frame(&mut buf, at);
+        let (_, payload) = frame_payload(&buf);
+        let mut out = Vec::new();
+        assert!(decode_update_batch(payload, &mut out).is_err());
+    }
+
+    #[test]
+    fn integrator_limits_are_enforced() {
+        let mut bytes = vec![INTEGRATOR_MC];
+        bytes.extend_from_slice(&(MAX_MC_SAMPLES + 1).to_le_bytes());
+        let mut r = Reader::new(&bytes);
+        assert!(read_integrator(&mut r).is_err());
+
+        let mut bytes = vec![INTEGRATOR_GRID];
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let mut r = Reader::new(&bytes);
+        assert!(read_integrator(&mut r).is_err());
+    }
+}

@@ -1,0 +1,645 @@
+//! The blocking TCP query server.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                         ┌────────────────────────────┐
+//!  accept()  ─────────────▶ listener thread            │
+//!                         └──────────┬─────────────────┘
+//!                                    │ mpsc<TcpStream>
+//!                  ┌─────────────────┼─────────────────┐
+//!                  ▼                 ▼                 ▼
+//!           worker 0          worker 1     …    worker N-1
+//!        (ShardServer ×2,  long-lived request/answer slots,
+//!         reusable frame buffers — the zero-alloc hot path)
+//!                  │ reads: pinned epoch snapshot
+//!                  │ writes: WriterMsg over one mpsc channel
+//!                  ▼
+//!           writer thread ── submit / commit on the ShardedEngines
+//! ```
+//!
+//! * **Queries** never leave their worker: the worker decodes into its
+//!   long-lived request slot, executes against its pinned epoch
+//!   snapshot through a warm [`ShardServer`] (rebinding — two atomic
+//!   increments, no allocation — when the engine has published a newer
+//!   epoch), and encodes the answer from its reusable buffer. After
+//!   warm-up the whole request path performs **zero heap
+//!   allocations**; the CI smoke job gates on this over a real socket.
+//! * **Updates and commits** route through the single writer thread,
+//!   so every mutation of the sharded engines is serialized in one
+//!   place and the [`iloc_core::serve`] snapshot-consistency invariant
+//!   ("no torn epochs, ever") holds across the network boundary
+//!   exactly as it does in process. A client's own update → commit
+//!   order is preserved end to end (same worker, same channel, FIFO).
+//! * **Connections map to workers**: a worker serves one connection at
+//!   a time, frame by frame, then takes the next waiting connection.
+//!   Keep client counts at or below the worker count for latency;
+//!   extra connections queue.
+//!
+//! Malformed frames are answered with error frames (see
+//! [`crate::protocol`]); a frame that cannot be delimited (wild length
+//! prefix, wrong version) poisons the connection and closes it. A
+//! panic while serving one frame — which validation should make
+//! unreachable — is caught, answered with an `Internal` error frame,
+//! and quarantined by discarding that worker's state and connection.
+
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use iloc_core::pipeline::{PointRequest, UncertainRequest};
+use iloc_core::serve::{CommitReport, ShardServer, ShardedEngine};
+use iloc_core::{Issuer, PointEngine, QueryAnswer, RangeSpec, UncertainEngine};
+use iloc_geometry::Rect;
+use iloc_uncertainty::{PointObject, UncertainObject};
+
+use crate::alloc_count;
+use crate::protocol::{
+    self, opcode, CommitTarget, CountersView, ErrorCode, WireError, WireUpdate, PROTOCOL_VERSION,
+};
+
+/// The two catalogs one server instance serves.
+#[derive(Debug)]
+pub struct Engines {
+    /// Point-object catalog (IPQ / C-IPQ).
+    pub point: ShardedEngine<PointEngine>,
+    /// Uncertain-object catalog (IUQ / C-IUQ).
+    pub uncertain: ShardedEngine<UncertainEngine>,
+}
+
+/// Tunables for one listening server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks an ephemeral loopback
+    /// port; read the real one from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Fixed worker-pool size. One worker serves one connection at a
+    /// time, so keep this at or above the expected client count.
+    pub workers: usize,
+    /// Frames longer than this are rejected and the connection closed.
+    pub max_frame_len: u32,
+    /// Granularity at which blocked reads re-check the shutdown flag.
+    pub idle_poll: Duration,
+}
+
+impl ServerConfig {
+    /// Loopback on an ephemeral port with four workers — what tests
+    /// and in-process load generation want.
+    pub fn loopback() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_frame_len: protocol::MAX_FRAME_LEN,
+            idle_poll: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig::loopback()
+    }
+}
+
+/// What one catalog mutation request asks the writer thread to do.
+enum WriterMsg {
+    /// Buffer updates; reply with how many were accepted plus the
+    /// drained vector, so the worker's decode buffer keeps its
+    /// capacity across batches.
+    Submit(Vec<WireUpdate>, mpsc::SyncSender<(u32, Vec<WireUpdate>)>),
+    /// Commit one catalog; reply with the report.
+    Commit(CommitTarget, mpsc::SyncSender<CommitReport>),
+}
+
+/// State shared by every serving thread.
+struct Shared {
+    engines: Arc<Engines>,
+    requests_served: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+    max_frame_len: u32,
+    workers: u32,
+}
+
+/// A query server over one pair of sharded catalogs.
+///
+/// Construction partitions the catalogs; [`QueryServer::start`] binds
+/// a listener and spawns the serving threads. The engines stay
+/// accessible through [`QueryServer::engines`] — the loopback tests
+/// compare wire answers against in-process snapshot execution on the
+/// very same engines.
+#[derive(Debug)]
+pub struct QueryServer {
+    engines: Arc<Engines>,
+}
+
+impl QueryServer {
+    /// Builds the two sharded catalogs (`shards` each) and wraps them
+    /// in a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn new(
+        points: Vec<PointObject>,
+        uncertain: Vec<UncertainObject>,
+        shards: usize,
+    ) -> QueryServer {
+        QueryServer {
+            engines: Arc::new(Engines {
+                point: ShardedEngine::build(points, shards),
+                uncertain: ShardedEngine::build(uncertain, shards),
+            }),
+        }
+    }
+
+    /// The served engines (shared; snapshots taken from here see
+    /// exactly the epochs the server serves).
+    pub fn engines(&self) -> Arc<Engines> {
+        Arc::clone(&self.engines)
+    }
+
+    /// Binds `config.addr` and spawns the listener, worker pool and
+    /// writer threads. The returned handle owns the threads; dropping
+    /// it (or calling [`ServerHandle::shutdown`]) stops them.
+    pub fn start(&self, config: &ServerConfig) -> io::Result<ServerHandle> {
+        assert!(config.workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            engines: Arc::clone(&self.engines),
+            requests_served: AtomicU64::new(0),
+            shutdown: Arc::clone(&shutdown),
+            max_frame_len: config.max_frame_len,
+            workers: config.workers as u32,
+        });
+
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let (writer_tx, writer_rx) = mpsc::channel::<WriterMsg>();
+
+        let mut threads = Vec::with_capacity(config.workers + 2);
+
+        {
+            let engines = Arc::clone(&self.engines);
+            threads.push(
+                thread::Builder::new()
+                    .name("iloc-writer".to_string())
+                    .spawn(move || writer_loop(engines, writer_rx))?,
+            );
+        }
+
+        for k in 0..config.workers {
+            let shared = Arc::clone(&shared);
+            let conn_rx = Arc::clone(&conn_rx);
+            let writer_tx = writer_tx.clone();
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("iloc-worker-{k}"))
+                    .spawn(move || worker_loop(shared, conn_rx, writer_tx))?,
+            );
+        }
+        // The writer exits when the last sender drops: the workers
+        // hold the only remaining clones.
+        drop(writer_tx);
+
+        {
+            let shared = Arc::clone(&shared);
+            let idle_poll = config.idle_poll;
+            threads.push(
+                thread::Builder::new()
+                    .name("iloc-listener".to_string())
+                    .spawn(move || listener_loop(listener, shared, conn_tx, idle_poll))?,
+            );
+        }
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            threads,
+        })
+    }
+}
+
+/// A running server: its bound address and its threads.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server: flags shutdown, wakes the listener, joins
+    /// every thread. In-flight frames finish; idle connections close
+    /// within the configured poll interval. Dropping the handle does
+    /// the same.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+
+    /// Blocks until the server stops (which, absent a shutdown from
+    /// another handle-less path, is never) — what the standalone
+    /// binary's main thread does.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the listener's blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn listener_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conn_tx: mpsc::Sender<TcpStream>,
+    idle_poll: Duration,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(idle_poll));
+                if conn_tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failure (EMFILE, aborted handshake):
+                // keep listening.
+            }
+        }
+    }
+    // Dropping conn_tx drains the worker pool: every worker's queue
+    // recv fails once the buffered connections are served.
+}
+
+fn writer_loop(engines: Arc<Engines>, rx: mpsc::Receiver<WriterMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WriterMsg::Submit(mut updates, reply) => {
+                let n = updates.len() as u32;
+                for update in updates.drain(..) {
+                    match update {
+                        WireUpdate::Point(u) => engines.point.submit(u),
+                        WireUpdate::Uncertain(u) => engines.uncertain.submit(u),
+                    }
+                }
+                // Hand the drained vector back with the ack so the
+                // worker's decode buffer keeps its capacity.
+                let _ = reply.send((n, updates));
+            }
+            WriterMsg::Commit(target, reply) => {
+                let report = match target {
+                    CommitTarget::Point => engines.point.commit(),
+                    CommitTarget::Uncertain => engines.uncertain.commit(),
+                };
+                let _ = reply.send(report);
+            }
+        }
+    }
+}
+
+/// Everything one worker reuses across requests — the reason the
+/// steady-state path allocates nothing.
+struct WorkerState {
+    point: ShardServer<PointEngine>,
+    uncertain: ShardServer<UncertainEngine>,
+    point_req: PointRequest,
+    uncertain_req: UncertainRequest,
+    answer: QueryAnswer,
+    updates: Vec<WireUpdate>,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+}
+
+impl WorkerState {
+    fn new(engines: &Engines) -> WorkerState {
+        let placeholder = || Issuer::uniform(Rect::from_coords(0.0, 0.0, 1.0, 1.0));
+        WorkerState {
+            point: ShardServer::new(engines.point.snapshot()),
+            uncertain: ShardServer::new(engines.uncertain.snapshot()),
+            point_req: PointRequest::ipq(placeholder(), RangeSpec::square(1.0)),
+            uncertain_req: UncertainRequest::iuq(placeholder(), RangeSpec::square(1.0)),
+            answer: QueryAnswer::default(),
+            updates: Vec::new(),
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+        }
+    }
+}
+
+fn worker_loop(
+    shared: Arc<Shared>,
+    conn_rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    writer_tx: mpsc::Sender<WriterMsg>,
+) {
+    let mut state = WorkerState::new(&shared.engines);
+    loop {
+        // Holding the lock across the blocking recv is the intended
+        // hand-off: exactly one idle worker waits on the queue, the
+        // rest wait on the mutex.
+        let conn = match conn_rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => break,
+        };
+        let Ok(stream) = conn else { break };
+        match serve_connection(stream, &mut state, &shared, &writer_tx) {
+            Ok(()) | Err(ConnectionEnd::Io) => {}
+            Err(ConnectionEnd::Poisoned) => {
+                // A caught panic may have left buffers mid-flight;
+                // start from a clean slate.
+                state = WorkerState::new(&shared.engines);
+            }
+        }
+    }
+}
+
+/// Why a connection stopped being served.
+enum ConnectionEnd {
+    /// The socket failed or the peer vanished mid-frame.
+    Io,
+    /// A frame handler panicked; the worker state must be rebuilt.
+    Poisoned,
+}
+
+/// Outcome of a blocking read that polls the shutdown flag.
+enum ReadStatus {
+    Done,
+    /// Clean EOF at a frame boundary.
+    Eof,
+    Shutdown,
+}
+
+/// Reads exactly `buf.len()` bytes, re-checking the shutdown flag on
+/// every read-timeout tick. `at_boundary` makes a leading EOF clean
+/// (the peer closed between frames) rather than an error.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    at_boundary: bool,
+) -> io::Result<ReadStatus> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && at_boundary {
+                    Ok(ReadStatus::Eof)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(ReadStatus::Shutdown);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadStatus::Done)
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    state: &mut WorkerState,
+    shared: &Shared,
+    writer_tx: &mpsc::Sender<WriterMsg>,
+) -> Result<(), ConnectionEnd> {
+    let io_end = |_| ConnectionEnd::Io;
+    let mut len_buf = [0u8; 4];
+    loop {
+        match read_full(&mut stream, &mut len_buf, &shared.shutdown, true).map_err(io_end)? {
+            ReadStatus::Done => {}
+            ReadStatus::Eof | ReadStatus::Shutdown => return Ok(()),
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len < 2 || len > shared.max_frame_len {
+            // The stream cannot be re-delimited after a wild length:
+            // answer and close.
+            state.write_buf.clear();
+            protocol::encode_error(
+                &mut state.write_buf,
+                ErrorCode::TooLarge,
+                "frame length out of bounds",
+            );
+            let _ = stream.write_all(&state.write_buf);
+            return Ok(());
+        }
+        state.read_buf.clear();
+        state.read_buf.resize(len as usize, 0);
+        match read_full(&mut stream, &mut state.read_buf, &shared.shutdown, false)
+            .map_err(io_end)?
+        {
+            ReadStatus::Done => {}
+            ReadStatus::Eof => unreachable!("mid-frame EOF maps to an error"),
+            ReadStatus::Shutdown => return Ok(()),
+        }
+        shared.requests_served.fetch_add(1, Ordering::Relaxed);
+
+        state.write_buf.clear();
+        let version = state.read_buf[0];
+        if version != PROTOCOL_VERSION {
+            protocol::encode_error(
+                &mut state.write_buf,
+                ErrorCode::BadVersion,
+                "protocol version mismatch",
+            );
+            let _ = stream.write_all(&state.write_buf);
+            return Ok(());
+        }
+        let op = state.read_buf[1];
+
+        // The payload borrows the read buffer, which must stay intact
+        // while the handler fills the other state fields; park it
+        // locally for the duration of the dispatch.
+        let read_buf = std::mem::take(&mut state.read_buf);
+        let handled = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            handle_frame(op, &read_buf[2..], state, shared, writer_tx)
+        }));
+        state.read_buf = read_buf;
+
+        match handled {
+            Ok(()) => {}
+            Err(_) => {
+                state.write_buf.clear();
+                protocol::encode_error(
+                    &mut state.write_buf,
+                    ErrorCode::Internal,
+                    "request handler panicked",
+                );
+                let _ = stream.write_all(&state.write_buf);
+                return Err(ConnectionEnd::Poisoned);
+            }
+        }
+        stream.write_all(&state.write_buf).map_err(io_end)?;
+    }
+}
+
+/// Serves one frame: decodes the payload, executes, and encodes the
+/// response into `state.write_buf` (cleared by the caller). Every
+/// failure mode becomes an error frame.
+fn handle_frame(
+    op: u8,
+    payload: &[u8],
+    state: &mut WorkerState,
+    shared: &Shared,
+    writer_tx: &mpsc::Sender<WriterMsg>,
+) {
+    match op {
+        opcode::POINT_QUERY => {
+            match protocol::decode_point_query_into(payload, &mut state.point_req) {
+                Ok(()) => {
+                    let snapshot = shared.engines.point.snapshot();
+                    if snapshot.epoch() != state.point.snapshot().epoch() {
+                        state.point.rebind(snapshot);
+                    }
+                    state
+                        .point
+                        .execute_into(&state.point_req, &mut state.answer);
+                    protocol::encode_answer(&mut state.write_buf, &state.answer);
+                }
+                Err(e) => wire_error(&mut state.write_buf, e),
+            }
+        }
+        opcode::UNCERTAIN_QUERY => {
+            match protocol::decode_uncertain_query_into(payload, &mut state.uncertain_req) {
+                Ok(()) => {
+                    let snapshot = shared.engines.uncertain.snapshot();
+                    if snapshot.epoch() != state.uncertain.snapshot().epoch() {
+                        state.uncertain.rebind(snapshot);
+                    }
+                    state
+                        .uncertain
+                        .execute_into(&state.uncertain_req, &mut state.answer);
+                    protocol::encode_answer(&mut state.write_buf, &state.answer);
+                }
+                Err(e) => wire_error(&mut state.write_buf, e),
+            }
+        }
+        opcode::UPDATE_BATCH => {
+            match protocol::decode_update_batch(payload, &mut state.updates) {
+                Ok(()) => {
+                    let updates = std::mem::take(&mut state.updates);
+                    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+                    // The writer outlives the workers by construction;
+                    // failures here mean the server is tearing down.
+                    let sent = writer_tx.send(WriterMsg::Submit(updates, reply_tx));
+                    match sent.ok().and_then(|()| reply_rx.recv().ok()) {
+                        Some((accepted, drained)) => {
+                            state.updates = drained;
+                            protocol::encode_update_ack(&mut state.write_buf, accepted)
+                        }
+                        None => protocol::encode_error(
+                            &mut state.write_buf,
+                            ErrorCode::Internal,
+                            "writer unavailable",
+                        ),
+                    }
+                }
+                Err(e) => wire_error(&mut state.write_buf, e),
+            }
+        }
+        opcode::COMMIT => match protocol::decode_commit(payload) {
+            Ok(target) => {
+                let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+                let sent = writer_tx.send(WriterMsg::Commit(target, reply_tx));
+                match sent.ok().and_then(|()| reply_rx.recv().ok()) {
+                    Some(report) => {
+                        protocol::encode_commit_done(&mut state.write_buf, &report);
+                    }
+                    None => protocol::encode_error(
+                        &mut state.write_buf,
+                        ErrorCode::Internal,
+                        "writer unavailable",
+                    ),
+                }
+            }
+            Err(e) => wire_error(&mut state.write_buf, e),
+        },
+        opcode::STATS => {
+            if !payload.is_empty() {
+                wire_error(&mut state.write_buf, WireError::Malformed("stats payload"));
+                return;
+            }
+            // Read the counter before encoding so the probe excludes
+            // its own response from the reported total.
+            let counters = CountersView {
+                alloc_counting: alloc_count::counting_installed(),
+                allocations: alloc_count::allocations(),
+                requests_served: shared.requests_served.load(Ordering::Relaxed),
+                workers: shared.workers,
+            };
+            let point = shared.engines.point.snapshot();
+            let uncertain = shared.engines.uncertain.snapshot();
+            protocol::encode_stats_report(
+                &mut state.write_buf,
+                counters,
+                (&point, shared.engines.point.pending_len() as u64),
+                (&uncertain, shared.engines.uncertain.pending_len() as u64),
+            );
+        }
+        opcode::PING => {
+            if payload.is_empty() {
+                protocol::encode_empty(&mut state.write_buf, opcode::PONG);
+            } else {
+                wire_error(&mut state.write_buf, WireError::Malformed("ping payload"));
+            }
+        }
+        _ => protocol::encode_error(
+            &mut state.write_buf,
+            ErrorCode::BadOpcode,
+            "unknown request opcode",
+        ),
+    }
+}
+
+/// Encodes a decode failure as an error frame without allocating (the
+/// message is the static string the decoder produced).
+fn wire_error(buf: &mut Vec<u8>, e: WireError) {
+    let message = match e {
+        WireError::Malformed(what) => what,
+        WireError::UnsupportedPdf => "pdf kind not encodable on the wire",
+    };
+    protocol::encode_error(buf, e.into(), message);
+}

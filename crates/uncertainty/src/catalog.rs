@@ -50,6 +50,20 @@ impl UCatalog {
         UCatalog::build(pdf, &DEFAULT_LEVELS)
     }
 
+    /// Recomputes this catalog in place for a new pdf at the default
+    /// levels, **reusing the bound table's storage**. Equivalent to
+    /// replacing `self` with [`UCatalog::build_default`], but free of
+    /// heap allocation once the table has reached six entries — the
+    /// network serving layer decodes issuers into a long-lived slot on
+    /// its per-request hot path through this.
+    pub fn rebuild_default(&mut self, pdf: &dyn LocationPdf) {
+        self.bounds.clear();
+        // DEFAULT_LEVELS is sorted, deduplicated and anchored at 0, so
+        // the result matches `build_default` entry for entry.
+        self.bounds
+            .extend(DEFAULT_LEVELS.iter().map(|&p| PBound::compute(pdf, p)));
+    }
+
     /// All stored bounds, ascending in `p`.
     pub fn bounds(&self) -> &[PBound] {
         &self.bounds
@@ -108,6 +122,15 @@ mod tests {
         let levels: Vec<f64> = c.levels().collect();
         assert_eq!(levels, vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5]);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn rebuild_default_matches_build_default() {
+        let old = UniformPdf::new(Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        let new = UniformPdf::new(Rect::from_coords(5.0, 5.0, 45.0, 25.0));
+        let mut c = UCatalog::build_default(&old);
+        c.rebuild_default(&new);
+        assert_eq!(c, UCatalog::build_default(&new));
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! Loopback integration suite for the network serving layer.
+//!
+//! The contract under test: an answer obtained **over the wire** is
+//! bit-identical ([`QueryAnswer::same_matches`]) to the answer the
+//! in-process engine gives for the same request against the same
+//! epoch — under concurrency, under an interleaved update/commit
+//! stream, and regardless of pipelining. Plus: malformed and truncated
+//! frames are rejected with error frames (never a crash) and do not
+//! disturb other connections.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use iloc::core::pipeline::{PointRequest, UncertainRequest};
+use iloc::core::serve::Update;
+use iloc::core::{CipqStrategy, CiuqStrategy, Issuer, RangeSpec};
+use iloc::geometry::{Point, Rect};
+use iloc::server::protocol::{self, opcode, CommitTarget, ErrorCode, WireUpdate};
+use iloc::server::server::{QueryServer, ServerConfig};
+use iloc::server::{Client, ClientError};
+use iloc::uncertainty::{ObjectId, PointObject, UncertainObject, UniformPdf};
+
+/// A deterministic little scene: a 20×20 point grid and a 6×6 grid of
+/// uncertain boxes, both covering [0, 1000]².
+fn scene() -> (Vec<PointObject>, Vec<UncertainObject>) {
+    let points = (0..400u64)
+        .map(|k| {
+            PointObject::new(
+                k,
+                Point::new((k % 20) as f64 * 50.0 + 10.0, (k / 20) as f64 * 50.0 + 10.0),
+            )
+        })
+        .collect();
+    let uncertain = (0..36u64)
+        .map(|k| {
+            let c = Point::new((k % 6) as f64 * 160.0 + 80.0, (k / 6) as f64 * 160.0 + 80.0);
+            UncertainObject::new(k, UniformPdf::new(Rect::centered(c, 30.0, 30.0)))
+        })
+        .collect();
+    (points, uncertain)
+}
+
+fn start_server(shards: usize, workers: usize) -> (QueryServer, iloc::server::ServerHandle) {
+    let (points, uncertain) = scene();
+    let server = QueryServer::new(points, uncertain, shards);
+    let handle = server
+        .start(&ServerConfig {
+            workers,
+            ..ServerConfig::loopback()
+        })
+        .expect("bind loopback");
+    (server, handle)
+}
+
+fn point_requests(n: usize, salt: u64) -> Vec<PointRequest> {
+    (0..n as u64)
+        .map(|k| {
+            let s = k.wrapping_mul(2654435761).wrapping_add(salt * 97);
+            let c = Point::new((s % 900) as f64 + 50.0, (s / 7 % 900) as f64 + 50.0);
+            let issuer = Issuer::uniform(Rect::centered(c, 60.0, 60.0));
+            if k % 3 == 0 {
+                PointRequest::cipq(
+                    issuer,
+                    RangeSpec::square(90.0),
+                    0.2,
+                    CipqStrategy::PExpanded,
+                )
+            } else {
+                PointRequest::ipq(issuer, RangeSpec::square(90.0))
+            }
+        })
+        .collect()
+}
+
+fn uncertain_requests(n: usize, salt: u64) -> Vec<UncertainRequest> {
+    (0..n as u64)
+        .map(|k| {
+            let s = k.wrapping_mul(40503).wrapping_add(salt * 131);
+            let c = Point::new((s % 800) as f64 + 100.0, (s / 11 % 800) as f64 + 100.0);
+            let issuer = Issuer::uniform(Rect::centered(c, 80.0, 80.0));
+            if k % 2 == 0 {
+                UncertainRequest::iuq(issuer, RangeSpec::square(150.0))
+            } else {
+                UncertainRequest::ciuq(
+                    issuer,
+                    RangeSpec::square(150.0),
+                    0.25,
+                    CiuqStrategy::PtiPExpanded,
+                )
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_match_in_process_execution() {
+    let (server, handle) = start_server(4, 6);
+    let engines = server.engines();
+    let addr = handle.addr();
+
+    let clients: Vec<_> = (0..4u64)
+        .map(|c| {
+            let engines = Arc::clone(&engines);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let point_snapshot = engines.point.snapshot();
+                let uncertain_snapshot = engines.uncertain.snapshot();
+                for (k, request) in point_requests(24, c).iter().enumerate() {
+                    let got = client.point_query(request).expect("point query");
+                    let want = point_snapshot.execute_one(request);
+                    assert!(got.same_matches(&want), "client {c} point request {k}");
+                }
+                for (k, request) in uncertain_requests(12, c).iter().enumerate() {
+                    let got = client.uncertain_query(request).expect("uncertain query");
+                    let want = uncertain_snapshot.execute_one(request);
+                    assert!(got.same_matches(&want), "client {c} uncertain request {k}");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_batch_matches_sequential_calls() {
+    let (server, handle) = start_server(2, 2);
+    let engines = server.engines();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let requests = point_requests(100, 9);
+    let mut batched = Vec::new();
+    client
+        .point_query_batch_into(&requests, &mut batched, 16)
+        .expect("batch");
+    assert_eq!(batched.len(), requests.len());
+    let snapshot = engines.point.snapshot();
+    for (k, (request, got)) in requests.iter().zip(&batched).enumerate() {
+        assert!(
+            got.same_matches(&snapshot.execute_one(request)),
+            "request {k}"
+        );
+        assert!(
+            got.same_matches(&client.point_query(request).unwrap()),
+            "request {k} vs one-shot"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn interleaved_updates_and_commits_stay_bit_identical() {
+    let (server, handle) = start_server(3, 4);
+    let engines = server.engines();
+    let mut writer = Client::connect(handle.addr()).expect("connect writer");
+    let mut reader = Client::connect(handle.addr()).expect("connect reader");
+
+    let requests = point_requests(12, 3);
+    let mut next_id = 10_000u64;
+    for round in 0..8u64 {
+        // A batch of arrivals, moves and departures...
+        let mut updates = Vec::new();
+        for j in 0..20u64 {
+            let k = round * 20 + j;
+            match k % 4 {
+                0 => {
+                    updates.push(WireUpdate::Point(Update::Arrive(PointObject::new(
+                        next_id,
+                        Point::new((k * 37 % 1000) as f64, (k * 53 % 1000) as f64),
+                    ))));
+                    next_id += 1;
+                }
+                1 => updates.push(WireUpdate::Point(Update::Move(PointObject::new(
+                    k % 400,
+                    Point::new((k * 71 % 1000) as f64, (k * 29 % 1000) as f64),
+                )))),
+                2 => updates.push(WireUpdate::Point(Update::Depart(ObjectId(k * 13 % 500)))),
+                _ => updates.push(WireUpdate::Uncertain(Update::Move(UncertainObject::new(
+                    k % 36,
+                    UniformPdf::new(Rect::centered(
+                        Point::new((k * 91 % 900) as f64 + 50.0, (k * 17 % 900) as f64 + 50.0),
+                        25.0,
+                        25.0,
+                    )),
+                )))),
+            }
+        }
+        let accepted = writer.submit(&updates).expect("submit");
+        assert_eq!(accepted as usize, updates.len());
+
+        // ...committed as one epoch per catalog.
+        let report = writer.commit(CommitTarget::Point).expect("commit point");
+        assert_eq!(report.epoch, round + 1);
+        writer
+            .commit(CommitTarget::Uncertain)
+            .expect("commit uncertain");
+
+        // Queries through a *different* connection (hence a different
+        // worker, which must rebind to the new epoch) match in-process
+        // execution on the same engines.
+        let point_snapshot = engines.point.snapshot();
+        assert_eq!(point_snapshot.epoch(), round + 1);
+        for (k, request) in requests.iter().enumerate() {
+            let got = reader.point_query(request).expect("read-after-commit");
+            assert!(
+                got.same_matches(&point_snapshot.execute_one(request)),
+                "round {round} request {k}"
+            );
+        }
+        let uncertain_snapshot = engines.uncertain.snapshot();
+        for (k, request) in uncertain_requests(6, round).iter().enumerate() {
+            let got = reader.uncertain_query(request).expect("uncertain");
+            assert!(
+                got.same_matches(&uncertain_snapshot.execute_one(request)),
+                "round {round} uncertain {k}"
+            );
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn stats_frame_reports_epochs_sizes_and_shards() {
+    let (server, handle) = start_server(5, 2);
+    let engines = server.engines();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.point.epoch, 0);
+    assert_eq!(stats.point.len, 400);
+    assert_eq!(stats.point.shard_sizes.len(), 5);
+    assert_eq!(stats.point.shard_sizes.iter().sum::<u64>(), 400);
+    assert_eq!(stats.uncertain.len, 36);
+    assert_eq!(stats.uncertain.shard_sizes.len(), 5);
+    assert_eq!(stats.point.pending, 0);
+    // Tests don't register the counting allocator.
+    assert!(!stats.alloc_counting);
+    assert!(stats.requests_served >= 1);
+
+    // Pending counts surface before a commit, epochs after.
+    client
+        .submit(&[WireUpdate::Point(Update::Depart(ObjectId(0)))])
+        .expect("submit");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.point.pending, 1);
+    client.commit(CommitTarget::Point).expect("commit");
+    let stats = client.stats().expect("stats");
+    assert_eq!((stats.point.pending, stats.point.epoch), (0, 1));
+    assert_eq!(stats.point.len, 399);
+    assert_eq!(engines.point.len(), 399);
+
+    handle.shutdown();
+}
+
+/// Writes raw bytes and returns the first response frame, if any.
+fn raw_exchange(addr: std::net::SocketAddr, bytes: &[u8]) -> Option<(u8, u8, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr).expect("connect raw");
+    stream.set_nodelay(true).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    stream.write_all(bytes).expect("write raw");
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf).ok()?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    let mut frame = vec![0u8; len];
+    stream.read_exact(&mut frame).ok()?;
+    Some((frame[0], frame[1], frame[2..].to_vec()))
+}
+
+#[test]
+fn malformed_and_truncated_frames_are_rejected() {
+    let (_server, handle) = start_server(2, 3);
+    let addr = handle.addr();
+
+    // Wrong version: error frame, code BadVersion.
+    let mut frame = 2u32.to_le_bytes().to_vec();
+    frame.extend_from_slice(&[99, opcode::PING]);
+    let (_, op, payload) = raw_exchange(addr, &frame).expect("response");
+    assert_eq!(op, opcode::ERROR);
+    assert_eq!(payload[0], ErrorCode::BadVersion as u8);
+
+    // Unknown opcode: error frame, connection stays usable.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut bad = 2u32.to_le_bytes().to_vec();
+        bad.extend_from_slice(&[protocol::PROTOCOL_VERSION, 0x55]);
+        stream.write_all(&bad).unwrap();
+        let mut len_buf = [0u8; 4];
+        stream.read_exact(&mut len_buf).unwrap();
+        let mut frame = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+        stream.read_exact(&mut frame).unwrap();
+        assert_eq!(frame[1], opcode::ERROR);
+        assert_eq!(frame[2], ErrorCode::BadOpcode as u8);
+        // Same connection still answers a well-formed ping.
+        let mut ping = Vec::new();
+        protocol::encode_empty(&mut ping, opcode::PING);
+        stream.write_all(&ping).unwrap();
+        stream.read_exact(&mut len_buf).unwrap();
+        let mut frame = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+        stream.read_exact(&mut frame).unwrap();
+        assert_eq!(frame[1], opcode::PONG);
+    }
+
+    // Truncated payload inside a well-formed frame: Malformed, and the
+    // connection keeps serving.
+    {
+        let mut client = Client::connect(addr).unwrap();
+        let mut good = Vec::new();
+        protocol::encode_point_query(
+            &mut good,
+            &PointRequest::ipq(
+                Issuer::uniform(Rect::from_coords(0.0, 0.0, 100.0, 100.0)),
+                RangeSpec::square(50.0),
+            ),
+        )
+        .unwrap();
+        // Chop the payload but keep the frame self-consistent.
+        let chopped_payload_len = (good.len() - 6) / 2;
+        let mut truncated = ((chopped_payload_len + 2) as u32).to_le_bytes().to_vec();
+        truncated.extend_from_slice(&good[4..6 + chopped_payload_len]);
+        let (_, op, payload) = raw_exchange(addr, &truncated).expect("response");
+        assert_eq!(op, opcode::ERROR);
+        assert_eq!(payload[0], ErrorCode::Malformed as u8);
+        // Other connections were never disturbed.
+        client.ping().expect("ping");
+    }
+
+    // A wild length prefix: TooLarge, then the server closes.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(&u32::MAX.to_le_bytes())
+            .expect("write length");
+        let mut len_buf = [0u8; 4];
+        stream.read_exact(&mut len_buf).unwrap();
+        let mut frame = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+        stream.read_exact(&mut frame).unwrap();
+        assert_eq!(frame[1], opcode::ERROR);
+        assert_eq!(frame[2], ErrorCode::TooLarge as u8);
+        match stream.read(&mut len_buf) {
+            Ok(0) | Err(_) => {} // closed (FIN or RST) — both fine
+            Ok(n) => panic!("server kept talking ({n} bytes) after an undelimitable frame"),
+        }
+    }
+
+    // Half a frame then disconnect: the server must shrug it off and
+    // keep serving new connections.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&100u32.to_le_bytes()).unwrap();
+        stream.write_all(&[1, 2, 3]).unwrap();
+        drop(stream);
+        let mut client = Client::connect(addr).unwrap();
+        client.ping().expect("server survived a hangup mid-frame");
+    }
+
+    // Unencodable request: rejected client-side, nothing sent.
+    {
+        let mut client = Client::connect(addr).unwrap();
+        let request = PointRequest::ipq(
+            Issuer::with_pdf(iloc::uncertainty::PdfKind::shared(UniformPdf::new(
+                Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            ))),
+            RangeSpec::square(1.0),
+        );
+        match client.point_query(&request) {
+            Err(ClientError::Wire(protocol::WireError::UnsupportedPdf)) => {}
+            other => panic!("expected UnsupportedPdf, got {other:?}"),
+        }
+        client.ping().expect("connection unharmed");
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn snapshot_pinning_never_shows_torn_epochs_over_the_wire() {
+    // One query's result set is flipped between "all present" and "all
+    // departed" by commits while reader clients hammer the server; a
+    // partial result set would mean a worker read a torn epoch.
+    let (server, handle) = start_server(4, 5);
+    let engines = server.engines();
+    let addr = handle.addr();
+    let request = PointRequest::ipq(
+        Issuer::uniform(Rect::centered(Point::new(260.0, 260.0), 60.0, 60.0)),
+        RangeSpec::square(90.0),
+    );
+    let full = engines.point.snapshot().execute_one(&request);
+    assert!(full.results.len() >= 4);
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let request = request.clone();
+            let want = full.results.len();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect reader");
+                let mut answer = Default::default();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    client
+                        .point_query_into(&request, &mut answer)
+                        .expect("query");
+                    let n = answer.results.len();
+                    assert!(
+                        n == want || n == 0,
+                        "torn epoch over the wire: {n} of {want}"
+                    );
+                }
+            })
+        })
+        .collect();
+
+    let mut writer = Client::connect(addr).expect("connect writer");
+    for _ in 0..10 {
+        let departs: Vec<WireUpdate> = full
+            .results
+            .iter()
+            .map(|m| WireUpdate::Point(Update::Depart(m.id)))
+            .collect();
+        writer.submit(&departs).unwrap();
+        writer.commit(CommitTarget::Point).unwrap();
+        let arrivals: Vec<WireUpdate> = full
+            .results
+            .iter()
+            .map(|m| {
+                let k = m.id.0;
+                WireUpdate::Point(Update::Arrive(PointObject::new(
+                    m.id,
+                    Point::new((k % 20) as f64 * 50.0 + 10.0, (k / 20) as f64 * 50.0 + 10.0),
+                )))
+            })
+            .collect();
+        writer.submit(&arrivals).unwrap();
+        writer.commit(CommitTarget::Point).unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for r in readers {
+        r.join().expect("reader");
+    }
+    assert_eq!(engines.point.epoch(), 20);
+    handle.shutdown();
+}
