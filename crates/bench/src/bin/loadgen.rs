@@ -3,17 +3,20 @@
 //! ```text
 //! cargo run --release -p iloc-bench --bin loadgen -- [flags]
 //!
+//! --scenario NAME   net (default): mixed query/update traffic
+//!                   subscribers: standing continuous queries ticking
+//!                   while an updater commits
 //! --addr HOST:PORT  drive an external server (e.g. the `iloc-server`
 //!                   binary); without it an in-process loopback server
 //!                   is spawned
 //! --quick           CI-smoke scale (default: full paper scale)
-//! --clients N       query connections            (default 4/8)
+//! --clients N       query connections / subscribers  (default 4/8)
 //! --shards N        shards per catalog           (in-process only)
 //! --workers N       server worker threads        (in-process only)
-//! --queries N       queries per client (mixed window)
+//! --queries N       queries (ticks) per client in the mixed window
 //! --rounds N        update batches during the window
 //! --updates N       updates per batch
-//! --steady N        queries in the alloc-gated steady window
+//! --steady N        queries (ticks) in the alloc-gated steady window
 //! --seed N          workload seed (default 2007)
 //! --check-allocs    exit non-zero unless the steady window performed
 //!                   exactly zero server-side allocations per request
@@ -22,11 +25,15 @@
 //! The allocation gate reads the **server's own counter** over the
 //! wire (stats frames bracketing the steady window), so it works
 //! identically against the in-process server and a separate
-//! `iloc-server` process — the CI smoke job runs the latter.
+//! `iloc-server` process — the CI smoke job runs both scenarios
+//! against a real server binary. For the `subscribers` scenario the
+//! steady window is a fixed-position tick loop: motion inside the safe
+//! envelope with no commits, gated at **zero allocations per tick**.
 
 use std::net::SocketAddr;
 
 use iloc_bench::net::{run_against, run_in_process, NetConfig};
+use iloc_bench::subscribers::{self, SubscribersConfig};
 use iloc_server::alloc_count::{self, CountingAllocator};
 
 #[global_allocator]
@@ -54,6 +61,19 @@ fn main() {
     };
 
     let quick = flag("--quick");
+    let scenario = value("--scenario").unwrap_or_else(|| "net".to_string());
+    match scenario.as_str() {
+        "net" => {}
+        "subscribers" => {
+            run_subscribers(quick, &flag, &value, &number);
+            return;
+        }
+        other => {
+            eprintln!("unknown --scenario {other} (expected: net, subscribers)");
+            std::process::exit(2);
+        }
+    }
+
     let mut cfg = if quick {
         NetConfig::quick()
     } else {
@@ -136,5 +156,98 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("OK: zero steady-state allocations per request");
+    }
+}
+
+/// The `subscribers` scenario: standing continuous queries ticking
+/// along random walks while an updater commits churn, with a steady
+/// fixed-position tick window gated at zero server allocations.
+fn run_subscribers(
+    quick: bool,
+    flag: &dyn Fn(&str) -> bool,
+    value: &dyn Fn(&str) -> Option<String>,
+    number: &dyn Fn(&str, usize) -> usize,
+) {
+    let mut cfg = if quick {
+        SubscribersConfig::quick()
+    } else {
+        SubscribersConfig::full()
+    };
+    cfg.subscribers = number("--clients", cfg.subscribers);
+    cfg.shards = number("--shards", cfg.shards);
+    cfg.workers = number("--workers", cfg.workers);
+    cfg.points = number("--points", cfg.points);
+    cfg.ticks_per_sub = number("--queries", cfg.ticks_per_sub);
+    cfg.update_rounds = number("--rounds", cfg.update_rounds);
+    cfg.updates_per_round = number("--updates", cfg.updates_per_round);
+    cfg.steady_ticks = number("--steady", cfg.steady_ticks);
+    cfg.seed = number("--seed", cfg.seed as usize) as u64;
+
+    let report = match value("--addr") {
+        Some(addr) => {
+            let addr: SocketAddr = addr.parse().unwrap_or_else(|e| {
+                eprintln!("invalid --addr {addr}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!(
+                "subscribers: driving external server at {addr} with {} standing queries",
+                cfg.subscribers
+            );
+            subscribers::run_against(addr, &cfg)
+        }
+        None => {
+            eprintln!(
+                "subscribers: in-process loopback server ({} points, {} shards, {} workers)",
+                cfg.points,
+                cfg.shards,
+                cfg.resolved_workers()
+            );
+            subscribers::run_in_process(&cfg)
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("subscribers loadgen failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "subscribers: {} ticks from {} standing queries in {:.3}s -> {:.0} ticks/s \
+         (p50 {:.1}us, p99 {:.1}us)",
+        report.ticks,
+        report.subscribers,
+        report.elapsed.as_secs_f64(),
+        report.ticks_per_sec(),
+        report.p50.as_secs_f64() * 1e6,
+        report.p99.as_secs_f64() * 1e6,
+    );
+    println!(
+        "     {} updates in {} commits interleaved; {} pushed NOTIFYs, {} delta entries applied",
+        report.updates_submitted, report.commits, report.pushes, report.delta_entries
+    );
+    if report.alloc_counting {
+        println!(
+            "     steady window: {} ticks, {:.3} server allocations/tick",
+            report.steady_ticks, report.steady_allocs_per_tick
+        );
+    } else {
+        println!(
+            "     steady window: {} ticks (server does not count allocations)",
+            report.steady_ticks
+        );
+    }
+
+    if flag("--check-allocs") {
+        if !report.alloc_counting {
+            eprintln!("FAIL: --check-allocs needs a server that counts allocations");
+            std::process::exit(1);
+        }
+        if report.steady_allocs_per_tick > 0.0 {
+            eprintln!(
+                "FAIL: steady-state tick path performed {:.3} allocations/tick (expected 0)",
+                report.steady_allocs_per_tick
+            );
+            std::process::exit(1);
+        }
+        eprintln!("OK: zero steady-state allocations per tick");
     }
 }

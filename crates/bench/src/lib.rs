@@ -21,7 +21,9 @@ pub mod config;
 pub mod experiments;
 pub mod harness;
 pub mod net;
+pub mod subscribers;
 
 pub use config::{Scale, TestBed};
 pub use harness::{Row, Summary};
 pub use net::{NetConfig, NetReport};
+pub use subscribers::{SubscribersConfig, SubscribersReport};

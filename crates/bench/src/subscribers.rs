@@ -1,0 +1,465 @@
+//! The `subscribers` load-generation scenario: N moving issuers each
+//! holding a standing continuous query, ticking along random walks
+//! while one updater connection commits catalog churn — the
+//! subscription subsystem under its intended workload.
+//!
+//! Two measured phases:
+//!
+//! 1. **Mixed window** — every subscriber registers one standing point
+//!    query with a safe-envelope slack, then ticks its issuer along a
+//!    seeded random walk, applying the tick deltas and any
+//!    commit-pushed NOTIFY frames to its local answer copy, while the
+//!    updater interleaves arrival/departure/move batches and epoch
+//!    commits. Yields tick throughput under churn, round-trip
+//!    percentiles, and push counts.
+//! 2. **Steady window** — one warm subscriber ticks at a *fixed*
+//!    position (guaranteed inside its envelope) with no commits
+//!    running, bracketed by two stats frames; the server-reported
+//!    allocation delta divided by the tick count is the
+//!    **allocations-per-tick** figure the CI smoke job gates at zero.
+//!    This pins the tentpole invariant: a steady-state tick performs
+//!    zero index probes and zero heap allocations server-side.
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use iloc_core::pipeline::PointRequest;
+use iloc_core::serve::Update;
+use iloc_core::{Issuer, RangeSpec};
+use iloc_datagen::{PointUpdate, PointUpdateGen, UpdateMix};
+use iloc_geometry::Rect;
+use iloc_server::client::{Client, ClientError};
+use iloc_server::protocol::{CommitTarget, Notification, NotifyCause, StatsReport, WireUpdate};
+use iloc_server::server::QueryServer;
+use iloc_uncertainty::{ObjectId, PointObject};
+
+use crate::net::{build_server, NetConfig};
+
+/// Paper Table 2 defaults shared with the other scenarios.
+const U: f64 = 250.0;
+const W: f64 = 500.0;
+
+/// Connect retry budget (the CI smoke job races the server's catalog
+/// build).
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Tunables for one subscribers run.
+#[derive(Debug, Clone)]
+pub struct SubscribersConfig {
+    /// Subscriber connections, one standing query each.
+    pub subscribers: usize,
+    /// Shards per catalog (in-process server only).
+    pub shards: usize,
+    /// Worker threads (in-process server only); 0 means
+    /// `subscribers + 2` so no connection queues behind another.
+    pub workers: usize,
+    /// Point-catalog size (in-process server only).
+    pub points: usize,
+    /// Safe-envelope slack in space units.
+    pub slack: f64,
+    /// Random-walk step per tick (small against `slack`, so most
+    /// ticks stay inside the envelope).
+    pub step: f64,
+    /// Ticks per subscriber in the measured mixed window.
+    pub ticks_per_sub: usize,
+    /// Update batches the updater commits during the mixed window.
+    pub update_rounds: usize,
+    /// Updates per batch (each batch is followed by a commit).
+    pub updates_per_round: usize,
+    /// Ticks in the alloc-gated steady window.
+    pub steady_ticks: usize,
+    /// Warm-up ticks per connection before any measurement.
+    pub warmup: usize,
+    /// Workload seed (shared with the server's dataset seed).
+    pub seed: u64,
+}
+
+impl SubscribersConfig {
+    /// CI-smoke scale.
+    pub fn quick() -> Self {
+        SubscribersConfig {
+            subscribers: 4,
+            shards: 4,
+            workers: 0,
+            points: 6_200,
+            slack: 400.0,
+            step: 40.0,
+            ticks_per_sub: 192,
+            update_rounds: 8,
+            updates_per_round: 96,
+            steady_ticks: 512,
+            warmup: 64,
+            seed: 2007,
+        }
+    }
+
+    /// Paper-scale catalog, the tracked-report configuration.
+    pub fn full() -> Self {
+        SubscribersConfig {
+            subscribers: 8,
+            shards: 4,
+            workers: 0,
+            points: iloc_datagen::CALIFORNIA_SIZE,
+            slack: 400.0,
+            step: 40.0,
+            ticks_per_sub: 384,
+            update_rounds: 16,
+            updates_per_round: 512,
+            steady_ticks: 2_048,
+            warmup: 128,
+            seed: 2007,
+        }
+    }
+
+    /// The worker count an in-process server uses.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            // One per subscriber, one for the updater, one control.
+            self.subscribers + 2
+        } else {
+            self.workers
+        }
+    }
+
+    /// The equivalent `NetConfig` for building the in-process server
+    /// (same datasets, sizes, seed as the `net` scenario).
+    fn as_net(&self) -> NetConfig {
+        let mut net = NetConfig::quick();
+        net.points = self.points;
+        net.uncertain = 64; // tiny; this scenario drives the point catalog
+        net.shards = self.shards;
+        net.seed = self.seed;
+        net
+    }
+}
+
+/// What one subscribers run measured.
+#[derive(Debug, Clone)]
+pub struct SubscribersReport {
+    /// Subscriber connections driven.
+    pub subscribers: usize,
+    /// Total ticks answered in the mixed window.
+    pub ticks: usize,
+    /// Wall clock of the mixed window.
+    pub elapsed: Duration,
+    /// Median client-observed tick round trip.
+    pub p50: Duration,
+    /// 99th-percentile tick round trip.
+    pub p99: Duration,
+    /// Commit-pushed NOTIFY frames received across all subscribers.
+    pub pushes: usize,
+    /// Upserts + removals applied across all deltas (tick + push).
+    pub delta_entries: usize,
+    /// Updates the updater submitted.
+    pub updates_submitted: usize,
+    /// Epoch commits during the window.
+    pub commits: usize,
+    /// Ticks in the steady (alloc-gated) window.
+    pub steady_ticks: usize,
+    /// Server-side allocations per tick across the steady window
+    /// (−1.0 when the server does not count allocations).
+    pub steady_allocs_per_tick: f64,
+    /// Whether the server counts allocations at all.
+    pub alloc_counting: bool,
+}
+
+impl SubscribersReport {
+    /// Mixed-window tick throughput per second.
+    pub fn ticks_per_sec(&self) -> f64 {
+        self.ticks as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Spawns an in-process loopback server, drives it, shuts it down.
+pub fn run_in_process(cfg: &SubscribersConfig) -> Result<SubscribersReport, ClientError> {
+    let server: QueryServer = build_server(&cfg.as_net());
+    let handle = server
+        .start(&iloc_server::server::ServerConfig {
+            workers: cfg.resolved_workers(),
+            ..iloc_server::server::ServerConfig::loopback()
+        })
+        .map_err(ClientError::Io)?;
+    let report = run_against(handle.addr(), cfg);
+    handle.shutdown();
+    report
+}
+
+/// A deterministic random walk over the unit square scaled to the
+/// dataset domain, mirrored off the walls.
+struct Walk {
+    x: f64,
+    y: f64,
+    dx: f64,
+    dy: f64,
+}
+
+impl Walk {
+    fn new(seed: u64, step: f64) -> Walk {
+        let mix = |k: u64| {
+            let mut x = seed.wrapping_add(k).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^= x >> 29;
+            x.wrapping_mul(0xBF58_476D_1CE4_E5B9) >> 11
+        };
+        let unit = |v: u64| (v % 10_000) as f64 / 10_000.0;
+        Walk {
+            x: 1_000.0 + unit(mix(1)) * 8_000.0,
+            y: 1_000.0 + unit(mix(2)) * 8_000.0,
+            dx: (unit(mix(3)) - 0.5) * 2.0 * step,
+            dy: (unit(mix(4)) - 0.5) * 2.0 * step,
+        }
+    }
+
+    fn advance(&mut self) -> (f64, f64) {
+        self.x += self.dx;
+        self.y += self.dy;
+        if !(0.0..=10_000.0).contains(&self.x) {
+            self.dx = -self.dx;
+            self.x += 2.0 * self.dx;
+        }
+        if !(0.0..=10_000.0).contains(&self.y) {
+            self.dy = -self.dy;
+            self.y += 2.0 * self.dy;
+        }
+        (self.x, self.y)
+    }
+}
+
+fn issuer_at(x: f64, y: f64) -> Issuer {
+    // Same issuer shape as the other scenarios: a square region of
+    // half-size `u` (paper Table 2).
+    Issuer::uniform(Rect::centered(iloc_geometry::Point::new(x, y), U, U))
+}
+
+/// One mixed-window subscriber: subscribes, walks, ticks, applies
+/// every delta in wire order, and sanity-checks the composed state.
+fn subscriber_run(
+    addr: SocketAddr,
+    cfg: &SubscribersConfig,
+    salt: u64,
+    start: &Barrier,
+) -> Result<(Vec<Duration>, usize, usize), ClientError> {
+    let mut client = Client::connect_retry(addr, CONNECT_TIMEOUT)?;
+    let mut walk = Walk::new(cfg.seed.wrapping_add(salt * 7919), cfg.step);
+    let (x0, y0) = walk.advance();
+    let request = PointRequest::ipq(issuer_at(x0, y0), RangeSpec::square(W));
+    let (sub_id, mut answer) = client.subscribe_point(&request, cfg.slack)?;
+
+    let mut note = Notification::default();
+    let mut latencies = Vec::with_capacity(cfg.ticks_per_sub);
+    let mut pushes = 0usize;
+    let mut delta_entries = 0usize;
+    let apply =
+        |answer: &mut iloc_core::QueryAnswer, note: &Notification, delta_entries: &mut usize| {
+            *delta_entries += note.delta.upserts.len() + note.delta.removals.len();
+            note.delta.apply(&mut answer.results);
+        };
+
+    for _ in 0..cfg.warmup {
+        let (x, y) = walk.advance();
+        client.tick_into(
+            CommitTarget::Point,
+            sub_id,
+            issuer_at(x, y).pdf(),
+            &mut note,
+        )?;
+        while let Some(push) = client.take_notification() {
+            pushes += 1;
+            apply(&mut answer, &push, &mut delta_entries);
+        }
+        apply(&mut answer, &note, &mut delta_entries);
+    }
+    start.wait();
+    for _ in 0..cfg.ticks_per_sub {
+        let (x, y) = walk.advance();
+        let t0 = Instant::now();
+        client.tick_into(
+            CommitTarget::Point,
+            sub_id,
+            issuer_at(x, y).pdf(),
+            &mut note,
+        )?;
+        latencies.push(t0.elapsed());
+        // Pushes that raced ahead of the response arrived first on the
+        // wire; deltas compose in that order.
+        while let Some(push) = client.take_notification() {
+            debug_assert_eq!(push.cause, NotifyCause::Commit);
+            pushes += 1;
+            apply(&mut answer, &push, &mut delta_entries);
+        }
+        apply(&mut answer, &note, &mut delta_entries);
+        debug_assert!(answer.results.windows(2).all(|w| w[0].id < w[1].id));
+    }
+    client.unsubscribe(CommitTarget::Point, sub_id)?;
+    Ok((latencies, pushes, delta_entries))
+}
+
+/// The updater: one arrive/depart/move batch + one commit per round.
+fn updater_run(
+    addr: SocketAddr,
+    cfg: &SubscribersConfig,
+    start: &Barrier,
+) -> Result<(usize, usize), ClientError> {
+    let mut client = Client::connect_retry(addr, CONNECT_TIMEOUT)?;
+    let (_, mut gen) = PointUpdateGen::over_california(cfg.points, cfg.seed, UpdateMix::balanced());
+    let mut submitted = 0usize;
+    let mut commits = 0usize;
+    start.wait();
+    for _ in 0..cfg.update_rounds {
+        let updates: Vec<WireUpdate> = gen
+            .stream(cfg.updates_per_round)
+            .into_iter()
+            .map(|u| {
+                WireUpdate::Point(match u {
+                    PointUpdate::Arrive { id, loc } => Update::Arrive(PointObject::new(id, loc)),
+                    PointUpdate::Depart { id } => Update::Depart(ObjectId(id)),
+                    PointUpdate::Move { id, to } => Update::Move(PointObject::new(id, to)),
+                })
+            })
+            .collect();
+        submitted += client.submit(&updates)? as usize;
+        client.commit(CommitTarget::Point)?;
+        commits += 1;
+    }
+    Ok((submitted, commits))
+}
+
+/// Drives a server at `addr` through the mixed and steady windows.
+/// Opens `subscribers + 2` connections; like the `net` scenario, the
+/// subscriber count is clamped to the server's reported worker pool.
+pub fn run_against(
+    addr: SocketAddr,
+    cfg: &SubscribersConfig,
+) -> Result<SubscribersReport, ClientError> {
+    let mut control = Client::connect_retry(addr, CONNECT_TIMEOUT)?;
+    let workers = control.stats()?.workers as usize;
+    if workers < 3 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("server has {workers} worker(s); the subscribers scenario needs at least 3"),
+        )));
+    }
+    let sub_count = if cfg.subscribers + 2 > workers {
+        let clamped = workers - 2;
+        eprintln!(
+            "subscribers: server serves {workers} connections concurrently; \
+             clamping {} subscribers to {clamped}",
+            cfg.subscribers
+        );
+        clamped
+    } else {
+        cfg.subscribers
+    };
+
+    // --- Mixed window -------------------------------------------------
+    let start = Arc::new(Barrier::new(sub_count + 2));
+    let subscribers: Vec<_> = (0..sub_count as u64)
+        .map(|s| {
+            let cfg = cfg.clone();
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || subscriber_run(addr, &cfg, s, &start))
+        })
+        .collect();
+    let updater = {
+        let cfg = cfg.clone();
+        let start = Arc::clone(&start);
+        std::thread::spawn(move || updater_run(addr, &cfg, &start))
+    };
+    start.wait();
+    let t0 = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut pushes = 0usize;
+    let mut delta_entries = 0usize;
+    for s in subscribers {
+        let (lat, p, d) = s.join().expect("subscriber thread")?;
+        latencies.extend(lat);
+        pushes += p;
+        delta_entries += d;
+    }
+    let (updates_submitted, commits) = updater.join().expect("updater thread")?;
+    let elapsed = t0.elapsed();
+    latencies.sort_unstable();
+
+    // --- Steady window (alloc-gated) ----------------------------------
+    // One fresh standing query ticked at a fixed position: after the
+    // warm-up the envelope is cached, no commits run, so every tick
+    // must be probe-free and allocation-free server-side.
+    let request = PointRequest::ipq(issuer_at(5_000.0, 5_000.0), RangeSpec::square(W));
+    let (sub_id, _) = control.subscribe_point(&request, cfg.slack)?;
+    let pdf = request.issuer.pdf().clone();
+    let mut note = Notification::default();
+    let mut s1 = StatsReport::default();
+    let mut s2 = StatsReport::default();
+    for _ in 0..cfg.warmup.max(32) {
+        control.tick_into(CommitTarget::Point, sub_id, &pdf, &mut note)?;
+    }
+    control.stats_into(&mut s1)?; // also warms the report buffers
+    control.stats_into(&mut s1)?;
+    for _ in 0..cfg.steady_ticks {
+        control.tick_into(CommitTarget::Point, sub_id, &pdf, &mut note)?;
+        debug_assert!(note.delta.is_empty());
+    }
+    control.stats_into(&mut s2)?;
+    control.unsubscribe(CommitTarget::Point, sub_id)?;
+
+    let steady_allocs_per_tick = if s1.alloc_counting {
+        (s2.allocations - s1.allocations) as f64 / cfg.steady_ticks.max(1) as f64
+    } else {
+        -1.0
+    };
+
+    let percentile = |q: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        latencies[((latencies.len() - 1) as f64 * q).round() as usize]
+    };
+
+    Ok(SubscribersReport {
+        subscribers: sub_count,
+        ticks: sub_count * cfg.ticks_per_sub,
+        elapsed,
+        p50: percentile(0.50),
+        p99: percentile(0.99),
+        pushes,
+        delta_entries,
+        updates_submitted,
+        commits,
+        steady_ticks: cfg.steady_ticks,
+        steady_allocs_per_tick,
+        alloc_counting: s1.alloc_counting,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_in_process_subscribers_round_trips() {
+        let cfg = SubscribersConfig {
+            subscribers: 2,
+            shards: 2,
+            workers: 0,
+            points: 400,
+            slack: 300.0,
+            step: 30.0,
+            ticks_per_sub: 16,
+            update_rounds: 2,
+            updates_per_round: 8,
+            steady_ticks: 24,
+            warmup: 4,
+            seed: 7,
+        };
+        let report = run_in_process(&cfg).expect("subscribers loadgen");
+        assert_eq!(report.subscribers, 2);
+        assert_eq!(report.ticks, 32);
+        assert_eq!(report.commits, 2);
+        assert_eq!(report.updates_submitted, 16);
+        assert!(report.p99 >= report.p50);
+        // The test binary doesn't install the counting allocator, and
+        // the report says so instead of faking a zero.
+        assert!(!report.alloc_counting);
+        assert_eq!(report.steady_allocs_per_tick, -1.0);
+    }
+}

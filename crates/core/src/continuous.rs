@@ -15,48 +15,25 @@
 //!
 //! Answers are bit-identical to fresh snapshot evaluation (tests
 //! assert this); only the index I/O changes.
+//!
+//! [`ContinuousIpq`] is the in-process form, borrowing one static
+//! [`PointEngine`]. The serving-scale form — standing queries that own
+//! epoch snapshots of a dynamic [`crate::serve::ShardedEngine`] and
+//! re-evaluate incrementally on commits — is
+//! [`crate::subscribe::SubscriptionRegistry`], which shares this
+//! module's envelope cache machinery.
 
 use iloc_geometry::Rect;
-use iloc_index::{AccessStats, TraversalScratch};
-use iloc_uncertainty::PointObject;
+use iloc_index::AccessStats;
 
 use crate::engine::PointEngine;
 use crate::integrate::Integrator;
 use crate::pipeline::{
-    AcceptPolicy, EvaluatorKind, ExecutionContext, FilterStage, PreparedQuery, PruneChain,
-    QueryPipeline,
+    AcceptPolicy, EvaluatorKind, ExecutionContext, PreparedQuery, PruneChain, QueryPipeline,
 };
 use crate::query::{Issuer, RangeSpec};
 use crate::result::QueryAnswer;
-
-/// Filter stage serving candidates from the cached safe envelope,
-/// re-checked against the *current* expanded query — the continuous
-/// query's replacement for an index probe on cache hits. Writes the
-/// surviving slots straight into the pipeline's scratch buffer; no
-/// allocation per tick.
-#[derive(Debug, Clone, Copy)]
-struct EnvelopeFilter<'a> {
-    cached: &'a [u32],
-    objects: &'a [PointObject],
-    expanded: Rect,
-}
-
-impl FilterStage for EnvelopeFilter<'_> {
-    fn candidates_into(
-        &self,
-        stats: &mut AccessStats,
-        _traversal: &mut TraversalScratch,
-        out: &mut Vec<u32>,
-    ) {
-        for &idx in self.cached {
-            if self.expanded.contains_point(self.objects[idx as usize].loc) {
-                out.push(idx);
-            }
-        }
-        stats.items_tested += self.cached.len() as u64;
-        stats.candidates += out.len() as u64;
-    }
-}
+use crate::subscribe::CachedFilter;
 
 /// Stateful runner for a continuous IPQ over a point database.
 ///
@@ -139,14 +116,15 @@ impl<'a> ContinuousIpq<'a> {
         }
 
         // Same pipeline as a snapshot IPQ, with the index probe
-        // replaced by the envelope cache.
+        // replaced by the envelope cache (the filter shared with the
+        // serving-scale subscription registry).
         QueryPipeline {
             query,
             objects: self.engine.objects(),
-            filter: EnvelopeFilter {
+            filter: CachedFilter {
                 cached: &self.cached,
                 objects: self.engine.objects(),
-                expanded,
+                filter: expanded,
             },
             prune: PruneChain::none(),
             refine: EvaluatorKind::Duality,
@@ -243,5 +221,19 @@ mod tests {
     fn rejects_negative_slack() {
         let engine = engine();
         let _ = ContinuousIpq::new(&engine, RangeSpec::square(10.0), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slack")]
+    fn rejects_nan_slack() {
+        let engine = engine();
+        let _ = ContinuousIpq::new(&engine, RangeSpec::square(10.0), f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "slack")]
+    fn rejects_infinite_slack() {
+        let engine = engine();
+        let _ = ContinuousIpq::new(&engine, RangeSpec::square(10.0), f64::INFINITY);
     }
 }

@@ -137,6 +137,15 @@ impl PointEngine {
         &self.objects
     }
 
+    /// Looks up the live object with this id in O(1), if present (the
+    /// serving layer uses this to compute a commit's dirty region from
+    /// the *pre-update* locations of departing and moving objects).
+    pub fn find(&self, id: ObjectId) -> Option<&PointObject> {
+        self.slots
+            .get(&id)
+            .map(|&slot| &self.objects[slot as usize])
+    }
+
     /// Raw R-tree filter results — indices into [`Self::objects`] whose
     /// locations fall inside `filter`. Exposed for pipelines that
     /// assemble their own refinement (ablations, continuous queries).

@@ -173,6 +173,27 @@ impl UncertainEngine {
         &self.objects
     }
 
+    /// Looks up the live object with this id in O(1), if present (the
+    /// serving layer uses this to compute a commit's dirty region from
+    /// the *pre-update* regions of departing and moving objects).
+    pub fn find(&self, id: ObjectId) -> Option<&UncertainObject> {
+        self.slots
+            .get(&id)
+            .map(|&slot| &self.objects[slot as usize])
+    }
+
+    /// Allocation-free variant of [`Self::raw_candidates`]: candidates
+    /// are pushed into `out`, the probe's DFS runs on `scratch`.
+    pub fn raw_candidates_scratch(
+        &self,
+        filter: iloc_geometry::Rect,
+        stats: &mut iloc_index::AccessStats,
+        scratch: &mut iloc_index::TraversalScratch,
+        out: &mut Vec<u32>,
+    ) {
+        self.tree.query_range_scratch(filter, stats, scratch, out);
+    }
+
     /// Raw R-tree filter results — indices into [`Self::objects`] whose
     /// regions overlap `filter`. Exposed for harness-level ablations
     /// that assemble their own refinement pipelines.

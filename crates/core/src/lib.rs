@@ -37,6 +37,11 @@
 //!   (arrive / depart / move) behind epoch-style snapshots,
 //!   hash-partitioned across per-shard engines with id-ordered fan-in
 //!   merging.
+//! * [`subscribe`] — the **subscription subsystem**: standing
+//!   continuous queries over serving snapshots, each caching a safe
+//!   envelope of candidates, re-evaluated incrementally only when a
+//!   commit's dirty region stabs their envelope, and answering with
+//!   deltas instead of full results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +57,7 @@ pub mod query;
 pub mod result;
 pub mod serve;
 pub mod stats;
+pub mod subscribe;
 
 pub use continuous::ContinuousIpq;
 pub use engine::{PointEngine, UncertainEngine};
@@ -65,6 +71,7 @@ pub use query::{CipqStrategy, CiuqStrategy, Issuer, RangeSpec};
 pub use result::{Match, QueryAnswer};
 pub use serve::{ServeEngine, ShardServer, ShardedEngine, Snapshot, Update};
 pub use stats::QueryStats;
+pub use subscribe::{AnswerDelta, ContinuousEngine, SubId, SubscriptionRegistry};
 
 /// Glob-import surface for applications.
 pub mod prelude {
@@ -79,4 +86,5 @@ pub mod prelude {
     pub use crate::result::{Match, QueryAnswer};
     pub use crate::serve::{ServeEngine, ShardServer, ShardedEngine, Snapshot, Update};
     pub use crate::stats::QueryStats;
+    pub use crate::subscribe::{AnswerDelta, ContinuousEngine, SubId, SubscriptionRegistry};
 }

@@ -74,8 +74,9 @@
 
 mod sharded;
 
-pub use sharded::{CommitReport, ShardServer, ShardedEngine, Snapshot};
+pub use sharded::{CommitReport, EpochDirt, ShardServer, ShardedEngine, Snapshot, DIRT_HISTORY};
 
+use iloc_geometry::Rect;
 use iloc_uncertainty::{ObjectId, PointObject, UncertainObject};
 
 use crate::engine::{PointEngine, UncertainEngine};
@@ -120,6 +121,15 @@ pub trait ServeEngine: BatchEngine + Clone + Send {
     /// was present.
     fn remove_object(&mut self, id: ObjectId) -> bool;
 
+    /// The spatial extent of one object (a point object is a
+    /// degenerate rectangle). [`ShardedEngine::commit`] merges these
+    /// into the epoch's dirty rectangle.
+    fn bounds_of(object: &Self::Object) -> Rect;
+
+    /// The extent of the live object with this id, if present — the
+    /// *pre-update* footprint a departure or move dirties.
+    fn object_bounds(&self, id: ObjectId) -> Option<Rect>;
+
     /// Number of live objects in this shard.
     fn len(&self) -> usize;
 
@@ -148,6 +158,14 @@ impl ServeEngine for PointEngine {
         PointEngine::remove(self, id)
     }
 
+    fn bounds_of(object: &PointObject) -> Rect {
+        Rect::from_point(object.loc)
+    }
+
+    fn object_bounds(&self, id: ObjectId) -> Option<Rect> {
+        self.find(id).map(|o| Rect::from_point(o.loc))
+    }
+
     fn len(&self) -> usize {
         PointEngine::len(self)
     }
@@ -170,6 +188,14 @@ impl ServeEngine for UncertainEngine {
 
     fn remove_object(&mut self, id: ObjectId) -> bool {
         UncertainEngine::remove(self, id)
+    }
+
+    fn bounds_of(object: &UncertainObject) -> Rect {
+        object.region()
+    }
+
+    fn object_bounds(&self, id: ObjectId) -> Option<Rect> {
+        self.find(id).map(|o| o.region())
     }
 
     fn len(&self) -> usize {

@@ -2,8 +2,11 @@
 //! `ShardServer` serving loop. See the [module docs](super) for the
 //! snapshot-consistency invariant.
 
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
+
+use iloc_geometry::Rect;
 
 use crate::integrate::Integrator;
 use crate::pipeline::{execute_batch, BatchEngine, ExecutionContext};
@@ -156,7 +159,7 @@ impl<E: ServeEngine> ShardServer<E> {
 }
 
 /// What one [`ShardedEngine::commit`] applied.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommitReport {
     /// The epoch now current (unchanged when nothing was pending).
     pub epoch: u64,
@@ -168,6 +171,17 @@ pub struct CommitReport {
     pub moves: usize,
     /// Departures whose id was not live (no-ops).
     pub missed_departures: usize,
+    /// Updates applied per shard, in shard order (empty for an empty
+    /// commit). Sums to [`CommitReport::applied`].
+    pub per_shard: Vec<usize>,
+    /// The merged **dirty rectangle**: the hull of every footprint
+    /// this commit touched — arrival extents, the pre-update extents
+    /// of departures, and both the old and new extents of moves.
+    /// `None` when nothing spatial changed (an empty commit, or one of
+    /// missed departures only). Subscription wake-up stabs standing
+    /// queries with this: a safe envelope disjoint from it cannot have
+    /// had its answer changed by this epoch.
+    pub dirty: Option<Rect>,
 }
 
 impl CommitReport {
@@ -176,6 +190,32 @@ impl CommitReport {
     pub fn applied(&self) -> usize {
         self.arrivals + self.departures + self.moves
     }
+
+    /// Grows the dirty rectangle to cover `extent`.
+    fn dirty_absorb(&mut self, extent: Rect) {
+        self.dirty = Some(match self.dirty {
+            None => extent,
+            Some(d) => d.hull(extent),
+        });
+    }
+}
+
+/// How many recent commits a [`ShardedEngine`] remembers for
+/// [`ShardedEngine::dirt_since`]: enough that any serving loop polling
+/// at frame granularity sees every epoch, bounded so a long-running
+/// server never grows the history.
+pub const DIRT_HISTORY: usize = 64;
+
+/// One committed epoch's spatial footprint, as remembered by the
+/// engine's bounded dirt history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochDirt {
+    /// The epoch this commit published.
+    pub epoch: u64,
+    /// Its merged dirty rectangle (see [`CommitReport::dirty`]).
+    pub dirty: Option<Rect>,
+    /// Updates it applied.
+    pub applied: usize,
 }
 
 /// A dynamic, hash-sharded serving engine. See the
@@ -190,6 +230,9 @@ pub struct ShardedEngine<E: ServeEngine> {
     pending: Mutex<Vec<Update<E::Object>>>,
     /// Serializes commits (readers are never blocked by it).
     commit_lock: Mutex<()>,
+    /// Bounded history of the last [`DIRT_HISTORY`] commits' spatial
+    /// footprints, consumed by subscription wake-up.
+    recent_dirt: Mutex<VecDeque<EpochDirt>>,
 }
 
 impl<E: ServeEngine> ShardedEngine<E> {
@@ -216,6 +259,7 @@ impl<E: ServeEngine> ShardedEngine<E> {
             }),
             pending: Mutex::new(Vec::new()),
             commit_lock: Mutex::new(()),
+            recent_dirt: Mutex::new(VecDeque::with_capacity(DIRT_HISTORY)),
         }
     }
 
@@ -286,28 +330,45 @@ impl<E: ServeEngine> ShardedEngine<E> {
             ..CommitReport::default()
         };
         let shard_count = base.shards.len();
+        report.per_shard = vec![0; shard_count];
         let mut shards: Vec<Arc<E>> = base.shards.as_ref().clone();
         for update in updates {
             match update {
                 Update::Arrive(object) => {
                     let s = shard_of(E::object_id(&object), shard_count);
+                    report.dirty_absorb(E::bounds_of(&object));
                     Arc::make_mut(&mut shards[s]).insert_object(object);
                     report.arrivals += 1;
+                    report.per_shard[s] += 1;
                 }
                 Update::Depart(id) => {
                     let s = shard_of(id, shard_count);
-                    if Arc::make_mut(&mut shards[s]).remove_object(id) {
+                    let shard = Arc::make_mut(&mut shards[s]);
+                    let old = shard.object_bounds(id);
+                    if shard.remove_object(id) {
+                        if let Some(old) = old {
+                            report.dirty_absorb(old);
+                        }
                         report.departures += 1;
+                        report.per_shard[s] += 1;
                     } else {
                         report.missed_departures += 1;
                     }
                 }
                 Update::Move(object) => {
                     let s = shard_of(E::object_id(&object), shard_count);
+                    let shard = Arc::make_mut(&mut shards[s]);
+                    // A move dirties both footprints: where the object
+                    // was, and where it lands.
+                    if let Some(old) = shard.object_bounds(E::object_id(&object)) {
+                        report.dirty_absorb(old);
+                    }
+                    report.dirty_absorb(E::bounds_of(&object));
                     // insert_object upserts, so a move replaces the
                     // live object and a move of an unknown id arrives.
-                    Arc::make_mut(&mut shards[s]).insert_object(object);
+                    shard.insert_object(object);
                     report.moves += 1;
+                    report.per_shard[s] += 1;
                 }
             }
         }
@@ -316,7 +377,40 @@ impl<E: ServeEngine> ShardedEngine<E> {
             epoch: report.epoch,
             shards: Arc::new(shards),
         };
+        {
+            let mut recent = self.recent_dirt.lock().expect("dirt lock poisoned");
+            if recent.len() == DIRT_HISTORY {
+                recent.pop_front();
+            }
+            recent.push_back(EpochDirt {
+                epoch: report.epoch,
+                dirty: report.dirty,
+                applied: report.applied(),
+            });
+        }
         report
+    }
+
+    /// Appends the spatial footprints of every *retained* commit after
+    /// `epoch` (ascending) to `out`. Returns `true` when the appended
+    /// entries are a gapless record starting at `epoch + 1` — the
+    /// caller may then advance its watermark to the last entry's epoch
+    /// (a commit that has published its snapshot but not yet logged its
+    /// dirt is simply not returned; the next poll picks it up).
+    /// `false` means the caller fell more than [`DIRT_HISTORY`]
+    /// commits behind and must treat **everything** as dirty.
+    pub fn dirt_since(&self, epoch: u64, out: &mut Vec<EpochDirt>) -> bool {
+        let recent = self.recent_dirt.lock().expect("dirt lock poisoned");
+        let Some(first) = recent.front() else {
+            // Nothing logged yet: trivially gapless, nothing returned.
+            return true;
+        };
+        for dirt in recent.iter().filter(|d| d.epoch > epoch) {
+            out.push(*dirt);
+        }
+        // Gapless iff the caller's watermark reaches into (or past)
+        // the retained window.
+        epoch + 1 >= first.epoch
     }
 }
 
@@ -458,6 +552,72 @@ mod tests {
         for (k, &n) in sizes.iter().enumerate() {
             assert_eq!(snapshot.shard_len(k), n);
         }
+    }
+
+    #[test]
+    fn commit_report_tracks_dirty_region_and_per_shard_counts() {
+        let sharded: ShardedEngine<PointEngine> = ShardedEngine::build(grid_objects(10), 4);
+        // Arrive at (800, 20), move object 0 from (0, 0) to (5, 900),
+        // depart object 11 at (50, 50): the dirty hull must cover all
+        // five footprints.
+        sharded.submit(Update::Arrive(PointObject::new(
+            777u64,
+            Point::new(800.0, 20.0),
+        )));
+        sharded.submit(Update::Move(PointObject::new(0u64, Point::new(5.0, 900.0))));
+        sharded.submit(Update::Depart(ObjectId(11)));
+        sharded.submit(Update::Depart(ObjectId(424_242))); // missed
+        let report = sharded.commit();
+        let dirty = report.dirty.expect("spatial changes must dirty");
+        for p in [
+            Point::new(800.0, 20.0),
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 900.0),
+            Point::new(50.0, 50.0),
+        ] {
+            assert!(dirty.contains_point(p), "dirty {dirty:?} misses {p:?}");
+        }
+        assert_eq!(report.per_shard.len(), 4);
+        assert_eq!(report.per_shard.iter().sum::<usize>(), report.applied());
+        assert_eq!(report.applied(), 3);
+
+        // A commit of only missed departures moves the epoch but
+        // dirties nothing.
+        sharded.submit(Update::Depart(ObjectId(999_999)));
+        let report = sharded.commit();
+        assert_eq!(report.dirty, None);
+        assert_eq!(report.per_shard.iter().sum::<usize>(), 0);
+
+        // Empty commits report empty per-shard counts.
+        assert!(sharded.commit().per_shard.is_empty());
+    }
+
+    #[test]
+    fn dirt_history_is_bounded_and_gapless_within_the_window() {
+        let sharded: ShardedEngine<PointEngine> = ShardedEngine::build(grid_objects(4), 2);
+        for k in 0..DIRT_HISTORY as u64 + 10 {
+            sharded.submit(Update::Move(PointObject::new(
+                0u64,
+                Point::new(k as f64, 0.0),
+            )));
+            sharded.commit();
+        }
+        let total = DIRT_HISTORY as u64 + 10;
+        // Within the retained window: gapless, ascending, complete.
+        let mut out = Vec::new();
+        assert!(sharded.dirt_since(total - 5, &mut out));
+        assert_eq!(out.len(), 5);
+        assert!(out.windows(2).all(|w| w[0].epoch + 1 == w[1].epoch));
+        assert_eq!(out.last().unwrap().epoch, total);
+        assert!(out.iter().all(|d| d.dirty.is_some() && d.applied == 1));
+        // Fallen behind the window: truncated.
+        out.clear();
+        assert!(!sharded.dirt_since(0, &mut out));
+        assert_eq!(out.len(), DIRT_HISTORY);
+        // Fully caught up: gapless and empty.
+        out.clear();
+        assert!(sharded.dirt_since(total, &mut out));
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -1,0 +1,513 @@
+//! Standing continuous queries with incremental re-evaluation — the
+//! subscription subsystem.
+//!
+//! The paper's headline workload is *continuous* imprecise
+//! location-dependent queries: an issuer registers a query once and
+//! expects its answer to track both its own motion and the catalog's
+//! churn. [`crate::continuous::ContinuousIpq`] evaluates that workload
+//! in process against a borrowed, static [`crate::PointEngine`]; this
+//! module is the serving-scale form — **snapshot-owning** standing
+//! queries over [`ShardedEngine`] epochs, built so that millions of
+//! subscriptions can be held server-side and only the ones a commit
+//! actually touched ever do work.
+//!
+//! ## The three ideas
+//!
+//! 1. **Safe envelope as the per-subscription cache.** Each
+//!    subscription probes the index once with its expanded query grown
+//!    by a `slack` margin and keeps the candidate list (per shard,
+//!    slot-sorted). Every tick whose expanded query still fits inside
+//!    the envelope refines from that list — by Lemma 1 no object
+//!    outside the envelope can qualify while the query stays inside
+//!    it — performing **zero index probes and zero heap allocations**
+//!    in steady state.
+//! 2. **Pinned snapshots.** A subscription owns the [`Snapshot`] it
+//!    last evaluated against. Commits never invalidate it: the epoch
+//!    machinery keeps the old shard engines alive, so an unaffected
+//!    subscription keeps answering from its pinned epoch, bit-identical
+//!    to fresh evaluation there (and — because nothing inside its
+//!    envelope changed — result-identical to the current epoch too).
+//! 3. **Affected-subscription detection.** Envelopes live in a spatial
+//!    stabbing index (an R-tree over envelope rectangles). When a
+//!    commit publishes, its merged **dirty rectangle**
+//!    ([`CommitReport::dirty`](crate::serve::CommitReport)) stabs that
+//!    index; only the hit subscriptions rebind to the new epoch,
+//!    re-probe, and re-evaluate. Everything else does *nothing* — not
+//!    even a per-subscription check.
+//!
+//! Re-evaluation produces an [`AnswerDelta`] against the last answer
+//! the subscriber saw: upserted matches (new or changed probability)
+//! plus removed ids. Applying the delta to the subscriber's copy
+//! reproduces the full fresh answer **bit-identically**
+//! (`tests/subscribe.rs` pins this after every commit and tick).
+//!
+//! ## Determinism fine print
+//!
+//! Every emitted state is bit-identical to
+//! [`Snapshot::execute_one`] of the subscription's request against its
+//! **pinned** snapshot. For the deterministic integrators (`Auto`,
+//! `Exact`, `Grid`) a per-object probability does not depend on the
+//! candidate sequence, so an unaffected subscription's cached answer
+//! is also bit-identical to evaluation at the *current* epoch.
+//! `MonteCarlo` refinement consumes the per-query RNG in candidate
+//! order, and object slots are renumbered across epochs — so for MC
+//! subscriptions the bit-exact reference is the pinned epoch (the
+//! result *set* still matches the current epoch whenever the envelope
+//! stayed clean).
+//!
+//! Constrained subscriptions are **normalized to Minkowski-sum
+//! filtering** (`CipqStrategy::MinkowskiSum` /
+//! `CiuqStrategy::RTreeMinkowski`): the p-expanded and PTI plans prune
+//! candidates a cached envelope cannot reproduce, and the envelope
+//! cache already plays the role those filters play for one-shot
+//! queries.
+
+mod registry;
+
+pub use registry::{SubId, Subscription, SubscriptionRegistry};
+
+use iloc_geometry::Rect;
+use iloc_index::{AccessStats, TraversalScratch};
+use iloc_uncertainty::{ObjectId, PdfKind, PointObject, UncertainObject};
+
+use crate::engine::{PointEngine, UncertainEngine};
+use crate::expand::minkowski_query;
+use crate::pipeline::{
+    AcceptPolicy, EvaluatorKind, ExecutionContext, FilterStage, PointRequest, PreparedQuery,
+    PruneChain, QueryPipeline, UncertainRequest,
+};
+use crate::query::{CipqStrategy, CiuqStrategy};
+use crate::result::{Match, QueryAnswer};
+use crate::serve::{ServeEngine, Snapshot};
+
+/// An object a cached safe envelope can re-filter: its membership in a
+/// filter rectangle is decidable from the object alone.
+pub(crate) trait EnvelopeObject {
+    /// `true` when the object can qualify for a query whose filter
+    /// rectangle is `filter` (point containment for point objects,
+    /// region overlap for uncertain ones — matching what an index
+    /// probe with `filter` would report).
+    fn within(&self, filter: Rect) -> bool;
+}
+
+impl EnvelopeObject for PointObject {
+    #[inline]
+    fn within(&self, filter: Rect) -> bool {
+        filter.contains_point(self.loc)
+    }
+}
+
+impl EnvelopeObject for UncertainObject {
+    #[inline]
+    fn within(&self, filter: Rect) -> bool {
+        filter.overlaps(self.region())
+    }
+}
+
+/// Filter stage serving candidates from a cached safe envelope,
+/// re-checked against the *current* filter rectangle — the continuous
+/// query's replacement for an index probe on cache hits. Writes the
+/// surviving slots straight into the pipeline's scratch buffer; no
+/// allocation per tick. Shared by [`crate::continuous::ContinuousIpq`]
+/// and the [`SubscriptionRegistry`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CachedFilter<'a, O> {
+    /// Slot-sorted candidates of the current envelope.
+    pub cached: &'a [u32],
+    /// The engine's object table the slots index into.
+    pub objects: &'a [O],
+    /// The current query's filter rectangle (`⊆` the envelope).
+    pub filter: Rect,
+}
+
+impl<O: EnvelopeObject> FilterStage for CachedFilter<'_, O> {
+    fn candidates_into(
+        &self,
+        stats: &mut AccessStats,
+        _traversal: &mut TraversalScratch,
+        out: &mut Vec<u32>,
+    ) {
+        for &idx in self.cached {
+            if self.objects[idx as usize].within(self.filter) {
+                out.push(idx);
+            }
+        }
+        stats.items_tested += self.cached.len() as u64;
+        stats.candidates += out.len() as u64;
+    }
+}
+
+/// The request fields the normalized continuous plan runs on —
+/// identical for both catalogs, extracted once per evaluation.
+struct CachedPlan<'a> {
+    issuer: &'a crate::query::Issuer,
+    range: crate::query::RangeSpec,
+    integrator: crate::integrate::Integrator,
+    /// `Some` for constrained standing queries (C-IPQ / C-IUQ).
+    qp: Option<f64>,
+}
+
+/// Runs the normalized continuous plan over one shard's cached
+/// candidates: Minkowski filter re-check from the cache, no pruning,
+/// duality refinement, accept by the optional threshold — the one
+/// definition both catalogs' [`ContinuousEngine::evaluate_cached_into`]
+/// impls share, so the point and uncertain subscription paths can
+/// never diverge.
+fn run_cached_pipeline<O>(
+    objects: &[O],
+    plan: CachedPlan<'_>,
+    cached: &[u32],
+    ctx: &mut ExecutionContext,
+    answer: &mut QueryAnswer,
+) where
+    O: crate::pipeline::PipelineObject + EnvelopeObject,
+    EvaluatorKind: crate::pipeline::ProbabilityEvaluator<O>,
+{
+    ctx.prepare(plan.integrator);
+    let query = PreparedQuery::new(plan.issuer, plan.range);
+    let accept = match plan.qp {
+        None => AcceptPolicy::Positive,
+        Some(qp) => AcceptPolicy::AtLeast(qp),
+    };
+    QueryPipeline {
+        query,
+        objects,
+        filter: CachedFilter {
+            cached,
+            objects,
+            filter: query.expanded,
+        },
+        prune: PruneChain::none(),
+        refine: EvaluatorKind::Duality,
+        accept,
+    }
+    .execute_into(ctx, answer);
+}
+
+/// A shard engine the subscription layer can hold standing queries
+/// over: its requests expose the geometry the safe envelope needs, and
+/// the engine can both probe an envelope and refine from a cached
+/// candidate list.
+pub trait ContinuousEngine: ServeEngine {
+    /// Normalizes a request to the filtering plan cached envelopes
+    /// reproduce (Minkowski-sum; see the module docs).
+    fn normalize_request(request: &mut Self::Request);
+
+    /// The rectangle fresh filtering would probe the index with — the
+    /// Minkowski sum `R ⊕ U0` of Lemma 1. The safe envelope is this
+    /// grown by the slack margin, and a tick is a cache hit while this
+    /// stays inside the envelope.
+    fn filter_rect(request: &Self::Request) -> Rect;
+
+    /// Replaces the request's issuer pdf in place (storage-reusing;
+    /// what a TICK decodes into).
+    fn set_issuer_pdf(request: &mut Self::Request, pdf: PdfKind);
+
+    /// Probes this shard's index with the envelope, appending matching
+    /// slots to `out` (allocation-free once `scratch`/`out` are warm).
+    fn envelope_candidates_into(
+        &self,
+        envelope: Rect,
+        stats: &mut AccessStats,
+        scratch: &mut TraversalScratch,
+        out: &mut Vec<u32>,
+    );
+
+    /// Answers the request over this shard from a cached candidate
+    /// list, exactly as the engine's own (normalized) plan would from
+    /// an index probe — same candidate set, same order, bit-identical
+    /// probabilities.
+    fn evaluate_cached_into(
+        &self,
+        request: &Self::Request,
+        cached: &[u32],
+        ctx: &mut ExecutionContext,
+        answer: &mut QueryAnswer,
+    );
+}
+
+impl ContinuousEngine for PointEngine {
+    fn normalize_request(request: &mut PointRequest) {
+        if let Some(c) = &mut request.constraint {
+            c.strategy = CipqStrategy::MinkowskiSum;
+        }
+    }
+
+    fn filter_rect(request: &PointRequest) -> Rect {
+        minkowski_query(&request.issuer, request.range)
+    }
+
+    fn set_issuer_pdf(request: &mut PointRequest, pdf: PdfKind) {
+        request.issuer.set_pdf(pdf);
+    }
+
+    fn envelope_candidates_into(
+        &self,
+        envelope: Rect,
+        stats: &mut AccessStats,
+        scratch: &mut TraversalScratch,
+        out: &mut Vec<u32>,
+    ) {
+        self.raw_candidates_scratch(envelope, stats, scratch, out);
+    }
+
+    fn evaluate_cached_into(
+        &self,
+        request: &PointRequest,
+        cached: &[u32],
+        ctx: &mut ExecutionContext,
+        answer: &mut QueryAnswer,
+    ) {
+        run_cached_pipeline(
+            self.objects(),
+            CachedPlan {
+                issuer: &request.issuer,
+                range: request.range,
+                integrator: request.integrator,
+                qp: request.constraint.map(|c| c.qp),
+            },
+            cached,
+            ctx,
+            answer,
+        );
+    }
+}
+
+impl ContinuousEngine for UncertainEngine {
+    fn normalize_request(request: &mut UncertainRequest) {
+        if let Some(c) = &mut request.constraint {
+            c.strategy = CiuqStrategy::RTreeMinkowski;
+        }
+    }
+
+    fn filter_rect(request: &UncertainRequest) -> Rect {
+        minkowski_query(&request.issuer, request.range)
+    }
+
+    fn set_issuer_pdf(request: &mut UncertainRequest, pdf: PdfKind) {
+        request.issuer.set_pdf(pdf);
+    }
+
+    fn envelope_candidates_into(
+        &self,
+        envelope: Rect,
+        stats: &mut AccessStats,
+        scratch: &mut TraversalScratch,
+        out: &mut Vec<u32>,
+    ) {
+        self.raw_candidates_scratch(envelope, stats, scratch, out);
+    }
+
+    fn evaluate_cached_into(
+        &self,
+        request: &UncertainRequest,
+        cached: &[u32],
+        ctx: &mut ExecutionContext,
+        answer: &mut QueryAnswer,
+    ) {
+        run_cached_pipeline(
+            self.objects(),
+            CachedPlan {
+                issuer: &request.issuer,
+                range: request.range,
+                integrator: request.integrator,
+                qp: request.constraint.map(|c| c.qp),
+            },
+            cached,
+            ctx,
+            answer,
+        );
+    }
+}
+
+/// The change between two answers of one standing query: matches that
+/// are new or whose probability changed, plus ids that no longer
+/// qualify. Both lists are id-sorted. Applying a delta to the previous
+/// answer reproduces the next answer **bit-identically** — this is
+/// what NOTIFY frames carry instead of full answers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnswerDelta {
+    /// New or changed matches, sorted by id.
+    pub upserts: Vec<Match>,
+    /// Ids that left the result set, sorted.
+    pub removals: Vec<ObjectId>,
+}
+
+impl AnswerDelta {
+    /// An empty delta with no retained capacity.
+    pub fn new() -> Self {
+        AnswerDelta::default()
+    }
+
+    /// `true` when applying this delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.upserts.is_empty() && self.removals.is_empty()
+    }
+
+    /// Empties both lists, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.upserts.clear();
+        self.removals.clear();
+    }
+
+    /// Overwrites `out` with the delta turning `prev` into `next`
+    /// (both id-sorted; a shared id with a bit-different probability
+    /// becomes an upsert). Allocation-free once `out` is warm.
+    pub fn diff_into(prev: &[Match], next: &[Match], out: &mut AnswerDelta) {
+        out.clear();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < prev.len() && j < next.len() {
+            match prev[i].id.cmp(&next[j].id) {
+                std::cmp::Ordering::Less => {
+                    out.removals.push(prev[i].id);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.upserts.push(next[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if prev[i].probability.to_bits() != next[j].probability.to_bits() {
+                        out.upserts.push(next[j]);
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.removals.extend(prev[i..].iter().map(|m| m.id));
+        out.upserts.extend_from_slice(&next[j..]);
+    }
+
+    /// Applies the delta to an id-sorted match list in place
+    /// (the subscriber-side half of the delta contract).
+    pub fn apply(&self, results: &mut Vec<Match>) {
+        if self.is_empty() {
+            return;
+        }
+        let prev = std::mem::take(results);
+        results.reserve(prev.len() + self.upserts.len());
+        let (mut i, mut u, mut r) = (0usize, 0usize, 0usize);
+        loop {
+            let take_upsert = match (prev.get(i), self.upserts.get(u)) {
+                (None, None) => break,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (Some(p), Some(q)) => q.id <= p.id,
+            };
+            if take_upsert {
+                let q = self.upserts[u];
+                u += 1;
+                if i < prev.len() && prev[i].id == q.id {
+                    i += 1; // replaced in place
+                }
+                results.push(q);
+            } else {
+                let p = prev[i];
+                i += 1;
+                while r < self.removals.len() && self.removals[r] < p.id {
+                    r += 1;
+                }
+                if r < self.removals.len() && self.removals[r] == p.id {
+                    r += 1;
+                    continue; // dropped
+                }
+                results.push(p);
+            }
+        }
+    }
+}
+
+/// Re-evaluates one subscription's cached candidates over its pinned
+/// snapshot: per-shard pipeline execution with the cached filter,
+/// fan-in merged in id order — the cache-hit twin of
+/// [`Snapshot::execute_one`].
+pub(crate) fn eval_from_cache<E: ContinuousEngine>(
+    snapshot: &Snapshot<E>,
+    request: &E::Request,
+    cached: &[Vec<u32>],
+    ctx: &mut ExecutionContext,
+    partial: &mut QueryAnswer,
+    answer: &mut QueryAnswer,
+) {
+    answer.results.clear();
+    let mut stats = crate::stats::QueryStats::new();
+    for (shard, cached) in snapshot.shards().iter().zip(cached) {
+        shard.evaluate_cached_into(request, cached, ctx, partial);
+        answer.results.extend_from_slice(&partial.results);
+        stats.absorb(&partial.stats);
+    }
+    crate::result::sort_matches(&mut answer.results);
+    answer.stats = stats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc_geometry::Point;
+
+    fn matches(ps: &[(u64, f64)]) -> Vec<Match> {
+        ps.iter()
+            .map(|&(id, p)| Match {
+                id: ObjectId(id),
+                probability: p,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn diff_then_apply_round_trips() {
+        let cases: Vec<(Vec<Match>, Vec<Match>)> = vec![
+            (matches(&[]), matches(&[])),
+            (matches(&[]), matches(&[(1, 0.5), (7, 0.25)])),
+            (matches(&[(1, 0.5), (7, 0.25)]), matches(&[])),
+            (
+                matches(&[(1, 0.5), (3, 0.1), (7, 0.25)]),
+                matches(&[(1, 0.5), (3, 0.2), (9, 1.0)]),
+            ),
+            (
+                matches(&[(2, 0.5), (4, 0.5), (6, 0.5)]),
+                matches(&[(1, 0.5), (4, 0.5), (5, 0.5)]),
+            ),
+            // Probability changed by one ulp still travels.
+            (
+                matches(&[(1, 0.5)]),
+                matches(&[(1, f64::from_bits(0.5f64.to_bits() + 1))]),
+            ),
+        ];
+        let mut delta = AnswerDelta::new();
+        for (prev, next) in cases {
+            AnswerDelta::diff_into(&prev, &next, &mut delta);
+            let mut applied = prev.clone();
+            delta.apply(&mut applied);
+            assert_eq!(applied.len(), next.len());
+            for (a, b) in applied.iter().zip(&next) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            }
+            // Identical answers produce an empty delta.
+            AnswerDelta::diff_into(&next, &next, &mut delta);
+            assert!(delta.is_empty());
+        }
+    }
+
+    #[test]
+    fn cached_filter_matches_membership_semantics() {
+        let pts = [
+            PointObject::new(0u64, Point::new(5.0, 5.0)),
+            PointObject::new(1u64, Point::new(50.0, 50.0)),
+        ];
+        assert!(pts[0].within(Rect::from_coords(0.0, 0.0, 10.0, 10.0)));
+        assert!(!pts[1].within(Rect::from_coords(0.0, 0.0, 10.0, 10.0)));
+        // Boundary inclusion matches an index probe's closed-region
+        // semantics.
+        assert!(pts[0].within(Rect::from_coords(5.0, 5.0, 6.0, 6.0)));
+
+        let unc = UncertainObject::new(
+            2u64,
+            iloc_uncertainty::UniformPdf::new(Rect::from_coords(8.0, 8.0, 12.0, 12.0)),
+        );
+        assert!(unc.within(Rect::from_coords(0.0, 0.0, 10.0, 10.0)));
+        assert!(!unc.within(Rect::from_coords(0.0, 0.0, 7.0, 7.0)));
+    }
+}

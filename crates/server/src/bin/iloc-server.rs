@@ -9,6 +9,10 @@
 //! --shards N         shards per catalog  (default 4)
 //! --workers N        worker threads      (default 8)
 //! --seed N           dataset seed        (default 2007)
+//! --idle-timeout S   reap connections idle for S seconds (default
+//!                    300; 0 disables) — abandoned subscriber sockets
+//!                    must not pin worker slots; clients keep a quiet
+//!                    connection alive with PING
 //! --quick            ~10x smaller catalogs (CI smoke)
 //! ```
 //!
@@ -62,6 +66,10 @@ fn main() {
     let shards = number("--shards", 4);
     let workers = number("--workers", 8);
     let seed = number("--seed", 2007) as u64;
+    let idle_timeout = match number("--idle-timeout", 300) {
+        0 => None,
+        secs => Some(std::time::Duration::from_secs(secs as u64)),
+    };
 
     eprintln!(
         "building catalogs: {points} points (California), {uncertain} uncertain (Long Beach), \
@@ -78,6 +86,7 @@ fn main() {
     let config = ServerConfig {
         addr,
         workers,
+        idle_timeout,
         ..ServerConfig::loopback()
     };
     let handle = server.start(&config).unwrap_or_else(|e| {

@@ -5,7 +5,21 @@
 //! (the load generator's steady-state loop runs through them), and the
 //! `*_batch_into` methods pipeline a whole request slice through the
 //! socket in windows, amortising round trips.
+//!
+//! ## Pushed deltas
+//!
+//! A connection holding subscriptions receives **unsolicited NOTIFY
+//! frames** whenever a commit changes a standing query's answer. The
+//! server only ever interleaves them *between* responses, so the
+//! stream stays "one response per request, pushes in the gaps". The
+//! client preserves that order: any NOTIFY read while waiting for a
+//! response is queued, [`Client::take_notification`] drains the queue
+//! in arrival order, and [`Client::poll_notification`] additionally
+//! polls the socket when the queue is empty. Apply deltas in exactly
+//! the order they are taken — each composes on the state produced by
+//! the previous one.
 
+use std::collections::VecDeque;
 use std::io::{self, Read as _, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -13,9 +27,11 @@ use std::time::{Duration, Instant};
 use iloc_core::pipeline::{PointRequest, UncertainRequest};
 use iloc_core::serve::CommitReport;
 use iloc_core::QueryAnswer;
+use iloc_uncertainty::PdfKind;
 
 use crate::protocol::{
-    self, opcode, CommitTarget, ErrorCode, StatsReport, WireError, WireUpdate, PROTOCOL_VERSION,
+    self, opcode, CommitTarget, ErrorCode, Notification, NotifyCause, StatsReport, WireError,
+    WireUpdate, PROTOCOL_VERSION,
 };
 
 /// Default pipeline window for the batch methods: deep enough to hide
@@ -83,6 +99,9 @@ pub struct Client {
     stream: TcpStream,
     read_buf: Vec<u8>,
     write_buf: Vec<u8>,
+    /// Pushed NOTIFY frames read while waiting for a response, in
+    /// arrival order.
+    pending: VecDeque<Notification>,
 }
 
 impl Client {
@@ -95,6 +114,7 @@ impl Client {
             stream,
             read_buf: Vec::new(),
             write_buf: Vec::new(),
+            pending: VecDeque::new(),
         })
     }
 
@@ -134,22 +154,31 @@ impl Client {
         Ok(self.read_buf[1])
     }
 
-    /// Receives one frame and requires opcode `want`; error frames
-    /// surface as [`ClientError::Server`].
+    /// Receives one frame and requires opcode `want`; pushed NOTIFY
+    /// frames encountered on the way are queued in arrival order, and
+    /// error frames surface as [`ClientError::Server`].
     fn expect(&mut self, want: u8) -> Result<(), ClientError> {
-        let op = self.recv()?;
-        if op == want {
-            return Ok(());
+        loop {
+            let op = self.recv()?;
+            if op == want {
+                return Ok(());
+            }
+            if op == opcode::NOTIFY {
+                let mut note = Notification::default();
+                protocol::decode_notify_into(&self.read_buf[2..], &mut note)?;
+                self.pending.push_back(note);
+                continue;
+            }
+            if op == opcode::ERROR {
+                let (raw_code, message) = protocol::decode_error(&self.read_buf[2..])?;
+                return Err(ClientError::Server {
+                    code: ErrorCode::from_u8(raw_code),
+                    raw_code,
+                    message,
+                });
+            }
+            return Err(ClientError::Unexpected { opcode: op });
         }
-        if op == opcode::ERROR {
-            let (raw_code, message) = protocol::decode_error(&self.read_buf[2..])?;
-            return Err(ClientError::Server {
-                code: ErrorCode::from_u8(raw_code),
-                raw_code,
-                message,
-            });
-        }
-        Err(ClientError::Unexpected { opcode: op })
     }
 
     /// IPQ / C-IPQ into a reusable answer (allocation-free once warm).
@@ -276,11 +305,141 @@ impl Client {
         Ok(report)
     }
 
-    /// Liveness round trip.
+    /// Liveness round trip. Also the keepalive: a quiet subscriber
+    /// pings within the server's idle timeout to avoid being reaped.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         self.write_buf.clear();
         protocol::encode_empty(&mut self.write_buf, opcode::PING);
         self.send()?;
         self.expect(opcode::PONG)
+    }
+
+    // -- Subscriptions ------------------------------------------------
+
+    /// Registers a standing continuous query on the point catalog;
+    /// returns its id and the initial full answer (the base every
+    /// subsequent delta composes on). `slack` is the safe-envelope
+    /// margin in space units.
+    pub fn subscribe_point(
+        &mut self,
+        request: &PointRequest,
+        slack: f64,
+    ) -> Result<(u64, QueryAnswer), ClientError> {
+        self.write_buf.clear();
+        protocol::encode_subscribe_point(&mut self.write_buf, slack, request)?;
+        self.send()?;
+        self.expect(opcode::SUB_ACK)?;
+        let mut answer = QueryAnswer::default();
+        let (_, sub_id, _) = protocol::decode_sub_ack_into(&self.read_buf[2..], &mut answer)?;
+        Ok((sub_id, answer))
+    }
+
+    /// Registers a standing continuous query on the uncertain catalog.
+    pub fn subscribe_uncertain(
+        &mut self,
+        request: &UncertainRequest,
+        slack: f64,
+    ) -> Result<(u64, QueryAnswer), ClientError> {
+        self.write_buf.clear();
+        protocol::encode_subscribe_uncertain(&mut self.write_buf, slack, request)?;
+        self.send()?;
+        self.expect(opcode::SUB_ACK)?;
+        let mut answer = QueryAnswer::default();
+        let (_, sub_id, _) = protocol::decode_sub_ack_into(&self.read_buf[2..], &mut answer)?;
+        Ok((sub_id, answer))
+    }
+
+    /// Drops a standing query; `true` when the server knew the id.
+    pub fn unsubscribe(&mut self, target: CommitTarget, sub_id: u64) -> Result<bool, ClientError> {
+        self.write_buf.clear();
+        protocol::encode_unsubscribe(&mut self.write_buf, target, sub_id);
+        self.send()?;
+        self.expect(opcode::UNSUB_DONE)?;
+        Ok(protocol::decode_unsub_done(&self.read_buf[2..])?)
+    }
+
+    /// Moves a subscription's issuer and receives the tick's delta
+    /// into a reusable slot (allocation-free once warm — the
+    /// `subscribers` load scenario's steady loop runs through this).
+    ///
+    /// Commit-pushed NOTIFY frames that arrive before the tick's
+    /// response are queued; drain them with
+    /// [`Client::take_notification`] **and apply them first** — they
+    /// precede the tick's delta on the wire, and deltas compose in
+    /// order.
+    pub fn tick_into(
+        &mut self,
+        target: CommitTarget,
+        sub_id: u64,
+        pdf: &PdfKind,
+        note: &mut Notification,
+    ) -> Result<(), ClientError> {
+        self.write_buf.clear();
+        protocol::encode_tick(&mut self.write_buf, target, sub_id, pdf)?;
+        self.send()?;
+        loop {
+            self.expect(opcode::NOTIFY)?;
+            protocol::decode_notify_into(&self.read_buf[2..], note)?;
+            if note.cause == NotifyCause::Tick {
+                debug_assert!(note.target == target && note.sub_id == sub_id);
+                return Ok(());
+            }
+            // A commit push raced in front of the response: queue it
+            // (clones — the racing-push path is not the steady loop).
+            self.pending.push_back(note.clone());
+        }
+    }
+
+    /// Next queued pushed notification, in arrival order.
+    pub fn take_notification(&mut self) -> Option<Notification> {
+        self.pending.pop_front()
+    }
+
+    /// Waits up to `timeout` for a pushed notification: drains the
+    /// queue first, then polls the socket. `Ok(None)` means nothing
+    /// arrived in time; the connection is unharmed either way.
+    pub fn poll_notification(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<Notification>, ClientError> {
+        if let Some(note) = self.pending.pop_front() {
+            return Ok(Some(note));
+        }
+        // Peek with a timeout so a quiet socket consumes nothing; a
+        // positive peek means at least the length prefix is en route
+        // and the normal (blocking) read path can take over. A zero
+        // timeout would be rejected by `set_read_timeout`; clamp it to
+        // the shortest wait instead so `Duration::ZERO` acts as the
+        // natural non-blocking poll.
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        let mut probe = [0u8; 1];
+        let peeked = self.stream.peek(&mut probe);
+        self.stream.set_read_timeout(None)?;
+        match peeked {
+            Ok(0) => {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(ClientError::Io(e)),
+        }
+        let op = self.recv()?;
+        if op != opcode::NOTIFY {
+            return Err(ClientError::Unexpected { opcode: op });
+        }
+        let mut note = Notification::default();
+        protocol::decode_notify_into(&self.read_buf[2..], &mut note)?;
+        Ok(Some(note))
     }
 }

@@ -20,8 +20,10 @@
 //! * [`protocol`] — versioned, length-prefixed frames encoding the
 //!   paper's four query types (IPQ / C-IPQ / IUQ / C-IUQ), catalog
 //!   update batches (arrive / depart / move), commits, a stats probe,
-//!   and explicit error frames. See `docs/PROTOCOL.md` for the full
-//!   byte-level spec.
+//!   the **continuous-query subscription lifecycle** (SUBSCRIBE /
+//!   TICK / UNSUBSCRIBE with pushed NOTIFY delta frames), and explicit
+//!   error frames. See `docs/PROTOCOL.md` for the full byte-level
+//!   spec.
 //! * [`server`] — [`server::QueryServer`]: owns a
 //!   [`iloc_core::serve::ShardedEngine`] per catalog (point and
 //!   uncertain); every worker holds a long-lived
@@ -71,5 +73,7 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use protocol::{CommitTarget, StatsReport, WireError, WireUpdate, PROTOCOL_VERSION};
-pub use server::{QueryServer, ServerConfig, ServerHandle};
+pub use protocol::{
+    CommitTarget, Notification, NotifyCause, StatsReport, WireError, WireUpdate, PROTOCOL_VERSION,
+};
+pub use server::{QueryServer, ServerConfig, ServerHandle, MAX_SUBSCRIPTIONS};

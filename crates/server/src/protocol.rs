@@ -37,6 +37,7 @@
 
 use iloc_core::pipeline::{PointConstraint, PointRequest, UncertainConstraint, UncertainRequest};
 use iloc_core::serve::{CommitReport, ServeEngine, Snapshot, Update};
+use iloc_core::subscribe::AnswerDelta;
 use iloc_core::{CipqStrategy, CiuqStrategy, Integrator, QueryAnswer, RangeSpec};
 use iloc_geometry::{Point, Rect};
 use iloc_uncertainty::{
@@ -44,8 +45,11 @@ use iloc_uncertainty::{
     UniformPdf,
 };
 
-/// The protocol version this build speaks (frame byte 4).
-pub const PROTOCOL_VERSION: u8 = 1;
+/// The protocol version this build speaks (frame byte 4). Version 2
+/// added the subscription frames (SUBSCRIBE / UNSUBSCRIBE / TICK /
+/// SUB_ACK / NOTIFY / UNSUB_DONE) and extended the COMMIT_DONE payload
+/// with per-shard applied counts and the merged dirty rectangle.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard ceiling on one frame's `len` field; larger frames are rejected
 /// with [`ErrorCode::TooLarge`] and the connection is closed (a wild
@@ -71,8 +75,15 @@ pub mod opcode {
     pub const COMMIT: u8 = 0x04;
     /// Server observability probe → [`STATS_REPORT`].
     pub const STATS: u8 = 0x05;
-    /// Liveness probe → [`PONG`].
+    /// Liveness probe → [`PONG`]. Also the keepalive: any frame resets
+    /// the server's idle-connection deadline, and PING is the cheapest.
     pub const PING: u8 = 0x06;
+    /// Register a standing continuous query → [`SUB_ACK`].
+    pub const SUBSCRIBE: u8 = 0x07;
+    /// Drop a standing query → [`UNSUB_DONE`].
+    pub const UNSUBSCRIBE: u8 = 0x08;
+    /// Move a standing query's issuer → one [`NOTIFY`] (cause = tick).
+    pub const TICK: u8 = 0x09;
 
     /// Query answer: the id/probability matches.
     pub const ANSWER: u8 = 0x81;
@@ -84,6 +95,15 @@ pub mod opcode {
     pub const STATS_REPORT: u8 = 0x84;
     /// Liveness response.
     pub const PONG: u8 = 0x85;
+    /// Subscription accepted: id, epoch, and the initial full answer.
+    pub const SUB_ACK: u8 = 0x86;
+    /// A standing query's answer changed: the delta against the last
+    /// state delivered. Sent as the response to a [`TICK`]
+    /// (cause = tick) **and pushed unsolicited** after a commit whose
+    /// dirty region touched the subscription (cause = commit).
+    pub const NOTIFY: u8 = 0x87;
+    /// Unsubscribe processed; payload says whether the id was live.
+    pub const UNSUB_DONE: u8 = 0x88;
     /// Request failed; carries an [`super::ErrorCode`] and a message.
     pub const ERROR: u8 = 0xFF;
 }
@@ -106,6 +126,9 @@ pub enum ErrorCode {
     TooLarge = 5,
     /// The server failed internally while answering.
     Internal = 6,
+    /// The connection holds the maximum number of standing
+    /// subscriptions; unsubscribe before subscribing again.
+    TooManySubscriptions = 7,
 }
 
 impl ErrorCode {
@@ -118,6 +141,7 @@ impl ErrorCode {
             4 => Some(ErrorCode::UnsupportedPdf),
             5 => Some(ErrorCode::TooLarge),
             6 => Some(ErrorCode::Internal),
+            7 => Some(ErrorCode::TooManySubscriptions),
             _ => None,
         }
     }
@@ -156,10 +180,11 @@ impl From<WireError> for ErrorCode {
     }
 }
 
-/// Which catalog an update or commit addresses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Which catalog an update, commit or subscription addresses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum CommitTarget {
     /// The point-object catalog (IPQ / C-IPQ data).
+    #[default]
     Point,
     /// The uncertain-object catalog (IUQ / C-IUQ data).
     Uncertain,
@@ -508,14 +533,10 @@ fn read_qp(r: &mut Reader<'_>) -> Result<f64, WireError> {
 // Queries
 // ---------------------------------------------------------------------------
 
-/// Appends an [`opcode::POINT_QUERY`] frame for `request`.
-pub fn encode_point_query(buf: &mut Vec<u8>, request: &PointRequest) -> Result<(), WireError> {
-    let at = begin_frame(buf, opcode::POINT_QUERY);
-    let result = put_pdf(buf, request.issuer.pdf());
-    if result.is_err() {
-        buf.truncate(at);
-        return result;
-    }
+/// Appends the shared query body (pdf, range, integrator, constraint)
+/// of a point request.
+fn put_point_query_body(buf: &mut Vec<u8>, request: &PointRequest) -> Result<(), WireError> {
+    put_pdf(buf, request.issuer.pdf())?;
     put_range(buf, request.range);
     put_integrator(buf, request.integrator);
     match request.constraint {
@@ -529,25 +550,18 @@ pub fn encode_point_query(buf: &mut Vec<u8>, request: &PointRequest) -> Result<(
             });
         }
     }
-    finish_frame(buf, at);
     Ok(())
 }
 
-/// Decodes an [`opcode::POINT_QUERY`] payload **into** a reusable
-/// request slot: the issuer's pdf and U-catalog are rebuilt in place,
-/// so a warm slot makes this allocation-free.
-pub fn decode_point_query_into(
-    payload: &[u8],
-    request: &mut PointRequest,
-) -> Result<(), WireError> {
-    let mut r = Reader::new(payload);
-    let pdf = read_pdf(&mut r)?;
-    let range = read_range(&mut r)?;
-    let integrator = read_integrator(&mut r)?;
+/// Reads the shared query body into a reusable point-request slot.
+fn read_point_query_body(r: &mut Reader<'_>, request: &mut PointRequest) -> Result<(), WireError> {
+    let pdf = read_pdf(r)?;
+    let range = read_range(r)?;
+    let integrator = read_integrator(r)?;
     let constraint = match r.u8()? {
         0 => None,
         1 => {
-            let qp = read_qp(&mut r)?;
+            let qp = read_qp(r)?;
             let strategy = match r.u8()? {
                 0 => CipqStrategy::MinkowskiSum,
                 1 => CipqStrategy::PExpanded,
@@ -557,7 +571,6 @@ pub fn decode_point_query_into(
         }
         _ => return Err(WireError::Malformed("bad constraint flag")),
     };
-    r.done()?;
     request.issuer.set_pdf(pdf);
     request.range = range;
     request.integrator = integrator;
@@ -565,17 +578,12 @@ pub fn decode_point_query_into(
     Ok(())
 }
 
-/// Appends an [`opcode::UNCERTAIN_QUERY`] frame for `request`.
-pub fn encode_uncertain_query(
+/// Appends the shared query body of an uncertain request.
+fn put_uncertain_query_body(
     buf: &mut Vec<u8>,
     request: &UncertainRequest,
 ) -> Result<(), WireError> {
-    let at = begin_frame(buf, opcode::UNCERTAIN_QUERY);
-    let result = put_pdf(buf, request.issuer.pdf());
-    if result.is_err() {
-        buf.truncate(at);
-        return result;
-    }
+    put_pdf(buf, request.issuer.pdf())?;
     put_range(buf, request.range);
     put_integrator(buf, request.integrator);
     match request.constraint {
@@ -589,6 +597,72 @@ pub fn encode_uncertain_query(
             });
         }
     }
+    Ok(())
+}
+
+/// Reads the shared query body into a reusable uncertain-request slot.
+fn read_uncertain_query_body(
+    r: &mut Reader<'_>,
+    request: &mut UncertainRequest,
+) -> Result<(), WireError> {
+    let pdf = read_pdf(r)?;
+    let range = read_range(r)?;
+    let integrator = read_integrator(r)?;
+    let constraint = match r.u8()? {
+        0 => None,
+        1 => {
+            let qp = read_qp(r)?;
+            let strategy = match r.u8()? {
+                0 => CiuqStrategy::RTreeMinkowski,
+                1 => CiuqStrategy::PtiPExpanded,
+                _ => return Err(WireError::Malformed("unknown C-IUQ strategy")),
+            };
+            Some(UncertainConstraint { qp, strategy })
+        }
+        _ => return Err(WireError::Malformed("bad constraint flag")),
+    };
+    request.issuer.set_pdf(pdf);
+    request.range = range;
+    request.integrator = integrator;
+    request.constraint = constraint;
+    Ok(())
+}
+
+/// Appends an [`opcode::POINT_QUERY`] frame for `request`.
+pub fn encode_point_query(buf: &mut Vec<u8>, request: &PointRequest) -> Result<(), WireError> {
+    let at = begin_frame(buf, opcode::POINT_QUERY);
+    let result = put_point_query_body(buf, request);
+    if result.is_err() {
+        buf.truncate(at);
+        return result;
+    }
+    finish_frame(buf, at);
+    Ok(())
+}
+
+/// Decodes an [`opcode::POINT_QUERY`] payload **into** a reusable
+/// request slot: the issuer's pdf and U-catalog are rebuilt in place,
+/// so a warm slot makes this allocation-free.
+pub fn decode_point_query_into(
+    payload: &[u8],
+    request: &mut PointRequest,
+) -> Result<(), WireError> {
+    let mut r = Reader::new(payload);
+    read_point_query_body(&mut r, request)?;
+    r.done()
+}
+
+/// Appends an [`opcode::UNCERTAIN_QUERY`] frame for `request`.
+pub fn encode_uncertain_query(
+    buf: &mut Vec<u8>,
+    request: &UncertainRequest,
+) -> Result<(), WireError> {
+    let at = begin_frame(buf, opcode::UNCERTAIN_QUERY);
+    let result = put_uncertain_query_body(buf, request);
+    if result.is_err() {
+        buf.truncate(at);
+        return result;
+    }
     finish_frame(buf, at);
     Ok(())
 }
@@ -600,28 +674,299 @@ pub fn decode_uncertain_query_into(
     request: &mut UncertainRequest,
 ) -> Result<(), WireError> {
     let mut r = Reader::new(payload);
-    let pdf = read_pdf(&mut r)?;
-    let range = read_range(&mut r)?;
-    let integrator = read_integrator(&mut r)?;
-    let constraint = match r.u8()? {
-        0 => None,
-        1 => {
-            let qp = read_qp(&mut r)?;
-            let strategy = match r.u8()? {
-                0 => CiuqStrategy::RTreeMinkowski,
-                1 => CiuqStrategy::PtiPExpanded,
-                _ => return Err(WireError::Malformed("unknown C-IUQ strategy")),
-            };
-            Some(UncertainConstraint { qp, strategy })
-        }
-        _ => return Err(WireError::Malformed("bad constraint flag")),
+    read_uncertain_query_body(&mut r, request)?;
+    r.done()
+}
+
+// ---------------------------------------------------------------------------
+// Subscriptions
+// ---------------------------------------------------------------------------
+
+/// Why a [`opcode::NOTIFY`] frame was sent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[repr(u8)]
+pub enum NotifyCause {
+    /// Pushed unsolicited: a commit's dirty region stabbed the
+    /// subscription's envelope and its answer changed.
+    #[default]
+    Commit = 0,
+    /// The in-order response to a [`opcode::TICK`] frame.
+    Tick = 1,
+}
+
+/// One decoded [`opcode::NOTIFY`] frame: which standing query changed,
+/// the epoch its state now reflects, and the delta to apply. A
+/// `Default` value is a reusable slot — [`decode_notify_into`] reuses
+/// the delta's buffers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Notification {
+    /// The catalog the subscription stands on.
+    pub target: CommitTarget,
+    /// The subscription (ids are per connection and catalog).
+    pub sub_id: u64,
+    /// The epoch the subscription's state reflects after this delta.
+    pub epoch: u64,
+    /// Why the frame was sent.
+    pub cause: NotifyCause,
+    /// The answer change to apply.
+    pub delta: AnswerDelta,
+}
+
+/// Validates a subscription's slack margin: finite, non-negative —
+/// the single definition of the slack domain, shared by both encoders
+/// and the decode boundary. The wire-level mirror of the constructor
+/// asserts in [`iloc_core::continuous::ContinuousIpq::new`] and
+/// [`iloc_core::subscribe::SubscriptionRegistry::subscribe`]:
+/// adversarial subscribe frames become typed error frames, never
+/// panics.
+fn validate_slack(slack: f64) -> Result<(), WireError> {
+    if !slack.is_finite() || slack < 0.0 {
+        return Err(WireError::Malformed(
+            "subscription slack must be finite and >= 0",
+        ));
+    }
+    Ok(())
+}
+
+/// Reads and validates a subscription's slack margin.
+fn read_slack(r: &mut Reader<'_>) -> Result<f64, WireError> {
+    let slack = r.f64()?;
+    validate_slack(slack)?;
+    Ok(slack)
+}
+
+/// Appends an [`opcode::SUBSCRIBE`] frame for a standing point query.
+pub fn encode_subscribe_point(
+    buf: &mut Vec<u8>,
+    slack: f64,
+    request: &PointRequest,
+) -> Result<(), WireError> {
+    validate_slack(slack)?;
+    let at = begin_frame(buf, opcode::SUBSCRIBE);
+    put_target(buf, CommitTarget::Point);
+    put_f64(buf, slack);
+    let result = put_point_query_body(buf, request);
+    if result.is_err() {
+        buf.truncate(at);
+        return result;
+    }
+    finish_frame(buf, at);
+    Ok(())
+}
+
+/// Appends an [`opcode::SUBSCRIBE`] frame for a standing uncertain
+/// query.
+pub fn encode_subscribe_uncertain(
+    buf: &mut Vec<u8>,
+    slack: f64,
+    request: &UncertainRequest,
+) -> Result<(), WireError> {
+    validate_slack(slack)?;
+    let at = begin_frame(buf, opcode::SUBSCRIBE);
+    put_target(buf, CommitTarget::Uncertain);
+    put_f64(buf, slack);
+    let result = put_uncertain_query_body(buf, request);
+    if result.is_err() {
+        buf.truncate(at);
+        return result;
+    }
+    finish_frame(buf, at);
+    Ok(())
+}
+
+/// Reads a [`opcode::SUBSCRIBE`] payload's header, leaving the reader
+/// at the query body (decode it with the target-appropriate
+/// `decode_subscribe_*_body`).
+pub fn decode_subscribe_header(r: &mut Reader<'_>) -> Result<(CommitTarget, f64), WireError> {
+    let target = read_target(r)?;
+    let slack = read_slack(r)?;
+    Ok((target, slack))
+}
+
+/// Decodes the point-query body of a [`opcode::SUBSCRIBE`] payload
+/// into a reusable slot (allocation-free once warm).
+pub fn decode_subscribe_point_body(
+    r: &mut Reader<'_>,
+    request: &mut PointRequest,
+) -> Result<(), WireError> {
+    read_point_query_body(r, request)?;
+    r.done()
+}
+
+/// Decodes the uncertain-query body of a [`opcode::SUBSCRIBE`] payload
+/// into a reusable slot.
+pub fn decode_subscribe_uncertain_body(
+    r: &mut Reader<'_>,
+    request: &mut UncertainRequest,
+) -> Result<(), WireError> {
+    read_uncertain_query_body(r, request)?;
+    r.done()
+}
+
+/// Appends an [`opcode::UNSUBSCRIBE`] frame.
+pub fn encode_unsubscribe(buf: &mut Vec<u8>, target: CommitTarget, sub_id: u64) {
+    let at = begin_frame(buf, opcode::UNSUBSCRIBE);
+    put_target(buf, target);
+    put_u64(buf, sub_id);
+    finish_frame(buf, at);
+}
+
+/// Decodes an [`opcode::UNSUBSCRIBE`] payload.
+pub fn decode_unsubscribe(payload: &[u8]) -> Result<(CommitTarget, u64), WireError> {
+    let mut r = Reader::new(payload);
+    let target = read_target(&mut r)?;
+    let sub_id = r.u64()?;
+    r.done()?;
+    Ok((target, sub_id))
+}
+
+/// Appends an [`opcode::UNSUB_DONE`] frame.
+pub fn encode_unsub_done(buf: &mut Vec<u8>, existed: bool) {
+    let at = begin_frame(buf, opcode::UNSUB_DONE);
+    buf.push(existed as u8);
+    finish_frame(buf, at);
+}
+
+/// Decodes an [`opcode::UNSUB_DONE`] payload.
+pub fn decode_unsub_done(payload: &[u8]) -> Result<bool, WireError> {
+    let mut r = Reader::new(payload);
+    let existed = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::Malformed("bad unsubscribe flag")),
     };
     r.done()?;
-    request.issuer.set_pdf(pdf);
-    request.range = range;
-    request.integrator = integrator;
-    request.constraint = constraint;
+    Ok(existed)
+}
+
+/// Appends an [`opcode::TICK`] frame: the subscription's issuer moved
+/// to a new pdf. The standing query's range, integrator and constraint
+/// are fixed at subscribe time — a tick carries only the position.
+pub fn encode_tick(
+    buf: &mut Vec<u8>,
+    target: CommitTarget,
+    sub_id: u64,
+    pdf: &PdfKind,
+) -> Result<(), WireError> {
+    let at = begin_frame(buf, opcode::TICK);
+    put_target(buf, target);
+    put_u64(buf, sub_id);
+    let result = put_pdf(buf, pdf);
+    if result.is_err() {
+        buf.truncate(at);
+        return result;
+    }
+    finish_frame(buf, at);
     Ok(())
+}
+
+/// Decodes an [`opcode::TICK`] payload (the pdf is validated exactly
+/// like a query's issuer pdf).
+pub fn decode_tick(payload: &[u8]) -> Result<(CommitTarget, u64, PdfKind), WireError> {
+    let mut r = Reader::new(payload);
+    let target = read_target(&mut r)?;
+    let sub_id = r.u64()?;
+    let pdf = read_pdf(&mut r)?;
+    r.done()?;
+    Ok((target, sub_id, pdf))
+}
+
+/// Appends an [`opcode::SUB_ACK`] frame: the new subscription's id,
+/// the epoch it evaluated against, and its initial full answer.
+pub fn encode_sub_ack(
+    buf: &mut Vec<u8>,
+    target: CommitTarget,
+    sub_id: u64,
+    epoch: u64,
+    initial: &[iloc_core::Match],
+) {
+    let at = begin_frame(buf, opcode::SUB_ACK);
+    put_target(buf, target);
+    put_u64(buf, sub_id);
+    put_u64(buf, epoch);
+    put_u32(buf, initial.len() as u32);
+    for m in initial {
+        put_u64(buf, m.id.0);
+        put_u64(buf, m.probability.to_bits());
+    }
+    finish_frame(buf, at);
+}
+
+/// Decodes an [`opcode::SUB_ACK`] payload, overwriting `answer` with
+/// the initial matches; returns `(target, sub_id, epoch)`.
+pub fn decode_sub_ack_into(
+    payload: &[u8],
+    answer: &mut QueryAnswer,
+) -> Result<(CommitTarget, u64, u64), WireError> {
+    let mut r = Reader::new(payload);
+    let target = read_target(&mut r)?;
+    let sub_id = r.u64()?;
+    let epoch = r.u64()?;
+    answer.results.clear();
+    answer.stats = Default::default();
+    let count = r.u32()?;
+    for _ in 0..count {
+        let id = ObjectId(r.u64()?);
+        let probability = f64::from_bits(r.u64()?);
+        answer.results.push(iloc_core::Match { id, probability });
+    }
+    r.done()?;
+    Ok((target, sub_id, epoch))
+}
+
+/// Appends an [`opcode::NOTIFY`] frame carrying `delta` (id-sorted
+/// upserts then removals, probabilities as bit patterns — applying the
+/// delta client-side reproduces the server's fresh answer
+/// bit-identically).
+pub fn encode_notify(
+    buf: &mut Vec<u8>,
+    target: CommitTarget,
+    sub_id: u64,
+    epoch: u64,
+    cause: NotifyCause,
+    delta: &AnswerDelta,
+) {
+    let at = begin_frame(buf, opcode::NOTIFY);
+    put_target(buf, target);
+    put_u64(buf, sub_id);
+    put_u64(buf, epoch);
+    buf.push(cause as u8);
+    put_u32(buf, delta.upserts.len() as u32);
+    for m in &delta.upserts {
+        put_u64(buf, m.id.0);
+        put_u64(buf, m.probability.to_bits());
+    }
+    put_u32(buf, delta.removals.len() as u32);
+    for id in &delta.removals {
+        put_u64(buf, id.0);
+    }
+    finish_frame(buf, at);
+}
+
+/// Decodes an [`opcode::NOTIFY`] payload into a reusable slot (the
+/// delta's buffers keep their capacity).
+pub fn decode_notify_into(payload: &[u8], out: &mut Notification) -> Result<(), WireError> {
+    let mut r = Reader::new(payload);
+    out.target = read_target(&mut r)?;
+    out.sub_id = r.u64()?;
+    out.epoch = r.u64()?;
+    out.cause = match r.u8()? {
+        0 => NotifyCause::Commit,
+        1 => NotifyCause::Tick,
+        _ => return Err(WireError::Malformed("unknown notify cause")),
+    };
+    out.delta.clear();
+    let upserts = r.u32()?;
+    for _ in 0..upserts {
+        let id = ObjectId(r.u64()?);
+        let probability = f64::from_bits(r.u64()?);
+        out.delta.upserts.push(iloc_core::Match { id, probability });
+    }
+    let removals = r.u32()?;
+    for _ in 0..removals {
+        out.delta.removals.push(ObjectId(r.u64()?));
+    }
+    r.done()
 }
 
 // ---------------------------------------------------------------------------
@@ -822,7 +1167,10 @@ pub fn decode_update_ack(payload: &[u8]) -> Result<u32, WireError> {
     Ok(accepted)
 }
 
-/// Appends an [`opcode::COMMIT_DONE`] frame for `report`.
+/// Appends an [`opcode::COMMIT_DONE`] frame for `report`, including
+/// the per-shard applied counts and the merged dirty rectangle (what
+/// moved, and where — the same footprint subscription wake-up stabs
+/// envelopes with).
 pub fn encode_commit_done(buf: &mut Vec<u8>, report: &CommitReport) {
     let at = begin_frame(buf, opcode::COMMIT_DONE);
     put_u64(buf, report.epoch);
@@ -830,19 +1178,40 @@ pub fn encode_commit_done(buf: &mut Vec<u8>, report: &CommitReport) {
     put_u32(buf, report.departures as u32);
     put_u32(buf, report.moves as u32);
     put_u32(buf, report.missed_departures as u32);
+    match report.dirty {
+        None => buf.push(0),
+        Some(d) => {
+            buf.push(1);
+            put_rect(buf, d);
+        }
+    }
+    put_u32(buf, report.per_shard.len() as u32);
+    for &n in &report.per_shard {
+        put_u32(buf, n as u32);
+    }
     finish_frame(buf, at);
 }
 
 /// Decodes an [`opcode::COMMIT_DONE`] payload.
 pub fn decode_commit_done(payload: &[u8]) -> Result<CommitReport, WireError> {
     let mut r = Reader::new(payload);
-    let report = CommitReport {
+    let mut report = CommitReport {
         epoch: r.u64()?,
         arrivals: r.u32()? as usize,
         departures: r.u32()? as usize,
         moves: r.u32()? as usize,
         missed_departures: r.u32()? as usize,
+        ..CommitReport::default()
     };
+    report.dirty = match r.u8()? {
+        0 => None,
+        1 => Some(read_rect(&mut r)?),
+        _ => return Err(WireError::Malformed("bad dirty-rect flag")),
+    };
+    let shards = r.u32()?;
+    for _ in 0..shards {
+        report.per_shard.push(r.u32()? as usize);
+    }
     r.done()?;
     Ok(report)
 }
@@ -1142,10 +1511,21 @@ mod tests {
             departures: 2,
             moves: 3,
             missed_departures: 4,
+            per_shard: vec![2, 0, 4],
+            dirty: Some(Rect::from_coords(10.0, 20.0, 410.0, 220.0)),
         };
         encode_commit_done(&mut buf, &report);
         let (_, payload) = frame_payload(&buf);
         assert_eq!(decode_commit_done(payload).unwrap(), report);
+
+        // A dirt-free report round-trips too.
+        buf.clear();
+        encode_commit_done(&mut buf, &CommitReport::default());
+        let (_, payload) = frame_payload(&buf);
+        assert_eq!(
+            decode_commit_done(payload).unwrap(),
+            CommitReport::default()
+        );
 
         buf.clear();
         encode_error(&mut buf, ErrorCode::Malformed, "nope");
@@ -1227,6 +1607,156 @@ mod tests {
             bad_pdf(&far_mean),
             WireError::Malformed("gaussian mean outside its region")
         );
+    }
+
+    #[test]
+    fn subscribe_tick_and_notify_round_trip() {
+        // SUBSCRIBE carries the slack and the full query body.
+        let request = PointRequest::cipq(
+            Issuer::uniform(Rect::from_coords(10.0, 10.0, 110.0, 110.0)),
+            RangeSpec::square(40.0),
+            0.25,
+            CipqStrategy::MinkowskiSum,
+        );
+        let mut buf = Vec::new();
+        encode_subscribe_point(&mut buf, 75.0, &request).unwrap();
+        let (op, payload) = frame_payload(&buf);
+        assert_eq!(op, opcode::SUBSCRIBE);
+        let mut r = Reader::new(payload);
+        let (target, slack) = decode_subscribe_header(&mut r).unwrap();
+        assert_eq!(target, CommitTarget::Point);
+        assert_eq!(slack, 75.0);
+        let mut slot = slot_point_request();
+        decode_subscribe_point_body(&mut r, &mut slot).unwrap();
+        assert_eq!(slot.issuer.region(), request.issuer.region());
+        assert_eq!(slot.constraint.unwrap().qp, 0.25);
+
+        // The uncertain flavour routes by target.
+        buf.clear();
+        let urequest = UncertainRequest::iuq(
+            Issuer::uniform(Rect::from_coords(0.0, 0.0, 50.0, 50.0)),
+            RangeSpec::square(30.0),
+        );
+        encode_subscribe_uncertain(&mut buf, 0.0, &urequest).unwrap();
+        let (_, payload) = frame_payload(&buf);
+        let mut r = Reader::new(payload);
+        let (target, slack) = decode_subscribe_header(&mut r).unwrap();
+        assert_eq!((target, slack), (CommitTarget::Uncertain, 0.0));
+        let mut slot = slot_uncertain_request();
+        decode_subscribe_uncertain_body(&mut r, &mut slot).unwrap();
+        assert_eq!(slot.issuer.region(), urequest.issuer.region());
+
+        // TICK: target + id + pdf.
+        buf.clear();
+        let pdf = PdfKind::Uniform(UniformPdf::new(Rect::from_coords(5.0, 6.0, 25.0, 26.0)));
+        encode_tick(&mut buf, CommitTarget::Point, 42, &pdf).unwrap();
+        let (op, payload) = frame_payload(&buf);
+        assert_eq!(op, opcode::TICK);
+        let (target, sub_id, got) = decode_tick(payload).unwrap();
+        assert_eq!((target, sub_id), (CommitTarget::Point, 42));
+        assert_eq!(got.region(), pdf.region());
+
+        // SUB_ACK: id + epoch + initial answer, bit-exact.
+        buf.clear();
+        let initial = vec![
+            iloc_core::Match {
+                id: ObjectId(3),
+                probability: 0.125,
+            },
+            iloc_core::Match {
+                id: ObjectId(9),
+                probability: 1.0 - 1e-16,
+            },
+        ];
+        encode_sub_ack(&mut buf, CommitTarget::Uncertain, 7, 11, &initial);
+        let (op, payload) = frame_payload(&buf);
+        assert_eq!(op, opcode::SUB_ACK);
+        let mut answer = QueryAnswer::default();
+        let (target, sub_id, epoch) = decode_sub_ack_into(payload, &mut answer).unwrap();
+        assert_eq!((target, sub_id, epoch), (CommitTarget::Uncertain, 7, 11));
+        assert_eq!(answer.results.len(), 2);
+        assert_eq!(
+            answer.results[1].probability.to_bits(),
+            (1.0f64 - 1e-16).to_bits()
+        );
+
+        // NOTIFY: delta with upserts and removals, cause tagged.
+        buf.clear();
+        let delta = AnswerDelta {
+            upserts: initial.clone(),
+            removals: vec![ObjectId(1), ObjectId(5)],
+        };
+        encode_notify(
+            &mut buf,
+            CommitTarget::Point,
+            42,
+            12,
+            NotifyCause::Tick,
+            &delta,
+        );
+        let (op, payload) = frame_payload(&buf);
+        assert_eq!(op, opcode::NOTIFY);
+        let mut note = Notification::default();
+        // Dirty slot: stale contents must be overwritten.
+        note.delta.removals.push(ObjectId(999));
+        decode_notify_into(payload, &mut note).unwrap();
+        assert_eq!(note.target, CommitTarget::Point);
+        assert_eq!((note.sub_id, note.epoch), (42, 12));
+        assert_eq!(note.cause, NotifyCause::Tick);
+        assert_eq!(note.delta, delta);
+
+        // UNSUBSCRIBE / UNSUB_DONE.
+        buf.clear();
+        encode_unsubscribe(&mut buf, CommitTarget::Uncertain, 42);
+        let (op, payload) = frame_payload(&buf);
+        assert_eq!(op, opcode::UNSUBSCRIBE);
+        assert_eq!(
+            decode_unsubscribe(payload).unwrap(),
+            (CommitTarget::Uncertain, 42)
+        );
+        buf.clear();
+        encode_unsub_done(&mut buf, true);
+        let (_, payload) = frame_payload(&buf);
+        assert!(decode_unsub_done(payload).unwrap());
+    }
+
+    #[test]
+    fn adversarial_subscribe_frames_are_typed_errors() {
+        let request = PointRequest::ipq(
+            Issuer::uniform(Rect::from_coords(0.0, 0.0, 10.0, 10.0)),
+            RangeSpec::square(5.0),
+        );
+        // Bad slack is rejected client-side before anything is sent...
+        let mut buf = Vec::new();
+        for bad in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                encode_subscribe_point(&mut buf, bad, &request),
+                Err(WireError::Malformed(_))
+            ));
+            assert!(buf.is_empty());
+        }
+        // ...and server-side at the decode boundary, as a typed error
+        // rather than a constructor panic.
+        encode_subscribe_point(&mut buf, 10.0, &request).unwrap();
+        let (_, payload) = frame_payload(&buf);
+        for bad in [-1.0f64, f64::NAN, f64::INFINITY] {
+            let mut forged = payload.to_vec();
+            forged[1..9].copy_from_slice(&bad.to_bits().to_le_bytes());
+            let mut r = Reader::new(&forged);
+            assert_eq!(
+                decode_subscribe_header(&mut r),
+                Err(WireError::Malformed(
+                    "subscription slack must be finite and >= 0"
+                ))
+            );
+        }
+        // Truncations at every prefix fail cleanly too.
+        for n in 0..payload.len() {
+            let mut r = Reader::new(&payload[..n]);
+            let truncated = decode_subscribe_header(&mut r)
+                .and_then(|_| decode_subscribe_point_body(&mut r, &mut slot_point_request()));
+            assert!(truncated.is_err(), "prefix {n} should be malformed");
+        }
     }
 
     #[test]

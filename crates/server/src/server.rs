@@ -31,6 +31,22 @@
 //!   ("no torn epochs, ever") holds across the network boundary
 //!   exactly as it does in process. A client's own update → commit
 //!   order is preserved end to end (same worker, same channel, FIFO).
+//! * **Subscriptions live with their connection**: each worker keeps a
+//!   [`SubscriptionRegistry`] per catalog for the connection it is
+//!   serving. Before every frame — and on every idle poll tick — the
+//!   worker checks whether the writer published a new epoch and pumps
+//!   the registries: the commit's dirty region stabs the envelope
+//!   index, only the affected subscriptions re-evaluate, and their
+//!   deltas are **pushed** as NOTIFY frames (between, never inside,
+//!   responses — the stream stays one-response-per-request plus
+//!   interleaved pushes). Steady-state TICKs inside the safe envelope
+//!   stay on the zero-allocation budget. Subscriptions end with the
+//!   connection.
+//! * **Idle connections are reaped**: with
+//!   [`ServerConfig::idle_timeout`] set, a connection that sends no
+//!   frame for that long is closed, so an abandoned subscriber socket
+//!   cannot pin a worker slot forever. Any frame re-arms the deadline;
+//!   PING is the intended keepalive.
 //! * **Connections map to workers**: a worker serves one connection at
 //!   a time, frame by frame, then takes the next waiting connection.
 //!   Keep client counts at or below the worker count for latency;
@@ -53,14 +69,21 @@ use std::time::Duration;
 
 use iloc_core::pipeline::{PointRequest, UncertainRequest};
 use iloc_core::serve::{CommitReport, ShardServer, ShardedEngine};
+use iloc_core::subscribe::SubscriptionRegistry;
 use iloc_core::{Issuer, PointEngine, QueryAnswer, RangeSpec, UncertainEngine};
 use iloc_geometry::Rect;
 use iloc_uncertainty::{PointObject, UncertainObject};
 
 use crate::alloc_count;
 use crate::protocol::{
-    self, opcode, CommitTarget, CountersView, ErrorCode, WireError, WireUpdate, PROTOCOL_VERSION,
+    self, opcode, CommitTarget, CountersView, ErrorCode, NotifyCause, WireError, WireUpdate,
+    PROTOCOL_VERSION,
 };
+
+/// Standing subscriptions one connection may hold per catalog;
+/// exceeding it is answered with
+/// [`ErrorCode::TooManySubscriptions`].
+pub const MAX_SUBSCRIPTIONS: usize = 4_096;
 
 /// The two catalogs one server instance serves.
 #[derive(Debug)]
@@ -82,8 +105,15 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Frames longer than this are rejected and the connection closed.
     pub max_frame_len: u32,
-    /// Granularity at which blocked reads re-check the shutdown flag.
+    /// Granularity at which blocked reads re-check the shutdown flag
+    /// and pump subscription notifications.
     pub idle_poll: Duration,
+    /// Close a connection that sends no frame for this long (any
+    /// frame re-arms it; PING is the cheapest keepalive). `None`
+    /// disables reaping — fine for tests and in-process load
+    /// generation; the standalone binary defaults it on so abandoned
+    /// subscriber sockets cannot pin worker slots forever.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl ServerConfig {
@@ -95,6 +125,7 @@ impl ServerConfig {
             workers: 4,
             max_frame_len: protocol::MAX_FRAME_LEN,
             idle_poll: Duration::from_millis(50),
+            idle_timeout: None,
         }
     }
 }
@@ -122,6 +153,8 @@ struct Shared {
     shutdown: Arc<AtomicBool>,
     max_frame_len: u32,
     workers: u32,
+    idle_poll: Duration,
+    idle_timeout: Option<Duration>,
 }
 
 /// A query server over one pair of sharded catalogs.
@@ -176,6 +209,8 @@ impl QueryServer {
             shutdown: Arc::clone(&shutdown),
             max_frame_len: config.max_frame_len,
             workers: config.workers as u32,
+            idle_poll: config.idle_poll,
+            idle_timeout: config.idle_timeout,
         });
 
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
@@ -338,6 +373,10 @@ struct WorkerState {
     uncertain_req: UncertainRequest,
     answer: QueryAnswer,
     updates: Vec<WireUpdate>,
+    /// Standing queries of the connection currently served (cleared
+    /// when the connection ends — subscriptions are per-connection).
+    point_subs: SubscriptionRegistry<PointEngine>,
+    uncertain_subs: SubscriptionRegistry<UncertainEngine>,
     read_buf: Vec<u8>,
     write_buf: Vec<u8>,
 }
@@ -352,9 +391,16 @@ impl WorkerState {
             uncertain_req: UncertainRequest::iuq(placeholder(), RangeSpec::square(1.0)),
             answer: QueryAnswer::default(),
             updates: Vec::new(),
+            point_subs: SubscriptionRegistry::new(),
+            uncertain_subs: SubscriptionRegistry::new(),
             read_buf: Vec::new(),
             write_buf: Vec::new(),
         }
+    }
+
+    /// `true` when the current connection holds any standing query.
+    fn has_subscriptions(&self) -> bool {
+        !self.point_subs.is_empty() || !self.uncertain_subs.is_empty()
     }
 }
 
@@ -374,7 +420,12 @@ fn worker_loop(
         };
         let Ok(stream) = conn else { break };
         match serve_connection(stream, &mut state, &shared, &writer_tx) {
-            Ok(()) | Err(ConnectionEnd::Io) => {}
+            Ok(()) | Err(ConnectionEnd::Io) => {
+                // Subscriptions end with their connection; the
+                // registries' warm buffers carry over.
+                state.point_subs.clear();
+                state.uncertain_subs.clear();
+            }
             Err(ConnectionEnd::Poisoned) => {
                 // A caught panic may have left buffers mid-flight;
                 // start from a clean slate.
@@ -397,19 +448,34 @@ enum ReadStatus {
     Done,
     /// Clean EOF at a frame boundary.
     Eof,
+    /// A read-timeout tick elapsed at a frame boundary with nothing
+    /// read: the caller may pump subscriptions and check its idle
+    /// deadline before retrying.
+    Idle,
     Shutdown,
 }
 
 /// Reads exactly `buf.len()` bytes, re-checking the shutdown flag on
 /// every read-timeout tick. `at_boundary` makes a leading EOF clean
-/// (the peer closed between frames) rather than an error.
+/// (the peer closed between frames) rather than an error, and
+/// surfaces leading timeout ticks as [`ReadStatus::Idle`] so the
+/// caller regains control between frames. Mid-frame timeouts keep
+/// waiting — a frame, once started, is read whole — but the time
+/// spent stalled across the *whole frame* is capped by
+/// `stall_deadline`: a peer that goes silent mid-frame is just as
+/// abandoned as one idle at a boundary, and the cap is cumulative so
+/// drip-feeding one byte per poll tick cannot rewind it and pin the
+/// worker indefinitely.
 fn read_full(
     stream: &mut TcpStream,
     buf: &mut [u8],
     shutdown: &AtomicBool,
     at_boundary: bool,
+    idle_poll: Duration,
+    stall_deadline: Option<Duration>,
 ) -> io::Result<ReadStatus> {
     let mut filled = 0;
+    let mut stalled = Duration::ZERO;
     while filled < buf.len() {
         match stream.read(&mut buf[filled..]) {
             Ok(0) => {
@@ -432,6 +498,18 @@ fn read_full(
                 if shutdown.load(Ordering::SeqCst) {
                     return Ok(ReadStatus::Shutdown);
                 }
+                if filled == 0 && at_boundary {
+                    return Ok(ReadStatus::Idle);
+                }
+                stalled += idle_poll;
+                if let Some(deadline) = stall_deadline {
+                    if stalled >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "peer stalled mid-frame",
+                        ));
+                    }
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
@@ -448,9 +526,33 @@ fn serve_connection(
 ) -> Result<(), ConnectionEnd> {
     let io_end = |_| ConnectionEnd::Io;
     let mut len_buf = [0u8; 4];
+    let mut idle = Duration::ZERO;
     loop {
-        match read_full(&mut stream, &mut len_buf, &shared.shutdown, true).map_err(io_end)? {
-            ReadStatus::Done => {}
+        match read_full(
+            &mut stream,
+            &mut len_buf,
+            &shared.shutdown,
+            true,
+            shared.idle_poll,
+            shared.idle_timeout,
+        )
+        .map_err(io_end)?
+        {
+            ReadStatus::Done => idle = Duration::ZERO,
+            ReadStatus::Idle => {
+                // Between frames: push any commit-driven subscription
+                // deltas, then enforce the keepalive deadline.
+                pump_subscriptions(&mut stream, state, shared)?;
+                idle += shared.idle_poll;
+                if let Some(deadline) = shared.idle_timeout {
+                    if idle >= deadline {
+                        // Reap: an abandoned socket must not pin this
+                        // worker slot forever. Closing is the signal.
+                        return Ok(());
+                    }
+                }
+                continue;
+            }
             ReadStatus::Eof | ReadStatus::Shutdown => return Ok(()),
         }
         let len = u32::from_le_bytes(len_buf);
@@ -468,11 +570,20 @@ fn serve_connection(
         }
         state.read_buf.clear();
         state.read_buf.resize(len as usize, 0);
-        match read_full(&mut stream, &mut state.read_buf, &shared.shutdown, false)
-            .map_err(io_end)?
+        match read_full(
+            &mut stream,
+            &mut state.read_buf,
+            &shared.shutdown,
+            false,
+            shared.idle_poll,
+            shared.idle_timeout,
+        )
+        .map_err(io_end)?
         {
             ReadStatus::Done => {}
-            ReadStatus::Eof => unreachable!("mid-frame EOF maps to an error"),
+            ReadStatus::Eof | ReadStatus::Idle => {
+                unreachable!("mid-frame EOF maps to an error, mid-frame ticks keep reading")
+            }
             ReadStatus::Shutdown => return Ok(()),
         }
         shared.requests_served.fetch_add(1, Ordering::Relaxed);
@@ -489,6 +600,11 @@ fn serve_connection(
             return Ok(());
         }
         let op = state.read_buf[1];
+
+        // Commit-driven pushes go out *before* this frame's response,
+        // so the subscriber's view advances in epoch order and a TICK's
+        // delta composes on top of everything already delivered.
+        pump_subscriptions(&mut stream, state, shared)?;
 
         // The payload borrows the read buffer, which must stay intact
         // while the handler fills the other state fields; park it
@@ -514,6 +630,66 @@ fn serve_connection(
         }
         stream.write_all(&state.write_buf).map_err(io_end)?;
     }
+}
+
+/// Pushes commit-driven subscription deltas: pumps both registries
+/// against the engines' current epochs and writes one NOTIFY frame
+/// per changed subscription. A no-op (two atomic epoch loads) when
+/// the connection holds no subscriptions or nothing was committed.
+fn pump_subscriptions(
+    stream: &mut TcpStream,
+    state: &mut WorkerState,
+    shared: &Shared,
+) -> Result<(), ConnectionEnd> {
+    if !state.has_subscriptions() {
+        return Ok(());
+    }
+    let WorkerState {
+        point_subs,
+        uncertain_subs,
+        write_buf,
+        ..
+    } = state;
+    write_buf.clear();
+    let pumped = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        point_subs.pump(&shared.engines.point, |id, epoch, delta| {
+            protocol::encode_notify(
+                write_buf,
+                CommitTarget::Point,
+                id,
+                epoch,
+                NotifyCause::Commit,
+                delta,
+            );
+        });
+        uncertain_subs.pump(&shared.engines.uncertain, |id, epoch, delta| {
+            protocol::encode_notify(
+                write_buf,
+                CommitTarget::Uncertain,
+                id,
+                epoch,
+                NotifyCause::Commit,
+                delta,
+            );
+        });
+    }));
+    if pumped.is_err() {
+        state.write_buf.clear();
+        protocol::encode_error(
+            &mut state.write_buf,
+            ErrorCode::Internal,
+            "subscription wake-up panicked",
+        );
+        let _ = stream.write_all(&state.write_buf);
+        return Err(ConnectionEnd::Poisoned);
+    }
+    if !state.write_buf.is_empty() {
+        stream
+            .write_all(&state.write_buf)
+            .map_err(|_| ConnectionEnd::Io)?;
+        state.write_buf.clear();
+    }
+    Ok(())
 }
 
 /// Serves one frame: decodes the payload, executes, and encodes the
@@ -626,6 +802,122 @@ fn handle_frame(
                 wire_error(&mut state.write_buf, WireError::Malformed("ping payload"));
             }
         }
+        opcode::SUBSCRIBE => {
+            let mut r = protocol::Reader::new(payload);
+            match protocol::decode_subscribe_header(&mut r) {
+                Ok((CommitTarget::Point, slack)) => {
+                    match protocol::decode_subscribe_point_body(&mut r, &mut state.point_req) {
+                        Ok(()) if state.point_subs.len() >= MAX_SUBSCRIPTIONS => {
+                            protocol::encode_error(
+                                &mut state.write_buf,
+                                ErrorCode::TooManySubscriptions,
+                                "subscription limit reached",
+                            );
+                        }
+                        Ok(()) => {
+                            let id = state.point_subs.subscribe(
+                                &shared.engines.point,
+                                state.point_req.clone(),
+                                slack,
+                            );
+                            let sub = state.point_subs.get(id).expect("just subscribed");
+                            protocol::encode_sub_ack(
+                                &mut state.write_buf,
+                                CommitTarget::Point,
+                                id,
+                                sub.epoch(),
+                                sub.last_answer(),
+                            );
+                        }
+                        Err(e) => wire_error(&mut state.write_buf, e),
+                    }
+                }
+                Ok((CommitTarget::Uncertain, slack)) => {
+                    match protocol::decode_subscribe_uncertain_body(
+                        &mut r,
+                        &mut state.uncertain_req,
+                    ) {
+                        Ok(()) if state.uncertain_subs.len() >= MAX_SUBSCRIPTIONS => {
+                            protocol::encode_error(
+                                &mut state.write_buf,
+                                ErrorCode::TooManySubscriptions,
+                                "subscription limit reached",
+                            );
+                        }
+                        Ok(()) => {
+                            let id = state.uncertain_subs.subscribe(
+                                &shared.engines.uncertain,
+                                state.uncertain_req.clone(),
+                                slack,
+                            );
+                            let sub = state.uncertain_subs.get(id).expect("just subscribed");
+                            protocol::encode_sub_ack(
+                                &mut state.write_buf,
+                                CommitTarget::Uncertain,
+                                id,
+                                sub.epoch(),
+                                sub.last_answer(),
+                            );
+                        }
+                        Err(e) => wire_error(&mut state.write_buf, e),
+                    }
+                }
+                Err(e) => wire_error(&mut state.write_buf, e),
+            }
+        }
+        opcode::UNSUBSCRIBE => match protocol::decode_unsubscribe(payload) {
+            Ok((target, id)) => {
+                let existed = match target {
+                    CommitTarget::Point => state.point_subs.unsubscribe(id),
+                    CommitTarget::Uncertain => state.uncertain_subs.unsubscribe(id),
+                };
+                protocol::encode_unsub_done(&mut state.write_buf, existed);
+            }
+            Err(e) => wire_error(&mut state.write_buf, e),
+        },
+        opcode::TICK => match protocol::decode_tick(payload) {
+            Ok((target, id, pdf)) => {
+                // The caller pumped before dispatch, so this tick's
+                // delta composes on top of every commit already
+                // delivered; a steady tick inside the envelope runs
+                // probe-free and allocation-free.
+                let ticked = match target {
+                    CommitTarget::Point => state
+                        .point_subs
+                        .tick(&shared.engines.point, id, pdf)
+                        .map(|(epoch, delta)| {
+                            protocol::encode_notify(
+                                &mut state.write_buf,
+                                target,
+                                id,
+                                epoch,
+                                NotifyCause::Tick,
+                                delta,
+                            );
+                        }),
+                    CommitTarget::Uncertain => state
+                        .uncertain_subs
+                        .tick(&shared.engines.uncertain, id, pdf)
+                        .map(|(epoch, delta)| {
+                            protocol::encode_notify(
+                                &mut state.write_buf,
+                                target,
+                                id,
+                                epoch,
+                                NotifyCause::Tick,
+                                delta,
+                            );
+                        }),
+                };
+                if ticked.is_none() {
+                    wire_error(
+                        &mut state.write_buf,
+                        WireError::Malformed("unknown subscription id"),
+                    );
+                }
+            }
+            Err(e) => wire_error(&mut state.write_buf, e),
+        },
         _ => protocol::encode_error(
             &mut state.write_buf,
             ErrorCode::BadOpcode,

@@ -1,0 +1,409 @@
+//! Delta-oracle property suite for the subscription subsystem.
+//!
+//! The contract under test: after **any** interleaving of commits,
+//! pumps and ticks, applying every emitted [`AnswerDelta`] in order to
+//! a subscriber's local copy reproduces the answer a **full fresh
+//! re-evaluation** of that subscription would give — bit-identically
+//! ([`QueryAnswer::same_matches`] semantics), for every subscription,
+//! including the ones the wake-up machinery decided *not* to touch.
+//! Plus: steady ticks probe nothing, dirty buffers reused across
+//! scenarios carry no state, and commits racing ahead of pumps never
+//! corrupt a delta stream.
+
+use iloc::core::pipeline::PointRequest;
+use iloc::core::serve::{ShardedEngine, Update};
+use iloc::core::subscribe::{AnswerDelta, SubId, SubscriptionRegistry};
+use iloc::core::{CipqStrategy, Issuer, Match, PointEngine, RangeSpec};
+use iloc::geometry::{Point, Rect};
+use iloc::uncertainty::{ObjectId, PointObject, UncertainObject, UniformPdf};
+
+/// Deterministic xorshift for scenario generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn coord(&mut self) -> f64 {
+        self.below(1_000) as f64
+    }
+}
+
+fn grid_engine(shards: usize) -> ShardedEngine<PointEngine> {
+    let objects = (0..400u64)
+        .map(|k| {
+            PointObject::new(
+                k,
+                Point::new((k % 20) as f64 * 50.0, (k / 20) as f64 * 50.0),
+            )
+        })
+        .collect();
+    ShardedEngine::build(objects, shards)
+}
+
+fn request_at(x: f64, y: f64, constrained: bool) -> PointRequest {
+    let issuer = Issuer::uniform(Rect::centered(Point::new(x, y), 45.0, 45.0));
+    if constrained {
+        PointRequest::cipq(
+            issuer,
+            RangeSpec::square(70.0),
+            0.2,
+            CipqStrategy::MinkowskiSum,
+        )
+    } else {
+        PointRequest::ipq(issuer, RangeSpec::square(70.0))
+    }
+}
+
+/// A subscriber's client-side view: the request mirror (for fresh
+/// re-evaluation) and the composed answer state.
+struct Mirror {
+    id: SubId,
+    request: PointRequest,
+    state: Vec<Match>,
+}
+
+fn assert_state_fresh(engine: &ShardedEngine<PointEngine>, mirror: &Mirror) {
+    let fresh = engine.snapshot().execute_one(&mirror.request);
+    assert_eq!(
+        mirror.state.len(),
+        fresh.results.len(),
+        "sub {}: {} composed vs {} fresh matches",
+        mirror.id,
+        mirror.state.len(),
+        fresh.results.len()
+    );
+    for (a, b) in mirror.state.iter().zip(&fresh.results) {
+        assert_eq!(a.id, b.id, "sub {}", mirror.id);
+        assert_eq!(
+            a.probability.to_bits(),
+            b.probability.to_bits(),
+            "sub {}: probability for {:?} diverged",
+            mirror.id,
+            a.id
+        );
+    }
+}
+
+/// The main oracle: random churn + motion, every delta applied, every
+/// subscription compared against full fresh re-evaluation after every
+/// commit — across shard counts, through one registry whose scratch
+/// buffers stay dirty the whole way.
+#[test]
+fn deltas_compose_to_fresh_reevaluation_under_churn_and_motion() {
+    for &shards in &[1usize, 3, 8] {
+        let engine = grid_engine(shards);
+        let mut registry: SubscriptionRegistry<PointEngine> = SubscriptionRegistry::new();
+        let mut rng = Rng(0x1005_0C1E + shards as u64);
+
+        let mut mirrors: Vec<Mirror> = (0..12)
+            .map(|k| {
+                let request = request_at(rng.coord(), rng.coord(), k % 3 == 0);
+                let id = registry.subscribe(&engine, request.clone(), 60.0 + (k % 4) as f64 * 40.0);
+                let state = registry.get(id).unwrap().last_answer().to_vec();
+                Mirror { id, request, state }
+            })
+            .collect();
+        for mirror in &mirrors {
+            assert_state_fresh(&engine, mirror);
+        }
+
+        let mut next_arrival = 10_000u64;
+        for round in 0..25 {
+            // A random batch of catalog churn...
+            for _ in 0..8 {
+                match rng.below(3) {
+                    0 => {
+                        engine.submit(Update::Arrive(PointObject::new(
+                            next_arrival,
+                            Point::new(rng.coord(), rng.coord()),
+                        )));
+                        next_arrival += 1;
+                    }
+                    1 => {
+                        engine.submit(Update::Depart(ObjectId(rng.below(next_arrival))));
+                    }
+                    _ => {
+                        engine.submit(Update::Move(PointObject::new(
+                            rng.below(400),
+                            Point::new(rng.coord(), rng.coord()),
+                        )));
+                    }
+                }
+            }
+            engine.commit();
+
+            // ...pumped into deltas, applied in emission order...
+            registry.pump(&engine, |id, _, delta| {
+                let mirror = mirrors.iter_mut().find(|m| m.id == id).expect("known sub");
+                delta.apply(&mut mirror.state);
+            });
+
+            // ...then some issuers move (half the ticks drift inside
+            // the envelope, half jump past it).
+            for mirror in mirrors.iter_mut() {
+                if rng.below(2) == 0 {
+                    continue;
+                }
+                let (x, y) = if rng.below(2) == 0 {
+                    let r = mirror.request.issuer.region().center();
+                    (r.x + 5.0, r.y)
+                } else {
+                    (rng.coord(), rng.coord())
+                };
+                let fresh_issuer = request_at(x, y, false).issuer;
+                mirror.request.issuer = fresh_issuer.clone();
+                let (_, delta) = registry
+                    .tick(&engine, mirror.id, fresh_issuer.pdf().clone())
+                    .expect("live sub");
+                delta.apply(&mut mirror.state);
+            }
+
+            // EVERY subscription — woken, ticked, or untouched — must
+            // now equal full fresh re-evaluation at the current epoch.
+            for mirror in &mirrors {
+                assert_state_fresh(&engine, mirror);
+            }
+
+            // Occasionally churn the subscription set itself.
+            if round % 7 == 6 {
+                let gone = mirrors.remove(rng.below(mirrors.len() as u64) as usize);
+                assert!(registry.unsubscribe(gone.id));
+                let request = request_at(rng.coord(), rng.coord(), true);
+                let id = registry.subscribe(&engine, request.clone(), 80.0);
+                let state = registry.get(id).unwrap().last_answer().to_vec();
+                mirrors.push(Mirror { id, request, state });
+            }
+        }
+    }
+}
+
+/// A commit can land between a pump and a tick (the wire path pumps
+/// before each frame, but the writer thread runs concurrently). The
+/// tick must still answer consistently, and the next pump must
+/// reconcile every subscription without emitting a corrupt delta.
+#[test]
+fn commits_racing_between_pump_and_tick_stay_consistent() {
+    let engine = grid_engine(4);
+    let mut registry: SubscriptionRegistry<PointEngine> = SubscriptionRegistry::new();
+
+    // One sub near the churn, one far from it.
+    let near_request = request_at(100.0, 100.0, false);
+    let far_request = request_at(900.0, 900.0, false);
+    let near = registry.subscribe(&engine, near_request.clone(), 60.0);
+    let far = registry.subscribe(&engine, far_request.clone(), 60.0);
+    let mut near_state = registry.get(near).unwrap().last_answer().to_vec();
+    let mut far_state = registry.get(far).unwrap().last_answer().to_vec();
+
+    // Commit WITHOUT pumping: depart an object inside near's range.
+    engine.submit(Update::Depart(ObjectId(42))); // (100, 100)
+    engine.commit();
+
+    // A tick of the far sub served from its (clean) envelope cache:
+    // still bit-identical to fresh evaluation at the current epoch,
+    // because nothing inside its envelope changed.
+    let pdf = far_request.issuer.pdf().clone();
+    let (_, delta) = registry.tick(&engine, far, pdf).unwrap();
+    delta.apply(&mut far_state);
+    assert_state_fresh(
+        &engine,
+        &Mirror {
+            id: far,
+            request: far_request.clone(),
+            state: far_state.clone(),
+        },
+    );
+
+    // A tick that jumps INTO the dirty region before any pump must
+    // re-probe against the current epoch, not serve stale state.
+    let moved = request_at(100.0, 100.0, false);
+    let (_, delta) = registry
+        .tick(&engine, far, moved.issuer.pdf().clone())
+        .unwrap();
+    delta.apply(&mut far_state);
+    let fresh = engine.snapshot().execute_one(&moved);
+    assert_eq!(far_state.len(), fresh.results.len());
+    assert!(far_state.iter().all(|m| m.id != ObjectId(42)));
+
+    // The pump then wakes the near sub and reconciles it.
+    let mut emitted = Vec::new();
+    registry.pump(&engine, |id, _, delta| emitted.push((id, delta.clone())));
+    assert_eq!(emitted.len(), 1);
+    assert_eq!(emitted[0].0, near);
+    emitted[0].1.apply(&mut near_state);
+    assert_state_fresh(
+        &engine,
+        &Mirror {
+            id: near,
+            request: near_request,
+            state: near_state,
+        },
+    );
+    // A second pump with nothing new is a no-op.
+    registry.pump(&engine, |_, _, _| panic!("nothing to emit"));
+}
+
+/// Steady-state ticks — motion within the envelope, no commits — issue
+/// zero index probes, and the registry's scratch buffers carry no
+/// state between subscriptions (a dirty registry reused for a new
+/// scenario answers exactly like a fresh one).
+#[test]
+fn steady_ticks_are_probe_free_and_scratch_is_stateless() {
+    let engine = grid_engine(2);
+    let mut dirty: SubscriptionRegistry<PointEngine> = SubscriptionRegistry::new();
+
+    // Drive the registry hard to dirty every internal buffer.
+    let a = dirty.subscribe(&engine, request_at(500.0, 500.0, true), 120.0);
+    for k in 0..30u64 {
+        let request = request_at(400.0 + k as f64 * 9.0, 510.0, false);
+        dirty
+            .tick(&engine, a, request.issuer.pdf().clone())
+            .unwrap();
+    }
+    engine.submit(Update::Move(PointObject::new(
+        0u64,
+        Point::new(501.0, 501.0),
+    )));
+    engine.commit();
+    dirty.pump(&engine, |_, _, _| {});
+    dirty.unsubscribe(a);
+    dirty.clear();
+
+    // Same scenario through the dirty registry and a fresh one.
+    let mut fresh: SubscriptionRegistry<PointEngine> = SubscriptionRegistry::new();
+    let request = request_at(300.0, 300.0, false);
+    let id_dirty = dirty.subscribe(&engine, request.clone(), 150.0);
+    let id_fresh = fresh.subscribe(&engine, request.clone(), 150.0);
+
+    let probes_before = dirty.get(id_dirty).unwrap().probes();
+    for k in 0..40u64 {
+        let moved = request_at(300.0 + (k % 7) as f64 * 2.0, 300.0, false);
+        let pdf = moved.issuer.pdf().clone();
+        let d1: AnswerDelta = dirty
+            .tick(&engine, id_dirty, pdf.clone())
+            .unwrap()
+            .1
+            .clone();
+        let d2: AnswerDelta = fresh.tick(&engine, id_fresh, pdf).unwrap().1.clone();
+        assert_eq!(d1, d2, "tick {k}: dirty registry diverged from fresh");
+    }
+    let sub = dirty.get(id_dirty).unwrap();
+    assert_eq!(
+        sub.probes(),
+        probes_before,
+        "steady ticks must not probe the index"
+    );
+    assert_eq!(sub.cache_hits(), 40);
+}
+
+/// The uncertain catalog gets the same treatment: standing C-IUQ
+/// subscriptions produce deltas bit-identical to fresh re-evaluation
+/// (the wake path re-checks *region overlap* rather than point
+/// containment).
+#[test]
+fn uncertain_subscriptions_track_fresh_reevaluation() {
+    use iloc::core::pipeline::UncertainRequest;
+    use iloc::core::{CiuqStrategy, UncertainEngine};
+
+    let objects: Vec<UncertainObject> = (0..144u64)
+        .map(|k| {
+            let c = Point::new((k % 12) as f64 * 80.0 + 40.0, (k / 12) as f64 * 80.0 + 40.0);
+            UncertainObject::new(k, UniformPdf::new(Rect::centered(c, 18.0, 18.0)))
+        })
+        .collect();
+    let engine: ShardedEngine<UncertainEngine> = ShardedEngine::build(objects, 3);
+    let mut registry: SubscriptionRegistry<UncertainEngine> = SubscriptionRegistry::new();
+
+    let make_request = |x: f64, y: f64| {
+        UncertainRequest::ciuq(
+            Issuer::uniform(Rect::centered(Point::new(x, y), 50.0, 50.0)),
+            RangeSpec::square(90.0),
+            0.15,
+            CiuqStrategy::RTreeMinkowski,
+        )
+    };
+    let mut request = make_request(400.0, 400.0);
+    let id = registry.subscribe(&engine, request.clone(), 100.0);
+    let mut state = registry.get(id).unwrap().last_answer().to_vec();
+    assert!(!state.is_empty());
+
+    let mut rng = Rng(77);
+    for round in 0..15u64 {
+        // Move a few objects and commit.
+        for _ in 0..3 {
+            let k = rng.below(144);
+            engine.submit(Update::Move(UncertainObject::new(
+                k,
+                UniformPdf::new(Rect::centered(
+                    Point::new(rng.coord(), rng.coord()),
+                    18.0,
+                    18.0,
+                )),
+            )));
+        }
+        engine.commit();
+        registry.pump(&engine, |got, _, delta| {
+            assert_eq!(got, id);
+            delta.apply(&mut state);
+        });
+        // Drift the issuer.
+        request = make_request(
+            400.0 + round as f64 * 12.0,
+            400.0 + (round % 3) as f64 * 8.0,
+        );
+        let (_, delta) = registry
+            .tick(&engine, id, request.issuer.pdf().clone())
+            .unwrap();
+        delta.apply(&mut state);
+
+        let fresh = engine.snapshot().execute_one(&request);
+        assert_eq!(state.len(), fresh.results.len(), "round {round}");
+        for (a, b) in state.iter().zip(&fresh.results) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+        }
+    }
+}
+
+/// Constrained subscriptions are normalized to Minkowski filtering, so
+/// a PExpanded request subscribes cleanly and its stream matches the
+/// engine's MinkowskiSum answers (identical result sets by Lemma 5).
+#[test]
+fn p_expanded_requests_normalize_to_minkowski() {
+    let engine = grid_engine(2);
+    let mut registry: SubscriptionRegistry<PointEngine> = SubscriptionRegistry::new();
+    let issuer = Issuer::uniform(Rect::centered(Point::new(500.0, 500.0), 45.0, 45.0));
+    let p_expanded = PointRequest::cipq(
+        issuer.clone(),
+        RangeSpec::square(70.0),
+        0.3,
+        CipqStrategy::PExpanded,
+    );
+    let id = registry.subscribe(&engine, p_expanded, 50.0);
+    let stored = registry.get(id).unwrap().request();
+    assert_eq!(
+        stored.constraint.unwrap().strategy,
+        CipqStrategy::MinkowskiSum
+    );
+    let want = engine.snapshot().execute_one(&PointRequest::cipq(
+        issuer,
+        RangeSpec::square(70.0),
+        0.3,
+        CipqStrategy::MinkowskiSum,
+    ));
+    let got = registry.get(id).unwrap().last_answer();
+    assert_eq!(got.len(), want.results.len());
+    for (a, b) in got.iter().zip(&want.results) {
+        assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+    }
+}
