@@ -131,6 +131,15 @@ fn main() {
         "     {} updates in {} commits interleaved; {} matches returned",
         report.updates_submitted, report.commits, report.results_total
     );
+    println!(
+        "     server stage split: filter {:.1}ms / prune {:.1}ms / refine {:.1}ms \
+         ({:.0}% refine); refine batches {:?}",
+        report.stage_filter_nanos as f64 / 1e6,
+        report.stage_prune_nanos as f64 / 1e6,
+        report.stage_refine_nanos as f64 / 1e6,
+        report.refine_share() * 100.0,
+        report.refine_batches,
+    );
     if report.alloc_counting {
         println!(
             "     steady window: {} queries, {:.3} server allocations/request",

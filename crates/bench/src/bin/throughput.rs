@@ -19,6 +19,9 @@
 //!                   allocation-free (CI gate)
 //! --out PATH        report path (default BENCH_batch_throughput.json)
 //! --baseline PATH   baseline path (default BENCH_baseline.json)
+//! --min-iuq-speedup R  exit non-zero unless iuq_batch runs at least
+//!                   `R`x the baseline's `iuq_batch_qps` (CI gate for
+//!                   the SoA refine path; needs a same-mode baseline)
 //! ```
 //!
 //! The workloads are fully deterministic (fixed seeds), so two runs of
@@ -390,6 +393,12 @@ fn main() {
     };
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_batch_throughput.json".into());
     let baseline_path = arg_value("--baseline").unwrap_or_else(|| "BENCH_baseline.json".into());
+    let min_iuq_speedup: Option<f64> = arg_value("--min-iuq-speedup").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --min-iuq-speedup: {v}");
+            std::process::exit(2);
+        })
+    });
 
     let scale = if quick {
         BenchScale::quick()
@@ -538,6 +547,55 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write report");
     eprintln!("report written to {out_path}");
     print!("{json}");
+
+    // The SoA refine regression gate: iuq_batch must hold its speedup
+    // over the checked-in baseline, not just not-crash. Reads the
+    // baseline file directly (same mode required) so the gate also
+    // works alongside --save-baseline, which rewrites it above. Gates
+    // on the best of five re-measurements: a single quick-scale batch
+    // finishes in well under a millisecond, where timer granularity
+    // alone swings qps by tens of percent — the gate asks "can the
+    // path still reach the speedup", not "did this one run".
+    if let Some(min) = min_iuq_speedup {
+        let gate_qps = {
+            // A larger batch than the reported workload: 32 quick-mode
+            // queries finish too fast to time reliably.
+            let requests = iuq_requests(scale.iuq_queries.max(128), SEED + 4);
+            let mut best = iuq.qps();
+            for _ in 0..4 {
+                let r = measure_batch("iuq_batch", requests.len(), || {
+                    execute_batch(&uncertain_engine, &requests)
+                });
+                best = best.max(r.qps());
+            }
+            best
+        };
+        let base_qps = std::fs::read_to_string(&baseline_path)
+            .ok()
+            .filter(|b| b.contains(&format!("\"mode\": \"{mode}\"")))
+            .and_then(|b| flat_value(&b, "iuq_batch_qps"))
+            .filter(|&qps| qps > 0.0);
+        match base_qps {
+            Some(base) => {
+                let speedup = gate_qps / base;
+                if speedup < min {
+                    eprintln!(
+                        "FAIL: iuq_batch at {gate_qps:.1} q/s (best of 5) is only {speedup:.2}x \
+                         the baseline's {base:.1} q/s (gate: {min:.2}x)"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("OK: iuq_batch speedup {speedup:.2}x over baseline (gate: {min:.2}x)");
+            }
+            None => {
+                eprintln!(
+                    "FAIL: --min-iuq-speedup needs a same-mode baseline with iuq_batch_qps \
+                     at {baseline_path}"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
 
     if check_allocs {
         let mut failed = false;

@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 
 use iloc_core::pipeline::{PointRequest, UncertainRequest};
 use iloc_core::serve::Update;
+use iloc_core::stats::REFINE_BATCH_BUCKETS;
 use iloc_core::{CipqStrategy, CiuqStrategy, Issuer, QueryAnswer, RangeSpec};
 use iloc_datagen::{
     california_points, long_beach_rects, uniform_objects, PointUpdate, PointUpdateGen, UpdateMix,
@@ -152,12 +153,33 @@ pub struct NetReport {
     pub alloc_counting: bool,
     /// Total frames the server reports having handled.
     pub server_requests: u64,
+    /// Server-reported filter-stage nanoseconds, cumulative over every
+    /// query the server answered during the run.
+    pub stage_filter_nanos: u64,
+    /// Server-reported prune-stage nanoseconds, same accounting.
+    pub stage_prune_nanos: u64,
+    /// Server-reported refine-stage nanoseconds, same accounting.
+    pub stage_refine_nanos: u64,
+    /// Server-reported refine-batch size histogram
+    /// ([`iloc_core::stats::refine_batch_bucket`] buckets).
+    pub refine_batches: [u64; REFINE_BATCH_BUCKETS],
 }
 
 impl NetReport {
     /// Mixed-window throughput in queries per second.
     pub fn qps(&self) -> f64 {
         self.queries as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Fraction of measured pipeline time the refine stage took
+    /// (0.0 when the server reported no stage timings).
+    pub fn refine_share(&self) -> f64 {
+        let total = self.stage_filter_nanos + self.stage_prune_nanos + self.stage_refine_nanos;
+        if total == 0 {
+            0.0
+        } else {
+            self.stage_refine_nanos as f64 / total as f64
+        }
     }
 }
 
@@ -394,6 +416,10 @@ pub fn run_against(addr: SocketAddr, cfg: &NetConfig) -> Result<NetReport, Clien
         steady_allocs_per_request,
         alloc_counting: s1.alloc_counting,
         server_requests: s2.requests_served,
+        stage_filter_nanos: s2.filter_nanos,
+        stage_prune_nanos: s2.prune_nanos,
+        stage_refine_nanos: s2.refine_nanos,
+        refine_batches: s2.refine_batches,
     })
 }
 
@@ -428,6 +454,11 @@ mod tests {
         assert!(!report.alloc_counting);
         assert_eq!(report.steady_allocs_per_request, -1.0);
         assert!(report.server_requests as usize > report.queries);
+        // The server reported its pipeline stage split and batch-size
+        // histogram over the wire.
+        assert!(report.stage_refine_nanos > 0);
+        assert!(report.refine_batches.iter().sum::<u64>() > 0);
+        assert!((0.0..=1.0).contains(&report.refine_share()));
     }
 
     #[test]

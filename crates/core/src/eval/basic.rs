@@ -57,6 +57,80 @@ pub fn point_probability(
     acc.clamp(0.0, 1.0)
 }
 
+/// Fills `cells` with the issuer's midpoint-grid plan — sample point
+/// and issuer density per cell — and returns the cell area `da`.
+///
+/// This hoists the per-query invariants of the basic method out of the
+/// per-candidate loop: the batched evaluators build the plan once and
+/// share it across every surviving candidate, saving `per_axis²`
+/// density evaluations per candidate. The buffer is cleared and
+/// refilled, so a warm (capacity-retaining) vector makes the fill
+/// allocation-free.
+pub fn fill_grid_plan(
+    issuer_pdf: &dyn LocationPdf,
+    per_axis: usize,
+    cells: &mut Vec<(Point, f64)>,
+) -> f64 {
+    assert!(per_axis > 0);
+    let u0 = issuer_pdf.region();
+    let dx = u0.width() / per_axis as f64;
+    let dy = u0.height() / per_axis as f64;
+    cells.clear();
+    cells.reserve(per_axis * per_axis);
+    for j in 0..per_axis {
+        for i in 0..per_axis {
+            let c = Point::new(
+                u0.min.x + (i as f64 + 0.5) * dx,
+                u0.min.y + (j as f64 + 0.5) * dy,
+            );
+            cells.push((c, issuer_pdf.density(c)));
+        }
+    }
+    dx * dy
+}
+
+/// [`point_probability`] over a pre-built grid plan: identical
+/// accumulation (`density · da` per covering cell), so results are
+/// bit-identical to the unhoisted path.
+pub fn point_probability_planned(
+    cells: &[(Point, f64)],
+    da: f64,
+    range: RangeSpec,
+    loc: Point,
+    stats: &mut QueryStats,
+) -> f64 {
+    stats.prob_evals += 1;
+    stats.grid_cells += cells.len() as u64;
+    let mut acc = 0.0;
+    for &(c, density) in cells {
+        if range.at(c).contains_point(loc) {
+            acc += density * da;
+        }
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+/// [`object_probability`] over a pre-built grid plan: identical
+/// accumulation (`p_xy · density · da`), bit-identical results.
+pub fn object_probability_planned(
+    cells: &[(Point, f64)],
+    da: f64,
+    range: RangeSpec,
+    object_pdf: &dyn LocationPdf,
+    stats: &mut QueryStats,
+) -> f64 {
+    stats.prob_evals += 1;
+    stats.grid_cells += cells.len() as u64;
+    let mut acc = 0.0;
+    for &(c, density) in cells {
+        let p_xy = object_pdf.prob_in_rect(range.at(c));
+        if p_xy > 0.0 {
+            acc += p_xy * density * da;
+        }
+    }
+    acc.clamp(0.0, 1.0)
+}
+
 /// IUQ qualification probability by direct integration of Eq. 4.
 pub fn object_probability(
     issuer_pdf: &dyn LocationPdf,
@@ -128,6 +202,32 @@ mod tests {
         assert!(exact > 0.0 && exact < 1.0);
         assert!((approx - exact).abs() < 1e-3, "{approx} vs {exact}");
         assert_eq!(stats.grid_cells, 300 * 300);
+    }
+
+    #[test]
+    fn planned_paths_match_unplanned_bit_for_bit() {
+        use iloc_uncertainty::TruncatedGaussianPdf;
+        let issuer = TruncatedGaussianPdf::paper_default(Rect::from_coords(0.0, 0.0, 60.0, 40.0));
+        let range = RangeSpec::new(12.0, 8.0);
+        let mut cells = Vec::new();
+        let da = fill_grid_plan(&issuer, 25, &mut cells);
+        assert_eq!(cells.len(), 25 * 25);
+        for loc in [Point::new(55.0, 20.0), Point::new(300.0, 300.0)] {
+            let mut s1 = QueryStats::new();
+            let mut s2 = QueryStats::new();
+            let a = point_probability(&issuer, range, loc, 25, &mut s1);
+            let b = point_probability_planned(&cells, da, range, loc, &mut s2);
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(s1.grid_cells, s2.grid_cells);
+            assert_eq!(s1.prob_evals, s2.prob_evals);
+        }
+        let object = UniformPdf::new(Rect::from_coords(50.0, 10.0, 110.0, 50.0));
+        let mut s1 = QueryStats::new();
+        let mut s2 = QueryStats::new();
+        let a = object_probability(&issuer, range, &object, 25, &mut s1);
+        let b = object_probability_planned(&cells, da, range, &object, &mut s2);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(s1.grid_cells, s2.grid_cells);
     }
 
     #[test]

@@ -21,6 +21,378 @@ use iloc_uncertainty::{Axis, LocationPdf};
 
 use crate::query::RangeSpec;
 
+/// One linear segment of a hoisted overlap profile, with the slope and
+/// the `c0 + c1·x` coefficients precomputed once per query (the scalar
+/// path recomputes them per candidate inside
+/// [`profile_against_marginal`]).
+///
+/// Zero-width padding segments (`x0 == x1`) are valid and contribute
+/// exactly `+0.0` to every integral, which lets [`AxisProfile`] hold a
+/// fixed-shape `[HoistedSegment; 3]` the batch kernels iterate without
+/// a length branch.
+#[derive(Debug, Clone, Copy)]
+pub struct HoistedSegment {
+    /// Segment start knot.
+    pub x0: f64,
+    /// Segment end knot (`>= x0`).
+    pub x1: f64,
+    /// Profile value at `x0`.
+    pub y0: f64,
+    /// `(y1 − y0) / (x1 − x0)`, bit-identical to the scalar path's
+    /// per-candidate recomputation.
+    pub slope: f64,
+    /// `y0 − slope·x0`: the constant of the `c0 + c1·x` form consumed
+    /// by [`LocationPdf::linear_marginal_integral`].
+    pub c0: f64,
+}
+
+/// One axis of a query's overlap profile in hoisted (SoA-friendly)
+/// form: always exactly three segments — an [`OverlapProfile`] has at
+/// most four knots — padded with zero-width segments so the batch
+/// kernels run a fixed-trip-count inner loop.
+#[derive(Debug, Clone, Copy)]
+pub struct AxisProfile {
+    /// The (padded) profile segments.
+    pub segs: [HoistedSegment; 3],
+    /// Support lower bound (first knot), `0.0` for a degenerate
+    /// profile.
+    pub sup_lo: f64,
+    /// Support upper bound (last knot), `0.0` for a degenerate
+    /// profile.
+    pub sup_hi: f64,
+}
+
+impl AxisProfile {
+    /// Hoists `OverlapProfile::new(w, side)` into fixed-shape segments.
+    pub fn new(w: f64, side: Interval) -> Self {
+        let profile = OverlapProfile::new(w, side);
+        let knots = profile.knots();
+        let (sup_lo, sup_hi) = if knots.len() < 2 {
+            // Degenerate (w == 0 on a point side): the zero function.
+            (0.0, 0.0)
+        } else {
+            (knots[0].0, knots[knots.len() - 1].0)
+        };
+        let pad = HoistedSegment {
+            x0: sup_hi,
+            x1: sup_hi,
+            y0: 0.0,
+            slope: 0.0,
+            c0: 0.0,
+        };
+        let mut segs = [pad; 3];
+        for (k, pair) in knots.windows(2).enumerate() {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            let slope = (y1 - y0) / (x1 - x0);
+            segs[k] = HoistedSegment {
+                x0,
+                x1,
+                y0,
+                slope,
+                c0: y0 - slope * x0,
+            };
+        }
+        AxisProfile {
+            segs,
+            sup_lo,
+            sup_hi,
+        }
+    }
+
+    /// `∫_{[d_lo, d_hi]} profile(x) dx`, bit-identical to
+    /// [`OverlapProfile::integral_over`] but branchless: empty or
+    /// zero-length clips select `+0.0` instead of early-returning, and
+    /// `x + 0.0` preserves every non-negative total exactly.
+    #[inline(always)]
+    fn integral(&self, d_lo: f64, d_hi: f64) -> f64 {
+        let i_lo = d_lo.max(self.sup_lo);
+        let i_hi = d_hi.min(self.sup_hi);
+        let mut total = 0.0;
+        for s in &self.segs {
+            let a = i_lo.max(s.x0);
+            let b = i_hi.min(s.x1);
+            let f_a = s.y0 + s.slope * (a - s.x0);
+            let f_b = s.y0 + s.slope * (b - s.x0);
+            let contrib = 0.5 * (f_a + f_b) * (b - a);
+            total += if b > a { contrib } else { 0.0 };
+        }
+        total
+    }
+}
+
+/// Per-query invariants of the closed-form IUQ refinement, computed
+/// once per query instead of once per candidate: the issuer's overlap
+/// profiles, its area, and the expanded query `R ⊕ U0`.
+///
+/// Built by the SoA refine path for any **uniform-issuer** query; the
+/// batch kernels below consume it.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformHeader {
+    /// Overlap profile along x.
+    pub ox: AxisProfile,
+    /// Overlap profile along y.
+    pub oy: AxisProfile,
+    /// The Minkowski sum `R ⊕ U0`.
+    pub expanded: Rect,
+    /// `Area(U0)`.
+    pub u0_area: f64,
+    /// `Area(U0) == 0`: every probability is `0.0` and no profile is
+    /// built (the scalar path returns before touching one).
+    pub degenerate: bool,
+}
+
+impl UniformHeader {
+    /// Precomputes the per-query invariants for issuer region `u0`.
+    pub fn new(u0: Rect, range: RangeSpec, expanded: Rect) -> Self {
+        let u0_area = u0.area();
+        if u0_area == 0.0 {
+            let zero = AxisProfile {
+                segs: [HoistedSegment {
+                    x0: 0.0,
+                    x1: 0.0,
+                    y0: 0.0,
+                    slope: 0.0,
+                    c0: 0.0,
+                }; 3],
+                sup_lo: 0.0,
+                sup_hi: 0.0,
+            };
+            return UniformHeader {
+                ox: zero,
+                oy: zero,
+                expanded,
+                u0_area,
+                degenerate: true,
+            };
+        }
+        UniformHeader {
+            ox: AxisProfile::new(range.w, u0.x_interval()),
+            oy: AxisProfile::new(range.h, u0.y_interval()),
+            expanded,
+            u0_area,
+            degenerate: false,
+        }
+    }
+}
+
+/// One candidate of the batched uniform/uniform closed form —
+/// [`uniform_uniform`] restructured as straight-line selects over the
+/// hoisted [`UniformHeader`], bit-identical to the scalar path (see
+/// the `hoisted_kernels_match_scalar` test).
+///
+/// The object area is re-derived from the corners: for the valid
+/// (`max >= min`) regions a candidate carries, `(hi−lo)·(hi−lo)` is the
+/// exact arithmetic of [`Rect::area`], and a zero-extent region lands
+/// in the same `area != 0.0 → 0.0` select either way.
+#[inline(always)]
+fn uniform_one(h: &UniformHeader, ui: &[f64; 4]) -> f64 {
+    let [lo_x, lo_y, hi_x, hi_y] = *ui;
+    let area = (hi_x - lo_x) * (hi_y - lo_y);
+    // Mirrors `ui.intersect(expanded)` (lo.max, hi.min per axis).
+    let d_lo_x = lo_x.max(h.expanded.min.x);
+    let d_hi_x = hi_x.min(h.expanded.max.x);
+    let d_lo_y = lo_y.max(h.expanded.min.y);
+    let d_hi_y = hi_y.min(h.expanded.max.y);
+    let ix = h.ox.integral(d_lo_x, d_hi_x);
+    let iy = h.oy.integral(d_lo_y, d_hi_y);
+    let v = (ix * iy) / (h.u0_area * area);
+    // The select replaces the scalar early return: an empty domain or
+    // zero-area object is exactly 0.0 (and guards the 0/0 NaN in `v`).
+    let nonempty = d_hi_x >= d_lo_x && d_hi_y >= d_lo_y;
+    if nonempty && area != 0.0 {
+        v.clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
+/// Batched uniform/uniform closed form over a packed candidate lane —
+/// one `[lo_x, lo_y, hi_x, hi_y]` corner quadruple per object region:
+/// `out[k] = uniform_uniform(u0, ui_k, range, expanded)` bit for bit,
+/// with all per-query work hoisted into the header.
+///
+/// The packed (AoS) layout is deliberate: the gather loop that feeds
+/// this kernel is bound by random object-table reads, and a single
+/// 32-byte push per candidate keeps it short enough to overlap those
+/// misses. The default build is a branchless scalar loop; the `simd`
+/// feature routes through an explicit SSE2 kernel on x86-64 that
+/// transposes pairs of quadruples in registers.
+pub fn uniform_uniform_batch(h: &UniformHeader, rects: &[[f64; 4]], out: &mut [f64]) {
+    assert_eq!(
+        rects.len(),
+        out.len(),
+        "one output per uniform candidate rect"
+    );
+    if h.degenerate {
+        out.fill(0.0);
+        return;
+    }
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        simd::uniform_uniform_batch(h, rects, out);
+        return;
+    }
+    #[allow(unreachable_code)]
+    for (pi, ui) in out.iter_mut().zip(rects) {
+        *pi = uniform_one(h, ui);
+    }
+}
+
+/// [`uniform_separable`] with the per-query profile construction
+/// hoisted into a [`UniformHeader`]: same arithmetic, bit-identical
+/// results, one profile build per query instead of one per candidate.
+pub fn uniform_separable_hoisted<P: LocationPdf + ?Sized>(
+    h: &UniformHeader,
+    object_pdf: &P,
+) -> Option<f64> {
+    if h.degenerate {
+        return Some(0.0);
+    }
+    let domain = object_pdf.region().intersect(h.expanded);
+    if domain.is_empty() {
+        return Some(0.0);
+    }
+    let ix = hoisted_profile_marginal(object_pdf, Axis::X, &h.ox, domain.x_interval())?;
+    let iy = hoisted_profile_marginal(object_pdf, Axis::Y, &h.oy, domain.y_interval())?;
+    Some(((ix * iy) / h.u0_area).clamp(0.0, 1.0))
+}
+
+/// [`profile_against_marginal`] over hoisted segments: the `c0`/`c1`
+/// coefficients come precomputed from the header; padding segments are
+/// skipped by the existing zero-length clip test.
+fn hoisted_profile_marginal<P: LocationPdf + ?Sized>(
+    pdf: &P,
+    axis: Axis,
+    profile: &AxisProfile,
+    i: Interval,
+) -> Option<f64> {
+    let mut acc = 0.0;
+    for s in &profile.segs {
+        let clip = Interval::new(s.x0, s.x1).intersect(i);
+        if clip.is_empty() || clip.length() == 0.0 {
+            continue;
+        }
+        acc += pdf.linear_marginal_integral(axis, clip, s.c0, s.slope)?;
+    }
+    Some(acc)
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod simd {
+    //! Explicit two-wide SSE2 kernel for the uniform lane.
+    //!
+    //! Every operation maps one-to-one onto the scalar kernel with the
+    //! same order and associativity — `maxpd`/`minpd`/`mulpd`/`addpd`/
+    //! `divpd` only, **no FMA** — so per-lane results carry the exact
+    //! IEEE rounding of the scalar path for the finite, non-signed-zero
+    //! coordinates real workloads produce. Selects are implemented with
+    //! compare masks and bitwise blends.
+
+    use super::{AxisProfile, UniformHeader};
+
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
+
+    /// Safe entry point: SSE2 is unconditionally part of the x86-64
+    /// baseline, so no runtime feature detection is needed.
+    pub fn uniform_uniform_batch(h: &UniformHeader, rects: &[[f64; 4]], out: &mut [f64]) {
+        unsafe { uniform_uniform_batch_sse2(h, rects, out) }
+    }
+
+    /// `or(and(mask, a), andnot(mask, b))` — lanewise `mask ? a : b`.
+    #[inline(always)]
+    unsafe fn select(mask: __m128d, a: __m128d, b: __m128d) -> __m128d {
+        _mm_or_pd(_mm_and_pd(mask, a), _mm_andnot_pd(mask, b))
+    }
+
+    /// Two-candidate [`AxisProfile::integral`].
+    #[inline(always)]
+    unsafe fn axis_integral_pd(p: &AxisProfile, d_lo: __m128d, d_hi: __m128d) -> __m128d {
+        let i_lo = _mm_max_pd(d_lo, _mm_set1_pd(p.sup_lo));
+        let i_hi = _mm_min_pd(d_hi, _mm_set1_pd(p.sup_hi));
+        let mut total = _mm_setzero_pd();
+        for s in &p.segs {
+            let a = _mm_max_pd(i_lo, _mm_set1_pd(s.x0));
+            let b = _mm_min_pd(i_hi, _mm_set1_pd(s.x1));
+            let x0 = _mm_set1_pd(s.x0);
+            let y0 = _mm_set1_pd(s.y0);
+            let slope = _mm_set1_pd(s.slope);
+            let f_a = _mm_add_pd(y0, _mm_mul_pd(slope, _mm_sub_pd(a, x0)));
+            let f_b = _mm_add_pd(y0, _mm_mul_pd(slope, _mm_sub_pd(b, x0)));
+            let contrib = _mm_mul_pd(
+                _mm_mul_pd(_mm_set1_pd(0.5), _mm_add_pd(f_a, f_b)),
+                _mm_sub_pd(b, a),
+            );
+            total = _mm_add_pd(total, _mm_and_pd(_mm_cmpgt_pd(b, a), contrib));
+        }
+        total
+    }
+
+    /// Two-wide body of [`super::uniform_uniform_batch`]; the odd tail
+    /// candidate falls back to the scalar kernel.
+    ///
+    /// Pairs of packed `[lo_x, lo_y, hi_x, hi_y]` quadruples are
+    /// transposed to lane registers with `unpcklpd`/`unpckhpd`, and the
+    /// object areas are rebuilt in-register (`mulpd` of the two corner
+    /// `subpd`s — the exact arithmetic of [`iloc_geometry::Rect::area`]
+    /// for the valid regions candidates carry).
+    ///
+    /// # Safety
+    ///
+    /// SSE2 is unconditionally available on `x86_64`; lane lengths are
+    /// checked by the caller.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn uniform_uniform_batch_sse2(
+        h: &UniformHeader,
+        rects: &[[f64; 4]],
+        out: &mut [f64],
+    ) {
+        let n = out.len();
+        let e_lo_x = _mm_set1_pd(h.expanded.min.x);
+        let e_hi_x = _mm_set1_pd(h.expanded.max.x);
+        let e_lo_y = _mm_set1_pd(h.expanded.min.y);
+        let e_hi_y = _mm_set1_pd(h.expanded.max.y);
+        let u0_area = _mm_set1_pd(h.u0_area);
+        let zero = _mm_setzero_pd();
+        let one = _mm_set1_pd(1.0);
+        let mut k = 0;
+        while k + 2 <= n {
+            let a_lo = _mm_loadu_pd(rects[k].as_ptr()); // [lo_x₀, lo_y₀]
+            let a_hi = _mm_loadu_pd(rects[k].as_ptr().add(2)); // [hi_x₀, hi_y₀]
+            let b_lo = _mm_loadu_pd(rects[k + 1].as_ptr());
+            let b_hi = _mm_loadu_pd(rects[k + 1].as_ptr().add(2));
+            let lo_x = _mm_unpacklo_pd(a_lo, b_lo);
+            let lo_y = _mm_unpackhi_pd(a_lo, b_lo);
+            let hi_x = _mm_unpacklo_pd(a_hi, b_hi);
+            let hi_y = _mm_unpackhi_pd(a_hi, b_hi);
+            let area = _mm_mul_pd(_mm_sub_pd(hi_x, lo_x), _mm_sub_pd(hi_y, lo_y));
+            let d_lo_x = _mm_max_pd(lo_x, e_lo_x);
+            let d_hi_x = _mm_min_pd(hi_x, e_hi_x);
+            let d_lo_y = _mm_max_pd(lo_y, e_lo_y);
+            let d_hi_y = _mm_min_pd(hi_y, e_hi_y);
+            let ix = axis_integral_pd(&h.ox, d_lo_x, d_hi_x);
+            let iy = axis_integral_pd(&h.oy, d_lo_y, d_hi_y);
+            let v = _mm_div_pd(_mm_mul_pd(ix, iy), _mm_mul_pd(u0_area, area));
+            // `f64::clamp(0.0, 1.0)` as nested selects.
+            let clamped = select(
+                _mm_cmplt_pd(v, zero),
+                zero,
+                select(_mm_cmpgt_pd(v, one), one, v),
+            );
+            let nonempty = _mm_and_pd(_mm_cmpge_pd(d_hi_x, d_lo_x), _mm_cmpge_pd(d_hi_y, d_lo_y));
+            let ok = _mm_and_pd(nonempty, _mm_cmpneq_pd(area, zero));
+            _mm_storeu_pd(out.as_mut_ptr().add(k), _mm_and_pd(ok, clamped));
+            k += 2;
+        }
+        while k < n {
+            out[k] = super::uniform_one(h, &rects[k]);
+            k += 1;
+        }
+    }
+}
+
 /// Exact IUQ qualification probability for a uniform issuer on `u0` and
 /// a uniform object on `ui`; `expanded` is `R ⊕ U0`.
 ///
@@ -249,6 +621,76 @@ mod tests {
             uniform_separable(u0, &object, range, expanded(u0, range)),
             Some(0.0)
         );
+    }
+
+    #[test]
+    fn hoisted_kernels_match_scalar_bit_for_bit() {
+        // The batch kernel must reproduce `uniform_uniform` exactly —
+        // including empty domains, zero-area objects, grazing touches
+        // and the degenerate-profile case — and the hoisted separable
+        // path must reproduce `uniform_separable`.
+        use iloc_uncertainty::TruncatedGaussianPdf;
+        let u0 = Rect::from_coords(0.0, 0.0, 37.0, 21.0);
+        let range = RangeSpec::new(9.0, 4.5);
+        let e = expanded(u0, range);
+        let header = UniformHeader::new(u0, range, e);
+        let candidates = [
+            Rect::from_coords(10.0, 5.0, 30.0, 15.0),      // inside
+            Rect::from_coords(40.0, 20.0, 90.0, 60.0),     // straddles edge
+            Rect::from_coords(500.0, 500.0, 510.0, 510.0), // far away
+            Rect::from_coords(46.0, 25.5, 80.0, 60.0),     // corner graze
+            Rect::from_coords(5.0, 5.0, 5.0, 9.0),         // zero width
+            Rect::from_coords(-20.0, -20.0, 60.0, 40.0),   // covers U0
+        ];
+        let rects: Vec<[f64; 4]> = candidates
+            .iter()
+            .map(|r| [r.min.x, r.min.y, r.max.x, r.max.y])
+            .collect();
+        let mut out = vec![f64::NAN; candidates.len()];
+        uniform_uniform_batch(&header, &rects, &mut out);
+        for (k, ui) in candidates.iter().enumerate() {
+            let scalar = uniform_uniform(u0, *ui, range, e);
+            assert_eq!(
+                out[k].to_bits(),
+                scalar.to_bits(),
+                "candidate {k}: batch {} vs scalar {scalar}",
+                out[k]
+            );
+        }
+        for ui in [
+            Rect::from_coords(10.0, 5.0, 30.0, 15.0),
+            Rect::from_coords(44.0, 20.0, 90.0, 60.0),
+            Rect::from_coords(500.0, 500.0, 560.0, 560.0),
+        ] {
+            let g = TruncatedGaussianPdf::paper_default(ui);
+            let scalar = uniform_separable(u0, &g, range, e).unwrap();
+            let hoisted = uniform_separable_hoisted(&header, &g).unwrap();
+            assert_eq!(hoisted.to_bits(), scalar.to_bits(), "gaussian on {ui:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_issuer_header_is_all_zero() {
+        // Zero-area issuer: the scalar path returns 0.0 before building
+        // a profile; the header marks itself degenerate and the kernel
+        // fills zeros.
+        let u0 = Rect::from_coords(5.0, 5.0, 5.0, 9.0);
+        let range = RangeSpec::square(3.0);
+        let e = expanded(Rect::from_coords(0.0, 0.0, 10.0, 10.0), range);
+        let header = UniformHeader::new(u0, range, e);
+        assert!(header.degenerate);
+        let ui = Rect::from_coords(4.0, 4.0, 8.0, 8.0);
+        let mut out = [f64::NAN];
+        uniform_uniform_batch(
+            &header,
+            &[[ui.min.x, ui.min.y, ui.max.x, ui.max.y]],
+            &mut out,
+        );
+        assert_eq!(
+            out[0].to_bits(),
+            uniform_uniform(u0, ui, range, e).to_bits()
+        );
+        assert_eq!(out[0], 0.0);
     }
 
     #[test]

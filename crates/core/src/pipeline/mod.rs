@@ -29,7 +29,10 @@
 //! scratch, index probes run on the scratch traversal stack, the
 //! built-in prune chain is held inline, and both refine evaluators are
 //! statically dispatched (`EvaluatorKind` over the concrete
-//! [`iloc_uncertainty::PdfKind`] pdfs). CI enforces this with the
+//! [`iloc_uncertainty::PdfKind`] pdfs). The batched refine stage's SoA
+//! lane buffers (survivors, probabilities, per-`PdfKind` lanes) live in
+//! the same scratch under the same cleared-never-shrunk discipline.
+//! CI enforces this with the
 //! throughput bench's `--check-allocs` gate; treat an allocation on
 //! this path as a regression.
 //!
@@ -104,6 +107,17 @@ pub struct QueryScratch {
     pub(crate) traversal: TraversalScratch,
     /// Ping-pong buffer for the candidate radix sort.
     pub(crate) radix: Vec<u32>,
+    /// Candidates surviving the prune pass, in slot order — the refine
+    /// stage's batch input.
+    pub(crate) survivors: Vec<u32>,
+    /// One refined probability per survivor.
+    pub(crate) probs: Vec<f64>,
+    /// SoA lane buffers of the batched refine stage.
+    pub(crate) lanes: refine::RefineLanes,
+    /// Per-shard partial answer reused by the sharded fan-out (taken
+    /// out of the scratch for the duration of the fan-out so the
+    /// per-shard executions can borrow the context mutably).
+    pub(crate) shard_partial: crate::result::QueryAnswer,
 }
 
 /// Sorts candidate slots with an LSD radix sort through a caller-owned
@@ -329,9 +343,9 @@ impl<O: PipelineObject, F: FilterStage, E: ProbabilityEvaluator<O>> QueryPipelin
         let start = Instant::now();
         ctx.reset();
         answer.results.clear();
-        // The candidate buffer is taken out of the scratch for the
-        // duration of the loop so the context stays borrowable by the
-        // refine stage; its capacity survives round trips.
+        // The stage buffers are taken out of the scratch for the
+        // duration of the run so the context stays borrowable by the
+        // refine stage; their capacity survives round trips.
         let mut candidates = std::mem::take(&mut ctx.scratch.candidates);
         candidates.clear();
         self.filter.candidates_into(
@@ -343,22 +357,47 @@ impl<O: PipelineObject, F: FilterStage, E: ProbabilityEvaluator<O>> QueryPipelin
         // matches come out pre-sorted (engines assign ids in slot
         // order), collapsing the final sort to a linear check.
         sort_candidates(&mut candidates, &mut ctx.scratch.radix);
+        let filter_done = Instant::now();
+        // Prune pass: collect the whole surviving batch first so the
+        // refine stage sees it at once (SoA lanes, hoisted per-query
+        // invariants). Pruning draws no randomness, so the two-pass
+        // order leaves the RNG stream — and hence every Monte-Carlo
+        // refinement — bit-identical to the interleaved loop.
+        let mut survivors = std::mem::take(&mut ctx.scratch.survivors);
+        survivors.clear();
         for &slot in &candidates {
             let object = &self.objects[slot as usize];
-            if self.prune.try_prune(&self.query, object, &mut ctx.stats) {
-                continue;
+            if !self.prune.try_prune(&self.query, object, &mut ctx.stats) {
+                survivors.push(slot);
             }
-            let pi = self.refine.probability(&self.query, object, ctx);
+        }
+        let prune_done = Instant::now();
+        ctx.stats.refine_batches[crate::stats::refine_batch_bucket(survivors.len())] += 1;
+        // Refine pass: one batched call over the survivors.
+        let mut probs = std::mem::take(&mut ctx.scratch.probs);
+        self.refine
+            .probabilities(&self.query, self.objects, &survivors, ctx, &mut probs);
+        let refine_done = Instant::now();
+        // One up-front growth instead of geometric doubling while the
+        // accept loop stages (first batch through a cold answer would
+        // otherwise recopy the results vector ~log n times).
+        answer.results.reserve(survivors.len());
+        for (&slot, &pi) in survivors.iter().zip(&probs) {
             if self.accept.accepts(pi) {
                 answer.results.push(Match {
-                    id: object.object_id(),
+                    id: self.objects[slot as usize].object_id(),
                     probability: pi,
                 });
             } else {
                 ctx.stats.refined_out += 1;
             }
         }
+        ctx.stats.filter_nanos = (filter_done - start).as_nanos() as u64;
+        ctx.stats.prune_nanos = (prune_done - filter_done).as_nanos() as u64;
+        ctx.stats.refine_nanos = (refine_done - prune_done).as_nanos() as u64;
         ctx.scratch.candidates = candidates;
+        ctx.scratch.survivors = survivors;
+        ctx.scratch.probs = probs;
         answer.stats = std::mem::take(&mut ctx.stats);
         crate::result::sort_matches(&mut answer.results);
         answer.stats.elapsed = start.elapsed();

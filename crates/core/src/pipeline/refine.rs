@@ -10,15 +10,59 @@
 //! * [`BasicEvaluator`] — the Section 3.3 baseline integrating over the
 //!   issuer region (Eq. 2 / Eq. 4) on a midpoint grid.
 
-use iloc_uncertainty::{ObjectId, PointObject, UncertainObject};
+use iloc_geometry::Point;
+use iloc_uncertainty::{LocationPdf, ObjectId, PdfKind, PointObject, UncertainObject};
 
 use crate::eval::basic;
 use crate::eval::constrained::{
     strategy1_prunes, strategy2_prunes, strategy3_prunes, PruneContext,
 };
+use crate::integrate::{closed, Integrator};
 use crate::stats::QueryStats;
 
 use super::{ExecutionContext, PreparedQuery};
+
+/// Reusable lane buffers for the SoA refine pass, held inside
+/// [`super::QueryScratch`] so a warm context refines whole batches
+/// without allocating.
+///
+/// The duality path gathers surviving candidates into
+/// `PdfKind`-homogeneous lanes (uniform geometry as packed corner
+/// quadruples, separable and fallback candidates as position lists);
+/// the basic
+/// path reuses `grid` for its hoisted issuer-sample plan. Buffers are
+/// cleared — never shrunk — between queries and carry no information
+/// across them.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RefineLanes {
+    /// Uniform-pdf lane: one `[lo_x, lo_y, hi_x, hi_y]` chunk per
+    /// candidate. A single 32-byte push per gathered candidate (the
+    /// batch kernels re-derive the area from the corners), which keeps
+    /// the gather loop short enough for the out-of-order core to
+    /// overlap the random object-table reads it is really paying for.
+    uni: Vec<[f64; 4]>,
+    /// Kernel output per uniform candidate (mixed batches only; a
+    /// homogeneous batch writes straight into the caller's output).
+    uni_out: Vec<f64>,
+    /// Output positions of the axis-separable (Gaussian) lane.
+    sep_pos: Vec<u32>,
+    /// Output positions of everything else, refined through the full
+    /// integrator in survivor order (so Monte-Carlo fallbacks consume
+    /// the RNG exactly as the scalar loop would).
+    fallback_pos: Vec<u32>,
+    /// Hoisted midpoint-grid plan of the basic evaluator: issuer
+    /// sample point and density per cell.
+    grid: Vec<(Point, f64)>,
+}
+
+impl RefineLanes {
+    fn clear(&mut self) {
+        self.uni.clear();
+        self.uni_out.clear();
+        self.sep_pos.clear();
+        self.fallback_pos.clear();
+    }
+}
 
 /// Objects the pipeline can process: anything carrying a stable id for
 /// the result set.
@@ -78,6 +122,30 @@ pub trait ProbabilityEvaluator<O>: Sync {
     /// Refines one candidate.
     fn probability(&self, query: &PreparedQuery<'_>, object: &O, ctx: &mut ExecutionContext)
         -> f64;
+
+    /// Refines a whole batch of surviving candidates, writing one
+    /// probability per survivor (in survivor order) into `out`.
+    ///
+    /// The default is the scalar loop — evaluator implementations that
+    /// can batch (the duality path's SoA closed-form lanes, the basic
+    /// path's hoisted sample grid) override it. Overrides must be
+    /// *observably identical* to the default: same probabilities (bit
+    /// for bit where no Monte-Carlo reordering occurs), same stats
+    /// counters, same RNG consumption.
+    fn probabilities(
+        &self,
+        query: &PreparedQuery<'_>,
+        objects: &[O],
+        survivors: &[u32],
+        ctx: &mut ExecutionContext,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        for &slot in survivors {
+            let pi = self.probability(query, &objects[slot as usize], ctx);
+            out.push(pi);
+        }
+    }
 }
 
 /// The enhanced evaluator built on query–data duality (Section 4.2,
@@ -118,6 +186,103 @@ impl ProbabilityEvaluator<UncertainObject> for DualityEvaluator {
             &mut ctx.stats,
         )
     }
+
+    /// The SoA fast path (IUQ's hot loop): with `Integrator::Auto` and
+    /// a uniform issuer, survivors are gathered into
+    /// `PdfKind`-homogeneous lanes and the closed forms evaluate over
+    /// slices with all per-query invariants hoisted into a
+    /// [`closed::UniformHeader`].
+    ///
+    /// Results are bit-identical to the scalar loop: the uniform lane
+    /// runs [`closed::uniform_uniform_batch`] (same arithmetic,
+    /// reassociation-free), the Gaussian lane runs the hoisted
+    /// separable form, and every other pdf goes through the full
+    /// integrator **in survivor order**, so Monte-Carlo fallbacks see
+    /// the exact RNG stream of the scalar loop (closed-form candidates
+    /// never consume randomness).
+    fn probabilities(
+        &self,
+        query: &PreparedQuery<'_>,
+        objects: &[UncertainObject],
+        survivors: &[u32],
+        ctx: &mut ExecutionContext,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        let batchable =
+            ctx.integrator == Integrator::Auto && query.issuer.pdf().uniform_region().is_some();
+        if !batchable || survivors.is_empty() {
+            for &slot in survivors {
+                let pi = self.probability(query, &objects[slot as usize], ctx);
+                out.push(pi);
+            }
+            return;
+        }
+        let u0 = query.issuer.pdf().uniform_region().expect("checked above");
+        let header = closed::UniformHeader::new(u0, query.range, query.expanded);
+        // The lanes are taken out of the scratch so the context stays
+        // borrowable by the fallback integrator; capacity survives.
+        let mut lanes = std::mem::take(&mut ctx.scratch.lanes);
+        lanes.clear();
+        out.resize(survivors.len(), 0.0);
+        for (pos, &slot) in survivors.iter().enumerate() {
+            match objects[slot as usize].pdf() {
+                PdfKind::Uniform(u) => {
+                    let r = u.region();
+                    lanes.uni.push([r.min.x, r.min.y, r.max.x, r.max.y]);
+                }
+                PdfKind::Gaussian(_) => lanes.sep_pos.push(pos as u32),
+                PdfKind::Disc(_) | PdfKind::Shared(_) => lanes.fallback_pos.push(pos as u32),
+            }
+        }
+        // Uniform lane: one batched kernel call. A homogeneous batch
+        // (the IUQ hot case) writes straight into `out`; a mixed batch
+        // goes through `uni_out` and scatters by walking positions in
+        // step with the (ascending) sep/fallback position lists.
+        if lanes.sep_pos.is_empty() && lanes.fallback_pos.is_empty() {
+            closed::uniform_uniform_batch(&header, &lanes.uni, out);
+        } else if !lanes.uni.is_empty() {
+            lanes.uni_out.resize(lanes.uni.len(), 0.0);
+            closed::uniform_uniform_batch(&header, &lanes.uni, &mut lanes.uni_out);
+            let (mut k, mut s, mut f) = (0usize, 0usize, 0usize);
+            for (pos, pi) in out.iter_mut().enumerate() {
+                if lanes.sep_pos.get(s) == Some(&(pos as u32)) {
+                    s += 1;
+                } else if lanes.fallback_pos.get(f) == Some(&(pos as u32)) {
+                    f += 1;
+                } else {
+                    *pi = lanes.uni_out[k];
+                    k += 1;
+                }
+            }
+            debug_assert_eq!(k, lanes.uni.len());
+        }
+        // Separable lane: hoisted closed form, still per candidate
+        // (erf dominates) but without rebuilding the profiles.
+        for &pos in &lanes.sep_pos {
+            let object = &objects[survivors[pos as usize] as usize];
+            let PdfKind::Gaussian(g) = object.pdf() else {
+                unreachable!("separable lane only holds Gaussians");
+            };
+            out[pos as usize] = closed::uniform_separable_hoisted(&header, g)
+                .expect("gaussian marginals are closed-form");
+        }
+        // The closed-form lanes bypassed the integrator's accounting.
+        ctx.stats.prob_evals += (lanes.uni.len() + lanes.sep_pos.len()) as u64;
+        // Fallback lane: the full integrator, in survivor order.
+        for &pos in &lanes.fallback_pos {
+            let object = &objects[survivors[pos as usize] as usize];
+            out[pos as usize] = ctx.integrator.object_probability(
+                query.issuer.pdf(),
+                query.range,
+                object.pdf(),
+                query.expanded,
+                &mut ctx.rng,
+                &mut ctx.stats,
+            );
+        }
+        ctx.scratch.lanes = lanes;
+    }
 }
 
 /// The refine stage as a statically-dispatched enum: the paper's two
@@ -156,6 +321,25 @@ where
             }
         }
     }
+
+    #[inline]
+    fn probabilities(
+        &self,
+        query: &PreparedQuery<'_>,
+        objects: &[O],
+        survivors: &[u32],
+        ctx: &mut ExecutionContext,
+        out: &mut Vec<f64>,
+    ) {
+        match *self {
+            EvaluatorKind::Duality => {
+                DualityEvaluator.probabilities(query, objects, survivors, ctx, out)
+            }
+            EvaluatorKind::Basic { per_axis } => {
+                BasicEvaluator { per_axis }.probabilities(query, objects, survivors, ctx, out)
+            }
+        }
+    }
 }
 
 /// The Section 3.3 baseline: direct numerical integration over the
@@ -182,6 +366,35 @@ impl ProbabilityEvaluator<PointObject> for BasicEvaluator {
             &mut ctx.stats,
         )
     }
+
+    /// Hoists the issuer's midpoint samples and densities out of the
+    /// per-candidate loop: `per_axis²` density evaluations once per
+    /// query instead of once per candidate, identical accumulation.
+    fn probabilities(
+        &self,
+        query: &PreparedQuery<'_>,
+        objects: &[PointObject],
+        survivors: &[u32],
+        ctx: &mut ExecutionContext,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        if survivors.is_empty() {
+            return;
+        }
+        let mut grid = std::mem::take(&mut ctx.scratch.lanes.grid);
+        let da = basic::fill_grid_plan(query.issuer.pdf(), self.per_axis, &mut grid);
+        for &slot in survivors {
+            out.push(basic::point_probability_planned(
+                &grid,
+                da,
+                query.range,
+                objects[slot as usize].loc,
+                &mut ctx.stats,
+            ));
+        }
+        ctx.scratch.lanes.grid = grid;
+    }
 }
 
 impl ProbabilityEvaluator<UncertainObject> for BasicEvaluator {
@@ -198,6 +411,34 @@ impl ProbabilityEvaluator<UncertainObject> for BasicEvaluator {
             self.per_axis,
             &mut ctx.stats,
         )
+    }
+
+    /// Same hoist as the point override: one issuer sample plan per
+    /// query, shared by every candidate's Eq. 4 integration.
+    fn probabilities(
+        &self,
+        query: &PreparedQuery<'_>,
+        objects: &[UncertainObject],
+        survivors: &[u32],
+        ctx: &mut ExecutionContext,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        if survivors.is_empty() {
+            return;
+        }
+        let mut grid = std::mem::take(&mut ctx.scratch.lanes.grid);
+        let da = basic::fill_grid_plan(query.issuer.pdf(), self.per_axis, &mut grid);
+        for &slot in survivors {
+            out.push(basic::object_probability_planned(
+                &grid,
+                da,
+                query.range,
+                objects[slot as usize].pdf(),
+                &mut ctx.stats,
+            ));
+        }
+        ctx.scratch.lanes.grid = grid;
     }
 }
 

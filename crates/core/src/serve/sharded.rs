@@ -113,8 +113,13 @@ impl<E: ServeEngine> BatchEngine for Snapshot<E> {
         ctx: &mut ExecutionContext,
         answer: &mut QueryAnswer,
     ) {
-        let mut partial = QueryAnswer::default();
+        // The per-shard partial lives in the context's scratch so a
+        // warm worker reuses it across its whole chunk; it is taken
+        // out for the duration of the fan-out because the per-shard
+        // executions need the context mutably.
+        let mut partial = std::mem::take(&mut ctx.scratch.shard_partial);
         self.fan_out_into(request, ctx, &mut partial, answer);
+        ctx.scratch.shard_partial = partial;
     }
 }
 
@@ -228,6 +233,10 @@ pub struct ShardedEngine<E: ServeEngine> {
     current: RwLock<Snapshot<E>>,
     /// Updates buffered for the next epoch.
     pending: Mutex<Vec<Update<E::Object>>>,
+    /// The previous commit's drained update buffer, kept so repeated
+    /// submit/commit cycles stop re-growing `pending` from empty (the
+    /// commit path's dominant steady-state allocation).
+    pending_spare: Mutex<Vec<Update<E::Object>>>,
     /// Serializes commits (readers are never blocked by it).
     commit_lock: Mutex<()>,
     /// Bounded history of the last [`DIRT_HISTORY`] commits' spatial
@@ -258,6 +267,7 @@ impl<E: ServeEngine> ShardedEngine<E> {
                 shards: Arc::new(shards),
             }),
             pending: Mutex::new(Vec::new()),
+            pending_spare: Mutex::new(Vec::new()),
             commit_lock: Mutex::new(()),
             recent_dirt: Mutex::new(VecDeque::with_capacity(DIRT_HISTORY)),
         }
@@ -313,8 +323,16 @@ impl<E: ServeEngine> ShardedEngine<E> {
     /// serialize with each other; queries proceed throughout.
     pub fn commit(&self) -> CommitReport {
         let _serialize = self.commit_lock.lock().expect("commit lock poisoned");
-        let updates = std::mem::take(&mut *self.pending.lock().expect("pending lock poisoned"));
+        // Swap the pending buffer out against the spare (empty, but
+        // capacity-retaining) one instead of `mem::take`-ing it, so
+        // submit/commit cycles reuse one allocation in steady state.
+        let mut updates = std::mem::take(&mut *self.pending_spare.lock().expect("spare poisoned"));
+        std::mem::swap(
+            &mut updates,
+            &mut *self.pending.lock().expect("pending lock poisoned"),
+        );
         if updates.is_empty() {
+            *self.pending_spare.lock().expect("spare poisoned") = updates;
             // Early out before touching the shard list: an empty commit
             // costs two lock round-trips and no epoch (serving loops
             // commit on a timer, which often fires with nothing
@@ -332,7 +350,7 @@ impl<E: ServeEngine> ShardedEngine<E> {
         let shard_count = base.shards.len();
         report.per_shard = vec![0; shard_count];
         let mut shards: Vec<Arc<E>> = base.shards.as_ref().clone();
-        for update in updates {
+        for update in updates.drain(..) {
             match update {
                 Update::Arrive(object) => {
                     let s = shard_of(E::object_id(&object), shard_count);
@@ -388,6 +406,7 @@ impl<E: ServeEngine> ShardedEngine<E> {
                 applied: report.applied(),
             });
         }
+        *self.pending_spare.lock().expect("spare poisoned") = updates;
         report
     }
 

@@ -8,6 +8,28 @@ use std::time::Duration;
 
 use iloc_index::AccessStats;
 
+/// Number of buckets in the refine-batch-size histogram.
+pub const REFINE_BATCH_BUCKETS: usize = 8;
+
+/// Histogram bucket for a refine batch of `n` surviving candidates.
+///
+/// Buckets are powers of four — `0`, `1..=3`, `4..=15`, `16..=63`,
+/// `64..=255`, `256..=1023`, `1024..=4095`, `≥4096` — deterministic,
+/// so the histogram participates in [`QueryStats::same_counters`].
+#[inline]
+pub fn refine_batch_bucket(n: usize) -> usize {
+    match n {
+        0 => 0,
+        1..=3 => 1,
+        4..=15 => 2,
+        16..=63 => 3,
+        64..=255 => 4,
+        256..=1023 => 5,
+        1024..=4095 => 6,
+        _ => 7,
+    }
+}
+
 /// Cost counters for one query execution.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct QueryStats {
@@ -31,6 +53,18 @@ pub struct QueryStats {
     /// Results dropped in refinement because `pi` fell below the
     /// threshold (or was zero for unconstrained queries).
     pub refined_out: u64,
+    /// Wall-clock nanos of the filter stage (index probe + candidate
+    /// sort). Like `elapsed`, timing is machine-dependent and excluded
+    /// from [`QueryStats::same_counters`].
+    pub filter_nanos: u64,
+    /// Wall-clock nanos of the prune stage.
+    pub prune_nanos: u64,
+    /// Wall-clock nanos of the (batched) refine stage.
+    pub refine_nanos: u64,
+    /// Refine batch sizes (surviving candidates per execution) as a
+    /// [`refine_batch_bucket`] histogram; deterministic, so included
+    /// in [`QueryStats::same_counters`].
+    pub refine_batches: [u64; REFINE_BATCH_BUCKETS],
     /// Wall-clock time of the whole query.
     pub elapsed: Duration,
 }
@@ -54,6 +88,7 @@ impl QueryStats {
             && self.pruned_s2 == other.pruned_s2
             && self.pruned_s3 == other.pruned_s3
             && self.refined_out == other.refined_out
+            && self.refine_batches == other.refine_batches
     }
 
     /// Merges counters from another query (used when averaging over a
@@ -67,6 +102,12 @@ impl QueryStats {
         self.pruned_s2 += other.pruned_s2;
         self.pruned_s3 += other.pruned_s3;
         self.refined_out += other.refined_out;
+        self.filter_nanos += other.filter_nanos;
+        self.prune_nanos += other.prune_nanos;
+        self.refine_nanos += other.refine_nanos;
+        for (mine, theirs) in self.refine_batches.iter_mut().zip(&other.refine_batches) {
+            *mine += theirs;
+        }
         self.elapsed += other.elapsed;
     }
 }

@@ -37,6 +37,7 @@
 
 use iloc_core::pipeline::{PointConstraint, PointRequest, UncertainConstraint, UncertainRequest};
 use iloc_core::serve::{CommitReport, ServeEngine, Snapshot, Update};
+use iloc_core::stats::REFINE_BATCH_BUCKETS;
 use iloc_core::subscribe::AnswerDelta;
 use iloc_core::{CipqStrategy, CiuqStrategy, Integrator, QueryAnswer, RangeSpec};
 use iloc_geometry::{Point, Rect};
@@ -49,7 +50,10 @@ use iloc_uncertainty::{
 /// added the subscription frames (SUBSCRIBE / UNSUBSCRIBE / TICK /
 /// SUB_ACK / NOTIFY / UNSUB_DONE) and extended the COMMIT_DONE payload
 /// with per-shard applied counts and the merged dirty rectangle.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// Version 3 extended the STATS_REPORT payload with per-stage pipeline
+/// timings (filter / prune / refine nanoseconds) and the refine-batch
+/// size histogram.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Hard ceiling on one frame's `len` field; larger frames are rejected
 /// with [`ErrorCode::TooLarge`] and the connection is closed (a wild
@@ -234,6 +238,19 @@ pub struct StatsReport {
     pub point: CatalogStats,
     /// Uncertain-catalog state.
     pub uncertain: CatalogStats,
+    /// Nanoseconds the server's query pipelines have spent in the
+    /// filter stage, summed over every query answered by every worker.
+    pub filter_nanos: u64,
+    /// Prune-stage nanoseconds, same accounting.
+    pub prune_nanos: u64,
+    /// Refine-stage nanoseconds, same accounting — the stage the SoA
+    /// batching targets, so `refine / (filter + prune + refine)` read
+    /// off two probes brackets where a workload's time actually goes.
+    pub refine_nanos: u64,
+    /// Histogram of refine-batch sizes (survivor counts per query) in
+    /// the power-of-two-ish buckets of
+    /// [`iloc_core::stats::refine_batch_bucket`].
+    pub refine_batches: [u64; REFINE_BATCH_BUCKETS],
 }
 
 /// Process-wide counters the stats frame reports alongside the
@@ -248,6 +265,15 @@ pub struct CountersView {
     pub requests_served: u64,
     /// Worker-pool size (= concurrently served connections).
     pub workers: u32,
+    /// Summed filter-stage nanoseconds across all answered queries.
+    pub filter_nanos: u64,
+    /// Summed prune-stage nanoseconds.
+    pub prune_nanos: u64,
+    /// Summed refine-stage nanoseconds.
+    pub refine_nanos: u64,
+    /// Refine-batch size histogram
+    /// ([`iloc_core::stats::refine_batch_bucket`] buckets).
+    pub refine_batches: [u64; REFINE_BATCH_BUCKETS],
 }
 
 // ---------------------------------------------------------------------------
@@ -1242,6 +1268,12 @@ pub fn encode_stats_report<P: ServeEngine, U: ServeEngine>(
     put_u32(buf, counters.workers);
     put_catalog(buf, point.0, point.1);
     put_catalog(buf, uncertain.0, uncertain.1);
+    put_u64(buf, counters.filter_nanos);
+    put_u64(buf, counters.prune_nanos);
+    put_u64(buf, counters.refine_nanos);
+    for &n in &counters.refine_batches {
+        put_u64(buf, n);
+    }
     finish_frame(buf, at);
 }
 
@@ -1267,6 +1299,12 @@ pub fn decode_stats_report_into(payload: &[u8], out: &mut StatsReport) -> Result
     out.workers = r.u32()?;
     read_catalog_into(&mut r, &mut out.point)?;
     read_catalog_into(&mut r, &mut out.uncertain)?;
+    out.filter_nanos = r.u64()?;
+    out.prune_nanos = r.u64()?;
+    out.refine_nanos = r.u64()?;
+    for slot in &mut out.refine_batches {
+        *slot = r.u64()?;
+    }
     r.done()
 }
 

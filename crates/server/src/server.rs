@@ -69,8 +69,9 @@ use std::time::Duration;
 
 use iloc_core::pipeline::{PointRequest, UncertainRequest};
 use iloc_core::serve::{CommitReport, ShardServer, ShardedEngine};
+use iloc_core::stats::REFINE_BATCH_BUCKETS;
 use iloc_core::subscribe::SubscriptionRegistry;
-use iloc_core::{Issuer, PointEngine, QueryAnswer, RangeSpec, UncertainEngine};
+use iloc_core::{Issuer, PointEngine, QueryAnswer, QueryStats, RangeSpec, UncertainEngine};
 use iloc_geometry::Rect;
 use iloc_uncertainty::{PointObject, UncertainObject};
 
@@ -146,10 +147,41 @@ enum WriterMsg {
     Commit(CommitTarget, mpsc::SyncSender<CommitReport>),
 }
 
+/// Process-wide pipeline-stage accounting: every answered query's
+/// per-stage timers and refine-batch histogram are folded in here, so
+/// one STATS probe tells an operator where the fleet's query time goes
+/// (and how big the SoA refine batches actually run) without touching
+/// the query hot path beyond a handful of relaxed adds.
+#[derive(Debug, Default)]
+struct StageCounters {
+    filter_nanos: AtomicU64,
+    prune_nanos: AtomicU64,
+    refine_nanos: AtomicU64,
+    refine_batches: [AtomicU64; REFINE_BATCH_BUCKETS],
+}
+
+impl StageCounters {
+    /// Folds one answered query's stage stats in.
+    fn absorb(&self, stats: &QueryStats) {
+        self.filter_nanos
+            .fetch_add(stats.filter_nanos, Ordering::Relaxed);
+        self.prune_nanos
+            .fetch_add(stats.prune_nanos, Ordering::Relaxed);
+        self.refine_nanos
+            .fetch_add(stats.refine_nanos, Ordering::Relaxed);
+        for (slot, &n) in self.refine_batches.iter().zip(&stats.refine_batches) {
+            if n != 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 /// State shared by every serving thread.
 struct Shared {
     engines: Arc<Engines>,
     requests_served: AtomicU64,
+    stage: StageCounters,
     shutdown: Arc<AtomicBool>,
     max_frame_len: u32,
     workers: u32,
@@ -206,6 +238,7 @@ impl QueryServer {
         let shared = Arc::new(Shared {
             engines: Arc::clone(&self.engines),
             requests_served: AtomicU64::new(0),
+            stage: StageCounters::default(),
             shutdown: Arc::clone(&shutdown),
             max_frame_len: config.max_frame_len,
             workers: config.workers as u32,
@@ -713,6 +746,7 @@ fn handle_frame(
                     state
                         .point
                         .execute_into(&state.point_req, &mut state.answer);
+                    shared.stage.absorb(&state.answer.stats);
                     protocol::encode_answer(&mut state.write_buf, &state.answer);
                 }
                 Err(e) => wire_error(&mut state.write_buf, e),
@@ -728,6 +762,7 @@ fn handle_frame(
                     state
                         .uncertain
                         .execute_into(&state.uncertain_req, &mut state.answer);
+                    shared.stage.absorb(&state.answer.stats);
                     protocol::encode_answer(&mut state.write_buf, &state.answer);
                 }
                 Err(e) => wire_error(&mut state.write_buf, e),
@@ -780,11 +815,19 @@ fn handle_frame(
             }
             // Read the counter before encoding so the probe excludes
             // its own response from the reported total.
+            let mut refine_batches = [0u64; REFINE_BATCH_BUCKETS];
+            for (slot, counter) in refine_batches.iter_mut().zip(&shared.stage.refine_batches) {
+                *slot = counter.load(Ordering::Relaxed);
+            }
             let counters = CountersView {
                 alloc_counting: alloc_count::counting_installed(),
                 allocations: alloc_count::allocations(),
                 requests_served: shared.requests_served.load(Ordering::Relaxed),
                 workers: shared.workers,
+                filter_nanos: shared.stage.filter_nanos.load(Ordering::Relaxed),
+                prune_nanos: shared.stage.prune_nanos.load(Ordering::Relaxed),
+                refine_nanos: shared.stage.refine_nanos.load(Ordering::Relaxed),
+                refine_batches,
             };
             let point = shared.engines.point.snapshot();
             let uncertain = shared.engines.uncertain.snapshot();
