@@ -3,7 +3,9 @@
 //!
 //! Runs the serving-shaped workloads — IPQ, C-IPQ and IUQ batches, a
 //! continuous C-IPQ walk, a `mixed` update/query stream against the
-//! sharded serving engine, and a `net` loopback loadgen against the
+//! sharded serving engine, the same stream write-ahead-logged through
+//! a durable catalog (`mixed_wal`, with a cold-reopen `recovery`
+//! replay measurement), and a `net` loopback loadgen against the
 //! TCP query server — at Long-Beach/California scale plus a
 //! steady-state single-query loop, and emits
 //! `BENCH_batch_throughput.json` with queries/sec, p50/p99 latency and
@@ -304,6 +306,110 @@ fn measure_mixed(scale: BenchScale) -> Report {
     }
 }
 
+/// The `mixed_wal` + `recovery` scenario pair: the exact `mixed`
+/// workload, but every commit goes through a [`DurableCatalog`] that
+/// write-ahead-logs the batch (`fsync every=8`) before publishing —
+/// the qps gap against `mixed` is the WAL overhead on the serving
+/// path. Afterwards the store is reopened cold and the **recovery
+/// time** (checkpoint load + full WAL replay) is measured; its report
+/// counts replayed updates, so `recovery` qps is replay throughput in
+/// updates/sec and `elapsed_s` is the time-to-serving number.
+fn measure_durable_mixed(scale: BenchScale) -> (Report, Report) {
+    use iloc_core::durable::{DurableCatalog, FsyncPolicy, StoreConfig};
+    use iloc_core::serve::{ShardServer, Update};
+    use iloc_datagen::{PointUpdate, PointUpdateGen, UpdateMix};
+    use iloc_uncertainty::{ObjectId, PointObject};
+
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let dir = std::env::temp_dir().join(format!(
+        "iloc-throughput-recovery-{}-{nanos}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create durable bench dir");
+    let config = StoreConfig {
+        dir: dir.clone(),
+        fsync: FsyncPolicy::EveryN(8),
+    };
+
+    let (base, mut gen) =
+        PointUpdateGen::over_california(scale.points, SEED, UpdateMix::balanced());
+    let objects: Vec<PointObject> = base
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| PointObject::new(k as u64, p))
+        .collect();
+    let (catalog, _) = DurableCatalog::<PointEngine>::open(&config, MIXED_SHARDS, move || objects)
+        .expect("open durable store");
+    let requests = ipq_requests(64, SEED + 5);
+    let mut server = ShardServer::new(catalog.snapshot());
+    let mut answer = QueryAnswer::default();
+    for k in 0..scale.steady_warmup {
+        server.execute_into(&requests[k % requests.len()], &mut answer);
+    }
+
+    let total_queries = scale.mixed_rounds * scale.mixed_queries_per_round;
+    let mut lat: Vec<Duration> = Vec::with_capacity(total_queries);
+    let mut results_total = 0usize;
+    let a0 = allocations();
+    let t0 = Instant::now();
+    for round in 0..scale.mixed_rounds {
+        for event in gen.stream(scale.mixed_updates_per_round) {
+            catalog.submit(match event {
+                PointUpdate::Arrive { id, loc } => Update::Arrive(PointObject::new(id, loc)),
+                PointUpdate::Depart { id } => Update::Depart(ObjectId(id)),
+                PointUpdate::Move { id, to } => Update::Move(PointObject::new(id, to)),
+            });
+        }
+        catalog.commit().expect("durable commit");
+        server.rebind(catalog.snapshot());
+        for k in 0..scale.mixed_queries_per_round {
+            let request = &requests[(round * scale.mixed_queries_per_round + k) % requests.len()];
+            server.execute_into(request, &mut answer);
+            results_total += answer.results.len();
+            lat.push(answer.stats.elapsed);
+        }
+    }
+    let elapsed = t0.elapsed();
+    let allocs = allocations() - a0;
+    catalog.flush().expect("flush WAL tail");
+    drop(catalog);
+    lat.sort_unstable();
+    let mixed_wal = Report {
+        name: "mixed_wal",
+        queries: total_queries,
+        elapsed,
+        p50: percentile(&lat, 0.50),
+        p99: percentile(&lat, 0.99),
+        allocs_per_query: allocs as f64 / total_queries as f64,
+        results_total,
+    };
+
+    // Cold reopen: epoch-0 base checkpoint + the whole WAL replays.
+    let t0 = Instant::now();
+    let (recovered, info) = DurableCatalog::<PointEngine>::open(&config, MIXED_SHARDS, || {
+        panic!("recovery must come from disk")
+    })
+    .expect("recover durable store");
+    let elapsed = t0.elapsed();
+    assert_eq!(recovered.epoch(), scale.mixed_rounds as u64);
+    assert_eq!(info.replayed_batches, scale.mixed_rounds);
+    let recovery = Report {
+        name: "recovery",
+        queries: info.replayed_updates.max(1),
+        elapsed,
+        p50: Duration::ZERO,
+        p99: Duration::ZERO,
+        allocs_per_query: 0.0,
+        results_total: info.objects,
+    };
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).ok();
+    (mixed_wal, recovery)
+}
+
 /// The `net` scenario: the loadgen harness against an in-process
 /// loopback [`iloc_server::server::QueryServer`] — `clients`
 /// connections of mixed IPQ/C-IPQ/IUQ traffic racing an update/commit
@@ -460,6 +566,16 @@ fn main() {
         scale.mixed_updates_per_round
     );
 
+    let (mixed_wal, recovery) = measure_durable_mixed(scale);
+    eprintln!(
+        "  {} done: {:.0} q/s ({:.1}% of mixed); recovery replayed {} updates in {:.3}s",
+        mixed_wal.name,
+        mixed_wal.qps(),
+        100.0 * mixed_wal.qps() / mixed.qps(),
+        recovery.queries,
+        recovery.elapsed.as_secs_f64(),
+    );
+
     let net = measure_net(quick);
     eprintln!(
         "  {} done: {:.0} q/s over loopback, {:.3} allocs/request steady",
@@ -476,7 +592,17 @@ fn main() {
         steady.allocs_per_query
     );
 
-    let reports = [&ipq, &cipq, &iuq, &continuous, &mixed, &net, &steady];
+    let reports = [
+        &ipq,
+        &cipq,
+        &iuq,
+        &continuous,
+        &mixed,
+        &mixed_wal,
+        &recovery,
+        &net,
+        &steady,
+    ];
 
     // Flat baseline schema: "<workload>_qps" + steady-state allocs.
     let mut flat = String::from("{\n");

@@ -21,9 +21,11 @@ pub mod config;
 pub mod experiments;
 pub mod harness;
 pub mod net;
+pub mod resilient;
 pub mod subscribers;
 
 pub use config::{Scale, TestBed};
 pub use harness::{Row, Summary};
 pub use net::{NetConfig, NetReport};
+pub use resilient::ResilientClient;
 pub use subscribers::{SubscribersConfig, SubscribersReport};

@@ -243,7 +243,8 @@ fn subscriber_run(
     let mut walk = Walk::new(cfg.seed.wrapping_add(salt * 7919), cfg.step);
     let (x0, y0) = walk.advance();
     let request = PointRequest::ipq(issuer_at(x0, y0), RangeSpec::square(W));
-    let (sub_id, mut answer) = client.subscribe_point(&request, cfg.slack)?;
+    let (ack, mut answer) = client.subscribe_point(&request, cfg.slack)?;
+    let sub_id = ack.sub_id;
 
     let mut note = Notification::default();
     let mut latencies = Vec::with_capacity(cfg.ticks_per_sub);
@@ -385,7 +386,8 @@ pub fn run_against(
     // warm-up the envelope is cached, no commits run, so every tick
     // must be probe-free and allocation-free server-side.
     let request = PointRequest::ipq(issuer_at(5_000.0, 5_000.0), RangeSpec::square(W));
-    let (sub_id, _) = control.subscribe_point(&request, cfg.slack)?;
+    let (ack, _) = control.subscribe_point(&request, cfg.slack)?;
+    let sub_id = ack.sub_id;
     let pdf = request.issuer.pdf().clone();
     let mut note = Notification::default();
     let mut s1 = StatsReport::default();

@@ -1,0 +1,365 @@
+//! Bit-exact binary encoding of catalog objects and updates — the
+//! same discipline as the wire protocol (little-endian integers,
+//! `f64`s as raw IEEE-754 bit patterns), re-stated here because the
+//! core crate sits below the server crate in the dependency graph.
+//!
+//! Every decoder validates the preconditions of the constructor it is
+//! about to call, so adversarial or corrupt bytes surface as a
+//! [`StoreError::Corrupt`], never a panic — mirroring the wire
+//! protocol's malformed-frame handling.
+
+use iloc_geometry::{Point, Rect};
+use iloc_uncertainty::{
+    DiscPdf, LocationPdf, ObjectId, PdfKind, PointObject, TruncatedGaussianPdf, UncertainObject,
+    UniformPdf,
+};
+
+use super::StoreError;
+use crate::serve::Update;
+
+/// A bounds-checked reader over one record payload (the durable twin
+/// of the wire protocol's `Reader`).
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.buf.len() - self.pos < n {
+            return Err(StoreError::Corrupt("truncated record payload"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Next byte.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Next little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Next little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Next `f64`, decoded from its raw bit pattern (bit-exact).
+    pub fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Next `f64`, rejected unless finite.
+    pub fn finite(&mut self, what: &'static str) -> Result<f64, StoreError> {
+        let v = self.f64()?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(StoreError::Corrupt(what))
+        }
+    }
+
+    /// Errors unless the payload was consumed exactly.
+    pub fn done(&self) -> Result<(), StoreError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(StoreError::Corrupt("trailing bytes in record"))
+        }
+    }
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+fn put_rect(buf: &mut Vec<u8>, r: Rect) {
+    put_f64(buf, r.min.x);
+    put_f64(buf, r.min.y);
+    put_f64(buf, r.max.x);
+    put_f64(buf, r.max.y);
+}
+
+fn read_rect(c: &mut Cursor<'_>) -> Result<Rect, StoreError> {
+    let (x0, y0) = (c.finite("rect min.x")?, c.finite("rect min.y")?);
+    let (x1, y1) = (c.finite("rect max.x")?, c.finite("rect max.y")?);
+    if x0 > x1 || y0 > y1 {
+        return Err(StoreError::Corrupt("rect min exceeds max"));
+    }
+    Ok(Rect::from_coords(x0, y0, x1, y1))
+}
+
+// Same tags the wire protocol assigns, so a hexdump of either reads
+// the same.
+const PDF_UNIFORM: u8 = 0;
+const PDF_GAUSSIAN: u8 = 1;
+const PDF_DISC: u8 = 2;
+
+fn put_pdf(buf: &mut Vec<u8>, pdf: &PdfKind) -> Result<(), StoreError> {
+    match pdf {
+        PdfKind::Uniform(u) => {
+            buf.push(PDF_UNIFORM);
+            put_rect(buf, u.region());
+        }
+        PdfKind::Gaussian(g) => {
+            buf.push(PDF_GAUSSIAN);
+            put_rect(buf, g.region());
+            put_f64(buf, g.mean().x);
+            put_f64(buf, g.mean().y);
+            put_f64(buf, g.sigma().0);
+            put_f64(buf, g.sigma().1);
+        }
+        PdfKind::Disc(d) => {
+            buf.push(PDF_DISC);
+            let c = d.disc();
+            put_f64(buf, c.center.x);
+            put_f64(buf, c.center.y);
+            put_f64(buf, c.radius);
+        }
+        PdfKind::Shared(_) => return Err(StoreError::Unsupported("shared pdf handle")),
+    }
+    Ok(())
+}
+
+fn read_pdf(c: &mut Cursor<'_>) -> Result<PdfKind, StoreError> {
+    match c.u8()? {
+        PDF_UNIFORM => {
+            let region = read_rect(c)?;
+            if region.area() <= 0.0 {
+                return Err(StoreError::Corrupt("uniform pdf region has zero area"));
+            }
+            Ok(PdfKind::Uniform(UniformPdf::new(region)))
+        }
+        PDF_GAUSSIAN => {
+            let region = read_rect(c)?;
+            let mean = Point::new(c.finite("gaussian mean.x")?, c.finite("gaussian mean.y")?);
+            let (sx, sy) = (c.finite("gaussian sigma.x")?, c.finite("gaussian sigma.y")?);
+            if region.area() <= 0.0 {
+                return Err(StoreError::Corrupt("gaussian region has zero area"));
+            }
+            if sx <= 0.0 || sy <= 0.0 {
+                return Err(StoreError::Corrupt("gaussian sigma must be positive"));
+            }
+            if !region.contains_point(mean) {
+                return Err(StoreError::Corrupt("gaussian mean outside its region"));
+            }
+            Ok(PdfKind::Gaussian(TruncatedGaussianPdf::new(
+                region, mean, sx, sy,
+            )))
+        }
+        PDF_DISC => {
+            let center = Point::new(c.finite("disc center.x")?, c.finite("disc center.y")?);
+            let radius = c.finite("disc radius")?;
+            if radius <= 0.0 {
+                return Err(StoreError::Corrupt("disc radius must be positive"));
+            }
+            Ok(PdfKind::Disc(DiscPdf::new(center, radius)))
+        }
+        _ => Err(StoreError::Corrupt("unknown pdf tag")),
+    }
+}
+
+/// A catalog object the durable store can encode bit-exactly and
+/// decode back with full validation. Implemented for the two object
+/// types the serving layer catalogs.
+pub trait DurableObject: Clone + Send + Sync {
+    /// Appends this object's binary form (including its id).
+    ///
+    /// Fails only for state with no on-disk representation (a
+    /// [`PdfKind::Shared`] handle).
+    fn encode(&self, buf: &mut Vec<u8>) -> Result<(), StoreError>;
+
+    /// Decodes one object, validating every constructor precondition.
+    fn decode(c: &mut Cursor<'_>) -> Result<Self, StoreError>;
+}
+
+impl DurableObject for PointObject {
+    fn encode(&self, buf: &mut Vec<u8>) -> Result<(), StoreError> {
+        put_u64(buf, self.id.0);
+        put_f64(buf, self.loc.x);
+        put_f64(buf, self.loc.y);
+        Ok(())
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> Result<PointObject, StoreError> {
+        let id = c.u64()?;
+        let x = c.finite("point object x")?;
+        let y = c.finite("point object y")?;
+        Ok(PointObject::new(id, Point::new(x, y)))
+    }
+}
+
+impl DurableObject for UncertainObject {
+    fn encode(&self, buf: &mut Vec<u8>) -> Result<(), StoreError> {
+        put_u64(buf, self.id.0);
+        put_pdf(buf, self.pdf())
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> Result<UncertainObject, StoreError> {
+        let id = c.u64()?;
+        let pdf = read_pdf(c)?;
+        Ok(UncertainObject::new(id, pdf))
+    }
+}
+
+// Same tags as the wire protocol's update encoding.
+const UPDATE_ARRIVE: u8 = 0;
+const UPDATE_DEPART: u8 = 1;
+const UPDATE_MOVE: u8 = 2;
+
+/// Appends one update's binary form.
+pub(crate) fn put_update<O: DurableObject>(
+    buf: &mut Vec<u8>,
+    update: &Update<O>,
+) -> Result<(), StoreError> {
+    match update {
+        Update::Arrive(o) => {
+            buf.push(UPDATE_ARRIVE);
+            o.encode(buf)
+        }
+        Update::Depart(id) => {
+            buf.push(UPDATE_DEPART);
+            put_u64(buf, id.0);
+            Ok(())
+        }
+        Update::Move(o) => {
+            buf.push(UPDATE_MOVE);
+            o.encode(buf)
+        }
+    }
+}
+
+/// Decodes one update.
+pub(crate) fn read_update<O: DurableObject>(c: &mut Cursor<'_>) -> Result<Update<O>, StoreError> {
+    match c.u8()? {
+        UPDATE_ARRIVE => Ok(Update::Arrive(O::decode(c)?)),
+        UPDATE_DEPART => Ok(Update::Depart(ObjectId(c.u64()?))),
+        UPDATE_MOVE => Ok(Update::Move(O::decode(c)?)),
+        _ => Err(StoreError::Corrupt("unknown update tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_object_round_trips_bit_exactly() {
+        // A coordinate with no short decimal form: the round trip must
+        // preserve the exact bit pattern, not a reparse.
+        let o = PointObject::new(42, Point::new(1.0 + 1e-15, -0.0));
+        let mut buf = Vec::new();
+        o.encode(&mut buf).unwrap();
+        let mut c = Cursor::new(&buf);
+        let back = PointObject::decode(&mut c).unwrap();
+        c.done().unwrap();
+        assert_eq!(back.id, o.id);
+        assert_eq!(back.loc.x.to_bits(), o.loc.x.to_bits());
+        assert_eq!(back.loc.y.to_bits(), o.loc.y.to_bits());
+    }
+
+    #[test]
+    fn uncertain_object_round_trips_every_concrete_pdf() {
+        let region = Rect::from_coords(10.0, 20.0, 110.0, 170.0);
+        let objects = [
+            UncertainObject::new(1, PdfKind::Uniform(UniformPdf::new(region))),
+            UncertainObject::new(
+                2,
+                PdfKind::Gaussian(TruncatedGaussianPdf::new(
+                    region,
+                    Point::new(60.0, 95.0),
+                    12.5,
+                    33.25,
+                )),
+            ),
+            UncertainObject::new(3, PdfKind::Disc(DiscPdf::new(Point::new(5.0, -7.0), 2.5))),
+        ];
+        for o in &objects {
+            let mut buf = Vec::new();
+            o.encode(&mut buf).unwrap();
+            let mut c = Cursor::new(&buf);
+            let back = UncertainObject::decode(&mut c).unwrap();
+            c.done().unwrap();
+            assert_eq!(back.id, o.id);
+            assert_eq!(back.region(), o.region());
+        }
+    }
+
+    #[test]
+    fn corrupt_pdf_bytes_error_instead_of_panicking() {
+        // Non-finite coordinate.
+        let mut buf = Vec::new();
+        buf.push(PDF_UNIFORM);
+        put_f64(&mut buf, f64::NAN);
+        put_f64(&mut buf, 0.0);
+        put_f64(&mut buf, 1.0);
+        put_f64(&mut buf, 1.0);
+        assert!(read_pdf(&mut Cursor::new(&buf)).is_err());
+
+        // Unknown tag.
+        assert!(read_pdf(&mut Cursor::new(&[9])).is_err());
+
+        // Truncated payload.
+        let mut buf = Vec::new();
+        buf.push(PDF_DISC);
+        put_f64(&mut buf, 1.0);
+        assert!(read_pdf(&mut Cursor::new(&buf)).is_err());
+
+        // Negative radius would violate the constructor precondition.
+        let mut buf = Vec::new();
+        buf.push(PDF_DISC);
+        put_f64(&mut buf, 1.0);
+        put_f64(&mut buf, 1.0);
+        put_f64(&mut buf, -3.0);
+        assert!(read_pdf(&mut Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn updates_round_trip() {
+        let updates: Vec<Update<PointObject>> = vec![
+            Update::Arrive(PointObject::new(7, Point::new(1.5, 2.5))),
+            Update::Depart(ObjectId(9)),
+            Update::Move(PointObject::new(7, Point::new(3.5, 4.5))),
+        ];
+        let mut buf = Vec::new();
+        for u in &updates {
+            put_update(&mut buf, u).unwrap();
+        }
+        let mut c = Cursor::new(&buf);
+        for u in &updates {
+            let back: Update<PointObject> = read_update(&mut c).unwrap();
+            match (u, &back) {
+                (Update::Arrive(a), Update::Arrive(b)) | (Update::Move(a), Update::Move(b)) => {
+                    assert_eq!(a.id, b.id);
+                    assert_eq!(a.loc.x.to_bits(), b.loc.x.to_bits());
+                }
+                (Update::Depart(a), Update::Depart(b)) => assert_eq!(a, b),
+                _ => panic!("update kind changed in round trip"),
+            }
+        }
+        c.done().unwrap();
+    }
+}

@@ -37,6 +37,10 @@
 //!   (arrive / depart / move) behind epoch-style snapshots,
 //!   hash-partitioned across per-shard engines with id-ordered fan-in
 //!   merging.
+//! * [`durable`] — the **durability subsystem**: a write-ahead log on
+//!   the serving layer's commit path plus periodic binary checkpoints,
+//!   with crash recovery that replays through the normal commit path
+//!   and therefore answers bit-identically after a restart.
 //! * [`subscribe`] — the **subscription subsystem**: standing
 //!   continuous queries over serving snapshots, each caching a safe
 //!   envelope of candidates, re-evaluated incrementally only when a
@@ -51,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod continuous;
+pub mod durable;
 pub mod engine;
 pub mod eval;
 pub mod expand;
@@ -64,6 +69,9 @@ pub mod stats;
 pub mod subscribe;
 
 pub use continuous::ContinuousIpq;
+pub use durable::{
+    CatalogRecovery, DurableCatalog, DurableObject, FsyncPolicy, StoreConfig, StoreError,
+};
 pub use engine::{PointEngine, UncertainEngine};
 pub use expand::{minkowski_query, p_expanded_query};
 pub use integrate::Integrator;
@@ -80,6 +88,7 @@ pub use subscribe::{AnswerDelta, ContinuousEngine, SubId, SubscriptionRegistry};
 /// Glob-import surface for applications.
 pub mod prelude {
     pub use crate::continuous::ContinuousIpq;
+    pub use crate::durable::{DurableCatalog, FsyncPolicy, StoreConfig};
     pub use crate::engine::{PointEngine, UncertainEngine};
     pub use crate::integrate::Integrator;
     pub use crate::pipeline::{

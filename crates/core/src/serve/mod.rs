@@ -137,6 +137,10 @@ pub trait ServeEngine: BatchEngine + Clone + Send {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Every live object in this shard, in the engine's insertion
+    /// order. Checkpointing enumerates shard state through this.
+    fn objects(&self) -> &[Self::Object];
 }
 
 impl ServeEngine for PointEngine {
@@ -169,6 +173,10 @@ impl ServeEngine for PointEngine {
     fn len(&self) -> usize {
         PointEngine::len(self)
     }
+
+    fn objects(&self) -> &[PointObject] {
+        PointEngine::objects(self)
+    }
 }
 
 impl ServeEngine for UncertainEngine {
@@ -200,6 +208,10 @@ impl ServeEngine for UncertainEngine {
 
     fn len(&self) -> usize {
         UncertainEngine::len(self)
+    }
+
+    fn objects(&self) -> &[UncertainObject] {
+        UncertainEngine::objects(self)
     }
 }
 

@@ -252,6 +252,18 @@ impl<E: ServeEngine> ShardedEngine<E> {
     ///
     /// Panics when `shard_count` is zero.
     pub fn build(objects: Vec<E::Object>, shard_count: usize) -> Self {
+        Self::build_at(objects, shard_count, 0)
+    }
+
+    /// [`ShardedEngine::build`], but the initial snapshot publishes as
+    /// `epoch` instead of 0. Crash recovery uses this to rebuild an
+    /// engine at a checkpoint's epoch before replaying the log suffix;
+    /// everything else should build at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_count` is zero.
+    pub fn build_at(objects: Vec<E::Object>, shard_count: usize, epoch: u64) -> Self {
         assert!(shard_count > 0, "shard count must be positive");
         let mut partitions: Vec<Vec<E::Object>> = (0..shard_count).map(|_| Vec::new()).collect();
         for object in objects {
@@ -263,7 +275,7 @@ impl<E: ServeEngine> ShardedEngine<E> {
             .collect();
         ShardedEngine {
             current: RwLock::new(Snapshot {
-                epoch: 0,
+                epoch,
                 shards: Arc::new(shards),
             }),
             pending: Mutex::new(Vec::new()),

@@ -13,21 +13,55 @@
 //!                    300; 0 disables) — abandoned subscriber sockets
 //!                    must not pin worker slots; clients keep a quiet
 //!                    connection alive with PING
+//! --data-dir PATH    durable store directory: every commit is
+//!                    write-ahead logged before it publishes, and on
+//!                    startup the catalogs recover from the newest
+//!                    checkpoint plus log replay (the dataset flags
+//!                    only seed a fresh directory)
+//! --fsync POLICY     WAL fsync policy: always | every=N | off
+//!                    (default always; only with --data-dir)
+//! --checkpoint-every N   background-checkpoint a catalog every N
+//!                    commits (default 256; 0 disables)
 //! --quick            ~10x smaller catalogs (CI smoke)
 //! ```
+//!
+//! With `--data-dir`, SIGTERM / SIGINT shut down gracefully: stop
+//! accepting, drain in-flight frames, fsync the log tail, write a
+//! clean checkpoint, exit 0.
 //!
 //! The process registers the counting global allocator, so its stats
 //! frames report real allocation counts — a remote load generator can
 //! gate on "zero steady-state allocations per request" without sharing
 //! the server's address space (the CI smoke job does).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use iloc_core::durable::FsyncPolicy;
 use iloc_datagen::{california_points, long_beach_rects, uniform_objects};
 use iloc_server::alloc_count::{self, CountingAllocator};
-use iloc_server::server::{QueryServer, ServerConfig};
+use iloc_server::server::{DurabilityOptions, QueryServer, RecoveryInfo, ServerConfig};
 use iloc_uncertainty::PointObject;
 
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Set by the signal handler; the main thread polls it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+// Minimal libc-free signal registration (std has no public API for
+// it). `signal(2)` with a plain flag-setting handler is exactly the
+// async-signal-safe subset this binary needs.
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
 
 fn main() {
     alloc_count::mark_installed();
@@ -68,8 +102,13 @@ fn main() {
     let seed = number("--seed", 2007) as u64;
     let idle_timeout = match number("--idle-timeout", 300) {
         0 => None,
-        secs => Some(std::time::Duration::from_secs(secs as u64)),
+        secs => Some(Duration::from_secs(secs as u64)),
     };
+    let data_dir = value("--data-dir");
+    let fsync = value("--fsync")
+        .map(|v| FsyncPolicy::parse(&v).unwrap_or_else(|| die("--fsync")))
+        .unwrap_or(FsyncPolicy::Always);
+    let checkpoint_every = number("--checkpoint-every", 256) as u64;
 
     eprintln!(
         "building catalogs: {points} points (California), {uncertain} uncertain (Long Beach), \
@@ -82,7 +121,25 @@ fn main() {
         .collect();
     let uncertain_objects = uniform_objects(&long_beach_rects(uncertain, seed + 1));
 
-    let server = QueryServer::new(point_objects, uncertain_objects, shards);
+    let server = match data_dir {
+        Some(dir) => {
+            let durability = DurabilityOptions {
+                data_dir: dir.clone().into(),
+                fsync,
+                checkpoint_every,
+            };
+            let (server, recovery) =
+                QueryServer::open(point_objects, uncertain_objects, shards, &durability)
+                    .unwrap_or_else(|e| {
+                        eprintln!("durable open failed in {dir}: {e}");
+                        std::process::exit(1);
+                    });
+            report_recovery(&dir, fsync, &recovery);
+            server
+        }
+        None => QueryServer::new(point_objects, uncertain_objects, shards),
+    };
+
     let config = ServerConfig {
         addr,
         workers,
@@ -93,9 +150,55 @@ fn main() {
         eprintln!("bind failed: {e}");
         std::process::exit(1);
     });
+
+    // SAFETY contract is the C one: the handler only touches an
+    // atomic flag, which is async-signal-safe.
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+
     // Announce readiness on stdout so wrappers can wait for it.
     println!("listening on {}", handle.addr());
-    handle.join();
+
+    // Poll instead of joining so the signal flag is honored: on
+    // SIGTERM/SIGINT the handle's shutdown drains in-flight frames,
+    // flushes the WAL tail and writes a clean final checkpoint.
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("signal received: draining, flushing WAL, writing final checkpoint");
+    handle.shutdown();
+    eprintln!("clean shutdown");
+}
+
+fn report_recovery(dir: &str, fsync: FsyncPolicy, recovery: &RecoveryInfo) {
+    for (name, r) in [
+        ("point", &recovery.point),
+        ("uncertain", &recovery.uncertain),
+    ] {
+        if r.recovered {
+            eprintln!(
+                "recovered {name} catalog from {dir}: epoch {} (checkpoint {}, {} batches / {} \
+                 updates replayed{}), {} objects, fsync {fsync}",
+                r.epoch,
+                r.checkpoint_epoch,
+                r.replayed_batches,
+                r.replayed_updates,
+                if r.wal_truncated {
+                    ", torn tail truncated"
+                } else {
+                    ""
+                },
+                r.objects,
+            );
+        } else {
+            eprintln!(
+                "initialized {name} catalog in {dir}: {} objects at epoch {}, fsync {fsync}",
+                r.objects, r.epoch,
+            );
+        }
+    }
 }
 
 fn die(name: &str) -> ! {

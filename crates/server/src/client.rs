@@ -93,6 +93,21 @@ impl From<WireError> for ClientError {
     }
 }
 
+/// A SUB_ACK's bookkeeping: the subscription's id, the epoch its
+/// initial answer evaluated against, and the epoch the server process
+/// recovered at (0 for a fresh or transient catalog). A reconnecting
+/// subscriber that sees `recovered_epoch` change knows the server
+/// restarted and its old subscription ids are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubAck {
+    /// Server-assigned subscription id (per connection).
+    pub sub_id: u64,
+    /// Epoch the initial answer evaluated against.
+    pub epoch: u64,
+    /// Engine epoch at server-process start for this catalog.
+    pub recovered_epoch: u64,
+}
+
 /// A blocking protocol client over one reused connection.
 #[derive(Debug)]
 pub struct Client {
@@ -317,21 +332,29 @@ impl Client {
     // -- Subscriptions ------------------------------------------------
 
     /// Registers a standing continuous query on the point catalog;
-    /// returns its id and the initial full answer (the base every
-    /// subsequent delta composes on). `slack` is the safe-envelope
-    /// margin in space units.
+    /// returns the acknowledgement (id, epochs) and the initial full
+    /// answer (the base every subsequent delta composes on). `slack`
+    /// is the safe-envelope margin in space units.
     pub fn subscribe_point(
         &mut self,
         request: &PointRequest,
         slack: f64,
-    ) -> Result<(u64, QueryAnswer), ClientError> {
+    ) -> Result<(SubAck, QueryAnswer), ClientError> {
         self.write_buf.clear();
         protocol::encode_subscribe_point(&mut self.write_buf, slack, request)?;
         self.send()?;
         self.expect(opcode::SUB_ACK)?;
         let mut answer = QueryAnswer::default();
-        let (_, sub_id, _) = protocol::decode_sub_ack_into(&self.read_buf[2..], &mut answer)?;
-        Ok((sub_id, answer))
+        let (_, sub_id, epoch, recovered_epoch) =
+            protocol::decode_sub_ack_into(&self.read_buf[2..], &mut answer)?;
+        Ok((
+            SubAck {
+                sub_id,
+                epoch,
+                recovered_epoch,
+            },
+            answer,
+        ))
     }
 
     /// Registers a standing continuous query on the uncertain catalog.
@@ -339,14 +362,22 @@ impl Client {
         &mut self,
         request: &UncertainRequest,
         slack: f64,
-    ) -> Result<(u64, QueryAnswer), ClientError> {
+    ) -> Result<(SubAck, QueryAnswer), ClientError> {
         self.write_buf.clear();
         protocol::encode_subscribe_uncertain(&mut self.write_buf, slack, request)?;
         self.send()?;
         self.expect(opcode::SUB_ACK)?;
         let mut answer = QueryAnswer::default();
-        let (_, sub_id, _) = protocol::decode_sub_ack_into(&self.read_buf[2..], &mut answer)?;
-        Ok((sub_id, answer))
+        let (_, sub_id, epoch, recovered_epoch) =
+            protocol::decode_sub_ack_into(&self.read_buf[2..], &mut answer)?;
+        Ok((
+            SubAck {
+                sub_id,
+                epoch,
+                recovered_epoch,
+            },
+            answer,
+        ))
     }
 
     /// Drops a standing query; `true` when the server knew the id.

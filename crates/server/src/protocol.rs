@@ -53,7 +53,11 @@ use iloc_uncertainty::{
 /// Version 3 extended the STATS_REPORT payload with per-stage pipeline
 /// timings (filter / prune / refine nanoseconds) and the refine-batch
 /// size histogram.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// Version 4 extended the SUB_ACK payload with the server's recovered
+/// epoch (the engine epoch at process start — non-zero after a crash
+/// recovery), so a reconnecting subscriber can detect a restart and
+/// re-issue its SUBSCRIBE frames.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Hard ceiling on one frame's `len` field; larger frames are rejected
 /// with [`ErrorCode::TooLarge`] and the connection is closed (a wild
@@ -898,18 +902,23 @@ pub fn decode_tick(payload: &[u8]) -> Result<(CommitTarget, u64, PdfKind), WireE
 }
 
 /// Appends an [`opcode::SUB_ACK`] frame: the new subscription's id,
-/// the epoch it evaluated against, and its initial full answer.
+/// the epoch it evaluated against, the epoch this server process
+/// recovered at (0 for a fresh or transient catalog — a reconnecting
+/// client that sees it change knows the server restarted), and the
+/// initial full answer.
 pub fn encode_sub_ack(
     buf: &mut Vec<u8>,
     target: CommitTarget,
     sub_id: u64,
     epoch: u64,
+    recovered_epoch: u64,
     initial: &[iloc_core::Match],
 ) {
     let at = begin_frame(buf, opcode::SUB_ACK);
     put_target(buf, target);
     put_u64(buf, sub_id);
     put_u64(buf, epoch);
+    put_u64(buf, recovered_epoch);
     put_u32(buf, initial.len() as u32);
     for m in initial {
         put_u64(buf, m.id.0);
@@ -919,15 +928,17 @@ pub fn encode_sub_ack(
 }
 
 /// Decodes an [`opcode::SUB_ACK`] payload, overwriting `answer` with
-/// the initial matches; returns `(target, sub_id, epoch)`.
+/// the initial matches; returns
+/// `(target, sub_id, epoch, recovered_epoch)`.
 pub fn decode_sub_ack_into(
     payload: &[u8],
     answer: &mut QueryAnswer,
-) -> Result<(CommitTarget, u64, u64), WireError> {
+) -> Result<(CommitTarget, u64, u64, u64), WireError> {
     let mut r = Reader::new(payload);
     let target = read_target(&mut r)?;
     let sub_id = r.u64()?;
     let epoch = r.u64()?;
+    let recovered_epoch = r.u64()?;
     answer.results.clear();
     answer.stats = Default::default();
     let count = r.u32()?;
@@ -937,7 +948,7 @@ pub fn decode_sub_ack_into(
         answer.results.push(iloc_core::Match { id, probability });
     }
     r.done()?;
-    Ok((target, sub_id, epoch))
+    Ok((target, sub_id, epoch, recovered_epoch))
 }
 
 /// Appends an [`opcode::NOTIFY`] frame carrying `delta` (id-sorted
@@ -1706,12 +1717,15 @@ mod tests {
                 probability: 1.0 - 1e-16,
             },
         ];
-        encode_sub_ack(&mut buf, CommitTarget::Uncertain, 7, 11, &initial);
+        encode_sub_ack(&mut buf, CommitTarget::Uncertain, 7, 11, 5, &initial);
         let (op, payload) = frame_payload(&buf);
         assert_eq!(op, opcode::SUB_ACK);
         let mut answer = QueryAnswer::default();
-        let (target, sub_id, epoch) = decode_sub_ack_into(payload, &mut answer).unwrap();
-        assert_eq!((target, sub_id, epoch), (CommitTarget::Uncertain, 7, 11));
+        let (target, sub_id, epoch, recovered) = decode_sub_ack_into(payload, &mut answer).unwrap();
+        assert_eq!(
+            (target, sub_id, epoch, recovered),
+            (CommitTarget::Uncertain, 7, 11, 5)
+        );
         assert_eq!(answer.results.len(), 2);
         assert_eq!(
             answer.results[1].probability.to_bits(),

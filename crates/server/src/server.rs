@@ -62,13 +62,15 @@
 use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
+use iloc_core::durable::{CatalogRecovery, DurableCatalog, FsyncPolicy, StoreConfig, StoreError};
 use iloc_core::pipeline::{PointRequest, UncertainRequest};
-use iloc_core::serve::{CommitReport, ShardServer, ShardedEngine};
+use iloc_core::serve::{CommitReport, ShardServer};
 use iloc_core::stats::REFINE_BATCH_BUCKETS;
 use iloc_core::subscribe::SubscriptionRegistry;
 use iloc_core::{Issuer, PointEngine, QueryAnswer, QueryStats, RangeSpec, UncertainEngine};
@@ -86,13 +88,52 @@ use crate::protocol::{
 /// [`ErrorCode::TooManySubscriptions`].
 pub const MAX_SUBSCRIPTIONS: usize = 4_096;
 
-/// The two catalogs one server instance serves.
+/// The two catalogs one server instance serves. Transient by default
+/// ([`QueryServer::new`]); with a data directory ([`QueryServer::open`])
+/// each catalog carries a write-ahead log on its commit path and
+/// recovers from the newest checkpoint plus log replay.
 #[derive(Debug)]
 pub struct Engines {
     /// Point-object catalog (IPQ / C-IPQ).
-    pub point: ShardedEngine<PointEngine>,
+    pub point: DurableCatalog<PointEngine>,
     /// Uncertain-object catalog (IUQ / C-IUQ).
-    pub uncertain: ShardedEngine<UncertainEngine>,
+    pub uncertain: DurableCatalog<UncertainEngine>,
+}
+
+/// Durability settings for [`QueryServer::open`].
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Directory holding both catalogs' stores (subdirectories
+    /// `point/` and `uncertain/` are created inside it).
+    pub data_dir: PathBuf,
+    /// When WAL appends reach the disk.
+    pub fsync: FsyncPolicy,
+    /// Background-checkpoint a catalog once its epoch has advanced
+    /// this many commits past its last checkpoint (0 disables the
+    /// background checkpointer; a final checkpoint is still written on
+    /// graceful shutdown).
+    pub checkpoint_every: u64,
+}
+
+impl DurabilityOptions {
+    /// Durable store in `data_dir` with fsync-always and a checkpoint
+    /// every 256 commits.
+    pub fn new(data_dir: impl Into<PathBuf>) -> DurabilityOptions {
+        DurabilityOptions {
+            data_dir: data_dir.into(),
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 256,
+        }
+    }
+}
+
+/// What [`QueryServer::open`] recovered, per catalog.
+#[derive(Debug, Clone)]
+pub struct RecoveryInfo {
+    /// Point-catalog recovery report.
+    pub point: CatalogRecovery,
+    /// Uncertain-catalog recovery report.
+    pub uncertain: CatalogRecovery,
 }
 
 /// Tunables for one listening server.
@@ -143,8 +184,12 @@ enum WriterMsg {
     /// drained vector, so the worker's decode buffer keeps its
     /// capacity across batches.
     Submit(Vec<WireUpdate>, mpsc::SyncSender<(u32, Vec<WireUpdate>)>),
-    /// Commit one catalog; reply with the report.
-    Commit(CommitTarget, mpsc::SyncSender<CommitReport>),
+    /// Commit one catalog; reply with the report (or the durable
+    /// store's failure — the epoch did not publish).
+    Commit(
+        CommitTarget,
+        mpsc::SyncSender<Result<CommitReport, StoreError>>,
+    ),
 }
 
 /// Process-wide pipeline-stage accounting: every answered query's
@@ -187,6 +232,9 @@ struct Shared {
     workers: u32,
     idle_poll: Duration,
     idle_timeout: Option<Duration>,
+    /// Engine epochs this process started at (per catalog) — carried
+    /// in every SUB_ACK so reconnecting subscribers detect restarts.
+    recovered_epochs: (u64, u64),
 }
 
 /// A query server over one pair of sharded catalogs.
@@ -199,11 +247,16 @@ struct Shared {
 #[derive(Debug)]
 pub struct QueryServer {
     engines: Arc<Engines>,
+    /// Background-checkpoint cadence in commits (0 = no checkpointer).
+    checkpoint_every: u64,
+    /// Engine epochs at construction — what SUB_ACK reports so a
+    /// reconnecting subscriber can detect a restart.
+    recovered_epochs: (u64, u64),
 }
 
 impl QueryServer {
     /// Builds the two sharded catalogs (`shards` each) and wraps them
-    /// in a server.
+    /// in a transient (in-memory only) server.
     ///
     /// # Panics
     ///
@@ -215,10 +268,55 @@ impl QueryServer {
     ) -> QueryServer {
         QueryServer {
             engines: Arc::new(Engines {
-                point: ShardedEngine::build(points, shards),
-                uncertain: ShardedEngine::build(uncertain, shards),
+                point: DurableCatalog::transient(points, shards),
+                uncertain: DurableCatalog::transient(uncertain, shards),
             }),
+            checkpoint_every: 0,
+            recovered_epochs: (0, 0),
         }
+    }
+
+    /// Opens (or creates) a durable server in `durability.data_dir`.
+    /// A fresh directory is seeded with `points` / `uncertain`; an
+    /// existing one **recovers** — the seeds are ignored and each
+    /// catalog is rebuilt from its newest valid checkpoint plus WAL
+    /// replay, answering bit-identically to the pre-crash process.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn open(
+        points: Vec<PointObject>,
+        uncertain: Vec<UncertainObject>,
+        shards: usize,
+        durability: &DurabilityOptions,
+    ) -> Result<(QueryServer, RecoveryInfo), StoreError> {
+        let point_cfg = StoreConfig {
+            dir: durability.data_dir.join("point"),
+            fsync: durability.fsync,
+        };
+        let uncertain_cfg = StoreConfig {
+            dir: durability.data_dir.join("uncertain"),
+            fsync: durability.fsync,
+        };
+        let (point, point_rec) = DurableCatalog::open(&point_cfg, shards, move || points)?;
+        let (uncertain_cat, uncertain_rec) =
+            DurableCatalog::open(&uncertain_cfg, shards, move || uncertain)?;
+        let recovered_epochs = (point_rec.epoch, uncertain_rec.epoch);
+        Ok((
+            QueryServer {
+                engines: Arc::new(Engines {
+                    point,
+                    uncertain: uncertain_cat,
+                }),
+                checkpoint_every: durability.checkpoint_every,
+                recovered_epochs,
+            },
+            RecoveryInfo {
+                point: point_rec,
+                uncertain: uncertain_rec,
+            },
+        ))
     }
 
     /// The served engines (shared; snapshots taken from here see
@@ -244,6 +342,7 @@ impl QueryServer {
             workers: config.workers as u32,
             idle_poll: config.idle_poll,
             idle_timeout: config.idle_timeout,
+            recovered_epochs: self.recovered_epochs,
         });
 
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
@@ -285,10 +384,23 @@ impl QueryServer {
             );
         }
 
+        if self.checkpoint_every > 0 && self.engines.point.is_durable() {
+            let engines = Arc::clone(&self.engines);
+            let stop = Arc::clone(&shutdown);
+            let every = self.checkpoint_every;
+            let poll = config.idle_poll;
+            threads.push(
+                thread::Builder::new()
+                    .name("iloc-checkpoint".to_string())
+                    .spawn(move || checkpoint_loop(engines, stop, every, poll))?,
+            );
+        }
+
         Ok(ServerHandle {
             addr,
             shutdown,
             threads,
+            engines: Arc::clone(&self.engines),
         })
     }
 }
@@ -299,6 +411,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     threads: Vec<thread::JoinHandle<()>>,
+    engines: Arc<Engines>,
 }
 
 impl ServerHandle {
@@ -330,6 +443,23 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        // Every serving thread is joined: no more commits can happen.
+        // Make the final state durable — fsync any unsynced log tail
+        // and write a clean checkpoint, so the next start replays
+        // nothing.
+        for flushed in [self.engines.point.flush(), self.engines.uncertain.flush()] {
+            if let Err(e) = flushed {
+                eprintln!("iloc-server: final WAL flush failed: {e}");
+            }
+        }
+        for written in [
+            self.engines.point.checkpoint().map(|_| ()),
+            self.engines.uncertain.checkpoint().map(|_| ()),
+        ] {
+            if let Err(e) = written {
+                eprintln!("iloc-server: final checkpoint failed: {e}");
+            }
         }
     }
 }
@@ -387,11 +517,43 @@ fn writer_loop(engines: Arc<Engines>, rx: mpsc::Receiver<WriterMsg>) {
                 let _ = reply.send((n, updates));
             }
             WriterMsg::Commit(target, reply) => {
+                // On a durable catalog the commit appends and fsyncs
+                // the WAL record *before* the epoch publishes; an
+                // append failure leaves the epoch unpublished and is
+                // surfaced to the client as an error frame.
                 let report = match target {
                     CommitTarget::Point => engines.point.commit(),
                     CommitTarget::Uncertain => engines.uncertain.commit(),
                 };
                 let _ = reply.send(report);
+            }
+        }
+    }
+}
+
+/// Background checkpointer: whenever a catalog's epoch has advanced
+/// `every` commits past its last checkpoint, snapshot it to disk and
+/// rotate its log — entirely off the commit path (commits proceed
+/// concurrently; only the final log rotation takes the store lock).
+fn checkpoint_loop(engines: Arc<Engines>, shutdown: Arc<AtomicBool>, every: u64, poll: Duration) {
+    while !shutdown.load(Ordering::SeqCst) {
+        thread::sleep(poll);
+        let due_point = engines
+            .point
+            .last_checkpoint_epoch()
+            .is_some_and(|last| engines.point.epoch() >= last + every);
+        if due_point {
+            if let Err(e) = engines.point.checkpoint() {
+                eprintln!("iloc-server: point checkpoint failed: {e}");
+            }
+        }
+        let due_uncertain = engines
+            .uncertain
+            .last_checkpoint_epoch()
+            .is_some_and(|last| engines.uncertain.epoch() >= last + every);
+        if due_uncertain {
+            if let Err(e) = engines.uncertain.checkpoint() {
+                eprintln!("iloc-server: uncertain checkpoint failed: {e}");
             }
         }
     }
@@ -685,7 +847,7 @@ fn pump_subscriptions(
     } = state;
     write_buf.clear();
     let pumped = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        point_subs.pump(&shared.engines.point, |id, epoch, delta| {
+        point_subs.pump(shared.engines.point.engine(), |id, epoch, delta| {
             protocol::encode_notify(
                 write_buf,
                 CommitTarget::Point,
@@ -695,7 +857,7 @@ fn pump_subscriptions(
                 delta,
             );
         });
-        uncertain_subs.pump(&shared.engines.uncertain, |id, epoch, delta| {
+        uncertain_subs.pump(shared.engines.uncertain.engine(), |id, epoch, delta| {
             protocol::encode_notify(
                 write_buf,
                 CommitTarget::Uncertain,
@@ -796,9 +958,14 @@ fn handle_frame(
                 let (reply_tx, reply_rx) = mpsc::sync_channel(1);
                 let sent = writer_tx.send(WriterMsg::Commit(target, reply_tx));
                 match sent.ok().and_then(|()| reply_rx.recv().ok()) {
-                    Some(report) => {
+                    Some(Ok(report)) => {
                         protocol::encode_commit_done(&mut state.write_buf, &report);
                     }
+                    Some(Err(_)) => protocol::encode_error(
+                        &mut state.write_buf,
+                        ErrorCode::Internal,
+                        "durable commit failed; epoch not published",
+                    ),
                     None => protocol::encode_error(
                         &mut state.write_buf,
                         ErrorCode::Internal,
@@ -859,7 +1026,7 @@ fn handle_frame(
                         }
                         Ok(()) => {
                             let id = state.point_subs.subscribe(
-                                &shared.engines.point,
+                                shared.engines.point.engine(),
                                 state.point_req.clone(),
                                 slack,
                             );
@@ -869,6 +1036,7 @@ fn handle_frame(
                                 CommitTarget::Point,
                                 id,
                                 sub.epoch(),
+                                shared.recovered_epochs.0,
                                 sub.last_answer(),
                             );
                         }
@@ -889,7 +1057,7 @@ fn handle_frame(
                         }
                         Ok(()) => {
                             let id = state.uncertain_subs.subscribe(
-                                &shared.engines.uncertain,
+                                shared.engines.uncertain.engine(),
                                 state.uncertain_req.clone(),
                                 slack,
                             );
@@ -899,6 +1067,7 @@ fn handle_frame(
                                 CommitTarget::Uncertain,
                                 id,
                                 sub.epoch(),
+                                shared.recovered_epochs.1,
                                 sub.last_answer(),
                             );
                         }
@@ -927,7 +1096,7 @@ fn handle_frame(
                 let ticked = match target {
                     CommitTarget::Point => state
                         .point_subs
-                        .tick(&shared.engines.point, id, pdf)
+                        .tick(shared.engines.point.engine(), id, pdf)
                         .map(|(epoch, delta)| {
                             protocol::encode_notify(
                                 &mut state.write_buf,
@@ -940,7 +1109,7 @@ fn handle_frame(
                         }),
                     CommitTarget::Uncertain => state
                         .uncertain_subs
-                        .tick(&shared.engines.uncertain, id, pdf)
+                        .tick(shared.engines.uncertain.engine(), id, pdf)
                         .map(|(epoch, delta)| {
                             protocol::encode_notify(
                                 &mut state.write_buf,

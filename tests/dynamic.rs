@@ -12,7 +12,11 @@
 //!   arrival/departure/move stream vs `from_objects` / `build` on the
 //!   survivors;
 //! * serving level — `ShardedEngine` snapshots across shard counts
-//!   1/2/8, committed in batches, vs a rebuilt single engine.
+//!   1/2/8, committed in batches, vs a rebuilt single engine;
+//! * durability level — a `DurableCatalog` whose process is "killed"
+//!   at arbitrary WAL byte offsets (emulated by truncating the live
+//!   segment) recovers to a bit-identical prefix of the committed
+//!   stream, again across shard counts 1/2/8.
 //!
 //! All queries also run through **one dirty, reused
 //! `ExecutionContext`** (its `QueryScratch` is never cleared between
@@ -332,4 +336,209 @@ fn uncertain_stream_equals_rebuild_across_shard_counts() {
             );
         }
     }
+}
+
+// --- Durability oracle -----------------------------------------------
+
+/// A unique scratch directory under the system temp dir.
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let dir =
+        std::env::temp_dir().join(format!("iloc-dynamic-{tag}-{}-{nanos}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp store");
+    dir
+}
+
+/// Copies every regular file from `src` into `dst` (durable stores are
+/// flat directories).
+fn copy_store(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read store") {
+        let entry = entry.expect("dir entry");
+        if entry.file_type().expect("file type").is_file() {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy store file");
+        }
+    }
+}
+
+/// Walks the `[len][crc][payload]` framing and returns the byte offset
+/// after each complete record.
+fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let end = pos + 8 + len;
+        if end > bytes.len() {
+            break;
+        }
+        pos = end;
+        out.push(pos);
+    }
+    out
+}
+
+/// Durability-level property: commit a deterministic point stream into
+/// a durable catalog (checkpointing mid-stream), then emulate SIGKILL
+/// at arbitrary byte offsets by truncating the surviving WAL segment.
+/// Every cut must recover to some epoch `R` with the catalog answering
+/// **bit-identically** to a fresh engine that applied exactly the
+/// first `R` batches — and `R` must not depend on the shard count the
+/// store is reopened with (1, 2 and 8 are all exercised).
+#[test]
+fn wal_cut_at_any_offset_recovers_a_bit_identical_prefix() {
+    use iloc::core::durable::{DurableCatalog, StoreConfig};
+    use std::collections::HashMap;
+
+    const ROUNDS: usize = 20;
+    const PER_ROUND: usize = 40;
+
+    let (base, mut gen) = PointUpdateGen::over_california(800, 41, UpdateMix::balanced());
+    let base_objects: Vec<PointObject> = base
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| PointObject::new(k as u64, p))
+        .collect();
+    let batches: Vec<Vec<Update<PointObject>>> = (0..ROUNDS)
+        .map(|_| {
+            gen.stream(PER_ROUND)
+                .into_iter()
+                .map(|u| match u {
+                    PointUpdate::Arrive { id, loc } => Update::Arrive(PointObject::new(id, loc)),
+                    PointUpdate::Depart { id } => Update::Depart(iloc::uncertainty::ObjectId(id)),
+                    PointUpdate::Move { id, to } => Update::Move(PointObject::new(id, to)),
+                })
+                .collect()
+        })
+        .collect();
+
+    // Build the durable history: 20 commits, checkpoints after epochs
+    // 8 and 14. The second checkpoint rotates and prunes the WAL, so
+    // the surviving segment holds epochs 15..=20 and the checkpoint at
+    // 14 is the recovery floor for any cut.
+    let dir = temp_store("cut");
+    let config = StoreConfig::new(&dir);
+    let seed = base_objects.clone();
+    let (catalog, recovery) =
+        DurableCatalog::<PointEngine>::open(&config, 2, move || seed).expect("open fresh");
+    assert!(!recovery.recovered);
+    for (k, batch) in batches.iter().enumerate() {
+        catalog.submit_all(batch.iter().cloned());
+        catalog.commit().expect("durable commit");
+        if k == 7 || k == 13 {
+            catalog.checkpoint().expect("mid-stream checkpoint");
+        }
+    }
+    assert_eq!(catalog.epoch(), ROUNDS as u64);
+    drop(catalog);
+
+    // The newest (and, after pruning, only) WAL segment.
+    let mut wals: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .expect("read store")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        })
+        .collect();
+    wals.sort();
+    let wal = wals.pop().expect("a live WAL segment");
+    let wal_name = wal.file_name().expect("wal name").to_owned();
+    let bytes = std::fs::read(&wal).expect("read WAL");
+    let boundaries = record_boundaries(&bytes);
+    assert_eq!(
+        boundaries.len(),
+        ROUNDS - 14,
+        "one record per post-rotation epoch"
+    );
+
+    // Cut points: empty file, every record boundary, and interior
+    // offsets that leave a torn header or torn payload behind.
+    let mut cuts: Vec<usize> = vec![0];
+    for &b in &boundaries {
+        cuts.push(b);
+        for interior in [b + 1, b + 11] {
+            if interior < bytes.len() {
+                cuts.push(interior);
+            }
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let mut rng = StdRng::seed_from_u64(2007);
+    let pool: Vec<PointRequest> = (0..8)
+        .map(|q| {
+            let c = Point::new(rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0));
+            let issuer = Issuer::uniform(Rect::centered(c, 250.0, 250.0));
+            if q % 3 == 0 {
+                PointRequest::cipq(
+                    issuer,
+                    RangeSpec::square(500.0),
+                    0.3,
+                    CipqStrategy::PExpanded,
+                )
+            } else {
+                PointRequest::ipq(issuer, RangeSpec::square(500.0))
+            }
+        })
+        .collect();
+
+    // Reference answers per recovered epoch: a fresh engine that
+    // applied exactly the first R batches.
+    let mut reference: HashMap<u64, Vec<QueryAnswer>> = HashMap::new();
+
+    for (i, &cut) in cuts.iter().enumerate() {
+        let cut_dir = temp_store(&format!("cut{i}"));
+        copy_store(&dir, &cut_dir);
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(cut_dir.join(&wal_name))
+            .expect("open cut WAL");
+        file.set_len(cut as u64).expect("truncate WAL");
+        drop(file);
+
+        let cut_config = StoreConfig::new(&cut_dir);
+        let mut recovered_epoch: Option<u64> = None;
+        for &shards in &[1usize, 2, 8] {
+            let seed = base_objects.clone();
+            let (recovered, report) =
+                DurableCatalog::<PointEngine>::open(&cut_config, shards, move || seed)
+                    .expect("recover from cut");
+            assert!(report.recovered, "cut {cut}: a cut store is never fresh");
+            let r = recovered.epoch();
+            assert!(
+                (14..=ROUNDS as u64).contains(&r),
+                "cut {cut}: epoch {r} outside [checkpoint floor, stream length]"
+            );
+            // The recovered epoch is a property of the bytes on disk,
+            // not of the shard count chosen at reopen.
+            match recovered_epoch {
+                Some(e) => assert_eq!(e, r, "cut {cut}: shard count changed recovery"),
+                None => recovered_epoch = Some(r),
+            }
+            let want = reference.entry(r).or_insert_with(|| {
+                let engine = ShardedEngine::<PointEngine>::build(base_objects.clone(), 1);
+                for batch in &batches[..r as usize] {
+                    engine.submit_all(batch.iter().cloned());
+                    engine.commit();
+                }
+                let snap = engine.snapshot();
+                pool.iter().map(|req| snap.execute_one(req)).collect()
+            });
+            let snap = recovered.snapshot();
+            for (req, want) in pool.iter().zip(want.iter()) {
+                assert!(
+                    snap.execute_one(req).same_matches(want),
+                    "cut {cut}: {shards} shards diverged from the epoch-{r} rebuild"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&cut_dir).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

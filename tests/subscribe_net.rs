@@ -78,9 +78,12 @@ fn subscription_lifecycle_tracks_fresh_evaluation_over_the_wire() {
     // SUB_ACK carries the initial answer, bit-identical to in-process
     // evaluation of the same standing query.
     let mut request = request_at(260.0, 260.0);
-    let (sub_id, mut answer) = subscriber
+    let (ack, mut answer) = subscriber
         .subscribe_point(&request, 120.0)
         .expect("subscribe");
+    let sub_id = ack.sub_id;
+    // A fresh in-memory server recovered nothing.
+    assert_eq!(ack.recovered_epoch, 0);
     assert_bits_equal(
         &answer.results,
         &engines.point.snapshot().execute_one(&request).results,
@@ -224,9 +227,10 @@ fn uncertain_subscriptions_work_over_the_wire() {
         Issuer::uniform(Rect::centered(Point::new(240.0, 240.0), 60.0, 60.0)),
         RangeSpec::square(120.0),
     );
-    let (sub_id, mut answer) = subscriber
+    let (ack, mut answer) = subscriber
         .subscribe_uncertain(&request, 100.0)
         .expect("subscribe");
+    let sub_id = ack.sub_id;
     assert_bits_equal(
         &answer.results,
         &engines.uncertain.snapshot().execute_one(&request).results,
