@@ -6,13 +6,20 @@
 //! --scenario NAME   net (default): mixed query/update traffic
 //!                   subscribers: standing continuous queries ticking
 //!                   while an updater commits
+//!                   subscribers-c10k: thousands of idle subscriber
+//!                   connections multiplexed over a few event loops
+//!                   while a small active set ticks under churn
 //! --addr HOST:PORT  drive an external server (e.g. the `iloc-server`
 //!                   binary); without it an in-process loopback server
 //!                   is spawned
 //! --quick           CI-smoke scale (default: full paper scale)
 //! --clients N       query connections / subscribers  (default 4/8)
+//! --herd N          idle standing-query connections  (c10k only;
+//!                   default 512 quick / 10,000 full, clamped to the
+//!                   fd budget and the server's connection capacity)
 //! --shards N        shards per catalog           (in-process only)
-//! --workers N       server worker threads        (in-process only)
+//! --event-loops N   server event-loop threads    (in-process only;
+//!                   --workers is accepted as a legacy alias)
 //! --queries N       queries (ticks) per client in the mixed window
 //! --rounds N        update batches during the window
 //! --updates N       updates per batch
@@ -20,6 +27,8 @@
 //! --seed N          workload seed (default 2007)
 //! --check-allocs    exit non-zero unless the steady window performed
 //!                   exactly zero server-side allocations per request
+//! --max-p99-ms MS   exit non-zero when the mixed-window p99 round
+//!                   trip exceeds MS milliseconds (the c10k CI gate)
 //! ```
 //!
 //! The allocation gate reads the **server's own counter** over the
@@ -32,6 +41,7 @@
 
 use std::net::SocketAddr;
 
+use iloc_bench::c10k::{self, C10kConfig};
 use iloc_bench::net::{run_against, run_in_process, NetConfig};
 use iloc_bench::subscribers::{self, SubscribersConfig};
 use iloc_server::alloc_count::{self, CountingAllocator};
@@ -68,8 +78,12 @@ fn main() {
             run_subscribers(quick, &flag, &value, &number);
             return;
         }
+        "subscribers-c10k" => {
+            run_c10k(quick, &flag, &value, &number);
+            return;
+        }
         other => {
-            eprintln!("unknown --scenario {other} (expected: net, subscribers)");
+            eprintln!("unknown --scenario {other} (expected: net, subscribers, subscribers-c10k)");
             std::process::exit(2);
         }
     }
@@ -81,7 +95,7 @@ fn main() {
     };
     cfg.clients = number("--clients", cfg.clients);
     cfg.shards = number("--shards", cfg.shards);
-    cfg.workers = number("--workers", cfg.workers);
+    cfg.event_loops = number("--event-loops", number("--workers", cfg.event_loops));
     cfg.points = number("--points", cfg.points);
     cfg.uncertain = number("--uncertain", cfg.uncertain);
     cfg.queries_per_client = number("--queries", cfg.queries_per_client);
@@ -104,11 +118,11 @@ fn main() {
         }
         None => {
             eprintln!(
-                "loadgen: in-process loopback server ({} points, {} uncertain, {} shards, {} workers)",
+                "loadgen: in-process loopback server ({} points, {} uncertain, {} shards, {} event loops)",
                 cfg.points,
                 cfg.uncertain,
                 cfg.shards,
-                cfg.resolved_workers()
+                cfg.server_config().event_loops
             );
             run_in_process(&cfg)
         }
@@ -184,7 +198,7 @@ fn run_subscribers(
     };
     cfg.subscribers = number("--clients", cfg.subscribers);
     cfg.shards = number("--shards", cfg.shards);
-    cfg.workers = number("--workers", cfg.workers);
+    cfg.event_loops = number("--event-loops", number("--workers", cfg.event_loops));
     cfg.points = number("--points", cfg.points);
     cfg.ticks_per_sub = number("--queries", cfg.ticks_per_sub);
     cfg.update_rounds = number("--rounds", cfg.update_rounds);
@@ -206,10 +220,14 @@ fn run_subscribers(
         }
         None => {
             eprintln!(
-                "subscribers: in-process loopback server ({} points, {} shards, {} workers)",
+                "subscribers: in-process loopback server ({} points, {} shards, {} event loops)",
                 cfg.points,
                 cfg.shards,
-                cfg.resolved_workers()
+                if cfg.event_loops > 0 {
+                    cfg.event_loops
+                } else {
+                    iloc_server::server::ServerConfig::loopback().event_loops
+                }
             );
             subscribers::run_in_process(&cfg)
         }
@@ -258,5 +276,128 @@ fn run_subscribers(
             std::process::exit(1);
         }
         eprintln!("OK: zero steady-state allocations per tick");
+    }
+}
+
+/// The `subscribers-c10k` scenario: an idle herd of standing-query
+/// connections multiplexed over a few event loops while a small
+/// active set ticks under commit churn; gated on steady allocations
+/// per tick and (optionally) mixed-window p99.
+fn run_c10k(
+    quick: bool,
+    flag: &dyn Fn(&str) -> bool,
+    value: &dyn Fn(&str) -> Option<String>,
+    number: &dyn Fn(&str, usize) -> usize,
+) {
+    let mut cfg = if quick {
+        C10kConfig::quick()
+    } else {
+        C10kConfig::full()
+    };
+    cfg.herd = number("--herd", cfg.herd);
+    cfg.active = number("--clients", cfg.active);
+    cfg.shards = number("--shards", cfg.shards);
+    cfg.event_loops = number("--event-loops", number("--workers", cfg.event_loops));
+    cfg.points = number("--points", cfg.points);
+    cfg.ticks_per_active = number("--queries", cfg.ticks_per_active);
+    cfg.update_rounds = number("--rounds", cfg.update_rounds);
+    cfg.updates_per_round = number("--updates", cfg.updates_per_round);
+    cfg.steady_ticks = number("--steady", cfg.steady_ticks);
+    cfg.seed = number("--seed", cfg.seed as usize) as u64;
+
+    let report = match value("--addr") {
+        Some(addr) => {
+            let addr: SocketAddr = addr.parse().unwrap_or_else(|e| {
+                eprintln!("invalid --addr {addr}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!(
+                "c10k: driving external server at {addr} with a {}-connection herd",
+                cfg.herd
+            );
+            c10k::run_against(addr, &cfg)
+        }
+        None => {
+            eprintln!(
+                "c10k: in-process loopback server ({} points, {} shards, {} event loops, \
+                 herd target {})",
+                cfg.points, cfg.shards, cfg.event_loops, cfg.herd
+            );
+            c10k::run_in_process(&cfg)
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("c10k loadgen failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "c10k: {} idle subscribers over {} event loops (server gauge {}), \
+         herd setup {:.3}s",
+        report.herd,
+        report.server_event_loops,
+        report.server_connections,
+        report.setup.as_secs_f64(),
+    );
+    println!(
+        "     {} ticks from {} active subscribers in {:.3}s -> {:.0} ticks/s \
+         (p50 {:.1}us, p99 {:.1}us)",
+        report.ticks,
+        report.active,
+        report.elapsed.as_secs_f64(),
+        report.ticks_per_sec(),
+        report.p50.as_secs_f64() * 1e6,
+        report.p99.as_secs_f64() * 1e6,
+    );
+    println!(
+        "     {} updates in {} commits interleaved; {} pushed NOTIFYs to active subs; \
+         {} pushes dropped server-side",
+        report.updates_submitted, report.commits, report.pushes, report.dropped_pushes
+    );
+    if report.alloc_counting {
+        println!(
+            "     steady window: {} ticks with the herd connected, {:.3} server allocations/tick",
+            report.steady_ticks, report.steady_allocs_per_tick
+        );
+    } else {
+        println!(
+            "     steady window: {} ticks (server does not count allocations)",
+            report.steady_ticks
+        );
+    }
+
+    if report.dropped_pushes > 0 {
+        eprintln!(
+            "FAIL: server dropped {} pushes on an idle herd (expected 0)",
+            report.dropped_pushes
+        );
+        std::process::exit(1);
+    }
+    if let Some(max_ms) = value("--max-p99-ms") {
+        let max_ms: f64 = max_ms.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --max-p99-ms: {max_ms}");
+            std::process::exit(2);
+        });
+        let p99_ms = report.p99.as_secs_f64() * 1e3;
+        if p99_ms > max_ms {
+            eprintln!("FAIL: mixed-window tick p99 {p99_ms:.2}ms exceeds the {max_ms:.2}ms gate");
+            std::process::exit(1);
+        }
+        eprintln!("OK: tick p99 {p99_ms:.2}ms within the {max_ms:.2}ms gate");
+    }
+    if flag("--check-allocs") {
+        if !report.alloc_counting {
+            eprintln!("FAIL: --check-allocs needs a server that counts allocations");
+            std::process::exit(1);
+        }
+        if report.steady_allocs_per_tick > 0.0 {
+            eprintln!(
+                "FAIL: steady-state tick path performed {:.3} allocations/tick with the herd \
+                 connected (expected 0)",
+                report.steady_allocs_per_tick
+            );
+            std::process::exit(1);
+        }
+        eprintln!("OK: zero steady-state allocations per tick with the herd connected");
     }
 }

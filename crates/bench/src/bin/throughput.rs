@@ -5,8 +5,10 @@
 //! continuous C-IPQ walk, a `mixed` update/query stream against the
 //! sharded serving engine, the same stream write-ahead-logged through
 //! a durable catalog (`mixed_wal`, with a cold-reopen `recovery`
-//! replay measurement), and a `net` loopback loadgen against the
-//! TCP query server — at Long-Beach/California scale plus a
+//! replay measurement), a `net` loopback loadgen against the
+//! TCP query server, and a `subscribers_c10k` herd of standing
+//! subscribers multiplexed onto a couple of event loops — at
+//! Long-Beach/California scale plus a
 //! steady-state single-query loop, and emits
 //! `BENCH_batch_throughput.json` with queries/sec, p50/p99 latency and
 //! **allocations per query** measured by a counting global allocator
@@ -34,6 +36,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use iloc_bench::c10k::{self, C10kConfig};
 use iloc_bench::net::{self, NetConfig};
 use iloc_core::pipeline::{
     execute_batch, BatchEngine, ExecutionContext, PointRequest, UncertainRequest,
@@ -439,6 +442,40 @@ fn measure_net(quick: bool) -> Report {
     }
 }
 
+/// The `subscribers_c10k` scenario: a herd of mostly-idle standing
+/// subscribers multiplexed onto a couple of event loops while a small
+/// active set ticks and an updater commits churn — the C10K shape.
+/// `queries` is active-subscriber ticks, `results_total` is NOTIFY
+/// pushes delivered, and `allocs_per_query` is the server-side
+/// steady-window allocations per tick (gated at zero). The run itself
+/// asserts no push was silently dropped: a live connection either
+/// receives every NOTIFY or is closed and counted.
+fn measure_c10k(quick: bool) -> Report {
+    let cfg = if quick {
+        C10kConfig::quick()
+    } else {
+        C10kConfig::full()
+    };
+    let report = c10k::run_in_process(&cfg).expect("c10k loadgen");
+    assert!(
+        report.alloc_counting,
+        "throughput binary registers the counting allocator"
+    );
+    assert_eq!(
+        report.dropped_pushes, 0,
+        "herd subscribers kept reading; no push may be dropped"
+    );
+    Report {
+        name: "subscribers_c10k",
+        queries: report.ticks,
+        elapsed: report.elapsed,
+        p50: report.p50,
+        p99: report.p99,
+        allocs_per_query: report.steady_allocs_per_tick,
+        results_total: report.pushes,
+    }
+}
+
 /// How one steady-state query is answered: the zero-allocation hot
 /// path — one reused context (with its scratch buffers) and one reused
 /// answer across the whole loop. Pre-refactor this measured
@@ -584,6 +621,15 @@ fn main() {
         net.allocs_per_query
     );
 
+    let c10k = measure_c10k(quick);
+    eprintln!(
+        "  {} done: {:.0} ticks/s with the herd attached, {} pushes, {:.3} allocs/tick steady",
+        c10k.name,
+        c10k.qps(),
+        c10k.results_total,
+        c10k.allocs_per_query
+    );
+
     let steady = measure_steady_state(&point_engine, scale);
     eprintln!(
         "  {} done: {:.0} q/s, {:.3} allocs/query",
@@ -601,6 +647,7 @@ fn main() {
         &mixed_wal,
         &recovery,
         &net,
+        &c10k,
         &steady,
     ];
 
@@ -734,8 +781,15 @@ fn main() {
         }
         if net.allocs_per_query > 0.0 {
             eprintln!(
-                "FAIL: network worker hot path performed {:.3} allocations/request (expected 0)",
+                "FAIL: network hot path performed {:.3} allocations/request (expected 0)",
                 net.allocs_per_query
+            );
+            failed = true;
+        }
+        if c10k.allocs_per_query > 0.0 {
+            eprintln!(
+                "FAIL: c10k steady tick path performed {:.3} allocations/tick (expected 0)",
+                c10k.allocs_per_query
             );
             failed = true;
         }

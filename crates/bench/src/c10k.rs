@@ -1,0 +1,468 @@
+//! The `subscribers-c10k` load-generation scenario: a **herd** of
+//! thousands of mostly-idle subscriber connections — each holding one
+//! standing continuous query and then going silent — plus a small
+//! **active** set ticking along random walks while an updater commits
+//! catalog churn. This is the workload the event-driven connection
+//! core exists for: with one thread per connection, 10,000 idle
+//! subscribers would mean 10,000 parked threads; the event loops
+//! multiplex them all through a handful of readiness waits.
+//!
+//! Three measured phases:
+//!
+//! 1. **Herd setup** — `herd` connections connect and register one
+//!    standing point query each (scattered deterministic positions,
+//!    small ranges), then never speak again. Setup wall clock and the
+//!    server-reported connection gauge are part of the report.
+//! 2. **Mixed window** — `active` subscribers tick along random walks
+//!    while the updater interleaves update batches and epoch commits;
+//!    every commit makes the event loops sweep the full herd's
+//!    subscription registries. Tick round-trip percentiles under that
+//!    load are the scenario's headline number, gated in CI via
+//!    `--max-p99-ms`.
+//! 3. **Steady window** — one warm control connection ticks a
+//!    fixed-position standing query with no commits running, bracketed
+//!    by stats frames: the server-side **allocations-per-tick** gate
+//!    must hold at zero *with the herd still connected*.
+//!
+//! The herd count is clamped to the file-descriptor budget: an
+//! in-process run spends two fds per connection (client + server end
+//! in one process), a cross-process run (`--addr`) one. The process
+//! asks the kernel to raise `RLIMIT_NOFILE` first and prints what it
+//! actually got, so a truncated run is visible, never silent.
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use iloc_core::pipeline::PointRequest;
+use iloc_core::{Issuer, RangeSpec};
+use iloc_geometry::{Point, Rect};
+use iloc_server::client::{Client, ClientError};
+use iloc_server::protocol::{CommitTarget, Notification, StatsReport};
+use iloc_server::server::ServerConfig;
+
+use crate::net::{build_server, NetConfig};
+use crate::subscribers::{churn_run, issuer_at, Walk};
+
+/// Connect retry budget (shared with the other scenarios).
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Non-connection fds the processes need: listener, loop wakers,
+/// stdio, dataset files, and slack for anything the allocator maps.
+const FD_MARGIN: u64 = 256;
+
+/// Tunables for one c10k run.
+#[derive(Debug, Clone)]
+pub struct C10kConfig {
+    /// Idle herd connections, one silent standing query each.
+    pub herd: usize,
+    /// Actively ticking subscriber connections.
+    pub active: usize,
+    /// Shards per catalog (in-process server only).
+    pub shards: usize,
+    /// Event-loop threads (in-process server only); 0 means the
+    /// server default.
+    pub event_loops: usize,
+    /// Point-catalog size (in-process server only).
+    pub points: usize,
+    /// Herd standing-query range half-size (small, so commits touch
+    /// few herd envelopes and pushes stay sparse).
+    pub herd_range: f64,
+    /// Safe-envelope slack for every subscription.
+    pub slack: f64,
+    /// Active-walker step per tick.
+    pub step: f64,
+    /// Ticks per active subscriber in the measured mixed window.
+    pub ticks_per_active: usize,
+    /// Update batches the updater commits during the mixed window.
+    pub update_rounds: usize,
+    /// Updates per batch (each batch is followed by a commit).
+    pub updates_per_round: usize,
+    /// Ticks in the alloc-gated steady window.
+    pub steady_ticks: usize,
+    /// Warm-up ticks per active connection before measurement.
+    pub warmup: usize,
+    /// Workload seed (shared with the server's dataset seed).
+    pub seed: u64,
+}
+
+impl C10kConfig {
+    /// CI-smoke scale: a few hundred idle connections — enough to
+    /// prove the multiplexing (connections ≫ event loops ≫ threads)
+    /// within any sane fd limit.
+    pub fn quick() -> Self {
+        C10kConfig {
+            herd: 512,
+            active: 4,
+            shards: 4,
+            event_loops: 2,
+            points: 6_200,
+            herd_range: 100.0,
+            slack: 100.0,
+            step: 20.0,
+            ticks_per_active: 96,
+            update_rounds: 4,
+            updates_per_round: 64,
+            steady_ticks: 256,
+            warmup: 32,
+            seed: 2007,
+        }
+    }
+
+    /// The tracked-report configuration: ten thousand subscribers.
+    pub fn full() -> Self {
+        C10kConfig {
+            herd: 10_000,
+            active: 8,
+            shards: 4,
+            event_loops: 2,
+            points: iloc_datagen::CALIFORNIA_SIZE,
+            herd_range: 100.0,
+            slack: 100.0,
+            step: 20.0,
+            ticks_per_active: 192,
+            update_rounds: 8,
+            updates_per_round: 256,
+            steady_ticks: 1_024,
+            warmup: 64,
+            seed: 2007,
+        }
+    }
+}
+
+/// What one c10k run measured.
+#[derive(Debug, Clone)]
+pub struct C10kReport {
+    /// Idle herd connections actually established (post fd-clamp).
+    pub herd: usize,
+    /// Active subscriber connections driven.
+    pub active: usize,
+    /// Wall clock of herd connect + subscribe.
+    pub setup: Duration,
+    /// Total ticks answered in the mixed window.
+    pub ticks: usize,
+    /// Wall clock of the mixed window.
+    pub elapsed: Duration,
+    /// Median active-tick round trip with the herd connected.
+    pub p50: Duration,
+    /// 99th-percentile active-tick round trip — the gated number.
+    pub p99: Duration,
+    /// Commit-pushed NOTIFY frames the active subscribers received.
+    pub pushes: usize,
+    /// Updates the updater submitted.
+    pub updates_submitted: usize,
+    /// Epoch commits during the mixed window.
+    pub commits: usize,
+    /// Ticks in the steady (alloc-gated) window.
+    pub steady_ticks: usize,
+    /// Server-side allocations per tick across the steady window
+    /// (−1.0 when the server does not count allocations).
+    pub steady_allocs_per_tick: f64,
+    /// Whether the server counts allocations at all.
+    pub alloc_counting: bool,
+    /// Server connection gauge sampled with the full herd attached.
+    pub server_connections: u64,
+    /// Event loops the server multiplexes those connections over.
+    pub server_event_loops: u32,
+    /// Pushes the server dropped (closing slow readers); an idle herd
+    /// must not provoke any.
+    pub dropped_pushes: u64,
+}
+
+impl C10kReport {
+    /// Mixed-window tick throughput per second.
+    pub fn ticks_per_sec(&self) -> f64 {
+        self.ticks as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Raises `RLIMIT_NOFILE` toward what the run wants and converts the
+/// resulting limit into a connection budget at `fds_per_conn` each.
+fn connection_budget(want_conns: usize, fds_per_conn: u64) -> usize {
+    let want_fds = want_conns as u64 * fds_per_conn + FD_MARGIN;
+    let limit = match iloc_server::poll::raise_nofile_limit(want_fds) {
+        Ok(limit) => limit,
+        Err(e) => {
+            eprintln!("c10k: could not read/raise RLIMIT_NOFILE ({e}); assuming 1024");
+            1024
+        }
+    };
+    (limit.saturating_sub(FD_MARGIN) / fds_per_conn) as usize
+}
+
+/// Clamps the herd to the fd budget, loudly.
+fn clamp_herd(cfg: &C10kConfig, fds_per_conn: u64) -> usize {
+    // Herd + active + updater + control, all at `fds_per_conn` each.
+    let others = cfg.active + 2;
+    let budget = connection_budget(cfg.herd + others, fds_per_conn);
+    if budget < cfg.herd + others {
+        let herd = budget.saturating_sub(others).max(1);
+        eprintln!(
+            "c10k: fd budget admits {budget} connections at {fds_per_conn} fd(s) each; \
+             clamping herd from {} to {herd}",
+            cfg.herd
+        );
+        herd
+    } else {
+        cfg.herd
+    }
+}
+
+/// Deterministic scatter for herd standing-query positions.
+fn herd_position(seed: u64, k: u64) -> (f64, f64) {
+    let mix = |v: u64| {
+        let mut x = seed.wrapping_add(v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 29;
+        x.wrapping_mul(0xBF58_476D_1CE4_E5B9) >> 11
+    };
+    let unit = |v: u64| (v % 100_000) as f64 / 100_000.0;
+    (
+        500.0 + unit(mix(2 * k)) * 9_000.0,
+        500.0 + unit(mix(2 * k + 1)) * 9_000.0,
+    )
+}
+
+/// Spawns an in-process loopback server sized for the herd, drives
+/// it, shuts it down. Two fds per connection live in this process.
+pub fn run_in_process(cfg: &C10kConfig) -> Result<C10kReport, ClientError> {
+    let mut cfg = cfg.clone();
+    cfg.herd = clamp_herd(&cfg, 2);
+
+    let mut net = NetConfig::quick();
+    net.points = cfg.points;
+    net.uncertain = 64; // tiny; this scenario drives the point catalog
+    net.shards = cfg.shards;
+    net.seed = cfg.seed;
+    let server = build_server(&net);
+
+    let mut server_config = ServerConfig::loopback();
+    if cfg.event_loops > 0 {
+        server_config.event_loops = cfg.event_loops;
+    }
+    server_config.max_connections = cfg.herd + cfg.active + 8;
+    let handle = server.start(&server_config).map_err(ClientError::Io)?;
+    let report = run_against(handle.addr(), &cfg);
+    handle.shutdown();
+    report
+}
+
+/// One active subscriber: subscribes, walks, ticks, measures.
+fn active_run(
+    addr: SocketAddr,
+    cfg: &C10kConfig,
+    salt: u64,
+    start: &Barrier,
+) -> Result<(Vec<Duration>, usize), ClientError> {
+    let mut client = Client::connect_retry(addr, CONNECT_TIMEOUT)?;
+    let mut walk = Walk::new(cfg.seed.wrapping_add(salt * 7919), cfg.step);
+    let (x0, y0) = walk.advance();
+    let request = PointRequest::ipq(issuer_at(x0, y0), RangeSpec::square(500.0));
+    let (ack, _) = client.subscribe_point(&request, cfg.slack)?;
+    let sub_id = ack.sub_id;
+
+    let mut note = Notification::default();
+    let mut latencies = Vec::with_capacity(cfg.ticks_per_active);
+    let mut pushes = 0usize;
+    for _ in 0..cfg.warmup {
+        let (x, y) = walk.advance();
+        client.tick_into(
+            CommitTarget::Point,
+            sub_id,
+            issuer_at(x, y).pdf(),
+            &mut note,
+        )?;
+        while client.take_notification().is_some() {
+            pushes += 1;
+        }
+    }
+    start.wait();
+    for _ in 0..cfg.ticks_per_active {
+        let (x, y) = walk.advance();
+        let t0 = Instant::now();
+        client.tick_into(
+            CommitTarget::Point,
+            sub_id,
+            issuer_at(x, y).pdf(),
+            &mut note,
+        )?;
+        latencies.push(t0.elapsed());
+        while client.take_notification().is_some() {
+            pushes += 1;
+        }
+    }
+    client.unsubscribe(CommitTarget::Point, sub_id)?;
+    Ok((latencies, pushes))
+}
+
+/// Drives a server at `addr`: connects the herd, runs the mixed and
+/// steady windows, disconnects. One client fd per connection lives in
+/// this process; the server enforces its own capacity, which also
+/// clamps the herd (stats frame).
+pub fn run_against(addr: SocketAddr, cfg: &C10kConfig) -> Result<C10kReport, ClientError> {
+    let mut cfg = cfg.clone();
+    cfg.herd = clamp_herd(&cfg, 1);
+
+    let mut control = Client::connect_retry(addr, CONNECT_TIMEOUT)?;
+    let stats = control.stats()?;
+    let capacity = stats.capacity as usize;
+    let others = cfg.active + 2;
+    if capacity < others + 1 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("server admits {capacity} connection(s); c10k needs at least {others} + herd"),
+        )));
+    }
+    if cfg.herd + others > capacity {
+        let herd = capacity - others;
+        eprintln!(
+            "c10k: server admits {capacity} connections; clamping herd from {} to {herd}",
+            cfg.herd
+        );
+        cfg.herd = herd;
+    }
+
+    // --- Herd setup ---------------------------------------------------
+    // Sequential connect + one SUBSCRIBE round trip each. The herd
+    // holds its sockets open (and its standing queries registered) for
+    // the rest of the run without ever writing another byte.
+    let t0 = Instant::now();
+    let mut herd: Vec<Client> = Vec::with_capacity(cfg.herd);
+    let range = RangeSpec::square(cfg.herd_range);
+    for k in 0..cfg.herd as u64 {
+        let (x, y) = herd_position(cfg.seed, k);
+        let issuer = Issuer::uniform(Rect::centered(Point::new(x, y), 100.0, 100.0));
+        let mut client = Client::connect_retry(addr, CONNECT_TIMEOUT)?;
+        client.subscribe_point(&PointRequest::ipq(issuer, range), cfg.slack)?;
+        herd.push(client);
+    }
+    let setup = t0.elapsed();
+    let stats_full = control.stats()?;
+
+    // --- Mixed window -------------------------------------------------
+    let start = Arc::new(Barrier::new(cfg.active + 2));
+    let actives: Vec<_> = (0..cfg.active as u64)
+        .map(|s| {
+            let cfg = cfg.clone();
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || active_run(addr, &cfg, s, &start))
+        })
+        .collect();
+    let updater = {
+        let cfg = cfg.clone();
+        let start = Arc::clone(&start);
+        std::thread::spawn(move || {
+            churn_run(
+                addr,
+                cfg.points,
+                cfg.seed,
+                cfg.update_rounds,
+                cfg.updates_per_round,
+                &start,
+            )
+        })
+    };
+    start.wait();
+    let t0 = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut pushes = 0usize;
+    for a in actives {
+        let (lat, p) = a.join().expect("active subscriber thread")?;
+        latencies.extend(lat);
+        pushes += p;
+    }
+    let (updates_submitted, commits) = updater.join().expect("updater thread")?;
+    let elapsed = t0.elapsed();
+    latencies.sort_unstable();
+
+    // --- Steady window (alloc-gated), herd still connected ------------
+    let request = PointRequest::ipq(issuer_at(5_000.0, 5_000.0), RangeSpec::square(500.0));
+    let (ack, _) = control.subscribe_point(&request, cfg.slack)?;
+    let sub_id = ack.sub_id;
+    let pdf = request.issuer.pdf().clone();
+    let mut note = Notification::default();
+    let mut s1 = StatsReport::default();
+    let mut s2 = StatsReport::default();
+    for _ in 0..cfg.warmup.max(32) {
+        control.tick_into(CommitTarget::Point, sub_id, &pdf, &mut note)?;
+    }
+    control.stats_into(&mut s1)?; // also warms the report buffers
+    control.stats_into(&mut s1)?;
+    for _ in 0..cfg.steady_ticks {
+        control.tick_into(CommitTarget::Point, sub_id, &pdf, &mut note)?;
+    }
+    control.stats_into(&mut s2)?;
+    control.unsubscribe(CommitTarget::Point, sub_id)?;
+    drop(herd);
+
+    let steady_allocs_per_tick = if s1.alloc_counting {
+        (s2.allocations - s1.allocations) as f64 / cfg.steady_ticks.max(1) as f64
+    } else {
+        -1.0
+    };
+    let percentile = |q: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        latencies[((latencies.len() - 1) as f64 * q).round() as usize]
+    };
+
+    Ok(C10kReport {
+        herd: cfg.herd,
+        active: cfg.active,
+        setup,
+        ticks: cfg.active * cfg.ticks_per_active,
+        elapsed,
+        p50: percentile(0.50),
+        p99: percentile(0.99),
+        pushes,
+        updates_submitted,
+        commits,
+        steady_ticks: cfg.steady_ticks,
+        steady_allocs_per_tick,
+        alloc_counting: s1.alloc_counting,
+        server_connections: stats_full.connections,
+        server_event_loops: stats_full.event_loops,
+        dropped_pushes: s2.dropped_pushes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_in_process_c10k_round_trips() {
+        // Connections (64 + 2 + 2) far exceed event loops (2): the
+        // multiplexing itself is what this pins down.
+        let cfg = C10kConfig {
+            herd: 64,
+            active: 2,
+            shards: 2,
+            event_loops: 2,
+            points: 400,
+            herd_range: 60.0,
+            slack: 100.0,
+            step: 20.0,
+            ticks_per_active: 12,
+            update_rounds: 2,
+            updates_per_round: 8,
+            steady_ticks: 16,
+            warmup: 4,
+            seed: 7,
+        };
+        let report = run_in_process(&cfg).expect("c10k loadgen");
+        assert_eq!(report.herd, 64);
+        assert_eq!(report.active, 2);
+        assert_eq!(report.ticks, 24);
+        assert_eq!(report.commits, 2);
+        // The gauge saw the whole herd plus control attached at once.
+        assert!(report.server_connections >= 65);
+        assert_eq!(report.server_event_loops, 2);
+        // An idle herd must never have pushes dropped on it.
+        assert_eq!(report.dropped_pushes, 0);
+        assert!(report.p99 >= report.p50);
+        // The test binary doesn't install the counting allocator.
+        assert!(!report.alloc_counting);
+        assert_eq!(report.steady_allocs_per_tick, -1.0);
+    }
+}

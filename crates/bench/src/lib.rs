@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod c10k;
 pub mod config;
 pub mod experiments;
 pub mod harness;
@@ -24,6 +25,7 @@ pub mod net;
 pub mod resilient;
 pub mod subscribers;
 
+pub use c10k::{C10kConfig, C10kReport};
 pub use config::{Scale, TestBed};
 pub use harness::{Row, Summary};
 pub use net::{NetConfig, NetReport};

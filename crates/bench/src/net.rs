@@ -19,7 +19,7 @@
 //! the `throughput` benchmark, so the `net` series in
 //! `BENCH_batch_throughput.json` is comparable with the in-process
 //! series: the gap between `ipq_batch` and `net` is the cost of the
-//! socket, the frame codec and the per-connection workers.
+//! socket, the frame codec and the event-loop multiplexing.
 
 use std::net::SocketAddr;
 use std::sync::{Arc, Barrier};
@@ -57,9 +57,13 @@ pub struct NetConfig {
     pub clients: usize,
     /// Shards per catalog (in-process server only).
     pub shards: usize,
-    /// Worker threads (in-process server only); 0 means
-    /// `clients + 2` so no connection ever queues behind another.
-    pub workers: usize,
+    /// Event-loop threads (in-process server only); 0 means the
+    /// server default — each loop multiplexes many connections, so
+    /// this no longer needs to track the client count.
+    pub event_loops: usize,
+    /// Connection capacity (in-process server only); 0 means the
+    /// server default.
+    pub max_connections: usize,
     /// Point-catalog size (in-process server only).
     pub points: usize,
     /// Uncertain-catalog size (in-process server only).
@@ -84,7 +88,8 @@ impl NetConfig {
         NetConfig {
             clients: 4,
             shards: 4,
-            workers: 0,
+            event_loops: 0,
+            max_connections: 0,
             points: 6_200,
             uncertain: 5_300,
             queries_per_client: 192,
@@ -101,7 +106,8 @@ impl NetConfig {
         NetConfig {
             clients: 8,
             shards: 4,
-            workers: 0,
+            event_loops: 0,
+            max_connections: 0,
             points: CALIFORNIA_SIZE,
             uncertain: LONG_BEACH_SIZE,
             queries_per_client: 384,
@@ -113,15 +119,17 @@ impl NetConfig {
         }
     }
 
-    /// The worker count actually used by an in-process server.
-    pub fn resolved_workers(&self) -> usize {
-        if self.workers == 0 {
-            // One per query client, one for the updater, one for the
-            // control connection.
-            self.clients + 2
-        } else {
-            self.workers
+    /// The [`ServerConfig`] an in-process run starts the server with
+    /// (zero-valued fields fall back to the loopback defaults).
+    pub fn server_config(&self) -> ServerConfig {
+        let mut config = ServerConfig::loopback();
+        if self.event_loops > 0 {
+            config.event_loops = self.event_loops;
         }
+        if self.max_connections > 0 {
+            config.max_connections = self.max_connections;
+        }
+        config
     }
 }
 
@@ -199,10 +207,7 @@ pub fn build_server(cfg: &NetConfig) -> QueryServer {
 pub fn run_in_process(cfg: &NetConfig) -> Result<NetReport, ClientError> {
     let server = build_server(cfg);
     let handle = server
-        .start(&ServerConfig {
-            workers: cfg.resolved_workers(),
-            ..ServerConfig::loopback()
-        })
+        .start(&cfg.server_config())
         .map_err(ClientError::Io)?;
     let report = run_against(handle.addr(), cfg);
     handle.shutdown();
@@ -311,28 +316,28 @@ fn updater_run(
 /// Drives a server at `addr` through the mixed and steady windows.
 ///
 /// The run opens `clients + 2` long-lived connections (control +
-/// updater + query clients) and the server parks one worker per
-/// connection, so the client count is **sized against the server's
-/// reported worker pool** (stats frame): more connections than
-/// workers would queue behind themselves and deadlock the barrier.
+/// updater + query clients); the event loops multiplex them, but the
+/// server still enforces a **connection capacity** (stats frame), so
+/// the client count is clamped against it — connections past capacity
+/// are refused at accept and would deadlock the warm-up barrier.
 pub fn run_against(addr: SocketAddr, cfg: &NetConfig) -> Result<NetReport, ClientError> {
-    // The control connection outlives both windows; it grabs the first
-    // worker and keeps it warm for the steady phase.
+    // The control connection outlives both windows and stays warm for
+    // the steady phase.
     let mut control = Client::connect_retry(addr, CONNECT_TIMEOUT)?;
-    let workers = control.stats()?.workers as usize;
-    if workers < 3 {
+    let capacity = control.stats()?.capacity as usize;
+    if capacity < 3 {
         return Err(ClientError::Io(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
             format!(
-                "server has {workers} worker(s); loadgen needs at least 3 \
+                "server admits {capacity} connection(s); loadgen needs at least 3 \
                  (control + updater + one client)"
             ),
         )));
     }
-    let client_count = if cfg.clients + 2 > workers {
-        let clamped = workers - 2;
+    let client_count = if cfg.clients + 2 > capacity {
+        let clamped = capacity - 2;
         eprintln!(
-            "loadgen: server serves {workers} connections concurrently; \
+            "loadgen: server admits {capacity} connections; \
              clamping {} query clients to {clamped}",
             cfg.clients
         );
@@ -432,7 +437,8 @@ mod tests {
         let cfg = NetConfig {
             clients: 2,
             shards: 2,
-            workers: 0,
+            event_loops: 0,
+            max_connections: 0,
             points: 400,
             uncertain: 100,
             queries_per_client: 12,
@@ -462,14 +468,15 @@ mod tests {
     }
 
     #[test]
-    fn client_count_is_clamped_to_the_server_worker_pool() {
-        // 4 workers serve 4 connections; control + updater leave room
-        // for 2 query clients, so asking for 4 must clamp — not
-        // deadlock the warm-up barrier.
+    fn client_count_is_clamped_to_the_server_connection_capacity() {
+        // A capacity of 4 admits 4 connections; control + updater
+        // leave room for 2 query clients, so asking for 4 must clamp —
+        // not deadlock the warm-up barrier on refused connects.
         let cfg = NetConfig {
             clients: 4,
             shards: 2,
-            workers: 4,
+            event_loops: 1,
+            max_connections: 4,
             points: 400,
             uncertain: 100,
             queries_per_client: 8,

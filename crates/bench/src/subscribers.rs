@@ -51,9 +51,12 @@ pub struct SubscribersConfig {
     pub subscribers: usize,
     /// Shards per catalog (in-process server only).
     pub shards: usize,
-    /// Worker threads (in-process server only); 0 means
-    /// `subscribers + 2` so no connection queues behind another.
-    pub workers: usize,
+    /// Event-loop threads (in-process server only); 0 means the
+    /// server default — each loop multiplexes many subscribers.
+    pub event_loops: usize,
+    /// Connection capacity (in-process server only); 0 means the
+    /// server default.
+    pub max_connections: usize,
     /// Point-catalog size (in-process server only).
     pub points: usize,
     /// Safe-envelope slack in space units.
@@ -81,7 +84,8 @@ impl SubscribersConfig {
         SubscribersConfig {
             subscribers: 4,
             shards: 4,
-            workers: 0,
+            event_loops: 0,
+            max_connections: 0,
             points: 6_200,
             slack: 400.0,
             step: 40.0,
@@ -99,7 +103,8 @@ impl SubscribersConfig {
         SubscribersConfig {
             subscribers: 8,
             shards: 4,
-            workers: 0,
+            event_loops: 0,
+            max_connections: 0,
             points: iloc_datagen::CALIFORNIA_SIZE,
             slack: 400.0,
             step: 40.0,
@@ -112,16 +117,6 @@ impl SubscribersConfig {
         }
     }
 
-    /// The worker count an in-process server uses.
-    pub fn resolved_workers(&self) -> usize {
-        if self.workers == 0 {
-            // One per subscriber, one for the updater, one control.
-            self.subscribers + 2
-        } else {
-            self.workers
-        }
-    }
-
     /// The equivalent `NetConfig` for building the in-process server
     /// (same datasets, sizes, seed as the `net` scenario).
     fn as_net(&self) -> NetConfig {
@@ -129,6 +124,8 @@ impl SubscribersConfig {
         net.points = self.points;
         net.uncertain = 64; // tiny; this scenario drives the point catalog
         net.shards = self.shards;
+        net.event_loops = self.event_loops;
+        net.max_connections = self.max_connections;
         net.seed = self.seed;
         net
     }
@@ -173,12 +170,10 @@ impl SubscribersReport {
 
 /// Spawns an in-process loopback server, drives it, shuts it down.
 pub fn run_in_process(cfg: &SubscribersConfig) -> Result<SubscribersReport, ClientError> {
-    let server: QueryServer = build_server(&cfg.as_net());
+    let net = cfg.as_net();
+    let server: QueryServer = build_server(&net);
     let handle = server
-        .start(&iloc_server::server::ServerConfig {
-            workers: cfg.resolved_workers(),
-            ..iloc_server::server::ServerConfig::loopback()
-        })
+        .start(&net.server_config())
         .map_err(ClientError::Io)?;
     let report = run_against(handle.addr(), cfg);
     handle.shutdown();
@@ -187,7 +182,7 @@ pub fn run_in_process(cfg: &SubscribersConfig) -> Result<SubscribersReport, Clie
 
 /// A deterministic random walk over the unit square scaled to the
 /// dataset domain, mirrored off the walls.
-struct Walk {
+pub(crate) struct Walk {
     x: f64,
     y: f64,
     dx: f64,
@@ -195,7 +190,7 @@ struct Walk {
 }
 
 impl Walk {
-    fn new(seed: u64, step: f64) -> Walk {
+    pub(crate) fn new(seed: u64, step: f64) -> Walk {
         let mix = |k: u64| {
             let mut x = seed.wrapping_add(k).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             x ^= x >> 29;
@@ -210,7 +205,7 @@ impl Walk {
         }
     }
 
-    fn advance(&mut self) -> (f64, f64) {
+    pub(crate) fn advance(&mut self) -> (f64, f64) {
         self.x += self.dx;
         self.y += self.dy;
         if !(0.0..=10_000.0).contains(&self.x) {
@@ -225,7 +220,7 @@ impl Walk {
     }
 }
 
-fn issuer_at(x: f64, y: f64) -> Issuer {
+pub(crate) fn issuer_at(x: f64, y: f64) -> Issuer {
     // Same issuer shape as the other scenarios: a square region of
     // half-size `u` (paper Table 2).
     Issuer::uniform(Rect::centered(iloc_geometry::Point::new(x, y), U, U))
@@ -296,19 +291,23 @@ fn subscriber_run(
 }
 
 /// The updater: one arrive/depart/move batch + one commit per round.
-fn updater_run(
+/// Shared with the `c10k` scenario.
+pub(crate) fn churn_run(
     addr: SocketAddr,
-    cfg: &SubscribersConfig,
+    points: usize,
+    seed: u64,
+    update_rounds: usize,
+    updates_per_round: usize,
     start: &Barrier,
 ) -> Result<(usize, usize), ClientError> {
     let mut client = Client::connect_retry(addr, CONNECT_TIMEOUT)?;
-    let (_, mut gen) = PointUpdateGen::over_california(cfg.points, cfg.seed, UpdateMix::balanced());
+    let (_, mut gen) = PointUpdateGen::over_california(points, seed, UpdateMix::balanced());
     let mut submitted = 0usize;
     let mut commits = 0usize;
     start.wait();
-    for _ in 0..cfg.update_rounds {
+    for _ in 0..update_rounds {
         let updates: Vec<WireUpdate> = gen
-            .stream(cfg.updates_per_round)
+            .stream(updates_per_round)
             .into_iter()
             .map(|u| {
                 WireUpdate::Point(match u {
@@ -327,23 +326,26 @@ fn updater_run(
 
 /// Drives a server at `addr` through the mixed and steady windows.
 /// Opens `subscribers + 2` connections; like the `net` scenario, the
-/// subscriber count is clamped to the server's reported worker pool.
+/// subscriber count is clamped to the server's reported connection
+/// capacity.
 pub fn run_against(
     addr: SocketAddr,
     cfg: &SubscribersConfig,
 ) -> Result<SubscribersReport, ClientError> {
     let mut control = Client::connect_retry(addr, CONNECT_TIMEOUT)?;
-    let workers = control.stats()?.workers as usize;
-    if workers < 3 {
+    let capacity = control.stats()?.capacity as usize;
+    if capacity < 3 {
         return Err(ClientError::Io(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
-            format!("server has {workers} worker(s); the subscribers scenario needs at least 3"),
+            format!(
+                "server admits {capacity} connection(s); the subscribers scenario needs at least 3"
+            ),
         )));
     }
-    let sub_count = if cfg.subscribers + 2 > workers {
-        let clamped = workers - 2;
+    let sub_count = if cfg.subscribers + 2 > capacity {
+        let clamped = capacity - 2;
         eprintln!(
-            "subscribers: server serves {workers} connections concurrently; \
+            "subscribers: server admits {capacity} connections; \
              clamping {} subscribers to {clamped}",
             cfg.subscribers
         );
@@ -364,7 +366,16 @@ pub fn run_against(
     let updater = {
         let cfg = cfg.clone();
         let start = Arc::clone(&start);
-        std::thread::spawn(move || updater_run(addr, &cfg, &start))
+        std::thread::spawn(move || {
+            churn_run(
+                addr,
+                cfg.points,
+                cfg.seed,
+                cfg.update_rounds,
+                cfg.updates_per_round,
+                &start,
+            )
+        })
     };
     start.wait();
     let t0 = Instant::now();
@@ -442,7 +453,8 @@ mod tests {
         let cfg = SubscribersConfig {
             subscribers: 2,
             shards: 2,
-            workers: 0,
+            event_loops: 0,
+            max_connections: 0,
             points: 400,
             slack: 300.0,
             step: 30.0,

@@ -182,6 +182,15 @@ impl<E: ContinuousEngine> SubscriptionRegistry<E> {
         self.seen_epoch
     }
 
+    /// `true` when [`SubscriptionRegistry::pump`] would do real work:
+    /// something stands and the engine has published past what this
+    /// registry has seen. One length check plus one atomic epoch load —
+    /// cheap enough for an event loop to ask per connection per tick
+    /// while sweeping tens of thousands of mostly-idle subscribers.
+    pub fn needs_pump(&self, engine: &ShardedEngine<E>) -> bool {
+        self.live != 0 && engine.epoch() > self.seen_epoch
+    }
+
     /// The subscription with this id, if live.
     pub fn get(&self, id: SubId) -> Option<&Subscription<E>> {
         let &slot = self.by_id.get(&id)?;

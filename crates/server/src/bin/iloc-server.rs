@@ -7,12 +7,20 @@
 //! --points N         point catalog size  (default 62,556 — California)
 //! --uncertain N      uncertain catalog   (default 53,145 — Long Beach)
 //! --shards N         shards per catalog  (default 4)
-//! --workers N        worker threads      (default 8)
+//! --event-loops N    event-loop threads, each multiplexing many
+//!                    connections (default 2; --workers is accepted
+//!                    as a legacy alias)
+//! --max-connections N  connection capacity across all loops
+//!                    (default 16,384; the process raises its own
+//!                    RLIMIT_NOFILE toward this before binding)
+//! --push-backlog N   per-connection buffered-push byte budget;
+//!                    exceeding it closes the subscriber instead of
+//!                    silently dropping NOTIFY frames (default 1 MiB)
 //! --seed N           dataset seed        (default 2007)
 //! --idle-timeout S   reap connections idle for S seconds (default
 //!                    300; 0 disables) — abandoned subscriber sockets
-//!                    must not pin worker slots; clients keep a quiet
-//!                    connection alive with PING
+//!                    must not pin connection slots; clients keep a
+//!                    quiet connection alive with PING
 //! --data-dir PATH    durable store directory: every commit is
 //!                    write-ahead logged before it publishes, and on
 //!                    startup the catalogs recover from the newest
@@ -98,7 +106,11 @@ fn main() {
         },
     );
     let shards = number("--shards", 4);
-    let workers = number("--workers", 8);
+    // `--workers` is the pre-event-loop spelling; still honored so
+    // existing wrappers keep working.
+    let event_loops = number("--event-loops", number("--workers", 2));
+    let max_connections = number("--max-connections", 16_384);
+    let push_backlog = number("--push-backlog", 1 << 20);
     let seed = number("--seed", 2007) as u64;
     let idle_timeout = match number("--idle-timeout", 300) {
         0 => None,
@@ -140,9 +152,25 @@ fn main() {
         None => QueryServer::new(point_objects, uncertain_objects, shards),
     };
 
+    // Each connection is one fd (plus listener, wakers, and any WAL
+    // handles); ask the kernel for headroom before binding.
+    match iloc_server::poll::raise_nofile_limit(max_connections as u64 + 64) {
+        Ok(limit) => {
+            if limit < max_connections as u64 + 64 {
+                eprintln!(
+                    "warning: RLIMIT_NOFILE is {limit}; --max-connections {max_connections} may \
+                     hit EMFILE under full load"
+                );
+            }
+        }
+        Err(e) => eprintln!("warning: could not read/raise RLIMIT_NOFILE: {e}"),
+    }
+
     let config = ServerConfig {
         addr,
-        workers,
+        event_loops,
+        max_connections,
+        push_backlog,
         idle_timeout,
         ..ServerConfig::loopback()
     };

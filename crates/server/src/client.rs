@@ -151,18 +151,52 @@ impl Client {
         self.stream.write_all(&self.write_buf)
     }
 
+    /// Reads exactly `buf` from the stream, tolerantly: `Interrupted`
+    /// is always retried, and `WouldBlock` / `TimedOut` (a read
+    /// timeout another call armed, or the event-driven server flushing
+    /// a frame in pieces) are retried once any of the frame's bytes
+    /// have arrived — a frame, once started, is read whole. With
+    /// `started == false` a leading timeout surfaces to the caller. A
+    /// mid-frame disconnect is a typed `UnexpectedEof`, never a panic.
+    fn read_patient(stream: &mut TcpStream, buf: &mut [u8], mut started: bool) -> io::Result<()> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match stream.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-frame",
+                    ))
+                }
+                Ok(n) => {
+                    filled += n;
+                    started = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if started
+                        && matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
     /// Reads one frame into `read_buf`; returns its opcode. The
     /// payload is `&self.read_buf[2..]`.
     fn recv(&mut self) -> Result<u8, ClientError> {
         let mut len_buf = [0u8; 4];
-        self.stream.read_exact(&mut len_buf)?;
+        Self::read_patient(&mut self.stream, &mut len_buf, false)?;
         let len = u32::from_le_bytes(len_buf);
         if !(2..=protocol::MAX_FRAME_LEN).contains(&len) {
             return Err(WireError::Malformed("response frame length").into());
         }
         self.read_buf.clear();
         self.read_buf.resize(len as usize, 0);
-        self.stream.read_exact(&mut self.read_buf)?;
+        Self::read_patient(&mut self.stream, &mut self.read_buf, true)?;
         if self.read_buf[0] != PROTOCOL_VERSION {
             return Err(WireError::Malformed("response protocol version").into());
         }
@@ -172,7 +206,7 @@ impl Client {
     /// Receives one frame and requires opcode `want`; pushed NOTIFY
     /// frames encountered on the way are queued in arrival order, and
     /// error frames surface as [`ClientError::Server`].
-    fn expect(&mut self, want: u8) -> Result<(), ClientError> {
+    fn expect_frame(&mut self, want: u8) -> Result<(), ClientError> {
         loop {
             let op = self.recv()?;
             if op == want {
@@ -205,7 +239,7 @@ impl Client {
         self.write_buf.clear();
         protocol::encode_point_query(&mut self.write_buf, request)?;
         self.send()?;
-        self.expect(opcode::ANSWER)?;
+        self.expect_frame(opcode::ANSWER)?;
         protocol::decode_answer_into(&self.read_buf[2..], answer)?;
         Ok(())
     }
@@ -226,7 +260,7 @@ impl Client {
         self.write_buf.clear();
         protocol::encode_uncertain_query(&mut self.write_buf, request)?;
         self.send()?;
-        self.expect(opcode::ANSWER)?;
+        self.expect_frame(opcode::ANSWER)?;
         protocol::decode_answer_into(&self.read_buf[2..], answer)?;
         Ok(())
     }
@@ -264,7 +298,7 @@ impl Client {
             }
             self.send()?;
             for k in 0..chunk.len() {
-                if let Err(e) = self.expect(opcode::ANSWER).and_then(|()| {
+                if let Err(e) = self.expect_frame(opcode::ANSWER).and_then(|()| {
                     Ok(protocol::decode_answer_into(
                         &self.read_buf[2..],
                         &mut answers[done + k],
@@ -287,7 +321,7 @@ impl Client {
         self.write_buf.clear();
         protocol::encode_update_batch(&mut self.write_buf, updates)?;
         self.send()?;
-        self.expect(opcode::UPDATE_ACK)?;
+        self.expect_frame(opcode::UPDATE_ACK)?;
         Ok(protocol::decode_update_ack(&self.read_buf[2..])?)
     }
 
@@ -297,7 +331,7 @@ impl Client {
         self.write_buf.clear();
         protocol::encode_commit(&mut self.write_buf, target);
         self.send()?;
-        self.expect(opcode::COMMIT_DONE)?;
+        self.expect_frame(opcode::COMMIT_DONE)?;
         Ok(protocol::decode_commit_done(&self.read_buf[2..])?)
     }
 
@@ -308,7 +342,7 @@ impl Client {
         self.write_buf.clear();
         protocol::encode_empty(&mut self.write_buf, opcode::STATS);
         self.send()?;
-        self.expect(opcode::STATS_REPORT)?;
+        self.expect_frame(opcode::STATS_REPORT)?;
         protocol::decode_stats_report_into(&self.read_buf[2..], report)?;
         Ok(())
     }
@@ -326,7 +360,7 @@ impl Client {
         self.write_buf.clear();
         protocol::encode_empty(&mut self.write_buf, opcode::PING);
         self.send()?;
-        self.expect(opcode::PONG)
+        self.expect_frame(opcode::PONG)
     }
 
     // -- Subscriptions ------------------------------------------------
@@ -343,7 +377,7 @@ impl Client {
         self.write_buf.clear();
         protocol::encode_subscribe_point(&mut self.write_buf, slack, request)?;
         self.send()?;
-        self.expect(opcode::SUB_ACK)?;
+        self.expect_frame(opcode::SUB_ACK)?;
         let mut answer = QueryAnswer::default();
         let (_, sub_id, epoch, recovered_epoch) =
             protocol::decode_sub_ack_into(&self.read_buf[2..], &mut answer)?;
@@ -366,7 +400,7 @@ impl Client {
         self.write_buf.clear();
         protocol::encode_subscribe_uncertain(&mut self.write_buf, slack, request)?;
         self.send()?;
-        self.expect(opcode::SUB_ACK)?;
+        self.expect_frame(opcode::SUB_ACK)?;
         let mut answer = QueryAnswer::default();
         let (_, sub_id, epoch, recovered_epoch) =
             protocol::decode_sub_ack_into(&self.read_buf[2..], &mut answer)?;
@@ -385,7 +419,7 @@ impl Client {
         self.write_buf.clear();
         protocol::encode_unsubscribe(&mut self.write_buf, target, sub_id);
         self.send()?;
-        self.expect(opcode::UNSUB_DONE)?;
+        self.expect_frame(opcode::UNSUB_DONE)?;
         Ok(protocol::decode_unsub_done(&self.read_buf[2..])?)
     }
 
@@ -409,10 +443,17 @@ impl Client {
         protocol::encode_tick(&mut self.write_buf, target, sub_id, pdf)?;
         self.send()?;
         loop {
-            self.expect(opcode::NOTIFY)?;
+            self.expect_frame(opcode::NOTIFY)?;
             protocol::decode_notify_into(&self.read_buf[2..], note)?;
             if note.cause == NotifyCause::Tick {
-                debug_assert!(note.target == target && note.sub_id == sub_id);
+                // A tick response for some other subscription means the
+                // stream is desynchronized — a typed error the caller
+                // can recover from (reconnect), never a panic.
+                if note.target != target || note.sub_id != sub_id {
+                    return Err(
+                        WireError::Malformed("tick response for another subscription").into(),
+                    );
+                }
                 return Ok(());
             }
             // A commit push raced in front of the response: queue it

@@ -1,21 +1,24 @@
 //! # iloc-server
 //!
-//! The network serving layer: a compact binary **wire protocol**, a
-//! blocking **TCP query server** over the sharded serving engine, and a
-//! sync **client** — the layer that carries the workspace's
+//! The network serving layer: a compact binary **wire protocol**, an
+//! event-driven **TCP query server** over the sharded serving engine,
+//! and a sync **client** — the layer that carries the workspace's
 //! zero-allocation, snapshot-consistent query guarantees across a
 //! socket.
 //!
 //! The paper evaluates imprecise location-dependent queries as a
 //! library; a deployed location service answers them for remote
-//! issuers. This crate adds that front end **with no dependencies
-//! beyond `std`** (the build environment has no crates.io access, so
-//! no tokio/hyper): one listener thread accepts connections, a fixed
-//! pool of worker threads serves them, and a single writer thread
+//! issuers — fleets of long-lived, mostly-idle standing subscribers.
+//! This crate adds that front end **with no dependencies beyond
+//! `std`** (the build environment has no crates.io access, so no
+//! tokio/mio): one listener thread accepts connections and hands them
+//! to a small pool of event-loop threads, each multiplexing thousands
+//! of non-blocking connections through one readiness wait ([`poll`] —
+//! epoll on Linux, `poll(2)` elsewhere); a single writer thread
 //! applies catalog updates, preserving the [`iloc_core::serve`]
 //! snapshot-consistency invariant end to end.
 //!
-//! ## The three pieces
+//! ## The four pieces
 //!
 //! * [`protocol`] — versioned, length-prefixed frames encoding the
 //!   paper's four query types (IPQ / C-IPQ / IUQ / C-IUQ), catalog
@@ -24,14 +27,19 @@
 //!   TICK / UNSUBSCRIBE with pushed NOTIFY delta frames), and explicit
 //!   error frames. See `docs/PROTOCOL.md` for the full byte-level
 //!   spec.
+//! * [`poll`] — the std-only readiness substrate: an epoll/`poll(2)`
+//!   wrapper over `extern "C"` libc symbols (std links libc; no crate
+//!   needed), plus a `UnixStream`-pair waker and rlimit/sockopt
+//!   helpers. The only module in the crate allowed `unsafe`.
 //! * [`server`] — [`server::QueryServer`]: owns a
 //!   [`iloc_core::serve::ShardedEngine`] per catalog (point and
-//!   uncertain); every worker holds a long-lived
-//!   [`iloc_core::serve::ShardServer`] plus reusable decode/encode
-//!   buffers, so a **steady-state query performs zero heap
+//!   uncertain); every event loop holds a long-lived
+//!   [`iloc_core::serve::ShardServer`] plus per-connection frame
+//!   reassembly and buffered push queues with **explicit
+//!   backpressure**, so a **steady-state query performs zero heap
 //!   allocations** from the moment the request bytes arrive to the
 //!   moment the answer bytes are written back. Reads run against the
-//!   worker's pinned epoch snapshot; updates and commits route through
+//!   loop's pinned epoch snapshot; updates and commits route through
 //!   the single writer thread.
 //! * [`client`] — [`client::Client`]: sync, connection-reusing, with a
 //!   windowed **pipelined batch mode**; used by the loopback
@@ -69,6 +77,7 @@
 
 pub mod alloc_count;
 pub mod client;
+pub mod poll;
 pub mod protocol;
 pub mod server;
 

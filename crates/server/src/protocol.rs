@@ -57,7 +57,12 @@ use iloc_uncertainty::{
 /// epoch (the engine epoch at process start — non-zero after a crash
 /// recovery), so a reconnecting subscriber can detect a restart and
 /// re-issue its SUBSCRIBE frames.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// Version 5 (the event-driven connection core) replaced the
+/// STATS_REPORT worker-pool field with the connection **capacity**,
+/// and added the event-loop count, the live-connection gauge and the
+/// server-wide dropped-push counter (pushes a backpressure close never
+/// delivered).
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Hard ceiling on one frame's `len` field; larger frames are rejected
 /// with [`ErrorCode::TooLarge`] and the connection is closed (a wild
@@ -232,12 +237,21 @@ pub struct StatsReport {
     pub allocations: u64,
     /// Frames the server has handled since start (all opcodes).
     pub requests_served: u64,
-    /// Size of the server's worker pool. One worker serves one
-    /// connection at a time, so this is also the number of
-    /// connections the server serves concurrently — clients that open
-    /// more (the load generator opens `clients + 2`) would queue
-    /// behind themselves and deadlock; they must size against this.
-    pub workers: u32,
+    /// Concurrent-connection capacity
+    /// ([`ServerConfig::max_connections`](crate::server::ServerConfig));
+    /// connections accepted beyond it are closed before any frame.
+    /// Load generators size their client fleets against this.
+    pub capacity: u32,
+    /// Event-loop threads serving the connections. Scales with cores,
+    /// not clients — thousands of connections multiplex onto each.
+    pub event_loops: u32,
+    /// Live connections right now (the accept/close gauge).
+    pub connections: u64,
+    /// NOTIFY push frames that were due to a subscriber but never
+    /// delivered. Every count pairs with a connection close (push
+    /// backpressure overflow, or a write failure with pushes queued) —
+    /// a live connection never silently loses a push.
+    pub dropped_pushes: u64,
     /// Point-catalog state.
     pub point: CatalogStats,
     /// Uncertain-catalog state.
@@ -267,8 +281,14 @@ pub struct CountersView {
     pub allocations: u64,
     /// Frames handled so far.
     pub requests_served: u64,
-    /// Worker-pool size (= concurrently served connections).
-    pub workers: u32,
+    /// Concurrent-connection capacity.
+    pub capacity: u32,
+    /// Event-loop threads.
+    pub event_loops: u32,
+    /// Live connections right now.
+    pub connections: u64,
+    /// Pushes lost to backpressure closes, server-wide.
+    pub dropped_pushes: u64,
     /// Summed filter-stage nanoseconds across all answered queries.
     pub filter_nanos: u64,
     /// Summed prune-stage nanoseconds.
@@ -1276,7 +1296,10 @@ pub fn encode_stats_report<P: ServeEngine, U: ServeEngine>(
     buf.push(counters.alloc_counting as u8);
     put_u64(buf, counters.allocations);
     put_u64(buf, counters.requests_served);
-    put_u32(buf, counters.workers);
+    put_u32(buf, counters.capacity);
+    put_u32(buf, counters.event_loops);
+    put_u64(buf, counters.connections);
+    put_u64(buf, counters.dropped_pushes);
     put_catalog(buf, point.0, point.1);
     put_catalog(buf, uncertain.0, uncertain.1);
     put_u64(buf, counters.filter_nanos);
@@ -1307,7 +1330,10 @@ pub fn decode_stats_report_into(payload: &[u8], out: &mut StatsReport) -> Result
     out.alloc_counting = r.u8()? != 0;
     out.allocations = r.u64()?;
     out.requests_served = r.u64()?;
-    out.workers = r.u32()?;
+    out.capacity = r.u32()?;
+    out.event_loops = r.u32()?;
+    out.connections = r.u64()?;
+    out.dropped_pushes = r.u64()?;
     read_catalog_into(&mut r, &mut out.point)?;
     read_catalog_into(&mut r, &mut out.uncertain)?;
     out.filter_nanos = r.u64()?;

@@ -42,12 +42,12 @@ fn scene() -> (Vec<PointObject>, Vec<UncertainObject>) {
     (points, uncertain)
 }
 
-fn start_server(shards: usize, workers: usize) -> (QueryServer, iloc::server::ServerHandle) {
+fn start_server(shards: usize, event_loops: usize) -> (QueryServer, iloc::server::ServerHandle) {
     let (points, uncertain) = scene();
     let server = QueryServer::new(points, uncertain, shards);
     let handle = server
         .start(&ServerConfig {
-            workers,
+            event_loops,
             ..ServerConfig::loopback()
         })
         .expect("bind loopback");
@@ -116,6 +116,37 @@ fn concurrent_clients_match_in_process_execution() {
                     let got = client.uncertain_query(request).expect("uncertain query");
                     let want = uncertain_snapshot.execute_one(request);
                     assert!(got.same_matches(&want), "client {c} uncertain request {k}");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn many_multiplexed_connections_match_in_process_execution() {
+    // Far more connections than event loops: a single loop serves
+    // dozens of interleaved frame streams, and every answer must still
+    // be bit-identical to in-process execution. With the old
+    // thread-per-connection server this shape would have parked 24
+    // threads; here 2 loops multiplex all of them.
+    let (server, handle) = start_server(2, 2);
+    let engines = server.engines();
+    let addr = handle.addr();
+
+    let clients: Vec<_> = (0..24u64)
+        .map(|c| {
+            let engines = Arc::clone(&engines);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let snapshot = engines.point.snapshot();
+                for (k, request) in point_requests(8, c).iter().enumerate() {
+                    let got = client.point_query(request).expect("point query");
+                    let want = snapshot.execute_one(request);
+                    assert!(got.same_matches(&want), "client {c} request {k}");
                 }
             })
         })

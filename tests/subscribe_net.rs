@@ -68,7 +68,7 @@ fn assert_bits_equal(state: &[Match], fresh: &[Match], what: &str) {
 #[test]
 fn subscription_lifecycle_tracks_fresh_evaluation_over_the_wire() {
     let (server, handle) = start_server(&ServerConfig {
-        workers: 3,
+        event_loops: 3,
         ..ServerConfig::loopback()
     });
     let engines = server.engines();
@@ -102,7 +102,7 @@ fn subscription_lifecycle_tracks_fresh_evaluation_over_the_wire() {
             ))),
             WireUpdate::Point(Update::Depart(ObjectId(100 + round))),
         ];
-        if round % 2 == 0 {
+        if round.is_multiple_of(2) {
             updates.push(WireUpdate::Point(Update::Arrive(PointObject::new(
                 5_000 + round,
                 Point::new(270.0, 260.0 + round as f64),
@@ -181,7 +181,7 @@ fn subscription_lifecycle_tracks_fresh_evaluation_over_the_wire() {
 #[test]
 fn unaffected_subscriptions_receive_no_pushes() {
     let (server, handle) = start_server(&ServerConfig {
-        workers: 2,
+        event_loops: 2,
         ..ServerConfig::loopback()
     });
     let _engines = server.engines();
@@ -216,7 +216,7 @@ fn unaffected_subscriptions_receive_no_pushes() {
 #[test]
 fn uncertain_subscriptions_work_over_the_wire() {
     let (server, handle) = start_server(&ServerConfig {
-        workers: 2,
+        event_loops: 2,
         ..ServerConfig::loopback()
     });
     let engines = server.engines();
@@ -281,7 +281,7 @@ fn raw_exchange(addr: std::net::SocketAddr, bytes: &[u8]) -> Option<(u8, u8, Vec
 #[test]
 fn adversarial_subscription_frames_yield_typed_errors() {
     let (_server, handle) = start_server(&ServerConfig {
-        workers: 2,
+        event_loops: 2,
         ..ServerConfig::loopback()
     });
     let addr = handle.addr();
@@ -347,7 +347,7 @@ fn adversarial_subscription_frames_yield_typed_errors() {
 #[test]
 fn idle_connections_are_reaped_and_pinging_ones_survive() {
     let (_server, handle) = start_server(&ServerConfig {
-        workers: 1,
+        event_loops: 1,
         idle_poll: Duration::from_millis(20),
         idle_timeout: Some(Duration::from_millis(150)),
         ..ServerConfig::loopback()
@@ -366,9 +366,9 @@ fn idle_connections_are_reaped_and_pinging_ones_survive() {
         }
     }
 
-    // An abandoned connection is reaped: with the single worker freed,
-    // a new connection gets served. (The reaped socket itself errors
-    // or EOFs on its next use.)
+    // An abandoned connection is reaped: its slot is freed and a new
+    // connection gets served. (The reaped socket itself errors or
+    // EOFs on its next use.)
     {
         let mut idle = Client::connect(addr).expect("connect idle");
         idle.ping().expect("first ping");
@@ -376,7 +376,7 @@ fn idle_connections_are_reaped_and_pinging_ones_survive() {
         let mut fresh = Client::connect(addr).expect("connect fresh");
         fresh
             .ping()
-            .expect("the worker slot must have been reclaimed from the idle connection");
+            .expect("the connection slot must have been reclaimed from the idle connection");
         assert!(idle.ping().is_err(), "reaped connection must be closed");
     }
 
@@ -389,8 +389,177 @@ fn idle_connections_are_reaped_and_pinging_ones_survive() {
         let mut fresh = Client::connect(addr).expect("connect fresh");
         fresh
             .ping()
-            .expect("the worker slot must have been reclaimed from the mid-frame stall");
+            .expect("the connection slot must have been reclaimed from the mid-frame stall");
     }
 
+    handle.shutdown();
+}
+
+/// One churn round: 150 arrivals (even rounds) or departures (odd
+/// rounds) of the same synthetic ids, all inside the [130, 390]²
+/// qualifying region of the standing query at (260, 260) — every
+/// commit changes that query's answer, so every commit owes the
+/// subscriber exactly one NOTIFY.
+fn churn_batch(round: u64) -> Vec<WireUpdate> {
+    (0..150u64)
+        .map(|j| {
+            let id = 50_000 + j;
+            if round.is_multiple_of(2) {
+                WireUpdate::Point(Update::Arrive(PointObject::new(
+                    id,
+                    Point::new(140.0 + (j % 30) as f64 * 8.0, 160.0 + (j / 30) as f64 * 8.0),
+                )))
+            } else {
+                WireUpdate::Point(Update::Depart(ObjectId(id)))
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn stalled_subscriber_receives_every_push_intact_after_draining() {
+    // A tiny server-side SO_SNDBUF forces NOTIFY pushes through the
+    // partial-write path: while the subscriber stalls mid-stream, the
+    // queued pushes sit in the per-connection write buffer and drain a
+    // few KB per writability event once the subscriber resumes.
+    // Nothing may be lost, duplicated, reordered, or torn on the way.
+    let (server, handle) = start_server(&ServerConfig {
+        event_loops: 2,
+        send_buffer: Some(4_096),
+        ..ServerConfig::loopback()
+    });
+    let engines = server.engines();
+    let mut subscriber = Client::connect(handle.addr()).expect("connect subscriber");
+    let mut writer = Client::connect(handle.addr()).expect("connect writer");
+
+    let request = request_at(260.0, 260.0);
+    let (ack, mut answer) = subscriber
+        .subscribe_point(&request, 120.0)
+        .expect("subscribe");
+    let sub_id = ack.sub_id;
+
+    // 24 answer-changing commits while the subscriber reads NOTHING.
+    const ROUNDS: u64 = 24;
+    for round in 0..ROUNDS {
+        writer.submit(&churn_batch(round)).expect("submit");
+        writer.commit(CommitTarget::Point).expect("commit");
+    }
+
+    // Drain: exactly ROUNDS pushes with consecutive epochs — one per
+    // commit, none lost, none duplicated, in commit order.
+    let mut seen = 0u64;
+    while seen < ROUNDS {
+        let push = subscriber
+            .poll_notification(Duration::from_secs(10))
+            .expect("poll")
+            .expect("a push per commit is still due");
+        assert_eq!(push.sub_id, sub_id);
+        assert_eq!(push.cause, NotifyCause::Commit);
+        seen += 1;
+        assert_eq!(
+            push.epoch, seen,
+            "pushes must arrive exactly once, in commit order"
+        );
+        push.delta.apply(&mut answer.results);
+    }
+    assert!(subscriber
+        .poll_notification(Duration::from_millis(300))
+        .expect("poll")
+        .is_none());
+    assert_bits_equal(
+        &answer.results,
+        &engines.point.snapshot().execute_one(&request).results,
+        "after draining every stalled push",
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn overflowing_slow_subscriber_is_closed_and_drops_are_counted() {
+    // The push-backpressure contract: a live connection never silently
+    // loses a push. When a subscriber stops reading and its queued
+    // pushes outgrow `push_backlog`, the server must CLOSE it — a loss
+    // the subscriber can observe — and account every undelivered frame
+    // in the stats counter, while other connections stay unharmed.
+    let (_server, handle) = start_server(&ServerConfig {
+        event_loops: 1,
+        send_buffer: Some(4_096),
+        push_backlog: 8_192,
+        ..ServerConfig::loopback()
+    });
+    let addr = handle.addr();
+    let mut writer = Client::connect(addr).expect("connect writer");
+    let mut control = Client::connect(addr).expect("connect control");
+
+    // A raw subscriber with a deliberately tiny receive buffer that
+    // never reads past the SUB_ACK.
+    let mut stalled = TcpStream::connect(addr).expect("connect stalled");
+    iloc::server::poll::set_recv_buffer(&stalled, 4_096).expect("SO_RCVBUF");
+    let mut sub = Vec::new();
+    protocol::encode_subscribe_point(&mut sub, 120.0, &request_at(260.0, 260.0)).unwrap();
+    stalled.write_all(&sub).expect("subscribe");
+    let mut len_buf = [0u8; 4];
+    stalled.read_exact(&mut len_buf).expect("ack length");
+    let mut ack = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+    stalled.read_exact(&mut ack).expect("ack frame");
+    assert_eq!(ack[1], opcode::SUB_ACK);
+
+    // Churn until the backlog overflows and the server reaps the
+    // stalled subscriber. The kernel absorbs a bounded amount (small
+    // SO_SNDBUF + small SO_RCVBUF); after that the per-connection
+    // queue grows past `push_backlog` and the typed close fires.
+    let mut dropped = 0u64;
+    for round in 0..400u64 {
+        writer.submit(&churn_batch(round)).expect("submit");
+        writer.commit(CommitTarget::Point).expect("commit");
+        dropped = control.stats().expect("stats").dropped_pushes;
+        if dropped > 0 {
+            break;
+        }
+    }
+    assert!(
+        dropped > 0,
+        "a subscriber that never reads must eventually be closed with its drops counted"
+    );
+
+    // Whatever did reach the socket is a clean prefix of the push
+    // stream: complete NOTIFY frames with strictly increasing epochs.
+    // The final frame may be cut where the server closed — a visible
+    // break, never a silent gap or interleaved corruption.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 4_096];
+    loop {
+        match stalled.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => break,
+            Err(e) => panic!("reading the closed subscriber: {e}"),
+        }
+    }
+    let mut note = iloc::server::Notification::default();
+    let mut at = 0usize;
+    let mut prev_epoch = 0u64;
+    while bytes.len() - at >= 4 {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        if bytes.len() - at - 4 < len {
+            break; // cut mid-frame by the close
+        }
+        let frame = &bytes[at + 4..at + 4 + len];
+        assert_eq!(frame[0], protocol::PROTOCOL_VERSION);
+        assert_eq!(frame[1], opcode::NOTIFY, "only pushes on this stream");
+        protocol::decode_notify_into(&frame[2..], &mut note).expect("complete pushes decode");
+        assert!(note.epoch > prev_epoch, "no duplicated or reordered push");
+        prev_epoch = note.epoch;
+        at += 4 + len;
+    }
+
+    // The server is unharmed: other connections keep serving.
+    control
+        .ping()
+        .expect("server healthy after reaping the slow reader");
+    writer.ping().expect("writer connection unharmed");
     handle.shutdown();
 }
