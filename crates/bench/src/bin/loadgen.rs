@@ -9,9 +9,14 @@
 //!                   subscribers-c10k: thousands of idle subscriber
 //!                   connections multiplexed over a few event loops
 //!                   while a small active set ticks under churn
+//!                   cluster: the net workload through an iloc-router
+//!                   scatter-gathering over N server nodes
 //! --addr HOST:PORT  drive an external server (e.g. the `iloc-server`
-//!                   binary); without it an in-process loopback server
-//!                   is spawned
+//!                   binary) — or, for the cluster scenario, an
+//!                   external `iloc-router`; without it an in-process
+//!                   loopback deployment is spawned
+//! --nodes N         cluster nodes behind the in-process router
+//!                   (cluster scenario only; default 3)
 //! --quick           CI-smoke scale (default: full paper scale)
 //! --clients N       query connections / subscribers  (default 4/8)
 //! --herd N          idle standing-query connections  (c10k only;
@@ -42,6 +47,7 @@
 use std::net::SocketAddr;
 
 use iloc_bench::c10k::{self, C10kConfig};
+use iloc_bench::cluster::{self, ClusterConfig};
 use iloc_bench::net::{run_against, run_in_process, NetConfig};
 use iloc_bench::subscribers::{self, SubscribersConfig};
 use iloc_server::alloc_count::{self, CountingAllocator};
@@ -82,8 +88,14 @@ fn main() {
             run_c10k(quick, &flag, &value, &number);
             return;
         }
+        "cluster" => {
+            run_cluster(quick, &flag, &value, &number);
+            return;
+        }
         other => {
-            eprintln!("unknown --scenario {other} (expected: net, subscribers, subscribers-c10k)");
+            eprintln!(
+                "unknown --scenario {other} (expected: net, subscribers, subscribers-c10k, cluster)"
+            );
             std::process::exit(2);
         }
     }
@@ -179,6 +191,115 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("OK: zero steady-state allocations per request");
+    }
+}
+
+/// The `cluster` scenario: the `net` workload through an
+/// `iloc-router` fanning out to N nodes, gated on the **router's**
+/// steady-window allocation counter — the scatter-gather query path
+/// must be allocation-free once warm, like the single server's.
+fn run_cluster(
+    quick: bool,
+    flag: &dyn Fn(&str) -> bool,
+    value: &dyn Fn(&str) -> Option<String>,
+    number: &dyn Fn(&str, usize) -> usize,
+) {
+    let mut cfg = if quick {
+        ClusterConfig::quick()
+    } else {
+        ClusterConfig::full()
+    };
+    cfg.nodes = number("--nodes", cfg.nodes);
+    cfg.net.clients = number("--clients", cfg.net.clients);
+    cfg.net.shards = number("--shards", cfg.net.shards);
+    cfg.net.event_loops = number("--event-loops", number("--workers", cfg.net.event_loops));
+    cfg.net.points = number("--points", cfg.net.points);
+    cfg.net.uncertain = number("--uncertain", cfg.net.uncertain);
+    cfg.net.queries_per_client = number("--queries", cfg.net.queries_per_client);
+    cfg.net.update_rounds = number("--rounds", cfg.net.update_rounds);
+    cfg.net.updates_per_round = number("--updates", cfg.net.updates_per_round);
+    cfg.net.steady_queries = number("--steady", cfg.net.steady_queries);
+    cfg.net.seed = number("--seed", cfg.net.seed as usize) as u64;
+
+    let report = match value("--addr") {
+        Some(addr) => {
+            let addr: SocketAddr = addr.parse().unwrap_or_else(|e| {
+                eprintln!("invalid --addr {addr}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!(
+                "cluster: driving external router at {addr} with {} clients",
+                cfg.net.clients
+            );
+            cluster::run_against(addr, &cfg)
+        }
+        None => {
+            eprintln!(
+                "cluster: in-process router over {} nodes ({} points, {} uncertain)",
+                cfg.nodes, cfg.net.points, cfg.net.uncertain
+            );
+            cluster::run_in_process(&cfg)
+        }
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("cluster loadgen failed: {e}");
+        std::process::exit(1);
+    });
+
+    let net = &report.net;
+    println!(
+        "cluster: {} queries from {} clients in {:.3}s -> {:.0} q/s (p50 {:.1}us, p99 {:.1}us)",
+        net.queries,
+        net.clients,
+        net.elapsed.as_secs_f64(),
+        net.qps(),
+        net.p50.as_secs_f64() * 1e6,
+        net.p99.as_secs_f64() * 1e6,
+    );
+    println!(
+        "     {} updates in {} commits interleaved; {} matches returned",
+        net.updates_submitted, net.commits, net.results_total
+    );
+    for (i, node) in report.nodes.iter().enumerate() {
+        println!(
+            "     node {i}: {} epochs point/uncertain {}/{}, {} routed, {} merged",
+            if node.connected { "up," } else { "DOWN," },
+            node.point_epoch,
+            node.uncertain_epoch,
+            node.routed,
+            node.merged,
+        );
+    }
+    if net.alloc_counting {
+        println!(
+            "     steady window: {} queries, {:.3} router allocations/request",
+            net.steady_queries, net.steady_allocs_per_request
+        );
+    } else {
+        println!(
+            "     steady window: {} queries (router does not count allocations)",
+            net.steady_queries
+        );
+    }
+
+    if report.nodes.iter().any(|n| !n.connected) {
+        eprintln!("FAIL: a cluster node went unhealthy during the run");
+        std::process::exit(1);
+    }
+    if flag("--check-allocs") {
+        if !net.alloc_counting {
+            eprintln!("FAIL: --check-allocs needs a router that counts allocations");
+            std::process::exit(1);
+        }
+        if net.steady_allocs_per_request > 0.0 {
+            eprintln!(
+                "FAIL: steady-state scatter-gather path performed {:.3} allocations/request \
+                 (expected 0)",
+                net.steady_allocs_per_request
+            );
+            std::process::exit(1);
+        }
+        eprintln!("OK: zero steady-state allocations per routed request");
     }
 }
 

@@ -6,8 +6,10 @@
 //! sharded serving engine, the same stream write-ahead-logged through
 //! a durable catalog (`mixed_wal`, with a cold-reopen `recovery`
 //! replay measurement), a `net` loopback loadgen against the
-//! TCP query server, and a `subscribers_c10k` herd of standing
-//! subscribers multiplexed onto a couple of event loops — at
+//! TCP query server, the same loadgen routed through an in-process
+//! `iloc-router` over 3 nodes (`cluster`), and a `subscribers_c10k`
+//! herd of standing subscribers multiplexed onto a couple of event
+//! loops — at
 //! Long-Beach/California scale plus a
 //! steady-state single-query loop, and emits
 //! `BENCH_batch_throughput.json` with queries/sec, p50/p99 latency and
@@ -37,6 +39,7 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use iloc_bench::c10k::{self, C10kConfig};
+use iloc_bench::cluster::{self, ClusterConfig};
 use iloc_bench::net::{self, NetConfig};
 use iloc_core::pipeline::{
     execute_batch, BatchEngine, ExecutionContext, PointRequest, UncertainRequest,
@@ -442,6 +445,38 @@ fn measure_net(quick: bool) -> Report {
     }
 }
 
+/// The `cluster` scenario: the same workload as `net`, but through an
+/// in-process `iloc-router` scatter-gathering over 3 single-node
+/// servers — the gap between the `net` and `cluster` series is the
+/// price of the extra hop and the fan-out/fan-in. `allocs_per_query`
+/// is the **router's** steady-window counter (its stats frames report
+/// the shared counting allocator), gated at zero like the server's.
+fn measure_cluster(quick: bool) -> Report {
+    let cfg = if quick {
+        ClusterConfig::quick()
+    } else {
+        ClusterConfig::full()
+    };
+    let report = cluster::run_in_process(&cfg).expect("cluster loadgen");
+    assert!(
+        report.net.alloc_counting,
+        "throughput binary registers the counting allocator"
+    );
+    assert!(
+        report.nodes.iter().all(|n| n.connected),
+        "every cluster node must stay healthy through the run"
+    );
+    Report {
+        name: "cluster",
+        queries: report.net.queries,
+        elapsed: report.net.elapsed,
+        p50: report.net.p50,
+        p99: report.net.p99,
+        allocs_per_query: report.net.steady_allocs_per_request,
+        results_total: report.net.results_total,
+    }
+}
+
 /// The `subscribers_c10k` scenario: a herd of mostly-idle standing
 /// subscribers multiplexed onto a couple of event loops while a small
 /// active set ticks and an updater commits churn — the C10K shape.
@@ -621,6 +656,15 @@ fn main() {
         net.allocs_per_query
     );
 
+    let cluster = measure_cluster(quick);
+    eprintln!(
+        "  {} done: {:.0} q/s through the router ({:.1}% of net), {:.3} allocs/request steady",
+        cluster.name,
+        cluster.qps(),
+        100.0 * cluster.qps() / net.qps(),
+        cluster.allocs_per_query
+    );
+
     let c10k = measure_c10k(quick);
     eprintln!(
         "  {} done: {:.0} ticks/s with the herd attached, {} pushes, {:.3} allocs/tick steady",
@@ -647,6 +691,7 @@ fn main() {
         &mixed_wal,
         &recovery,
         &net,
+        &cluster,
         &c10k,
         &steady,
     ];
@@ -783,6 +828,14 @@ fn main() {
             eprintln!(
                 "FAIL: network hot path performed {:.3} allocations/request (expected 0)",
                 net.allocs_per_query
+            );
+            failed = true;
+        }
+        if cluster.allocs_per_query > 0.0 {
+            eprintln!(
+                "FAIL: cluster scatter-gather path performed {:.3} allocations/request \
+                 (expected 0)",
+                cluster.allocs_per_query
             );
             failed = true;
         }

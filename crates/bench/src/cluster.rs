@@ -1,0 +1,166 @@
+//! The `cluster` load-generation scenario: the same mixed and steady
+//! windows as [`crate::net`], but driven through an `iloc-router`
+//! scatter-gathering over N server nodes.
+//!
+//! The router speaks the same wire protocol as a server, so the entire
+//! `net` harness — mixed query/update window, percentiles, the
+//! alloc-gated steady window — runs against it unchanged; the gap
+//! between the `net` and `cluster` series in
+//! `BENCH_batch_throughput.json` is the price of the extra hop and the
+//! fan-out/fan-in. The steady window gates the **router's** counter
+//! (the stats frame a router answers reports its own allocator), so
+//! `--check-allocs` proves the scatter-gather query path is
+//! allocation-free once warm, exactly as it does for a single server.
+//!
+//! The catalogs are partitioned across nodes by the same
+//! [`iloc_core::serve::shard_of`] id hash the in-process sharded
+//! engine uses — node order is shard order, the deployment the
+//! cluster-oracle test suite proves bit-identical.
+
+use std::net::SocketAddr;
+
+use iloc_core::serve::shard_of;
+use iloc_datagen::{california_points, long_beach_rects, uniform_objects};
+use iloc_router::{Router, RouterConfig};
+use iloc_server::client::{Client, ClientError};
+use iloc_server::protocol::NodeHealth;
+use iloc_server::server::QueryServer;
+use iloc_uncertainty::{PointObject, UncertainObject};
+
+use crate::net::{self, NetConfig, NetReport};
+
+/// Tunables for one cluster loadgen run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Server nodes behind the router (in-process runs).
+    pub nodes: usize,
+    /// The driven workload — identical to the single-server scenario.
+    pub net: NetConfig,
+}
+
+impl ClusterConfig {
+    /// CI-smoke scale: 3 nodes, the quick `net` workload.
+    pub fn quick() -> Self {
+        ClusterConfig {
+            nodes: 3,
+            net: NetConfig::quick(),
+        }
+    }
+
+    /// Paper-scale datasets behind 3 nodes.
+    pub fn full() -> Self {
+        ClusterConfig {
+            nodes: 3,
+            net: NetConfig::full(),
+        }
+    }
+}
+
+/// What one cluster run measured: the `net` report plus the per-node
+/// health section from the router's final stats frame.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// The workload measurements (same schema as a single server).
+    pub net: NetReport,
+    /// Per-node health: connectivity, epochs, routed/merged counters.
+    pub nodes: Vec<NodeHealth>,
+}
+
+/// Spawns N in-process loopback nodes plus a router, drives the `net`
+/// workload through the router, and tears everything down.
+pub fn run_in_process(cfg: &ClusterConfig) -> Result<ClusterReport, ClientError> {
+    let n = cfg.nodes.max(1);
+    let (points, uncertain) = build_partitions(&cfg.net, n);
+    let node_shards = (cfg.net.shards / n).max(1);
+    let mut servers = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for (p, u) in points.into_iter().zip(uncertain) {
+        let node = QueryServer::new(p, u, node_shards);
+        let handle = node
+            .start(&cfg.net.server_config())
+            .map_err(ClientError::Io)?;
+        addrs.push(handle.addr());
+        servers.push(node);
+        handles.push(handle);
+    }
+    let router = Router::start(&RouterConfig::loopback(addrs)).map_err(ClientError::Io)?;
+
+    let result = run_against(router.addr(), cfg);
+
+    router.shutdown();
+    for handle in handles {
+        handle.shutdown();
+    }
+    result
+}
+
+/// Drives a router at `addr` through the `net` windows and reads the
+/// per-node health off its stats frame.
+pub fn run_against(addr: SocketAddr, cfg: &ClusterConfig) -> Result<ClusterReport, ClientError> {
+    let report = net::run_against(addr, &cfg.net)?;
+    let mut probe = Client::connect(addr)?;
+    let nodes = probe.stats()?.nodes;
+    Ok(ClusterReport { net: report, nodes })
+}
+
+/// The `net` catalogs — same datasets, sizes and seed as
+/// [`net::build_server`] — split across `n` nodes by the shard hash.
+fn build_partitions(
+    cfg: &NetConfig,
+    n: usize,
+) -> (Vec<Vec<PointObject>>, Vec<Vec<UncertainObject>>) {
+    let mut points: Vec<Vec<PointObject>> = (0..n).map(|_| Vec::new()).collect();
+    let mut uncertain: Vec<Vec<UncertainObject>> = (0..n).map(|_| Vec::new()).collect();
+    for (k, p) in california_points(cfg.points, cfg.seed)
+        .into_iter()
+        .enumerate()
+    {
+        let object = PointObject::new(k as u64, p);
+        points[shard_of(object.id, n)].push(object);
+    }
+    for object in uniform_objects(&long_beach_rects(cfg.uncertain, cfg.seed + 1)) {
+        uncertain[shard_of(object.id, n)].push(object);
+    }
+    (points, uncertain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_in_process_cluster_loadgen_round_trips() {
+        let cfg = ClusterConfig {
+            nodes: 2,
+            net: NetConfig {
+                clients: 2,
+                shards: 2,
+                event_loops: 0,
+                max_connections: 0,
+                points: 400,
+                uncertain: 100,
+                queries_per_client: 12,
+                update_rounds: 2,
+                updates_per_round: 8,
+                steady_queries: 16,
+                warmup: 4,
+                seed: 7,
+            },
+        };
+        let report = run_in_process(&cfg).expect("cluster loadgen");
+        assert_eq!(report.net.clients, 2);
+        assert_eq!(report.net.queries, 24);
+        assert_eq!(report.net.commits, 2);
+        assert_eq!(report.net.updates_submitted, 16);
+        // The router reported every node healthy and carrying load.
+        assert_eq!(report.nodes.len(), 2);
+        for node in &report.nodes {
+            assert!(node.connected);
+            assert!(node.merged > 0);
+            assert!(node.routed >= node.merged);
+        }
+        // Test binaries don't register the counting allocator.
+        assert!(!report.net.alloc_counting);
+    }
+}

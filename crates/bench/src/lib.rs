@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod c10k;
+pub mod cluster;
 pub mod config;
 pub mod experiments;
 pub mod harness;
@@ -26,6 +27,7 @@ pub mod resilient;
 pub mod subscribers;
 
 pub use c10k::{C10kConfig, C10kReport};
+pub use cluster::{ClusterConfig, ClusterReport};
 pub use config::{Scale, TestBed};
 pub use harness::{Row, Summary};
 pub use net::{NetConfig, NetReport};

@@ -16,8 +16,15 @@
 //! replaying it blindly would double-apply. The driver owns that
 //! decision; queries and subscriptions are idempotent and retry
 //! freely.
+//!
+//! Backoff is **jittered deterministically**: each client draws its
+//! sleeps from a SplitMix64 stream seeded from the process id and a
+//! per-client counter, so a fleet of clients spawned together fans
+//! out instead of hammering the listener in lockstep — yet any single
+//! run is exactly reproducible from its seed.
 
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use iloc_core::pipeline::PointRequest;
@@ -29,6 +36,30 @@ const BACKOFF_START: Duration = Duration::from_millis(50);
 
 /// Backoff ceiling.
 const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Distinguishes clients created in the same process so their jitter
+/// streams decorrelate even with identical process ids.
+static NEXT_JITTER_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// SplitMix64 step: the standard finalizer over a Weyl sequence.
+/// Deterministic per seed, full-period, no state beyond one `u64`.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `base/2 + base/2 * frac` where `frac` is drawn from the client's
+/// jitter stream: equal-height decorrelation (half deterministic floor,
+/// half uniform), so the mean stays at 3/4 of the nominal backoff and
+/// the floor guarantees the listener is never spun on.
+fn jittered(base: Duration, state: &mut u64) -> Duration {
+    let half = base / 2;
+    let frac = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    half + Duration::from_secs_f64(half.as_secs_f64() * frac)
+}
 
 /// One standing point query the client re-subscribes after
 /// reconnecting.
@@ -52,6 +83,8 @@ pub struct ResilientClient {
     last_recovered_epoch: u64,
     /// Give up reconnecting after this long without a live connection.
     reconnect_timeout: Duration,
+    /// SplitMix64 state feeding the backoff jitter (seeded per client).
+    jitter: u64,
 }
 
 impl ResilientClient {
@@ -59,6 +92,9 @@ impl ResilientClient {
     /// budget later reconnects get).
     pub fn connect(addr: SocketAddr, reconnect_timeout: Duration) -> Result<Self, ClientError> {
         let client = Client::connect_retry(addr, reconnect_timeout)?;
+        let jitter = u64::from(std::process::id())
+            .wrapping_shl(32)
+            .wrapping_add(NEXT_JITTER_SEED.fetch_add(1, Ordering::Relaxed));
         Ok(ResilientClient {
             addr,
             client: Some(client),
@@ -66,6 +102,7 @@ impl ResilientClient {
             reconnects: 0,
             last_recovered_epoch: 0,
             reconnect_timeout,
+            jitter,
         })
     }
 
@@ -94,7 +131,7 @@ impl ResilientClient {
         let deadline = Instant::now() + self.reconnect_timeout;
         let mut backoff = BACKOFF_START;
         loop {
-            std::thread::sleep(backoff);
+            std::thread::sleep(jittered(backoff, &mut self.jitter));
             if let Ok(mut client) = Client::connect(self.addr) {
                 // Re-subscribe before handing the connection back:
                 // the restarted server assigns fresh ids.
@@ -193,5 +230,30 @@ impl ResilientClient {
             self.reconnect()?;
         }
         Ok(self.client.as_mut().expect("just reconnected"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_seed_sensitive() {
+        let base = Duration::from_millis(200);
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let mut c = 43u64;
+        let (mut equal, mut differ) = (true, false);
+        for _ in 0..64 {
+            let x = jittered(base, &mut a);
+            let y = jittered(base, &mut b);
+            let z = jittered(base, &mut c);
+            equal &= x == y;
+            differ |= x != z;
+            // Half-deterministic floor, never above the nominal backoff.
+            assert!(x >= base / 2 && x <= base, "out of range: {x:?}");
+        }
+        assert!(equal, "same seed must replay the same sleeps");
+        assert!(differ, "different seeds must decorrelate");
     }
 }

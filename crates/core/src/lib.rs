@@ -80,7 +80,7 @@ pub use pipeline::{
 };
 pub use quality::{assess, QualityReport};
 pub use query::{CipqStrategy, CiuqStrategy, Issuer, RangeSpec};
-pub use result::{Match, QueryAnswer};
+pub use result::{merge_partials_into, sort_matches, Match, QueryAnswer};
 pub use serve::{ServeEngine, ShardServer, ShardedEngine, Snapshot, Update};
 pub use stats::QueryStats;
 pub use subscribe::{AnswerDelta, ContinuousEngine, SubId, SubscriptionRegistry};

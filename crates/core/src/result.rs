@@ -59,11 +59,35 @@ impl QueryAnswer {
 /// merge buffer on the otherwise allocation-free steady-state path.
 /// The pre-check skips the sort entirely for the common case of an
 /// index filter that emitted candidates in id order.
-pub(crate) fn sort_matches(v: &mut [Match]) {
+///
+/// Public because this is the **fan-in merge discipline**: any layer
+/// that scatters a query across disjoint id partitions — in-process
+/// shards ([`serve::ShardedEngine`](crate::serve::ShardedEngine)) or
+/// remote cluster nodes behind a router — concatenates the partial
+/// results and re-establishes id order with exactly this call, so the
+/// merged answer is bit-identical to a single-partition evaluation.
+pub fn sort_matches(v: &mut [Match]) {
     if v.windows(2).all(|w| w[0].id <= w[1].id) {
         return;
     }
     v.sort_unstable_by_key(|m| m.id);
+}
+
+/// Fans partial answers from disjoint id partitions into `out`:
+/// clear, concatenate, re-sort by id. Capacity is retained, so a warm
+/// `out` makes the merge allocation-free once it has grown to workload
+/// size — the property both the sharded engine and the cluster
+/// router's scatter-gather hot path are gated on.
+pub fn merge_partials_into<'a, I>(out: &mut QueryAnswer, partials: I)
+where
+    I: IntoIterator<Item = &'a [Match]>,
+{
+    out.results.clear();
+    out.stats = Default::default();
+    for part in partials {
+        out.results.extend_from_slice(part);
+    }
+    sort_matches(&mut out.results);
 }
 
 #[cfg(test)]
@@ -116,6 +140,40 @@ mod tests {
                 expect.iter().map(|m| m.id).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn merge_partials_matches_single_partition_order() {
+        use iloc_uncertainty::ObjectId;
+        let part = |ids: &[u64]| -> Vec<Match> {
+            ids.iter()
+                .map(|&id| Match {
+                    id: ObjectId(id),
+                    probability: id as f64 / 1000.0,
+                })
+                .collect()
+        };
+        // Disjoint id partitions, each id-sorted — the shape both the
+        // sharded engine and the cluster router hand to the merge.
+        let a = part(&[1, 4, 9]);
+        let b = part(&[2, 3, 100]);
+        let c = part(&[]);
+        let mut out = QueryAnswer::default();
+        out.results.push(Match {
+            id: ObjectId(0),
+            probability: 9.9,
+        }); // dirty slot
+        merge_partials_into(&mut out, [a.as_slice(), b.as_slice(), c.as_slice()]);
+        assert_eq!(
+            out.results.iter().map(|m| m.id.0).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 9, 100]
+        );
+        // Idempotent with capacity retained: merging again into the
+        // warm buffer gives the same answer.
+        let cap = out.results.capacity();
+        merge_partials_into(&mut out, [a.as_slice(), b.as_slice(), c.as_slice()]);
+        assert_eq!(out.results.len(), 6);
+        assert_eq!(out.results.capacity(), cap);
     }
 
     #[test]

@@ -80,9 +80,12 @@ impl<E: ServeEngine> Snapshot<E> {
 
     /// The shared fan-out/fan-in: runs `request` on every shard
     /// through `ctx`, merging per-shard matches (disjoint id sets,
-    /// each already id-sorted) into `answer` in global id order and
-    /// summing the cost counters. `partial` is the caller's reusable
-    /// per-shard answer buffer.
+    /// each already id-sorted) into `answer` in global id order via
+    /// [`crate::result::sort_matches`] — the same public merge
+    /// discipline the cluster router applies to per-node answers, so
+    /// remote scatter-gather stays bit-identical to this in-process
+    /// path — and summing the cost counters. `partial` is the caller's
+    /// reusable per-shard answer buffer.
     fn fan_out_into(
         &self,
         request: &E::Request,

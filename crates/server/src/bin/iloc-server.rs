@@ -31,6 +31,12 @@
 //! --checkpoint-every N   background-checkpoint a catalog every N
 //!                    commits (default 256; 0 disables)
 //! --quick            ~10x smaller catalogs (CI smoke)
+//! --cluster-node K/N serve node K of an N-node cluster: keep only
+//!                    the objects whose id hashes to node K under
+//!                    the cluster partition (`shard_of(id, N)`), so
+//!                    N such processes behind an `iloc-router` hold
+//!                    the standard datasets exactly once (see
+//!                    docs/CLUSTER.md)
 //! ```
 //!
 //! With `--data-dir`, SIGTERM / SIGINT shut down gracefully: stop
@@ -46,6 +52,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use iloc_core::durable::FsyncPolicy;
+use iloc_core::serve::shard_of;
 use iloc_datagen::{california_points, long_beach_rects, uniform_objects};
 use iloc_server::alloc_count::{self, CountingAllocator};
 use iloc_server::server::{DurabilityOptions, QueryServer, RecoveryInfo, ServerConfig};
@@ -116,6 +123,14 @@ fn main() {
         0 => None,
         secs => Some(Duration::from_secs(secs as u64)),
     };
+    let cluster_node = value("--cluster-node").map(|v| {
+        let parse = || -> Option<(usize, usize)> {
+            let (k, n) = v.split_once('/')?;
+            let (k, n) = (k.parse().ok()?, n.parse().ok()?);
+            (k < n).then_some((k, n))
+        };
+        parse().unwrap_or_else(|| die("--cluster-node"))
+    });
     let data_dir = value("--data-dir");
     let fsync = value("--fsync")
         .map(|v| FsyncPolicy::parse(&v).unwrap_or_else(|| die("--fsync")))
@@ -126,12 +141,21 @@ fn main() {
         "building catalogs: {points} points (California), {uncertain} uncertain (Long Beach), \
          {shards} shards"
     );
-    let point_objects: Vec<PointObject> = california_points(points, seed)
+    let mut point_objects: Vec<PointObject> = california_points(points, seed)
         .into_iter()
         .enumerate()
         .map(|(k, p)| PointObject::new(k as u64, p))
         .collect();
-    let uncertain_objects = uniform_objects(&long_beach_rects(uncertain, seed + 1));
+    let mut uncertain_objects = uniform_objects(&long_beach_rects(uncertain, seed + 1));
+    if let Some((k, n)) = cluster_node {
+        point_objects.retain(|o| shard_of(o.id, n) == k);
+        uncertain_objects.retain(|o| shard_of(o.id, n) == k);
+        eprintln!(
+            "cluster node {k}/{n}: serving {} points, {} uncertain",
+            point_objects.len(),
+            uncertain_objects.len()
+        );
+    }
 
     let server = match data_dir {
         Some(dir) => {

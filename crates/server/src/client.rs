@@ -30,8 +30,8 @@ use iloc_core::QueryAnswer;
 use iloc_uncertainty::PdfKind;
 
 use crate::protocol::{
-    self, opcode, CommitTarget, ErrorCode, Notification, NotifyCause, StatsReport, WireError,
-    WireUpdate, PROTOCOL_VERSION,
+    self, opcode, CommitTarget, ErrorCode, HelloAck, Notification, NotifyCause, Role, StatsReport,
+    WireError, WireUpdate, PROTOCOL_VERSION,
 };
 
 /// Default pipeline window for the batch methods: deep enough to hide
@@ -117,20 +117,64 @@ pub struct Client {
     /// Pushed NOTIFY frames read while waiting for a response, in
     /// arrival order.
     pending: VecDeque<Notification>,
+    /// The server's HELLO_ACK from the v6 connect handshake.
+    hello: Option<HelloAck>,
 }
 
 impl Client {
-    /// Connects (with `TCP_NODELAY`, as every frame is a full
-    /// request or response).
+    /// Connects as [`Role::Client`] (with `TCP_NODELAY`, as every
+    /// frame is a full request or response) and performs the v6
+    /// HELLO handshake. A version-mismatched server answers the HELLO
+    /// with a typed ERROR naming its supported version, which surfaces
+    /// here as `InvalidData` carrying that message.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::connect_as(addr, Role::Client)
+    }
+
+    /// [`Client::connect`] with an explicit role — the router connects
+    /// upstream as [`Role::Router`].
+    pub fn connect_as(addr: impl ToSocketAddrs, role: Role) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream, role)
+    }
+
+    /// Wraps an already-connected stream (the router dials its nodes
+    /// with the non-blocking connect in [`crate::poll`] and hands the
+    /// finished sockets here) and performs the v6 HELLO handshake.
+    /// The stream must be in blocking mode.
+    pub fn from_stream(stream: TcpStream, role: Role) -> io::Result<Client> {
         stream.set_nodelay(true)?;
-        Ok(Client {
+        let mut client = Client {
             stream,
             read_buf: Vec::new(),
             write_buf: Vec::new(),
             pending: VecDeque::new(),
-        })
+            hello: None,
+        };
+        match client.handshake(role) {
+            Ok(()) => Ok(client),
+            Err(ClientError::Io(e)) => Err(e),
+            Err(e) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("handshake failed: {e}"),
+            )),
+        }
+    }
+
+    fn handshake(&mut self, role: Role) -> Result<(), ClientError> {
+        self.write_buf.clear();
+        protocol::encode_hello(&mut self.write_buf, role, 0);
+        self.send()?;
+        self.expect_frame(opcode::HELLO_ACK)?;
+        self.hello = Some(protocol::decode_hello_ack(&self.read_buf[2..])?);
+        Ok(())
+    }
+
+    /// The server's handshake introspection (role, epochs, recovered
+    /// epochs, shard counts). Always present after a successful
+    /// connect.
+    pub fn hello(&self) -> Option<&HelloAck> {
+        self.hello.as_ref()
     }
 
     /// Retries [`Client::connect`] until `timeout` elapses — for
@@ -197,7 +241,11 @@ impl Client {
         self.read_buf.clear();
         self.read_buf.resize(len as usize, 0);
         Self::read_patient(&mut self.stream, &mut self.read_buf, true)?;
-        if self.read_buf[0] != PROTOCOL_VERSION {
+        // ERROR frames are exempt from the version check: a peer
+        // speaking another protocol version still reports its version
+        // complaint as a typed error frame (in its own dialect's
+        // header), and that message beats "malformed response".
+        if self.read_buf[0] != PROTOCOL_VERSION && self.read_buf[1] != opcode::ERROR {
             return Err(WireError::Malformed("response protocol version").into());
         }
         Ok(self.read_buf[1])
@@ -228,6 +276,46 @@ impl Client {
             }
             return Err(ClientError::Unexpected { opcode: op });
         }
+    }
+
+    /// Writes one pre-encoded frame verbatim — the router's scatter
+    /// half: the downstream bytes are valid upstream unchanged because
+    /// both hops speak the same version, and scattering to every node
+    /// *before* reading any answer pipelines the fan-out (N nodes cost
+    /// one round trip, not N).
+    pub fn send_raw(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.stream.write_all(frame)
+    }
+
+    /// Reads one ANSWER into a reusable answer — the router's gather
+    /// half (allocation-free once warm).
+    pub fn recv_answer_into(&mut self, answer: &mut QueryAnswer) -> Result<(), ClientError> {
+        self.expect_frame(opcode::ANSWER)?;
+        protocol::decode_answer_into(&self.read_buf[2..], answer)?;
+        Ok(())
+    }
+
+    /// Forwards one pre-encoded SUBSCRIBE frame verbatim and reads the
+    /// SUB_ACK: the initial answer lands in `initial`, and the ack's
+    /// `(target, sub_id, epoch, recovered_epoch)` comes back — the
+    /// router's subscription fan-out, which must keep each node's
+    /// assigned sub id to route later frames.
+    pub fn forward_subscribe_into(
+        &mut self,
+        frame: &[u8],
+        initial: &mut QueryAnswer,
+    ) -> Result<(CommitTarget, u64, u64, u64), ClientError> {
+        self.stream.write_all(frame)?;
+        self.expect_frame(opcode::SUB_ACK)?;
+        Ok(protocol::decode_sub_ack_into(&self.read_buf[2..], initial)?)
+    }
+
+    /// Sets (or clears) the socket read timeout for every subsequent
+    /// call. The router arms one on its upstream connections so a dead
+    /// node surfaces as a timed-out read instead of a hang; a frame
+    /// whose first byte has arrived is still always read whole.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 
     /// IPQ / C-IPQ into a reusable answer (allocation-free once warm).

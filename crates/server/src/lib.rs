@@ -83,6 +83,7 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use protocol::{
-    CommitTarget, Notification, NotifyCause, StatsReport, WireError, WireUpdate, PROTOCOL_VERSION,
+    CommitTarget, HelloAck, NodeHealth, Notification, NotifyCause, Role, StatsReport, WireError,
+    WireUpdate, PROTOCOL_VERSION,
 };
 pub use server::{QueryServer, ServerConfig, ServerHandle, MAX_SUBSCRIPTIONS};

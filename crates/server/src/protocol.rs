@@ -62,7 +62,14 @@ use iloc_uncertainty::{
 /// and added the event-loop count, the live-connection gauge and the
 /// server-wide dropped-push counter (pushes a backpressure close never
 /// delivered).
-pub const PROTOCOL_VERSION: u8 = 5;
+/// Version 6 (cluster serving) added the HELLO / HELLO_ACK handshake
+/// (version negotiation plus node-role and epoch/shard introspection,
+/// sent by [`Client`](crate::Client) on connect), appended a per-node
+/// health section to STATS_REPORT (empty on a plain server, one entry
+/// per upstream node on a router), and added
+/// [`ErrorCode::Unavailable`] for cluster nodes that cannot be
+/// reached.
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Hard ceiling on one frame's `len` field; larger frames are rejected
 /// with [`ErrorCode::TooLarge`] and the connection is closed (a wild
@@ -97,6 +104,12 @@ pub mod opcode {
     pub const UNSUBSCRIBE: u8 = 0x08;
     /// Move a standing query's issuer → one [`NOTIFY`] (cause = tick).
     pub const TICK: u8 = 0x09;
+    /// Version-negotiation handshake (v6) → [`HELLO_ACK`]. Carries the
+    /// sender's protocol version and [`Role`](super::Role); a version
+    /// the server does not speak earns a typed
+    /// [`ErrorCode::BadVersion`](super::ErrorCode::BadVersion) ERROR
+    /// naming the supported version instead of a silent close.
+    pub const HELLO: u8 = 0x0A;
 
     /// Query answer: the id/probability matches.
     pub const ANSWER: u8 = 0x81;
@@ -117,6 +130,9 @@ pub mod opcode {
     pub const NOTIFY: u8 = 0x87;
     /// Unsubscribe processed; payload says whether the id was live.
     pub const UNSUB_DONE: u8 = 0x88;
+    /// Handshake accepted: the responder's role, current epochs,
+    /// recovered epochs and shard counts (see [`super::HelloAck`]).
+    pub const HELLO_ACK: u8 = 0x89;
     /// Request failed; carries an [`super::ErrorCode`] and a message.
     pub const ERROR: u8 = 0xFF;
 }
@@ -142,6 +158,11 @@ pub enum ErrorCode {
     /// The connection holds the maximum number of standing
     /// subscriptions; unsubscribe before subscribing again.
     TooManySubscriptions = 7,
+    /// A cluster node this request depends on is unreachable, or a
+    /// failed cluster commit poisoned the catalog (v6, router only).
+    /// The connection stays open; queries against the other catalog
+    /// still work.
+    Unavailable = 8,
 }
 
 impl ErrorCode {
@@ -155,6 +176,7 @@ impl ErrorCode {
             5 => Some(ErrorCode::TooLarge),
             6 => Some(ErrorCode::Internal),
             7 => Some(ErrorCode::TooManySubscriptions),
+            8 => Some(ErrorCode::Unavailable),
             _ => None,
         }
     }
@@ -269,6 +291,81 @@ pub struct StatsReport {
     /// the power-of-two-ish buckets of
     /// [`iloc_core::stats::refine_batch_bucket`].
     pub refine_batches: [u64; REFINE_BATCH_BUCKETS],
+    /// Per-upstream-node health (v6). Empty on a plain server; a
+    /// router reports one entry per cluster node, in node order.
+    pub nodes: Vec<NodeHealth>,
+}
+
+/// One upstream node's health as a router reports it in the
+/// STATS_REPORT node section (v6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeHealth {
+    /// Whether every upstream connection to this node is live. A
+    /// router that lost a node keeps serving the healthy catalog but
+    /// reports the loss here (and answers affected requests with
+    /// [`ErrorCode::Unavailable`]).
+    pub connected: bool,
+    /// The node's point-catalog epoch at the last exchange.
+    pub point_epoch: u64,
+    /// The node's uncertain-catalog epoch at the last exchange.
+    pub uncertain_epoch: u64,
+    /// Frames the router routed **to** this node (queries scattered,
+    /// update sub-batches, commits, subscription ops).
+    pub routed: u64,
+    /// Response frames from this node merged into client answers.
+    pub merged: u64,
+}
+
+/// The role a peer declares in its HELLO frame (v6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Role {
+    /// An ordinary query client.
+    #[default]
+    Client = 0,
+    /// An `iloc-server` node.
+    Server = 1,
+    /// An `iloc-router` fronting a cluster of nodes.
+    Router = 2,
+}
+
+impl Role {
+    /// Decodes a wire byte back into a role.
+    pub fn from_u8(v: u8) -> Option<Role> {
+        match v {
+            0 => Some(Role::Client),
+            1 => Some(Role::Server),
+            2 => Some(Role::Router),
+            _ => None,
+        }
+    }
+}
+
+/// What a [`opcode::HELLO_ACK`] frame carries: the responder's role
+/// and enough state introspection (epochs, recovered epochs, shard
+/// counts) for a router to plan routing without a STATS round trip.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HelloAck {
+    /// The responder's role ([`Role::Server`] from `iloc-server`,
+    /// [`Role::Router`] from `iloc-router`).
+    pub role: Role,
+    /// Reserved capability flags; zero in v6.
+    pub flags: u16,
+    /// Current point-catalog epoch (a router reports its cluster
+    /// epoch).
+    pub point_epoch: u64,
+    /// Current uncertain-catalog epoch.
+    pub uncertain_epoch: u64,
+    /// Point-catalog epoch recovered at process start (non-zero after
+    /// a crash recovery; a router, being transient, reports zero).
+    pub point_recovered: u64,
+    /// Uncertain-catalog recovered epoch.
+    pub uncertain_recovered: u64,
+    /// Point-catalog shard count (a router reports the cluster-wide
+    /// total across its nodes).
+    pub point_shards: u32,
+    /// Uncertain-catalog shard count.
+    pub uncertain_shards: u32,
 }
 
 /// Process-wide counters the stats frame reports alongside the
@@ -1176,6 +1273,75 @@ pub fn encode_empty(buf: &mut Vec<u8>, op: u8) {
     finish_frame(buf, at);
 }
 
+/// Appends an [`opcode::HELLO`] frame: the sender's protocol version
+/// (repeated in the payload so the responder can name it in a
+/// [`ErrorCode::BadVersion`] ERROR even when it doesn't parse the
+/// sender's frame header version), its [`Role`], and reserved flags.
+pub fn encode_hello(buf: &mut Vec<u8>, role: Role, flags: u16) {
+    let at = begin_frame(buf, opcode::HELLO);
+    buf.push(PROTOCOL_VERSION);
+    buf.push(role as u8);
+    put_u16(buf, flags);
+    finish_frame(buf, at);
+}
+
+/// Decodes an [`opcode::HELLO`] payload into
+/// `(version, role, flags)`. The version comes back raw — the caller
+/// decides whether it can serve that dialect; an unknown role byte is
+/// malformed.
+pub fn decode_hello(payload: &[u8]) -> Result<(u8, Role, u16), WireError> {
+    let mut r = Reader::new(payload);
+    let version = r.u8()?;
+    let role = Role::from_u8(r.u8()?).ok_or(WireError::Malformed("hello role"))?;
+    let flags = r.u16()?;
+    r.done()?;
+    Ok((version, role, flags))
+}
+
+/// Peeks the version byte out of an [`opcode::HELLO`] payload without
+/// validating the rest — what a responder uses to word its
+/// [`ErrorCode::BadVersion`] reply for a peer from the future whose
+/// HELLO body it cannot fully parse.
+pub fn hello_peer_version(payload: &[u8]) -> Option<u8> {
+    payload.first().copied()
+}
+
+/// Appends an [`opcode::HELLO_ACK`] frame.
+pub fn encode_hello_ack(buf: &mut Vec<u8>, ack: &HelloAck) {
+    let at = begin_frame(buf, opcode::HELLO_ACK);
+    buf.push(PROTOCOL_VERSION);
+    buf.push(ack.role as u8);
+    put_u16(buf, ack.flags);
+    put_u64(buf, ack.point_epoch);
+    put_u64(buf, ack.uncertain_epoch);
+    put_u64(buf, ack.point_recovered);
+    put_u64(buf, ack.uncertain_recovered);
+    put_u32(buf, ack.point_shards);
+    put_u32(buf, ack.uncertain_shards);
+    finish_frame(buf, at);
+}
+
+/// Decodes an [`opcode::HELLO_ACK`] payload.
+pub fn decode_hello_ack(payload: &[u8]) -> Result<HelloAck, WireError> {
+    let mut r = Reader::new(payload);
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::Malformed("hello_ack version"));
+    }
+    let ack = HelloAck {
+        role: Role::from_u8(r.u8()?).ok_or(WireError::Malformed("hello_ack role"))?,
+        flags: r.u16()?,
+        point_epoch: r.u64()?,
+        uncertain_epoch: r.u64()?,
+        point_recovered: r.u64()?,
+        uncertain_recovered: r.u64()?,
+        point_shards: r.u32()?,
+        uncertain_shards: r.u32()?,
+    };
+    r.done()?;
+    Ok(ack)
+}
+
 // ---------------------------------------------------------------------------
 // Responses
 // ---------------------------------------------------------------------------
@@ -1308,6 +1474,47 @@ pub fn encode_stats_report<P: ServeEngine, U: ServeEngine>(
     for &n in &counters.refine_batches {
         put_u64(buf, n);
     }
+    put_u32(buf, 0); // node section (v6): a plain server has no upstream nodes
+    finish_frame(buf, at);
+}
+
+/// Appends an [`opcode::STATS_REPORT`] frame from an already-filled
+/// report — the router's path: it has no engine snapshots of its own,
+/// it aggregates node reports into a [`StatsReport`] (warm buffers,
+/// allocation-free) and serializes that, including the per-node health
+/// section.
+pub fn encode_stats_report_from(buf: &mut Vec<u8>, report: &StatsReport) {
+    let at = begin_frame(buf, opcode::STATS_REPORT);
+    buf.push(report.alloc_counting as u8);
+    put_u64(buf, report.allocations);
+    put_u64(buf, report.requests_served);
+    put_u32(buf, report.capacity);
+    put_u32(buf, report.event_loops);
+    put_u64(buf, report.connections);
+    put_u64(buf, report.dropped_pushes);
+    for cat in [&report.point, &report.uncertain] {
+        put_u64(buf, cat.epoch);
+        put_u64(buf, cat.len);
+        put_u64(buf, cat.pending);
+        put_u32(buf, cat.shard_sizes.len() as u32);
+        for &n in &cat.shard_sizes {
+            put_u64(buf, n);
+        }
+    }
+    put_u64(buf, report.filter_nanos);
+    put_u64(buf, report.prune_nanos);
+    put_u64(buf, report.refine_nanos);
+    for &n in &report.refine_batches {
+        put_u64(buf, n);
+    }
+    put_u32(buf, report.nodes.len() as u32);
+    for node in &report.nodes {
+        buf.push(node.connected as u8);
+        put_u64(buf, node.point_epoch);
+        put_u64(buf, node.uncertain_epoch);
+        put_u64(buf, node.routed);
+        put_u64(buf, node.merged);
+    }
     finish_frame(buf, at);
 }
 
@@ -1341,6 +1548,17 @@ pub fn decode_stats_report_into(payload: &[u8], out: &mut StatsReport) -> Result
     out.refine_nanos = r.u64()?;
     for slot in &mut out.refine_batches {
         *slot = r.u64()?;
+    }
+    let node_count = r.u32()?;
+    out.nodes.clear();
+    for _ in 0..node_count {
+        out.nodes.push(NodeHealth {
+            connected: r.u8()? != 0,
+            point_epoch: r.u64()?,
+            uncertain_epoch: r.u64()?,
+            routed: r.u64()?,
+            merged: r.u64()?,
+        });
     }
     r.done()
 }
@@ -1864,5 +2082,107 @@ mod tests {
         bytes.extend_from_slice(&0u32.to_le_bytes());
         let mut r = Reader::new(&bytes);
         assert!(read_integrator(&mut r).is_err());
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_bad_roles() {
+        let mut buf = Vec::new();
+        encode_hello(&mut buf, Role::Router, 0);
+        let (op, payload) = frame_payload(&buf);
+        assert_eq!(op, opcode::HELLO);
+        assert_eq!(
+            decode_hello(payload).unwrap(),
+            (PROTOCOL_VERSION, Role::Router, 0)
+        );
+        assert_eq!(hello_peer_version(payload), Some(PROTOCOL_VERSION));
+
+        // A HELLO from the future: unknown version still peeks, and a
+        // role byte we don't know is malformed rather than a panic.
+        let future = [9u8, 7, 0, 0];
+        assert_eq!(hello_peer_version(&future), Some(9));
+        assert_eq!(
+            decode_hello(&future),
+            Err(WireError::Malformed("hello role"))
+        );
+        assert_eq!(hello_peer_version(&[]), None);
+    }
+
+    #[test]
+    fn hello_ack_round_trips() {
+        let ack = HelloAck {
+            role: Role::Server,
+            flags: 0,
+            point_epoch: 12,
+            uncertain_epoch: 7,
+            point_recovered: 3,
+            uncertain_recovered: 0,
+            point_shards: 4,
+            uncertain_shards: 4,
+        };
+        let mut buf = Vec::new();
+        encode_hello_ack(&mut buf, &ack);
+        let (op, payload) = frame_payload(&buf);
+        assert_eq!(op, opcode::HELLO_ACK);
+        assert_eq!(decode_hello_ack(payload).unwrap(), ack);
+
+        // Version skew inside the ack payload is rejected.
+        let mut skewed = payload.to_vec();
+        skewed[0] = PROTOCOL_VERSION + 1;
+        assert!(decode_hello_ack(&skewed).is_err());
+    }
+
+    #[test]
+    fn stats_report_from_round_trips_node_section() {
+        let report = StatsReport {
+            alloc_counting: true,
+            allocations: 101,
+            requests_served: 55,
+            capacity: 128,
+            event_loops: 2,
+            connections: 3,
+            dropped_pushes: 1,
+            point: CatalogStats {
+                epoch: 9,
+                len: 40,
+                pending: 2,
+                shard_sizes: vec![10, 12, 18],
+            },
+            uncertain: CatalogStats {
+                epoch: 4,
+                len: 7,
+                pending: 0,
+                shard_sizes: vec![3, 4],
+            },
+            filter_nanos: 111,
+            prune_nanos: 222,
+            refine_nanos: 333,
+            refine_batches: [5; REFINE_BATCH_BUCKETS],
+            nodes: vec![
+                NodeHealth {
+                    connected: true,
+                    point_epoch: 9,
+                    uncertain_epoch: 4,
+                    routed: 1000,
+                    merged: 900,
+                },
+                NodeHealth {
+                    connected: false,
+                    point_epoch: 8,
+                    uncertain_epoch: 4,
+                    routed: 600,
+                    merged: 550,
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        encode_stats_report_from(&mut buf, &report);
+        let (op, payload) = frame_payload(&buf);
+        assert_eq!(op, opcode::STATS_REPORT);
+        let mut back = StatsReport {
+            nodes: vec![NodeHealth::default(); 5], // dirty slot
+            ..StatsReport::default()
+        };
+        decode_stats_report_into(payload, &mut back).unwrap();
+        assert_eq!(back, report);
     }
 }

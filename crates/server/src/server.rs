@@ -1036,6 +1036,45 @@ impl EventLoop {
             self.shared.requests_served.fetch_add(1, Ordering::Relaxed);
 
             let version = conn.in_buf[frame_start];
+            let op = conn.in_buf[frame_start + 1];
+            if op == opcode::HELLO {
+                // Version negotiation (v6): answered regardless of the
+                // header version so a mismatched peer gets a typed
+                // ERROR naming the version this build speaks instead
+                // of a silent close.
+                let payload = &conn.in_buf[frame_start + 2..frame_start + len as usize];
+                let peer = protocol::hello_peer_version(payload).unwrap_or(version);
+                if version != PROTOCOL_VERSION || peer != PROTOCOL_VERSION {
+                    protocol::encode_error(
+                        &mut conn.out,
+                        ErrorCode::BadVersion,
+                        &format!(
+                            "unsupported protocol version {peer}; this node speaks v{PROTOCOL_VERSION}"
+                        ),
+                    );
+                    conn.close_after_flush = true;
+                    return Ok(());
+                }
+                match protocol::decode_hello(payload) {
+                    Ok((_, _role, _flags)) => {
+                        let point = self.shared.engines.point.snapshot();
+                        let uncertain = self.shared.engines.uncertain.snapshot();
+                        let ack = protocol::HelloAck {
+                            role: protocol::Role::Server,
+                            flags: 0,
+                            point_epoch: point.epoch(),
+                            uncertain_epoch: uncertain.epoch(),
+                            point_recovered: self.shared.recovered_epochs.0,
+                            uncertain_recovered: self.shared.recovered_epochs.1,
+                            point_shards: point.shard_count() as u32,
+                            uncertain_shards: uncertain.shard_count() as u32,
+                        };
+                        protocol::encode_hello_ack(&mut conn.out, &ack);
+                    }
+                    Err(e) => wire_error(&mut conn.out, e),
+                }
+                continue;
+            }
             if version != PROTOCOL_VERSION {
                 protocol::encode_error(
                     &mut conn.out,
@@ -1045,7 +1084,6 @@ impl EventLoop {
                 conn.close_after_flush = true;
                 return Ok(());
             }
-            let op = conn.in_buf[frame_start + 1];
 
             // Commit-driven pushes go out *before* this frame's
             // response, so the subscriber's view advances in epoch

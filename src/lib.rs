@@ -29,6 +29,7 @@ pub use iloc_core as core;
 pub use iloc_datagen as datagen;
 pub use iloc_geometry as geometry;
 pub use iloc_index as index;
+pub use iloc_router as router;
 pub use iloc_server as server;
 pub use iloc_uncertainty as uncertainty;
 

@@ -1,0 +1,465 @@
+//! Cluster-oracle suite for the scatter-gather router.
+//!
+//! The contract: a cluster of N single-shard `iloc-server` nodes
+//! behind an `iloc-router` answers **bit-identically** to one server
+//! whose in-process [`iloc::core::serve::ShardedEngine`] has N shards
+//! — the same queries, the same commit reports (counters, per-shard
+//! counts, dirty rectangles, epochs), and the same subscription delta
+//! streams, under the same interleaved update/commit schedule. Plus:
+//! a node crash mid-commit surfaces as a typed `Unavailable` error and
+//! never as a torn epoch.
+
+use std::time::Duration;
+
+use iloc::core::pipeline::{PointRequest, UncertainRequest};
+use iloc::core::serve::{shard_of, Update};
+use iloc::core::{CipqStrategy, CiuqStrategy, Issuer, RangeSpec};
+use iloc::geometry::{Point, Rect};
+use iloc::router::{Router, RouterConfig, RouterHandle};
+use iloc::server::protocol::{CommitTarget, ErrorCode, NotifyCause, Role, WireUpdate};
+use iloc::server::server::{QueryServer, ServerConfig};
+use iloc::server::{Client, ClientError, ServerHandle};
+use iloc::uncertainty::{ObjectId, PointObject, UncertainObject, UniformPdf};
+
+/// The deterministic scene the single-node suites use: a 20×20 point
+/// grid and a 6×6 grid of uncertain boxes over [0, 1000]².
+fn scene() -> (Vec<PointObject>, Vec<UncertainObject>) {
+    let points = (0..400u64)
+        .map(|k| {
+            PointObject::new(
+                k,
+                Point::new((k % 20) as f64 * 50.0 + 10.0, (k / 20) as f64 * 50.0 + 10.0),
+            )
+        })
+        .collect();
+    let uncertain = (0..36u64)
+        .map(|k| {
+            let c = Point::new((k % 6) as f64 * 160.0 + 80.0, (k / 6) as f64 * 160.0 + 80.0);
+            UncertainObject::new(k, UniformPdf::new(Rect::centered(c, 30.0, 30.0)))
+        })
+        .collect();
+    (points, uncertain)
+}
+
+struct Cluster {
+    /// The nodes' servers — kept alive for the cluster's lifetime.
+    _servers: Vec<QueryServer>,
+    handles: Vec<Option<ServerHandle>>,
+    router: Option<RouterHandle>,
+}
+
+impl Cluster {
+    /// N single-shard nodes, each seeded with exactly the slice of the
+    /// scene the N-shard oracle assigns to the same index — node order
+    /// is shard order, so every per-shard observable lines up.
+    fn start(n: usize) -> Cluster {
+        let (points, uncertain) = scene();
+        let mut node_points: Vec<Vec<PointObject>> = (0..n).map(|_| Vec::new()).collect();
+        let mut node_uncertain: Vec<Vec<UncertainObject>> = (0..n).map(|_| Vec::new()).collect();
+        for p in points {
+            node_points[shard_of(p.id, n)].push(p);
+        }
+        for u in uncertain {
+            node_uncertain[shard_of(u.id, n)].push(u);
+        }
+        let mut servers = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for (p, u) in node_points.into_iter().zip(node_uncertain) {
+            let server = QueryServer::new(p, u, 1);
+            let handle = server
+                .start(&ServerConfig {
+                    event_loops: 2,
+                    ..ServerConfig::loopback()
+                })
+                .expect("bind node");
+            addrs.push(handle.addr());
+            servers.push(server);
+            handles.push(Some(handle));
+        }
+        let router = Router::start(&RouterConfig::loopback(addrs)).expect("start router");
+        Cluster {
+            _servers: servers,
+            handles,
+            router: Some(router),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.router.as_ref().expect("router up").addr()).expect("connect router")
+    }
+
+    fn crash_node(&mut self, i: usize) {
+        self.handles[i].take().expect("node still up").shutdown();
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if let Some(router) = self.router.take() {
+            router.shutdown();
+        }
+        for handle in self.handles.iter_mut().filter_map(Option::take) {
+            handle.shutdown();
+        }
+    }
+}
+
+/// The oracle: one server over the full scene with N shards, driven
+/// over the wire exactly like the cluster.
+fn start_oracle(n: usize) -> (QueryServer, ServerHandle) {
+    let (points, uncertain) = scene();
+    let server = QueryServer::new(points, uncertain, n);
+    let handle = server
+        .start(&ServerConfig {
+            event_loops: 2,
+            ..ServerConfig::loopback()
+        })
+        .expect("bind oracle");
+    (server, handle)
+}
+
+fn point_requests(n: usize, salt: u64) -> Vec<PointRequest> {
+    (0..n as u64)
+        .map(|k| {
+            let s = k.wrapping_mul(2654435761).wrapping_add(salt * 97);
+            let c = Point::new((s % 900) as f64 + 50.0, (s / 7 % 900) as f64 + 50.0);
+            let issuer = Issuer::uniform(Rect::centered(c, 60.0, 60.0));
+            if k % 3 == 0 {
+                PointRequest::cipq(
+                    issuer,
+                    RangeSpec::square(90.0),
+                    0.2,
+                    CipqStrategy::PExpanded,
+                )
+            } else {
+                PointRequest::ipq(issuer, RangeSpec::square(90.0))
+            }
+        })
+        .collect()
+}
+
+fn uncertain_requests(n: usize, salt: u64) -> Vec<UncertainRequest> {
+    (0..n as u64)
+        .map(|k| {
+            let s = k.wrapping_mul(40503).wrapping_add(salt * 131);
+            let c = Point::new((s % 800) as f64 + 100.0, (s / 11 % 800) as f64 + 100.0);
+            let issuer = Issuer::uniform(Rect::centered(c, 80.0, 80.0));
+            if k % 2 == 0 {
+                UncertainRequest::iuq(issuer, RangeSpec::square(150.0))
+            } else {
+                UncertainRequest::ciuq(
+                    issuer,
+                    RangeSpec::square(150.0),
+                    0.25,
+                    CiuqStrategy::PtiPExpanded,
+                )
+            }
+        })
+        .collect()
+}
+
+/// The same churn stream the single-node suite commits — arrivals,
+/// moves, departures (some of absent ids), and uncertain moves.
+fn churn(round: u64, next_id: &mut u64) -> Vec<WireUpdate> {
+    let mut updates = Vec::new();
+    for j in 0..20u64 {
+        let k = round * 20 + j;
+        match k % 4 {
+            0 => {
+                updates.push(WireUpdate::Point(Update::Arrive(PointObject::new(
+                    *next_id,
+                    Point::new((k * 37 % 1000) as f64, (k * 53 % 1000) as f64),
+                ))));
+                *next_id += 1;
+            }
+            1 => updates.push(WireUpdate::Point(Update::Move(PointObject::new(
+                k % 400,
+                Point::new((k * 71 % 1000) as f64, (k * 29 % 1000) as f64),
+            )))),
+            2 => updates.push(WireUpdate::Point(Update::Depart(ObjectId(k * 13 % 500)))),
+            _ => updates.push(WireUpdate::Uncertain(Update::Move(UncertainObject::new(
+                k % 36,
+                UniformPdf::new(Rect::centered(
+                    Point::new((k * 91 % 900) as f64 + 50.0, (k * 17 % 900) as f64 + 50.0),
+                    25.0,
+                    25.0,
+                )),
+            )))),
+        }
+    }
+    updates
+}
+
+#[test]
+fn cluster_answers_bit_identical_to_sharded_oracle() {
+    for n in [2usize, 3] {
+        let cluster = Cluster::start(n);
+        let (_oracle, oracle_handle) = start_oracle(n);
+        let mut via_router = cluster.client();
+        let mut via_oracle = Client::connect(oracle_handle.addr()).expect("connect oracle");
+
+        // The handshake identifies the router and reports the
+        // cluster-wide shard total.
+        let ack = *via_router.hello().expect("handshake ack");
+        assert_eq!(ack.role, Role::Router);
+        assert_eq!(ack.point_shards as usize, n);
+        assert_eq!(ack.uncertain_shards as usize, n);
+        assert_eq!(ack.point_epoch, 0);
+
+        let mut next_id = 10_000u64;
+        for round in 0..6u64 {
+            // Identical batches into both planes; identical accept
+            // counts back.
+            let updates = churn(round, &mut next_id);
+            let accepted_router = via_router.submit(&updates).expect("submit via router");
+            let accepted_oracle = via_oracle.submit(&updates).expect("submit via oracle");
+            assert_eq!(accepted_router, accepted_oracle, "round {round} accepts");
+
+            // Commit reports are equal in every field: epoch, the four
+            // counters, the per-shard apply counts (node order = shard
+            // order), and the bitwise dirty rectangle.
+            for target in [CommitTarget::Point, CommitTarget::Uncertain] {
+                let got = via_router.commit(target).expect("cluster commit");
+                let want = via_oracle.commit(target).expect("oracle commit");
+                assert_eq!(got, want, "round {round} {target:?} report");
+            }
+
+            // Every query class answers bit-identically.
+            for (k, request) in point_requests(12, round).iter().enumerate() {
+                let got = via_router.point_query(request).expect("router point query");
+                let want = via_oracle.point_query(request).expect("oracle point query");
+                assert!(got.same_matches(&want), "round {round} point request {k}");
+            }
+            for (k, request) in uncertain_requests(6, round).iter().enumerate() {
+                let got = via_router
+                    .uncertain_query(request)
+                    .expect("router uncertain query");
+                let want = via_oracle
+                    .uncertain_query(request)
+                    .expect("oracle uncertain query");
+                assert!(
+                    got.same_matches(&want),
+                    "round {round} uncertain request {k}"
+                );
+            }
+        }
+
+        // An empty commit is an epoch no-op on both sides.
+        let got = via_router
+            .commit(CommitTarget::Point)
+            .expect("empty commit");
+        let want = via_oracle
+            .commit(CommitTarget::Point)
+            .expect("empty commit");
+        assert_eq!(got, want, "empty commit report");
+        assert_eq!(got.epoch, 6);
+        assert!(got.per_shard.is_empty());
+
+        // The merged stats agree with the oracle on everything the
+        // cluster can know: catalog sizes, per-shard sizes (node order
+        // = shard order), epochs — and report per-node health.
+        let cluster_stats = via_router.stats().expect("router stats");
+        let oracle_stats = via_oracle.stats().expect("oracle stats");
+        assert_eq!(cluster_stats.point.epoch, oracle_stats.point.epoch);
+        assert_eq!(cluster_stats.point.len, oracle_stats.point.len);
+        assert_eq!(
+            cluster_stats.point.shard_sizes,
+            oracle_stats.point.shard_sizes
+        );
+        assert_eq!(cluster_stats.uncertain.epoch, oracle_stats.uncertain.epoch);
+        assert_eq!(cluster_stats.uncertain.len, oracle_stats.uncertain.len);
+        assert_eq!(
+            cluster_stats.uncertain.shard_sizes,
+            oracle_stats.uncertain.shard_sizes
+        );
+        assert_eq!(cluster_stats.nodes.len(), n);
+        for (i, node) in cluster_stats.nodes.iter().enumerate() {
+            assert!(node.connected, "node {i} healthy");
+            assert_eq!(node.point_epoch, oracle_stats.point.epoch, "node {i}");
+            assert!(node.routed >= node.merged, "node {i} counters");
+            assert!(node.merged > 0, "node {i} served requests");
+        }
+        // The oracle has no nodes behind it.
+        assert!(oracle_stats.nodes.is_empty());
+
+        oracle_handle.shutdown();
+    }
+}
+
+#[test]
+fn subscription_delta_streams_compose_identically() {
+    let n = 3usize;
+    let cluster = Cluster::start(n);
+    let (_oracle, oracle_handle) = start_oracle(n);
+    let mut sub_router = cluster.client();
+    let mut sub_oracle = Client::connect(oracle_handle.addr()).expect("connect oracle sub");
+    let mut wr_router = cluster.client();
+    let mut wr_oracle = Client::connect(oracle_handle.addr()).expect("connect oracle writer");
+
+    let request_at = |x: f64, y: f64| {
+        PointRequest::ipq(
+            Issuer::uniform(Rect::centered(Point::new(x, y), 50.0, 50.0)),
+            RangeSpec::square(80.0),
+        )
+    };
+
+    // The initial answers (the base every delta composes on) match.
+    let mut request = request_at(260.0, 260.0);
+    let (ack_r, base_r) = sub_router
+        .subscribe_point(&request, 120.0)
+        .expect("subscribe");
+    let (ack_o, base_o) = sub_oracle
+        .subscribe_point(&request, 120.0)
+        .expect("subscribe");
+    assert!(base_r.same_matches(&base_o), "initial subscription answer");
+    assert!(!base_r.results.is_empty());
+    assert_eq!(ack_r.epoch, ack_o.epoch);
+
+    let mut note = Default::default();
+    for round in 0..6u64 {
+        // An answer-changing commit through both write planes...
+        let updates = vec![
+            WireUpdate::Point(Update::Move(PointObject::new(
+                round * 3,
+                Point::new(250.0 + round as f64, 250.0),
+            ))),
+            WireUpdate::Point(Update::Depart(ObjectId(100 + round))),
+            WireUpdate::Point(Update::Arrive(PointObject::new(
+                5_000 + round,
+                Point::new(270.0, 260.0 + round as f64),
+            ))),
+        ];
+        wr_router.submit(&updates).expect("submit cluster");
+        wr_oracle.submit(&updates).expect("submit oracle");
+        wr_router
+            .commit(CommitTarget::Point)
+            .expect("commit cluster");
+        wr_oracle
+            .commit(CommitTarget::Point)
+            .expect("commit oracle");
+
+        // ...pushes the same delta at the same epoch through both.
+        let push_r = sub_router
+            .poll_notification(Duration::from_secs(5))
+            .expect("poll cluster");
+        let push_o = sub_oracle
+            .poll_notification(Duration::from_secs(5))
+            .expect("poll oracle");
+        match (&push_r, &push_o) {
+            (Some(r), Some(o)) => {
+                assert_eq!(r.cause, NotifyCause::Commit, "round {round}");
+                assert_eq!(r.epoch, o.epoch, "round {round} epoch");
+                assert_eq!(r.delta, o.delta, "round {round} delta");
+            }
+            (None, None) => {} // both suppressed an empty delta
+            other => panic!("round {round}: push mismatch {other:?}"),
+        }
+
+        // A tick composes identically on top.
+        request = request_at(260.0 + round as f64 * 15.0, 260.0);
+        sub_router
+            .tick_into(
+                CommitTarget::Point,
+                ack_r.sub_id,
+                request.issuer.pdf(),
+                &mut note,
+            )
+            .expect("tick cluster");
+        let tick_r = note.clone();
+        sub_oracle
+            .tick_into(
+                CommitTarget::Point,
+                ack_o.sub_id,
+                request.issuer.pdf(),
+                &mut note,
+            )
+            .expect("tick oracle");
+        assert_eq!(tick_r.delta, note.delta, "round {round} tick delta");
+        assert_eq!(tick_r.epoch, note.epoch, "round {round} tick epoch");
+    }
+
+    // Unsubscribe acknowledges once, idempotently false after, and
+    // silences the stream on both sides.
+    assert!(sub_router
+        .unsubscribe(CommitTarget::Point, ack_r.sub_id)
+        .expect("unsubscribe"));
+    assert!(!sub_router
+        .unsubscribe(CommitTarget::Point, ack_r.sub_id)
+        .expect("re-unsubscribe"));
+    wr_router
+        .submit(&[WireUpdate::Point(Update::Depart(ObjectId(42)))])
+        .expect("submit");
+    wr_router.commit(CommitTarget::Point).expect("commit");
+    assert!(sub_router
+        .poll_notification(Duration::from_millis(300))
+        .expect("poll after unsubscribe")
+        .is_none());
+    // Ticking the dead subscription is the same typed error the
+    // single-node server gives.
+    match sub_router.tick_into(
+        CommitTarget::Point,
+        ack_r.sub_id,
+        request.issuer.pdf(),
+        &mut note,
+    ) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, Some(ErrorCode::Malformed)),
+        other => panic!("expected typed error, got {other:?}"),
+    }
+    sub_router.ping().expect("connection unharmed");
+
+    oracle_handle.shutdown();
+}
+
+#[test]
+fn node_crash_mid_commit_is_a_typed_error_never_a_torn_epoch() {
+    let mut cluster = Cluster::start(3);
+    let mut client = cluster.client();
+
+    // A first committed batch proves the cluster healthy.
+    let mut next_id = 10_000u64;
+    client.submit(&churn(0, &mut next_id)).expect("submit");
+    client.commit(CommitTarget::Point).expect("first commit");
+    client
+        .commit(CommitTarget::Uncertain)
+        .expect("first commit");
+    let epoch_before = client.stats().expect("stats").point.epoch;
+    assert_eq!(epoch_before, 1);
+
+    // Updates are routed (some nodes now hold pending state), then a
+    // node dies before the commit.
+    client.submit(&churn(1, &mut next_id)).expect("submit");
+    cluster.crash_node(1);
+    match client.commit(CommitTarget::Point) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, Some(ErrorCode::Unavailable), "typed commit failure")
+        }
+        other => panic!("expected Unavailable, got {other:?}"),
+    }
+
+    // The failed commit never published: the connection survives, the
+    // epoch is unchanged, and the dead node is visible in the health
+    // section. (Node stats come from the router's own state — the
+    // probe must not hang on the dead node thanks to the upstream
+    // read timeout.)
+    client
+        .ping()
+        .expect("connection survives the failed commit");
+    let stats = client.stats().expect("stats after crash");
+    assert_eq!(stats.point.epoch, epoch_before, "no torn epoch");
+    assert!(!stats.nodes[1].connected, "crashed node reported");
+    assert!(stats.nodes[0].connected);
+    assert!(stats.nodes[2].connected);
+
+    // Every later operation that needs the poisoned catalog is the
+    // same typed error — never a hang, never a partial answer.
+    match client.commit(CommitTarget::Point) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, Some(ErrorCode::Unavailable)),
+        other => panic!("expected Unavailable, got {other:?}"),
+    }
+    match client.point_query(&point_requests(1, 0)[0]) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, Some(ErrorCode::Unavailable)),
+        other => panic!("expected Unavailable, got {other:?}"),
+    }
+    client.ping().expect("connection still alive at the end");
+}
